@@ -1,0 +1,67 @@
+// hpacml-collect runs one benchmark with its HPAC-ML region in data
+// collection mode and writes the training database (.gh5) — phase one of
+// the paper's workflow.
+//
+// Usage:
+//
+//	hpacml-collect -benchmark binomial -db data/binomial.gh5 -runs 10 [-full]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	benchmark := flag.String("benchmark", "", "benchmark name: minibude, binomial, bonds, miniweather, particlefilter")
+	db := flag.String("db", "", "output database path (.gh5)")
+	runs := flag.Int("runs", 10, "number of region invocations to record")
+	full := flag.Bool("full", false, "use campaign-scale problem sizes")
+	seed := flag.Int64("seed", 29, "random seed")
+	flag.Parse()
+
+	if *benchmark == "" || *db == "" {
+		fmt.Fprintln(os.Stderr, "hpacml-collect: -benchmark and -db are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	h, err := findHarness(*benchmark, *full)
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.MkdirAll(filepath.Dir(*db), 0o755); err != nil {
+		fatal(err)
+	}
+	opt := experiments.QuickOptions()
+	if *full {
+		opt = experiments.FullOptions()
+	}
+	opt.CollectRuns = *runs
+	opt.Seed = *seed
+	if err := h.Collect(*db, opt); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("collected %d invocations of %s into %s\n", *runs, *benchmark, *db)
+}
+
+func findHarness(name string, full bool) (experiments.Harness, error) {
+	scale := experiments.ScaleTest
+	if full {
+		scale = experiments.ScaleFull
+	}
+	for _, h := range experiments.Registry(scale) {
+		if h.Info().Name == name {
+			return h, nil
+		}
+	}
+	return nil, fmt.Errorf("unknown benchmark %q", name)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hpacml-collect:", err)
+	os.Exit(1)
+}

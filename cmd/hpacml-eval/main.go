@@ -1,0 +1,85 @@
+// hpacml-eval deploys a trained surrogate in its benchmark and measures
+// end-to-end speedup, QoI error, and the HPAC-ML phase breakdown — phase
+// three of the paper's workflow, emitting one CSV row per run like the
+// paper's benchmark_evaluation scripts.
+//
+// Usage:
+//
+//	hpacml-eval -benchmark binomial -model models/binomial.gmod -runs 20
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	benchmark := flag.String("benchmark", "", "benchmark name")
+	model := flag.String("model", "", "trained model path (.gmod)")
+	runs := flag.Int("runs", 20, "timing repetitions")
+	full := flag.Bool("full", false, "use campaign-scale problem sizes")
+	seed := flag.Int64("seed", 29, "random seed")
+	csvOut := flag.String("csv", "", "optional CSV output path (default stdout)")
+	flag.Parse()
+
+	if *benchmark == "" || *model == "" {
+		fmt.Fprintln(os.Stderr, "hpacml-eval: -benchmark and -model are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	scale := experiments.ScaleTest
+	if *full {
+		scale = experiments.ScaleFull
+	}
+	var h experiments.Harness
+	for _, cand := range experiments.Registry(scale) {
+		if cand.Info().Name == *benchmark {
+			h = cand
+		}
+	}
+	if h == nil {
+		fatal(fmt.Errorf("unknown benchmark %q", *benchmark))
+	}
+	opt := experiments.QuickOptions()
+	opt.EvalRuns = *runs
+	opt.Seed = *seed
+	res, err := h.Evaluate(*model, opt)
+	if err != nil {
+		fatal(err)
+	}
+
+	out := os.Stdout
+	if *csvOut != "" {
+		f, err := os.Create(*csvOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		out = f
+	}
+	w := csv.NewWriter(out)
+	defer w.Flush()
+	w.Write([]string{"benchmark", "speedup", "error", "metric", "params",
+		"latency_sec", "to_tensor_sec", "inference_sec", "from_tensor_sec", "baseline_error"})
+	w.Write([]string{
+		res.Benchmark,
+		fmt.Sprintf("%.4f", res.Speedup),
+		fmt.Sprintf("%.6g", res.Error),
+		string(h.Info().Metric),
+		fmt.Sprintf("%d", res.Params),
+		fmt.Sprintf("%.6g", res.LatencySec),
+		fmt.Sprintf("%.6g", res.ToTensorSec),
+		fmt.Sprintf("%.6g", res.InferenceSec),
+		fmt.Sprintf("%.6g", res.FromTensorSec),
+		fmt.Sprintf("%.6g", res.BaselineError),
+	})
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hpacml-eval:", err)
+	os.Exit(1)
+}

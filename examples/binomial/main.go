@@ -1,0 +1,128 @@
+// Binomial Options example: the paper's Observation 3 — the trade-off
+// between model size, speedup, and accuracy, explored by training several
+// surrogate sizes for the same annotated region (Figure 8b's axis).
+//
+// Run with:
+//
+//	go run ./examples/binomial
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+	"time"
+
+	hpacml "repro"
+
+	"repro/internal/benchmarks/binomial"
+	"repro/internal/h5"
+	"repro/internal/nn"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "hpacml-binomial-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	dbPath := filepath.Join(dir, "binomial.gh5")
+
+	cfg := binomial.DefaultConfig()
+	cfg.NumOptions = 2048
+	cfg.Steps = 128
+	app, err := binomial.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	modelPath := filepath.Join(dir, "binomial.gmod")
+	useModel := false
+	region, err := hpacml.NewRegion("binomial",
+		hpacml.Directives(binomial.Directives(modelPath, dbPath)),
+		hpacml.BindInt("NOPT", cfg.NumOptions),
+		hpacml.BindArray("S", app.S, cfg.NumOptions),
+		hpacml.BindArray("X", app.X, cfg.NumOptions),
+		hpacml.BindArray("T", app.T, cfg.NumOptions),
+		hpacml.BindArray("prices", app.Prices, cfg.NumOptions),
+		hpacml.BindPredicate("useModel", func() bool { return useModel }),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer region.Close()
+
+	// --- Collect pricing data over several portfolios.
+	fmt.Println("collecting training data over 10 portfolios")
+	for run := 0; run < 10; run++ {
+		app.RandomizeOptions(int64(run))
+		if err := region.Execute(func() error { app.ComputePrices(); return nil }); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := region.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	file, err := h5.Open(dbPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	x, err := file.Read("binomial", "inputs")
+	if err != nil {
+		log.Fatal(err)
+	}
+	y, err := file.Read("binomial", "outputs")
+	if err != nil {
+		log.Fatal(err)
+	}
+	ds, err := nn.NewDataset(x, y)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Train a ladder of model sizes and measure the trade-off.
+	app.RandomizeOptions(999) // held-out portfolio
+	accStart := time.Now()
+	app.ComputePrices()
+	accurateTime := time.Since(accStart)
+	ref := append([]float64(nil), app.Prices...)
+
+	fmt.Printf("\naccurate lattice pricing: %v for %d options\n\n", accurateTime, cfg.NumOptions)
+	fmt.Printf("%-14s %-10s %-10s %s\n", "hidden sizes", "params", "speedup", "RMSE")
+	for _, hidden := range [][]int{{8}, {32}, {64, 32}, {128, 64}} {
+		net := nn.NewNetwork(17)
+		prev := 3
+		for _, hsz := range hidden {
+			net.Add(net.NewDense(prev, hsz), nn.NewActivation(nn.ActReLU))
+			prev = hsz
+		}
+		net.Add(net.NewDense(prev, 1))
+		if _, err := net.Fit(ds, nil, nn.TrainConfig{Epochs: 60, BatchSize: 128, LR: 3e-3, Seed: 5}); err != nil {
+			log.Fatal(err)
+		}
+		if err := net.Save(modelPath); err != nil {
+			log.Fatal(err)
+		}
+		region.InvalidateModel()
+
+		useModel = true
+		surStart := time.Now()
+		if err := region.Execute(nil); err != nil {
+			log.Fatal(err)
+		}
+		surrogateTime := time.Since(surStart)
+		useModel = false
+
+		var sum float64
+		for i := range ref {
+			d := app.Prices[i] - ref[i]
+			sum += d * d
+		}
+		rmse := math.Sqrt(sum / float64(len(ref)))
+		fmt.Printf("%-14v %-10d %-10.1fx %.4f\n",
+			hidden, net.NumParams(), float64(accurateTime)/float64(surrogateTime), rmse)
+	}
+	fmt.Println("\nsmaller models run faster but price less accurately (Observation 3)")
+}

@@ -1,0 +1,143 @@
+// Quickstart: the paper's Figure 2 program, end to end.
+//
+// A 2-D Jacobi stencil is annotated with HPAC-ML directives. The program
+// first runs in data-collection mode (the predicate is false), recording
+// every region invocation's inputs and outputs into a .gh5 database. It
+// then trains a small MLP surrogate offline from that database, saves it
+// in .gmod format, flips the predicate — no other change — and the same
+// region now runs model inference instead of the stencil.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"path/filepath"
+
+	hpacml "repro"
+
+	"repro/internal/h5"
+	"repro/internal/nn"
+)
+
+const (
+	N, M  = 32, 40
+	steps = 40
+)
+
+// doTimestep is the accurate execution path: a 5-point averaging stencil
+// over the grid interior.
+func doTimestep(t, tnew []float64) {
+	for i := 1; i < N-1; i++ {
+		for j := 1; j < M-1; j++ {
+			tnew[i*M+j] = (t[(i-1)*M+j] + t[(i+1)*M+j] + t[i*M+j-1] + t[i*M+j] + t[i*M+j+1]) / 5
+		}
+	}
+}
+
+func main() {
+	dir, err := os.MkdirTemp("", "hpacml-quickstart-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	dbPath := filepath.Join(dir, "stencil.gh5")
+	modelPath := filepath.Join(dir, "stencil.gmod")
+
+	grid := make([]float64, N*M)
+	gridNew := make([]float64, N*M)
+	for i := range grid {
+		grid[i] = math.Sin(0.2*float64(i%M)) * math.Cos(0.11*float64(i/M))
+	}
+
+	// The annotation: the exact directives of paper Figure 2, with the
+	// wrapped statement becoming the closure passed to Execute.
+	useModel := false
+	region, err := hpacml.NewRegion("stencil",
+		hpacml.Directives(fmt.Sprintf(`
+#pragma approx tensor functor(ifnctr: [i, j, 0:5] = (([i-1, j], [i+1, j], [i, j-1:j+2])))
+#pragma approx tensor functor(ofnctr: [i, j, 0:1] = ([i, j]))
+#pragma approx tensor map(to: ifnctr(t[1:N-1, 1:M-1]))
+#pragma approx tensor map(from: ofnctr(tnew[1:N-1, 1:M-1]))
+#pragma approx ml(predicated:useModel) in(t) out(tnew) db(%q) model(%q)
+`, dbPath, modelPath)),
+		hpacml.BindInt("N", N), hpacml.BindInt("M", M),
+		hpacml.BindArray("t", grid, N, M),
+		hpacml.BindArray("tnew", gridNew, N, M),
+		hpacml.BindPredicate("useModel", func() bool { return useModel }),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer region.Close()
+
+	// --- Phase 1: data collection.
+	fmt.Println("phase 1: collecting training data from the accurate stencil")
+	for s := 0; s < steps; s++ {
+		if err := region.Execute(func() error { doTimestep(grid, gridNew); return nil }); err != nil {
+			log.Fatal(err)
+		}
+		copy(grid, gridNew)
+	}
+	if err := region.Flush(); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Phase 2: offline training (the "ML expert" step).
+	fmt.Println("phase 2: training the surrogate from", dbPath)
+	f, err := h5.Open(dbPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	x, err := f.Read("stencil", "inputs")
+	if err != nil {
+		log.Fatal(err)
+	}
+	y, err := f.Read("stencil", "outputs")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  database: %d samples of %d features\n", x.Dim(0), x.Dim(1))
+	ds, err := nn.NewDataset(x, y)
+	if err != nil {
+		log.Fatal(err)
+	}
+	net := nn.NewNetwork(7)
+	net.Add(net.NewDense(5, 16), nn.NewActivation(nn.ActTanh), net.NewDense(16, 1))
+	hist, err := net.Fit(ds, nil, nn.TrainConfig{Epochs: 60, BatchSize: 128, LR: 0.01, Seed: 3})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  best validation loss: %.3g\n", hist.BestVal)
+	if err := net.Save(modelPath); err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Phase 3: deployment. Only the predicate changes.
+	fmt.Println("phase 3: deploying the surrogate (same region, predicate flipped)")
+	useModel = true
+	region.ResetStats() // report inference-mode phase split only (Fig. 6)
+	ref := make([]float64, N*M)
+	doTimestep(grid, ref)
+	if err := region.Execute(nil); err != nil {
+		log.Fatal(err)
+	}
+	var sum float64
+	var n int
+	for i := 1; i < N-1; i++ {
+		for j := 1; j < M-1; j++ {
+			d := gridNew[i*M+j] - ref[i*M+j]
+			sum += d * d
+			n++
+		}
+	}
+	st := region.Stats()
+	fmt.Printf("  surrogate RMSE vs accurate stencil: %.4g\n", math.Sqrt(sum/float64(n)))
+	fmt.Printf("  phase split: to-tensor %v, inference %v, from-tensor %v (bridge overhead %.2f%%)\n",
+		st.ToTensor, st.Inference, st.FromTensor, st.BridgeOverhead()*100)
+}

@@ -1,0 +1,784 @@
+// Package hpacml is a Go implementation of the HPAC-ML programming model
+// (Fink et al., SC 2024): a directive-based way to embed machine-learning
+// surrogates in scientific applications. An application annotates a code
+// region with tensor functor, tensor map, and ml directives; the runtime
+// then either collects the region's inputs/outputs into a database for
+// offline surrogate training, or replaces the region entirely with model
+// inference, bridging the application and tensor memory layouts in both
+// directions.
+//
+// Go has no pragma mechanism, so the directives are the same grammar the
+// paper's Clang extension parses (Figure 3), provided as strings when the
+// region is constructed — the one-time "annotation" a developer writes.
+// The wrapped structured block becomes the closure passed to Execute, which
+// is exactly the outlined function the HPAC compiler would have produced:
+//
+//	region, err := hpacml.NewRegion("stencil",
+//	    hpacml.Directives(`
+//	        #pragma approx tensor functor(ifn: [i, j, 0:5] = (([i-1, j], [i+1, j], [i, j-1:j+2])))
+//	        #pragma approx tensor functor(ofn: [i, j, 0:1] = ([i, j]))
+//	        #pragma approx tensor map(to: ifn(t[1:N-1, 1:M-1]))
+//	        #pragma approx tensor map(from: ofn(tnew[1:N-1, 1:M-1]))
+//	        #pragma approx ml(predicated:useModel) in(t) out(tnew) model("m.gmod") db("d.gh5")
+//	    `),
+//	    hpacml.BindInt("N", n), hpacml.BindInt("M", m),
+//	    hpacml.BindArray("t", t, n, m),
+//	    hpacml.BindArray("tnew", tnew, n, m),
+//	    hpacml.BindPredicate("useModel", func() bool { return infer }),
+//	)
+//	...
+//	err = region.Execute(func() error { doTimestep(t, tnew); return nil })
+package hpacml
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/bridge"
+	"repro/internal/directive"
+	"repro/internal/h5"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// Layout controls how the bridge's LHS tensors are presented to the model.
+type Layout int
+
+// Supported model I/O layouts.
+const (
+	// LayoutFlat flattens the sweep dims into a batch: [entries, features].
+	// This is the layout of the paper's MLP benchmarks.
+	LayoutFlat Layout = iota
+	// LayoutImage2D presents a 2-D sweep as a single image sample:
+	// [S0, S1, F] becomes [1, F, S0, S1] (channels from features), the
+	// layout of the paper's CNN benchmarks (ParticleFilter).
+	LayoutImage2D
+	// LayoutChannels presents a 3-D sweep whose leading dim is a channel
+	// index: [C, S0, S1, 1] becomes [1, C, S0, S1] (MiniWeather's state
+	// variables).
+	LayoutChannels
+)
+
+// Stats aggregates runtime accounting for one region — the quantities
+// behind the paper's Figure 6 (to-tensor / inference / from-tensor split)
+// and Table III (collection overhead).
+type Stats struct {
+	Invocations  int
+	Inferences   int
+	Collections  int
+	AccurateRuns int
+
+	ToTensor   time.Duration
+	Inference  time.Duration
+	FromTensor time.Duration
+	Accurate   time.Duration
+	DBWrite    time.Duration
+}
+
+// Clone returns a copy of the stats.
+func (s Stats) Clone() Stats { return s }
+
+// BridgeOverhead returns (to-tensor + from-tensor) time as a fraction of
+// inference-engine time.
+func (s Stats) BridgeOverhead() float64 {
+	if s.Inference == 0 {
+		return 0
+	}
+	return float64(s.ToTensor+s.FromTensor) / float64(s.Inference)
+}
+
+// Region is one annotated code region: its directives, bound application
+// memory, bridge plans, and execution-control state.
+type Region struct {
+	name string
+
+	functors map[string]*directive.FunctorDecl
+	maps     []*directive.MapDecl
+	ml       *directive.MLDecl
+
+	env        directive.Env
+	arrays     map[string]*bridge.Array
+	predicates map[string]func() bool
+
+	inPlans  []*bridge.Plan
+	outPlans []*bridge.Plan
+
+	inLayout  Layout
+	outLayout Layout
+
+	modelPath string
+	dbPath    string
+
+	model   *nn.Network
+	writer  *h5.Writer
+	stats   Stats
+	dirSrcs []string // raw directive text, for Table II accounting
+	closed  bool
+}
+
+// modelCache shares loaded models across regions keyed by path, matching
+// the paper's "loads the model file if it has not already been loaded".
+var modelCache sync.Map // string -> *nn.Network
+
+// ClearModelCache drops all cached models (used by tests and the
+// model-cache ablation benchmark).
+func ClearModelCache() { modelCache = sync.Map{} }
+
+// Option configures a Region under construction.
+type Option func(*Region) error
+
+// Directives parses a block of directive text (one directive per line,
+// backslash continuations allowed) into the region.
+func Directives(src string) Option {
+	return func(r *Region) error {
+		ds, err := directive.ParseAll(src)
+		if err != nil {
+			return err
+		}
+		for _, line := range strings.Split(strings.ReplaceAll(src, "\\\n", " "), "\n") {
+			line = strings.TrimSpace(line)
+			if line != "" && !strings.HasPrefix(line, "//") {
+				r.dirSrcs = append(r.dirSrcs, line)
+			}
+		}
+		return r.addDirectives(ds)
+	}
+}
+
+// Directive adds a single pre-parsed directive.
+func Directive(d directive.Directive) Option {
+	return func(r *Region) error {
+		r.dirSrcs = append(r.dirSrcs, d.String())
+		return r.addDirectives([]directive.Directive{d})
+	}
+}
+
+// BindArray binds application memory under a name referenced by the map
+// targets and the ml in/out lists. The memory is aliased, never copied.
+func BindArray(name string, data []float64, shape ...int) Option {
+	return func(r *Region) error {
+		a, err := bridge.NewArray(name, data, shape...)
+		if err != nil {
+			return err
+		}
+		if _, dup := r.arrays[name]; dup {
+			return fmt.Errorf("hpacml: array %q bound twice", name)
+		}
+		r.arrays[name] = a
+		return nil
+	}
+}
+
+// BindInt binds an integer variable referenced by concrete slice
+// expressions (e.g. N, M).
+func BindInt(name string, v int) Option {
+	return func(r *Region) error {
+		if _, dup := r.env[name]; dup {
+			return fmt.Errorf("hpacml: integer %q bound twice", name)
+		}
+		r.env[name] = v
+		return nil
+	}
+}
+
+// BindPredicate binds a boolean expression name used by predicated ml
+// clauses and if clauses. The literals "true" and "false" are predefined.
+func BindPredicate(name string, fn func() bool) Option {
+	return func(r *Region) error {
+		if fn == nil {
+			return fmt.Errorf("hpacml: nil predicate %q", name)
+		}
+		r.predicates[name] = fn
+		return nil
+	}
+}
+
+// WithModel overrides the model path from the ml clause.
+func WithModel(path string) Option {
+	return func(r *Region) error { r.modelPath = path; return nil }
+}
+
+// WithDB overrides the database path from the ml clause.
+func WithDB(path string) Option {
+	return func(r *Region) error { r.dbPath = path; return nil }
+}
+
+// InputLayout selects how gathered inputs are presented to the model.
+func InputLayout(l Layout) Option {
+	return func(r *Region) error { r.inLayout = l; return nil }
+}
+
+// OutputLayout selects how model outputs map back to the bridge.
+func OutputLayout(l Layout) Option {
+	return func(r *Region) error { r.outLayout = l; return nil }
+}
+
+// NewRegion builds a region from directives and bindings, performing all
+// semantic analysis and bridge-plan construction up front so Execute is
+// cheap and cannot fail on layout grounds.
+func NewRegion(name string, opts ...Option) (*Region, error) {
+	r := &Region{
+		name:       name,
+		functors:   make(map[string]*directive.FunctorDecl),
+		env:        make(directive.Env),
+		arrays:     make(map[string]*bridge.Array),
+		predicates: make(map[string]func() bool),
+	}
+	for _, opt := range opts {
+		if err := opt(r); err != nil {
+			return nil, fmt.Errorf("hpacml: region %q: %w", name, err)
+		}
+	}
+	if err := r.finalize(); err != nil {
+		return nil, fmt.Errorf("hpacml: region %q: %w", name, err)
+	}
+	return r, nil
+}
+
+func (r *Region) addDirectives(ds []directive.Directive) error {
+	for _, d := range ds {
+		switch v := d.(type) {
+		case *directive.FunctorDecl:
+			if _, dup := r.functors[v.Name]; dup {
+				return fmt.Errorf("functor %q declared twice", v.Name)
+			}
+			r.functors[v.Name] = v
+		case *directive.MapDecl:
+			r.maps = append(r.maps, v)
+		case *directive.MLDecl:
+			if r.ml != nil {
+				return fmt.Errorf("multiple ml directives in one region")
+			}
+			r.ml = v
+		}
+	}
+	return nil
+}
+
+// finalize performs semantic analysis: resolving maps against functors and
+// arrays, building bridge plans, and checking the ml clause's data flow.
+func (r *Region) finalize() error {
+	if r.ml == nil {
+		return fmt.Errorf("missing ml directive")
+	}
+	if r.modelPath == "" {
+		r.modelPath = r.ml.Model
+	}
+	if r.dbPath == "" {
+		r.dbPath = r.ml.DB
+	}
+
+	// Inline functor applications in the ml clause (fa-exprs) create
+	// implicit tensor maps: in() gathers, out() scatters, inout() both.
+	maps := append([]*directive.MapDecl(nil), r.maps...)
+	for _, app := range r.ml.InApps {
+		maps = append(maps, &directive.MapDecl{Dir: directive.To, Functor: app.Functor, Targets: app.Targets})
+	}
+	for _, app := range r.ml.OutApps {
+		maps = append(maps, &directive.MapDecl{Dir: directive.From, Functor: app.Functor, Targets: app.Targets})
+	}
+	for _, app := range r.ml.InOutApps {
+		maps = append(maps,
+			&directive.MapDecl{Dir: directive.To, Functor: app.Functor, Targets: app.Targets},
+			&directive.MapDecl{Dir: directive.From, Functor: app.Functor, Targets: app.Targets})
+	}
+	// inout(name) arrays covered only in the to direction derive their
+	// from-map from the same functor application (and vice versa) — this
+	// is what lets MiniWeather annotate with three directives (Table II).
+	for _, n := range r.ml.InOut {
+		var to, from *directive.MapDecl
+		for _, m := range maps {
+			for _, t := range m.Targets {
+				if t.Array != n {
+					continue
+				}
+				if m.Dir == directive.To {
+					to = m
+				} else {
+					from = m
+				}
+			}
+		}
+		switch {
+		case to != nil && from == nil:
+			maps = append(maps, &directive.MapDecl{Dir: directive.From, Functor: to.Functor, Targets: to.Targets})
+		case from != nil && to == nil:
+			maps = append(maps, &directive.MapDecl{Dir: directive.To, Functor: from.Functor, Targets: from.Targets})
+		}
+	}
+
+	covered := map[string]directive.Direction{}
+	for _, m := range maps {
+		f, ok := r.functors[m.Functor]
+		if !ok {
+			return fmt.Errorf("map references undeclared functor %q", m.Functor)
+		}
+		plan, err := bridge.Build(f, m, r.arrays, r.env)
+		if err != nil {
+			return err
+		}
+		if m.Dir == directive.To {
+			r.inPlans = append(r.inPlans, plan)
+		} else {
+			r.outPlans = append(r.outPlans, plan)
+		}
+		for _, t := range m.Targets {
+			covered[t.Array+"/"+m.Dir.String()] = m.Dir
+		}
+	}
+
+	check := func(names []string, dir string) error {
+		for _, n := range names {
+			if _, ok := r.arrays[n]; !ok {
+				return fmt.Errorf("ml %s(%s): array not bound", dir, n)
+			}
+			if _, ok := covered[n+"/"+dir]; !ok {
+				return fmt.Errorf("ml %s(%s): no tensor map covers this array", dir, n)
+			}
+		}
+		return nil
+	}
+	if err := check(r.ml.In, "to"); err != nil {
+		return err
+	}
+	if err := check(r.ml.Out, "from"); err != nil {
+		return err
+	}
+	for _, n := range r.ml.InOut {
+		if err := check([]string{n}, "to"); err != nil {
+			return err
+		}
+		if err := check([]string{n}, "from"); err != nil {
+			return err
+		}
+	}
+	if len(r.inPlans) == 0 {
+		return fmt.Errorf("no to-direction tensor map")
+	}
+	if len(r.outPlans) == 0 {
+		return fmt.Errorf("no from-direction tensor map")
+	}
+	// All input plans must agree on entry count so their features can be
+	// concatenated per entry.
+	entries := r.inPlans[0].Entries()
+	for _, p := range r.inPlans[1:] {
+		if p.Entries() != entries {
+			return fmt.Errorf("input maps disagree on entry count: %d vs %d", p.Entries(), entries)
+		}
+	}
+	outEntries := r.outPlans[0].Entries()
+	for _, p := range r.outPlans[1:] {
+		if p.Entries() != outEntries {
+			return fmt.Errorf("output maps disagree on entry count: %d vs %d", p.Entries(), outEntries)
+		}
+	}
+	// Predicates referenced by the ml clause must be resolvable.
+	if r.ml.Mode == directive.Predicated {
+		if _, err := r.evalPredicate(r.ml.Cond); err != nil {
+			return err
+		}
+	}
+	if r.ml.If != "" {
+		if _, err := r.evalPredicate(r.ml.If); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (r *Region) evalPredicate(expr string) (func() bool, error) {
+	expr = strings.TrimSpace(expr)
+	switch expr {
+	case "true", "1":
+		return func() bool { return true }, nil
+	case "false", "0":
+		return func() bool { return false }, nil
+	}
+	if fn, ok := r.predicates[expr]; ok {
+		return fn, nil
+	}
+	return nil, fmt.Errorf("unbound predicate %q (bind it with BindPredicate)", expr)
+}
+
+// Name returns the region name (its group in the collection database).
+func (r *Region) Name() string { return r.name }
+
+// NumDirectives returns how many directives annotate the region — the
+// paper's Table II metric.
+func (r *Region) NumDirectives() int { return len(r.dirSrcs) }
+
+// DirectiveLines returns the raw annotation text, one directive per entry.
+func (r *Region) DirectiveLines() []string {
+	return append([]string(nil), r.dirSrcs...)
+}
+
+// Stats returns a snapshot of the region's runtime accounting.
+func (r *Region) Stats() Stats { return r.stats }
+
+// ResetStats zeroes the accounting.
+func (r *Region) ResetStats() { r.stats = Stats{} }
+
+// Execute runs the region once. Depending on the ml clause it either
+// invokes the accurate path (optionally collecting data) or replaces it
+// with surrogate inference. accurate is the outlined structured block.
+func (r *Region) Execute(accurate func() error) error {
+	if r.closed {
+		return fmt.Errorf("hpacml: region %q used after Close", r.name)
+	}
+	r.stats.Invocations++
+
+	// The if clause gates surrogate use entirely: when false, the region
+	// runs the original code with no HPAC-ML involvement (the paper's
+	// MiniWeather interleaving control).
+	if r.ml.If != "" {
+		gate, err := r.evalPredicate(r.ml.If)
+		if err != nil {
+			return err
+		}
+		if !gate() {
+			return r.runAccurate(accurate)
+		}
+	}
+
+	switch r.ml.Mode {
+	case directive.Infer:
+		return r.runInference()
+	case directive.Collect:
+		return r.runCollection(accurate)
+	case directive.Predicated:
+		cond := true
+		if r.ml.Cond != "" {
+			fn, err := r.evalPredicate(r.ml.Cond)
+			if err != nil {
+				return err
+			}
+			cond = fn()
+		}
+		if cond {
+			return r.runInference()
+		}
+		return r.runCollection(accurate)
+	}
+	return fmt.Errorf("hpacml: unknown ml mode %v", r.ml.Mode)
+}
+
+func (r *Region) runAccurate(accurate func() error) error {
+	start := time.Now()
+	err := accurate()
+	r.stats.Accurate += time.Since(start)
+	r.stats.AccurateRuns++
+	return err
+}
+
+// runCollection executes the accurate path, capturing inputs beforehand
+// and outputs afterwards into the database along with the region runtime.
+// Records are stored in the model's layout, so one region invocation is
+// one training sample: [entries, features] rows for flat regions, one
+// [1, C, H, W] image for image/channel regions.
+func (r *Region) runCollection(accurate func() error) error {
+	start := time.Now()
+	inputs, err := r.modelInput()
+	r.stats.ToTensor += time.Since(start)
+	if err != nil {
+		return err
+	}
+
+	runStart := time.Now()
+	if err := accurate(); err != nil {
+		return err
+	}
+	runtime := time.Since(runStart)
+	r.stats.Accurate += runtime
+	r.stats.AccurateRuns++
+	r.stats.Collections++
+
+	start = time.Now()
+	outputs, err := r.modelTarget()
+	r.stats.FromTensor += time.Since(start)
+	if err != nil {
+		return err
+	}
+
+	start = time.Now()
+	defer func() { r.stats.DBWrite += time.Since(start) }()
+	if r.dbPath == "" {
+		return fmt.Errorf("hpacml: collection without db() clause in region %q", r.name)
+	}
+	if r.writer == nil {
+		w, err := h5.Append(r.dbPath)
+		if err != nil {
+			return err
+		}
+		r.writer = w
+	}
+	if err := r.writer.Write(r.name, "inputs", inputs); err != nil {
+		return err
+	}
+	if err := r.writer.Write(r.name, "outputs", outputs); err != nil {
+		return err
+	}
+	return r.writer.WriteScalar(r.name, "runtime_ns", float64(runtime.Nanoseconds()))
+}
+
+// runInference replaces the region with surrogate evaluation: gather
+// inputs, apply the model, scatter outputs.
+func (r *Region) runInference() error {
+	if err := r.ensureModel(); err != nil {
+		return err
+	}
+
+	start := time.Now()
+	x, err := r.modelInput()
+	r.stats.ToTensor += time.Since(start)
+	if err != nil {
+		return err
+	}
+
+	start = time.Now()
+	y, err := r.model.Forward(x)
+	r.stats.Inference += time.Since(start)
+	if err != nil {
+		return fmt.Errorf("hpacml: inference in region %q: %w", r.name, err)
+	}
+
+	start = time.Now()
+	err = r.scatterModelOutput(y)
+	r.stats.FromTensor += time.Since(start)
+	if err != nil {
+		return err
+	}
+	r.stats.Inferences++
+	return nil
+}
+
+func (r *Region) ensureModel() error {
+	if r.model != nil {
+		return nil
+	}
+	if r.modelPath == "" {
+		return fmt.Errorf("hpacml: inference without model() clause in region %q", r.name)
+	}
+	if cached, ok := modelCache.Load(r.modelPath); ok {
+		r.model = cached.(*nn.Network)
+		return nil
+	}
+	m, err := nn.Load(r.modelPath)
+	if err != nil {
+		return err
+	}
+	modelCache.Store(r.modelPath, m)
+	r.model = m
+	return nil
+}
+
+// InvalidateModel forces the next inference to reload the model from disk
+// (e.g. after a new training round wrote the file).
+func (r *Region) InvalidateModel() {
+	r.model = nil
+	modelCache.Delete(r.modelPath)
+}
+
+// gatherInputs composes all to-plans into the training-data layout
+// [entries, total features].
+func (r *Region) gatherInputs() (*tensor.Tensor, error) {
+	return gatherFlat(r.inPlans)
+}
+
+// gatherOutputs composes all from-plans (reading current application
+// memory) into [entries, total features] — used during collection.
+func (r *Region) gatherOutputs() (*tensor.Tensor, error) {
+	return gatherFlat(r.outPlans)
+}
+
+// modelTarget gathers the region's outputs in the layout the model is
+// trained to produce: [entries, features] rows for flat regions, a single
+// flattened [1, N] sample for image/channel regions (whose decoders end
+// in a dense layer).
+func (r *Region) modelTarget() (*tensor.Tensor, error) {
+	switch r.outLayout {
+	case LayoutFlat:
+		return r.gatherOutputs()
+	case LayoutImage2D, LayoutChannels:
+		if len(r.outPlans) != 1 {
+			return nil, fmt.Errorf("hpacml: image/channels layout wants exactly one output map, got %d", len(r.outPlans))
+		}
+		g, err := r.outPlans[0].Gather()
+		if err != nil {
+			return nil, err
+		}
+		return g.Reshape(1, g.Len())
+	}
+	return nil, fmt.Errorf("hpacml: unknown output layout %d", r.outLayout)
+}
+
+func gatherFlat(plans []*bridge.Plan) (*tensor.Tensor, error) {
+	parts := make([]*tensor.Tensor, len(plans))
+	for i, p := range plans {
+		g, err := p.Gather()
+		if err != nil {
+			return nil, err
+		}
+		flat, err := g.Reshape(p.Entries(), p.Features())
+		if err != nil {
+			return nil, err
+		}
+		parts[i] = flat
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	return tensor.Concat(1, parts...)
+}
+
+// modelInput gathers the inputs and lays them out for the model.
+func (r *Region) modelInput() (*tensor.Tensor, error) {
+	switch r.inLayout {
+	case LayoutFlat:
+		return r.gatherInputs()
+	case LayoutImage2D:
+		if len(r.inPlans) != 1 {
+			return nil, fmt.Errorf("hpacml: image layout wants exactly one input map, got %d", len(r.inPlans))
+		}
+		p := r.inPlans[0]
+		sweep := p.SweepShape()
+		if len(sweep) != 2 {
+			return nil, fmt.Errorf("hpacml: image layout wants a 2-D sweep, got %v", sweep)
+		}
+		g, err := p.Gather()
+		if err != nil {
+			return nil, err
+		}
+		// [S0, S1, F] -> [1, F, S0, S1]
+		flat, err := g.Reshape(sweep[0], sweep[1], p.Features())
+		if err != nil {
+			return nil, err
+		}
+		t1, err := flat.Transpose(0, 2) // [F, S1, S0]
+		if err != nil {
+			return nil, err
+		}
+		t2, err := t1.Transpose(1, 2) // [F, S0, S1]
+		if err != nil {
+			return nil, err
+		}
+		return t2.Contiguous().Reshape(1, p.Features(), sweep[0], sweep[1])
+	case LayoutChannels:
+		if len(r.inPlans) != 1 {
+			return nil, fmt.Errorf("hpacml: channels layout wants exactly one input map, got %d", len(r.inPlans))
+		}
+		p := r.inPlans[0]
+		sweep := p.SweepShape()
+		if len(sweep) != 3 || p.Features() != 1 {
+			return nil, fmt.Errorf("hpacml: channels layout wants a 3-D sweep with 1 feature, got %v/%d", sweep, p.Features())
+		}
+		g, err := p.Gather()
+		if err != nil {
+			return nil, err
+		}
+		return g.Reshape(1, sweep[0], sweep[1], sweep[2])
+	}
+	return nil, fmt.Errorf("hpacml: unknown input layout %d", r.inLayout)
+}
+
+// scatterModelOutput converts the model output back to the bridge layout
+// and scatters it into application memory.
+func (r *Region) scatterModelOutput(y *tensor.Tensor) error {
+	switch r.outLayout {
+	case LayoutFlat:
+		// Split [entries, totalF] across the from-plans in order.
+		totalF := 0
+		for _, p := range r.outPlans {
+			totalF += p.Features()
+		}
+		entries := r.outPlans[0].Entries()
+		if y.Len() != entries*totalF {
+			return fmt.Errorf("hpacml: model output has %d elements, outputs want %d entries x %d features",
+				y.Len(), entries, totalF)
+		}
+		flat, err := y.Contiguous().Reshape(entries, totalF)
+		if err != nil {
+			return err
+		}
+		at := 0
+		for _, p := range r.outPlans {
+			part, err := flat.Narrow(1, at, p.Features())
+			if err != nil {
+				return err
+			}
+			if err := p.Scatter(part.Contiguous()); err != nil {
+				return err
+			}
+			at += p.Features()
+		}
+		return nil
+	case LayoutImage2D:
+		if len(r.outPlans) != 1 {
+			return fmt.Errorf("hpacml: image layout wants exactly one output map, got %d", len(r.outPlans))
+		}
+		p := r.outPlans[0]
+		sweep := p.SweepShape()
+		if len(sweep) != 2 {
+			return fmt.Errorf("hpacml: image layout wants a 2-D sweep, got %v", sweep)
+		}
+		want := []int{1, p.Features(), sweep[0], sweep[1]}
+		if y.Len() != tensor.NumElements(want) {
+			return fmt.Errorf("hpacml: model output %v, want %v", y.Shape(), want)
+		}
+		img, err := y.Contiguous().Reshape(p.Features(), sweep[0], sweep[1])
+		if err != nil {
+			return err
+		}
+		t1, err := img.Transpose(0, 1) // [S0, F, S1]
+		if err != nil {
+			return err
+		}
+		t2, err := t1.Transpose(1, 2) // [S0, S1, F]
+		if err != nil {
+			return err
+		}
+		return p.Scatter(t2.Contiguous())
+	case LayoutChannels:
+		if len(r.outPlans) != 1 {
+			return fmt.Errorf("hpacml: channels layout wants exactly one output map, got %d", len(r.outPlans))
+		}
+		p := r.outPlans[0]
+		sweep := p.SweepShape()
+		if len(sweep) != 3 || p.Features() != 1 {
+			return fmt.Errorf("hpacml: channels layout wants a 3-D sweep with 1 feature")
+		}
+		if y.Len() != tensor.NumElements(sweep) {
+			return fmt.Errorf("hpacml: model output %v, want %v x 1", y.Shape(), sweep)
+		}
+		cube, err := y.Contiguous().Reshape(sweep[0], sweep[1], sweep[2], 1)
+		if err != nil {
+			return err
+		}
+		return p.Scatter(cube)
+	}
+	return fmt.Errorf("hpacml: unknown output layout %d", r.outLayout)
+}
+
+// Flush forces any buffered database records to disk without closing.
+func (r *Region) Flush() error {
+	if r.writer != nil {
+		return r.writer.Flush()
+	}
+	return nil
+}
+
+// Close flushes and releases the region's database writer. The region must
+// not be executed afterwards.
+func (r *Region) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if r.writer != nil {
+		err := r.writer.Close()
+		r.writer = nil
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package hpacml
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+func TestAccurateErrorPropagates(t *testing.T) {
+	const N = 4
+	dir := t.TempDir()
+	r, err := NewRegion("err",
+		Directives(fmt.Sprintf(`
+tensor functor(f: [i, 0:1] = ([i]))
+tensor map(to: f(x[0:N]))
+tensor map(from: f(x[0:N]))
+ml(collect) inout(x) db(%q)
+`, filepath.Join(dir, "d.gh5"))),
+		BindInt("N", N),
+		BindArray("x", make([]float64, N), N),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	boom := errors.New("solver diverged")
+	if err := r.Execute(func() error { return boom }); !errors.Is(err, boom) {
+		t.Fatalf("accurate-path error lost: %v", err)
+	}
+	// A failed invocation must not record a collection.
+	if st := r.Stats(); st.Collections != 0 {
+		t.Fatalf("failed run recorded a collection: %+v", st)
+	}
+}
+
+func TestImageLayoutRejectsWrongSweepRank(t *testing.T) {
+	const N = 8
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "m.gmod")
+	net := nn.NewNetwork(1)
+	net.Add(net.NewDense(1, 1))
+	if err := net.Save(modelPath); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRegion("img",
+		Directives(fmt.Sprintf(`
+tensor functor(f: [i, 0:1] = ([i]))
+tensor map(to: f(x[0:N]))
+tensor map(from: f(x[0:N]))
+ml(infer) inout(x) model(%q)
+`, modelPath)),
+		BindInt("N", N),
+		BindArray("x", make([]float64, N), N),
+		InputLayout(LayoutImage2D), // 1-D sweep cannot be an image
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Execute(nil); err == nil {
+		t.Fatal("want error: image layout needs a 2-D sweep")
+	}
+}
+
+func TestChannelsLayoutRejectsFeatureDims(t *testing.T) {
+	const C, H, W = 2, 4, 4
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "m.gmod")
+	net := nn.NewNetwork(1)
+	net.Add(net.NewDense(1, 1))
+	if err := net.Save(modelPath); err != nil {
+		t.Fatal(err)
+	}
+	// Functor with 2 features per cell: channels layout requires 1.
+	r, err := NewRegion("chan",
+		Directives(fmt.Sprintf(`
+tensor functor(f: [c, i, j, 0:2] = ([c, i, j], [c, i, j]))
+tensor map(to: f(x[0:C, 0:H, 0:W]))
+tensor map(from: f(x[0:C, 0:H, 0:W]))
+ml(infer) inout(x) model(%q)
+`, modelPath)),
+		BindInt("C", C), BindInt("H", H), BindInt("W", W),
+		BindArray("x", make([]float64, C*H*W), C, H, W),
+		InputLayout(LayoutChannels),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Execute(nil); err == nil {
+		t.Fatal("want error: channels layout needs exactly one feature")
+	}
+}
+
+func TestInferenceModelOutputSizeMismatch(t *testing.T) {
+	const N = 4
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "wrong.gmod")
+	// The region expects N outputs but the model produces 3 per sample.
+	net := nn.NewNetwork(1)
+	net.Add(net.NewDense(1, 3))
+	if err := net.Save(modelPath); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRegion("mismatch",
+		Directives(fmt.Sprintf(`
+tensor functor(f: [i, 0:1] = ([i]))
+tensor map(to: f(x[0:N]))
+tensor map(from: f(x[0:N]))
+ml(infer) inout(x) model(%q)
+`, modelPath)),
+		BindInt("N", N),
+		BindArray("x", make([]float64, N), N),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Execute(nil); err == nil {
+		t.Fatal("want error: model output size does not match the out maps")
+	}
+}
+
+func TestInferenceCorruptModelFile(t *testing.T) {
+	const N = 4
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "corrupt.gmod")
+	if err := os.WriteFile(modelPath, []byte("not a model"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewRegion("corrupt",
+		Directives(fmt.Sprintf(`
+tensor functor(f: [i, 0:1] = ([i]))
+tensor map(to: f(x[0:N]))
+tensor map(from: f(x[0:N]))
+ml(infer) inout(x) model(%q)
+`, modelPath)),
+		BindInt("N", N),
+		BindArray("x", make([]float64, N), N),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Execute(nil); err == nil {
+		t.Fatal("want error loading a corrupt model file")
+	}
+}

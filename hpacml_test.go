@@ -1,0 +1,651 @@
+package hpacml
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/h5"
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// jacobiStep is the accurate path of the Figure 2 example: a 5-point
+// average over the interior of a 2-D grid.
+func jacobiStep(t, tnew []float64, n, m int) {
+	for i := 1; i < n-1; i++ {
+		for j := 1; j < m-1; j++ {
+			tnew[i*m+j] = (t[(i-1)*m+j] + t[(i+1)*m+j] + t[i*m+j-1] + t[i*m+j] + t[i*m+j+1]) / 5
+		}
+	}
+}
+
+func stencilDirectives(model, db string) string {
+	return fmt.Sprintf(`
+#pragma approx tensor functor(ifn: [i, j, 0:5] = (([i-1, j], [i+1, j], [i, j-1:j+2])))
+#pragma approx tensor functor(ofn: [i, j, 0:1] = ([i, j]))
+#pragma approx tensor map(to: ifn(t[1:N-1, 1:M-1]))
+#pragma approx tensor map(from: ofn(tnew[1:N-1, 1:M-1]))
+#pragma approx ml(predicated:useModel) in(t) out(tnew) model(%q) db(%q)
+`, model, db)
+}
+
+func newStencilRegion(t *testing.T, grid, gridNew []float64, n, m int,
+	useModel *bool, model, db string) *Region {
+	t.Helper()
+	r, err := NewRegion("stencil",
+		Directives(stencilDirectives(model, db)),
+		BindInt("N", n), BindInt("M", m),
+		BindArray("t", grid, n, m),
+		BindArray("tnew", gridNew, n, m),
+		BindPredicate("useModel", func() bool { return *useModel }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestCollectTrainInferWorkflow drives the complete paper workflow on the
+// Figure 2 program: collect region data into the database, train a
+// surrogate offline, deploy it through the model clause, and check the
+// surrogate-produced application state approximates the accurate state.
+func TestCollectTrainInferWorkflow(t *testing.T) {
+	const N, M = 12, 14
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "data.gh5")
+	modelPath := filepath.Join(dir, "model.gmod")
+
+	grid := make([]float64, N*M)
+	gridNew := make([]float64, N*M)
+	useModel := false
+
+	region := newStencilRegion(t, grid, gridNew, N, M, &useModel, modelPath, dbPath)
+	defer region.Close()
+
+	// --- Phase 1: data collection over several timesteps.
+	for i := range grid {
+		grid[i] = math.Sin(float64(i) * 0.13)
+	}
+	const steps = 30
+	for s := 0; s < steps; s++ {
+		if err := region.Execute(func() error {
+			jacobiStep(grid, gridNew, N, M)
+			return nil
+		}); err != nil {
+			t.Fatalf("collect step %d: %v", s, err)
+		}
+		copy(grid, gridNew)
+	}
+	if err := region.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	st := region.Stats()
+	if st.Collections != steps || st.Inferences != 0 {
+		t.Fatalf("stats after collection: %+v", st)
+	}
+
+	// --- Phase 2: offline training from the database.
+	f, err := h5.Open(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := f.Read("stencil", "inputs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := f.Read("stencil", "outputs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Dim(0) != steps*(N-2)*(M-2) || x.Dim(1) != 5 || y.Dim(1) != 1 {
+		t.Fatalf("database shapes: x %v, y %v", x.Shape(), y.Shape())
+	}
+	rt, err := f.Read("stencil", "runtime_ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Dim(0) != steps {
+		t.Fatalf("runtime records = %d, want %d", rt.Dim(0), steps)
+	}
+	ds, err := nn.NewDataset(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := nn.NewNetwork(17)
+	net.Add(net.NewDense(5, 16), nn.NewActivation(nn.ActTanh), net.NewDense(16, 1))
+	h, err := net.Fit(ds, nil, nn.TrainConfig{Epochs: 60, BatchSize: 64, LR: 0.01, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.BestVal > 1e-3 {
+		t.Fatalf("surrogate did not learn the stencil: val loss %g", h.BestVal)
+	}
+	if err := net.Save(modelPath); err != nil {
+		t.Fatal(err)
+	}
+
+	// --- Phase 3: deployment. Toggle the predicate — no recompilation,
+	// same region object, per the programming model's design.
+	useModel = true
+	want := make([]float64, N*M)
+	jacobiStep(grid, want, N, M)
+	if err := region.Execute(func() error {
+		t.Fatal("accurate path must not run during inference")
+		return nil
+	}); err != nil {
+		t.Fatalf("inference: %v", err)
+	}
+	var maxErr float64
+	for i := 1; i < N-1; i++ {
+		for j := 1; j < M-1; j++ {
+			if d := math.Abs(gridNew[i*M+j] - want[i*M+j]); d > maxErr {
+				maxErr = d
+			}
+		}
+	}
+	if maxErr > 0.15 {
+		t.Fatalf("surrogate output error too large: %g", maxErr)
+	}
+	st = region.Stats()
+	if st.Inferences != 1 {
+		t.Fatalf("stats after inference: %+v", st)
+	}
+	if st.ToTensor == 0 || st.Inference == 0 || st.FromTensor == 0 {
+		t.Fatalf("phase timers not populated: %+v", st)
+	}
+}
+
+func TestPredicatedFalseCollects(t *testing.T) {
+	const N, M = 6, 6
+	dir := t.TempDir()
+	grid := make([]float64, N*M)
+	gridNew := make([]float64, N*M)
+	useModel := false
+	region := newStencilRegion(t, grid, gridNew, N, M, &useModel,
+		filepath.Join(dir, "m.gmod"), filepath.Join(dir, "d.gh5"))
+	defer region.Close()
+
+	ran := false
+	if err := region.Execute(func() error { ran = true; jacobiStep(grid, gridNew, N, M); return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if !ran {
+		t.Fatal("accurate path must run when predicate is false")
+	}
+	if region.Stats().Collections != 1 {
+		t.Fatalf("stats: %+v", region.Stats())
+	}
+}
+
+func TestInferModeWithoutModelFails(t *testing.T) {
+	const N, M = 6, 6
+	grid := make([]float64, N*M)
+	gridNew := make([]float64, N*M)
+	r, err := NewRegion("r",
+		Directives(`
+tensor functor(ifn: [i, j, 0:5] = (([i-1, j], [i+1, j], [i, j-1:j+2])))
+tensor functor(ofn: [i, j, 0:1] = ([i, j]))
+tensor map(to: ifn(t[1:N-1, 1:M-1]))
+tensor map(from: ofn(tnew[1:N-1, 1:M-1]))
+ml(infer) in(t) out(tnew)
+`),
+		BindInt("N", N), BindInt("M", M),
+		BindArray("t", grid, N, M),
+		BindArray("tnew", gridNew, N, M),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Execute(func() error { return nil }); err == nil {
+		t.Fatal("want error: inference without model clause")
+	}
+}
+
+func TestCollectModeWithoutDBFails(t *testing.T) {
+	const N, M = 6, 6
+	grid := make([]float64, N*M)
+	gridNew := make([]float64, N*M)
+	r, err := NewRegion("r",
+		Directives(`
+tensor functor(ifn: [i, j, 0:5] = (([i-1, j], [i+1, j], [i, j-1:j+2])))
+tensor functor(ofn: [i, j, 0:1] = ([i, j]))
+tensor map(to: ifn(t[1:N-1, 1:M-1]))
+tensor map(from: ofn(tnew[1:N-1, 1:M-1]))
+ml(collect) in(t) out(tnew)
+`),
+		BindInt("N", N), BindInt("M", M),
+		BindArray("t", grid, N, M),
+		BindArray("tnew", gridNew, N, M),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Execute(func() error { return nil }); err == nil {
+		t.Fatal("want error: collection without db clause")
+	}
+}
+
+func TestIfClauseGatesRegion(t *testing.T) {
+	const N, M = 6, 6
+	dir := t.TempDir()
+	grid := make([]float64, N*M)
+	gridNew := make([]float64, N*M)
+	gate := false
+	r, err := NewRegion("gated",
+		Directives(fmt.Sprintf(`
+tensor functor(ifn: [i, j, 0:5] = (([i-1, j], [i+1, j], [i, j-1:j+2])))
+tensor functor(ofn: [i, j, 0:1] = ([i, j]))
+tensor map(to: ifn(t[1:N-1, 1:M-1]))
+tensor map(from: ofn(tnew[1:N-1, 1:M-1]))
+ml(collect) in(t) out(tnew) db(%q) if(gate)
+`, filepath.Join(dir, "d.gh5"))),
+		BindInt("N", N), BindInt("M", M),
+		BindArray("t", grid, N, M),
+		BindArray("tnew", gridNew, N, M),
+		BindPredicate("gate", func() bool { return gate }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Gate false: accurate path only, no collection.
+	if err := r.Execute(func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.Collections != 0 || st.AccurateRuns != 1 {
+		t.Fatalf("gate=false stats: %+v", st)
+	}
+	// Gate true: collection resumes.
+	gate = true
+	if err := r.Execute(func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	st = r.Stats()
+	if st.Collections != 1 {
+		t.Fatalf("gate=true stats: %+v", st)
+	}
+}
+
+func TestRegionValidationErrors(t *testing.T) {
+	const N = 4
+	buf := make([]float64, N)
+	cases := []struct {
+		name string
+		opts []Option
+	}{
+		{"missing ml", []Option{
+			Directives(`tensor functor(f: [i, 0:1] = ([i]))`),
+		}},
+		{"map without functor", []Option{
+			Directives(`
+tensor map(to: nosuch(x[0:N]))
+ml(collect) in(x) out(x) db("d")`),
+			BindInt("N", N), BindArray("x", buf, N),
+		}},
+		{"ml names unbound array", []Option{
+			Directives(`
+tensor functor(f: [i, 0:1] = ([i]))
+tensor map(to: f(x[0:N]))
+tensor map(from: f(x[0:N]))
+ml(collect) in(x) out(zz) db("d")`),
+			BindInt("N", N), BindArray("x", buf, N),
+		}},
+		{"ml in not covered by to-map", []Option{
+			Directives(`
+tensor functor(f: [i, 0:1] = ([i]))
+tensor map(from: f(x[0:N]))
+tensor map(to: f(y[0:N]))
+ml(collect) in(x) out(x) db("d")`),
+			BindInt("N", N), BindArray("x", buf, N), BindArray("y", make([]float64, N), N),
+		}},
+		{"no to map", []Option{
+			Directives(`
+tensor functor(f: [i, 0:1] = ([i]))
+tensor map(from: f(x[0:N]))
+ml(collect) out(x) db("d")`),
+			BindInt("N", N), BindArray("x", buf, N),
+		}},
+		{"unbound predicate", []Option{
+			Directives(`
+tensor functor(f: [i, 0:1] = ([i]))
+tensor map(to: f(x[0:N]))
+tensor map(from: f(x[0:N]))
+ml(predicated:mystery) inout(x) db("d")`),
+			BindInt("N", N), BindArray("x", buf, N),
+		}},
+		{"bad directive text", []Option{
+			Directives(`tensor functor(f: [i 0:1] = %%`),
+		}},
+		{"duplicate functor", []Option{
+			Directives(`
+tensor functor(f: [i, 0:1] = ([i]))
+tensor functor(f: [i, 0:1] = ([i]))
+tensor map(to: f(x[0:N]))
+tensor map(from: f(x[0:N]))
+ml(collect) inout(x) db("d")`),
+			BindInt("N", N), BindArray("x", buf, N),
+		}},
+		{"duplicate array binding", []Option{
+			BindArray("x", buf, N), BindArray("x", buf, N),
+		}},
+		{"duplicate int binding", []Option{
+			BindInt("N", 1), BindInt("N", 2),
+		}},
+		{"nil predicate", []Option{
+			BindPredicate("p", nil),
+		}},
+	}
+	for _, c := range cases {
+		if _, err := NewRegion(c.name, c.opts...); err == nil {
+			t.Errorf("%s: want construction error", c.name)
+		}
+	}
+}
+
+func TestInOutSharedArray(t *testing.T) {
+	// MiniWeather-style region: the same array is both input and output.
+	const N = 8
+	dir := t.TempDir()
+	state := make([]float64, N)
+	for i := range state {
+		state[i] = float64(i)
+	}
+	r, err := NewRegion("iter",
+		Directives(fmt.Sprintf(`
+tensor functor(f: [i, 0:1] = ([i]))
+tensor map(to: f(state[0:N]))
+tensor map(from: f(state[0:N]))
+ml(collect) inout(state) db(%q)
+`, filepath.Join(dir, "d.gh5"))),
+		BindInt("N", N),
+		BindArray("state", state, N),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Execute(func() error {
+		for i := range state {
+			state[i] *= 2
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := h5.Open(filepath.Join(dir, "d.gh5"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := f.Read("iter", "inputs")
+	y, _ := f.Read("iter", "outputs")
+	// Inputs were captured before the region ran, outputs after.
+	if x.At(3, 0) != 3 || y.At(3, 0) != 6 {
+		t.Fatalf("inout capture wrong: in %g out %g", x.At(3, 0), y.At(3, 0))
+	}
+}
+
+func TestModelCacheSharing(t *testing.T) {
+	ClearModelCache()
+	const N = 4
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "m.gmod")
+	net := nn.NewNetwork(3)
+	net.Add(net.NewDense(1, 1))
+	if err := net.Save(modelPath); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(buf []float64) *Region {
+		r, err := NewRegion("cached",
+			Directives(fmt.Sprintf(`
+tensor functor(f: [i, 0:1] = ([i]))
+tensor map(to: f(x[0:N]))
+tensor map(from: f(x[0:N]))
+ml(infer) inout(x) model(%q)
+`, modelPath)),
+			BindInt("N", N),
+			BindArray("x", buf, N),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	r1 := mk(make([]float64, N))
+	r2 := mk(make([]float64, N))
+	defer r1.Close()
+	defer r2.Close()
+	if err := r1.Execute(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.Execute(nil); err != nil {
+		t.Fatal(err)
+	}
+	if r1.model != r2.model {
+		t.Fatal("model cache must share loaded networks across regions")
+	}
+	r1.InvalidateModel()
+	if err := r1.Execute(nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecuteAfterCloseFails(t *testing.T) {
+	const N = 4
+	r, err := NewRegion("closed",
+		Directives(`
+tensor functor(f: [i, 0:1] = ([i]))
+tensor map(to: f(x[0:N]))
+tensor map(from: f(x[0:N]))
+ml(collect) inout(x) db("unused.gh5")
+`),
+		BindInt("N", N),
+		BindArray("x", make([]float64, N), N),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Execute(func() error { return nil }); err == nil {
+		t.Fatal("want error executing a closed region")
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal("second Close must be a no-op")
+	}
+}
+
+func TestDirectiveAccounting(t *testing.T) {
+	const N = 4
+	r, err := NewRegion("acc",
+		Directives(`
+// comment lines are not directives
+tensor functor(f: [i, 0:1] = ([i]))
+tensor map(to: f(x[0:N]))
+tensor map(from: f(x[0:N]))
+ml(collect) inout(x) db("d.gh5")
+`),
+		BindInt("N", N),
+		BindArray("x", make([]float64, N), N),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if got := r.NumDirectives(); got != 4 {
+		t.Fatalf("NumDirectives = %d, want 4", got)
+	}
+	if len(r.DirectiveLines()) != 4 {
+		t.Fatal("DirectiveLines mismatch")
+	}
+}
+
+func TestImage2DLayoutRoundTrip(t *testing.T) {
+	// A 2-D "frame" flows through a CNN-shaped identity model:
+	// [H, W, 1] -> [1, 1, H, W] -> model -> back.
+	const H, W = 6, 6
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "cnn.gmod")
+
+	// A 1x1 conv with weight 1 and bias 0 is the identity on [1,1,H,W].
+	net := nn.NewNetwork(5)
+	c := net.NewConv2D(1, 1, 1, 1, 1)
+	c.Weight.W.Data()[0] = 1
+	c.Bias.W.Data()[0] = 0
+	net.Add(c)
+	if err := net.Save(modelPath); err != nil {
+		t.Fatal(err)
+	}
+
+	frame := make([]float64, H*W)
+	out := make([]float64, H*W)
+	for i := range frame {
+		frame[i] = float64(i) * 0.5
+	}
+	r, err := NewRegion("frame",
+		Directives(fmt.Sprintf(`
+tensor functor(pix: [i, j, 0:1] = ([i, j]))
+tensor map(to: pix(frame[0:H, 0:W]))
+tensor map(from: pix(out[0:H, 0:W]))
+ml(infer) in(frame) out(out) model(%q)
+`, modelPath)),
+		BindInt("H", H), BindInt("W", W),
+		BindArray("frame", frame, H, W),
+		BindArray("out", out, H, W),
+		InputLayout(LayoutImage2D),
+		OutputLayout(LayoutImage2D),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Execute(nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := range frame {
+		if math.Abs(out[i]-frame[i]) > 1e-12 {
+			t.Fatalf("identity CNN round-trip failed at %d: %g vs %g", i, out[i], frame[i])
+		}
+	}
+}
+
+func TestChannelsLayout(t *testing.T) {
+	// MiniWeather-style state [C, H, W] presented as [1, C, H, W].
+	const C, H, W = 2, 4, 4
+	dir := t.TempDir()
+	modelPath := filepath.Join(dir, "chan.gmod")
+	net := nn.NewNetwork(5)
+	cv := net.NewConv2D(C, C, 1, 1, 1)
+	// Identity across channels: weight [C,C,1,1] = I.
+	wd := cv.Weight.W.Data()
+	for i := range wd {
+		wd[i] = 0
+	}
+	wd[0] = 1       // out0 <- in0
+	wd[C*1*1+1] = 1 // out1 <- in1 (offset outC stride = C)
+	cv.Bias.W.Data()[0] = 0
+	cv.Bias.W.Data()[1] = 0
+	net.Add(cv)
+	if err := net.Save(modelPath); err != nil {
+		t.Fatal(err)
+	}
+
+	state := make([]float64, C*H*W)
+	for i := range state {
+		state[i] = float64(i)
+	}
+	want := append([]float64(nil), state...)
+	r, err := NewRegion("state",
+		Directives(fmt.Sprintf(`
+tensor functor(cell: [c, i, j, 0:1] = ([c, i, j]))
+tensor map(to: cell(state[0:C, 0:H, 0:W]))
+tensor map(from: cell(state[0:C, 0:H, 0:W]))
+ml(infer) inout(state) model(%q)
+`, modelPath)),
+		BindInt("C", C), BindInt("H", H), BindInt("W", W),
+		BindArray("state", state, C, H, W),
+		InputLayout(LayoutChannels),
+		OutputLayout(LayoutChannels),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Execute(nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := range state {
+		if math.Abs(state[i]-want[i]) > 1e-12 {
+			t.Fatalf("channel identity failed at %d: %g vs %g", i, state[i], want[i])
+		}
+	}
+}
+
+func TestMultiArrayTabularRegion(t *testing.T) {
+	// Binomial-options-style region: three input arrays, one output.
+	const N = 16
+	dir := t.TempDir()
+	dbPath := filepath.Join(dir, "d.gh5")
+	s := make([]float64, N)
+	x := make([]float64, N)
+	tt := make([]float64, N)
+	price := make([]float64, N)
+	for i := 0; i < N; i++ {
+		s[i], x[i], tt[i] = float64(i), float64(i)*2, 1
+	}
+	r, err := NewRegion("options",
+		Directives(fmt.Sprintf(`
+tensor functor(ifn: [i, 0:3] = ([i]))
+tensor functor(ofn: [i, 0:1] = ([i]))
+tensor map(to: ifn(S[0:N], X[0:N], T[0:N]))
+tensor map(from: ofn(price[0:N]))
+ml(collect) in(S, X, T) out(price) db(%q)
+`, dbPath)),
+		BindInt("N", N),
+		BindArray("S", s, N), BindArray("X", x, N), BindArray("T", tt, N),
+		BindArray("price", price, N),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.Execute(func() error {
+		for i := 0; i < N; i++ {
+			price[i] = s[i] + x[i]
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	f, _ := h5.Open(dbPath)
+	xs, _ := f.Read("options", "inputs")
+	ys, _ := f.Read("options", "outputs")
+	if !tensor.ShapeEqual(xs.Shape(), []int{N, 3}) || !tensor.ShapeEqual(ys.Shape(), []int{N, 1}) {
+		t.Fatalf("shapes: %v %v", xs.Shape(), ys.Shape())
+	}
+	if xs.At(3, 0) != 3 || xs.At(3, 1) != 6 || xs.At(3, 2) != 1 || ys.At(3, 0) != 9 {
+		t.Fatal("tabular collection contents wrong")
+	}
+}
+
+func TestBridgeOverheadStat(t *testing.T) {
+	s := Stats{ToTensor: 2, FromTensor: 2, Inference: 100}
+	if got := s.BridgeOverhead(); math.Abs(got-0.04) > 1e-12 {
+		t.Fatalf("overhead = %g", got)
+	}
+	if (Stats{}).BridgeOverhead() != 0 {
+		t.Fatal("zero-inference overhead should be 0")
+	}
+}

@@ -1,0 +1,16 @@
+package miniweather
+
+import (
+	"embed"
+
+	"repro/internal/benchmarks/common"
+)
+
+//go:embed *.go
+var sources embed.FS
+
+// SourceLoC counts this package's non-comment lines of code — the Total
+// LoC column of Table II.
+func SourceLoC() int {
+	return common.EmbeddedLoC(sources)
+}

@@ -1,0 +1,150 @@
+package bo
+
+import (
+	"fmt"
+	"math"
+)
+
+// NestedConfig controls the two-level search of paper §V-C: the outer
+// level proposes architectures for OuterIters iterations with early
+// stopping after OuterPatience non-improving trials (the paper uses 100
+// and 5); the inner level tunes hyperparameters for InnerIters iterations
+// (the paper uses 30).
+type NestedConfig struct {
+	OuterIters    int
+	InnerIters    int
+	OuterPatience int
+	Seed          int64
+}
+
+// NestedEval trains and scores one (architecture, hyperparameter)
+// configuration, returning the model's inference latency (seconds) and
+// validation error. The architecture alone determines latency; the inner
+// level minimizes validation error.
+type NestedEval func(arch, hyper map[string]Value) (latencySec, valError float64, err error)
+
+// NestedTrial is one outer-level result: an architecture with its best
+// hyperparameters.
+type NestedTrial struct {
+	Arch       map[string]Value
+	BestHyper  map[string]Value
+	LatencySec float64
+	ValError   float64
+	InnerRuns  int
+}
+
+// NestedResult is the outcome of a nested search.
+type NestedResult struct {
+	Trials []*NestedTrial
+	Pareto []*NestedTrial
+	// Best is the knee point of the Pareto front.
+	Best *NestedTrial
+	// ModelsEvaluated counts every inner-level training run, matching the
+	// paper's "5130 models explored" accounting.
+	ModelsEvaluated int
+}
+
+// NestedSearch runs the outer multi-objective architecture search with an
+// inner hyperparameter search per architecture.
+func NestedSearch(archSpace, hyperSpace *Space, eval NestedEval, cfg NestedConfig) (*NestedResult, error) {
+	if cfg.OuterIters <= 0 || cfg.InnerIters <= 0 {
+		return nil, fmt.Errorf("bo: nested search wants positive iteration counts")
+	}
+	res := &NestedResult{}
+
+	outerObj := func(arch map[string]Value) ([]float64, error) {
+		var lat float64
+		latSet := false
+		inner, err := Minimize(hyperSpace, func(hyper map[string]Value) (float64, error) {
+			res.ModelsEvaluated++
+			l, v, err := eval(arch, hyper)
+			if err != nil {
+				return 0, err
+			}
+			if !latSet {
+				lat, latSet = l, true
+			}
+			return v, nil
+		}, Config{Iterations: cfg.InnerIters, Seed: cfg.Seed + int64(res.ModelsEvaluated)})
+		if err != nil {
+			return nil, err
+		}
+		nt := &NestedTrial{
+			Arch:       arch,
+			BestHyper:  inner.Best.Assign,
+			LatencySec: lat,
+			ValError:   inner.Best.Value,
+			InnerRuns:  len(inner.Trials),
+		}
+		res.Trials = append(res.Trials, nt)
+		return []float64{lat, inner.Best.Value}, nil
+	}
+
+	outer, err := MinimizeMulti(archSpace, outerObj, 2, Config{
+		Iterations: cfg.OuterIters,
+		Patience:   cfg.OuterPatience,
+		Seed:       cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Map the outer Pareto front back to nested trials by objective match.
+	res.Pareto = nestedPareto(res.Trials)
+	res.Best = nestedKnee(res.Pareto)
+	_ = outer
+	if res.Best == nil {
+		return nil, fmt.Errorf("bo: nested search produced no successful trials")
+	}
+	return res, nil
+}
+
+func nestedPareto(trials []*NestedTrial) []*NestedTrial {
+	var front []*NestedTrial
+	for _, a := range trials {
+		dominated := false
+		for _, b := range trials {
+			if a == b {
+				continue
+			}
+			if (b.LatencySec <= a.LatencySec && b.ValError <= a.ValError) &&
+				(b.LatencySec < a.LatencySec || b.ValError < a.ValError) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			front = append(front, a)
+		}
+	}
+	return front
+}
+
+func nestedKnee(front []*NestedTrial) *NestedTrial {
+	if len(front) == 0 {
+		return nil
+	}
+	loL, hiL := math.Inf(1), math.Inf(-1)
+	loE, hiE := math.Inf(1), math.Inf(-1)
+	for _, t := range front {
+		loL, hiL = math.Min(loL, t.LatencySec), math.Max(hiL, t.LatencySec)
+		loE, hiE = math.Min(loE, t.ValError), math.Max(hiE, t.ValError)
+	}
+	spanL, spanE := hiL-loL, hiE-loE
+	if spanL < 1e-12 {
+		spanL = 1
+	}
+	if spanE < 1e-12 {
+		spanE = 1
+	}
+	var best *NestedTrial
+	bestS := math.Inf(1)
+	for _, t := range front {
+		s := (t.LatencySec-loL)/spanL + (t.ValError-loE)/spanE
+		if s < bestS {
+			bestS = s
+			best = t
+		}
+	}
+	return best
+}

@@ -1,0 +1,153 @@
+// Package device is the kernel-execution substrate that stands in for the
+// CUDA runtime of the paper's evaluation platform. Benchmarks express
+// their accurate execution paths as 1-D/2-D kernel launches; the device
+// runs them on a goroutine worker pool sized by GOMAXPROCS and records
+// per-kernel timing, mirroring how the paper attributes time to GPU
+// kernels versus the HPAC-ML runtime.
+//
+// Host/device transfers are modelled as accounted copies (Upload and
+// Download), so end-to-end speedup measurements include "all required data
+// transfers" exactly as the paper's methodology prescribes.
+package device
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/parallel"
+)
+
+// Device is a virtual accelerator: a named worker pool with kernel timing.
+// The zero value is not usable; call New.
+type Device struct {
+	name string
+
+	mu       sync.Mutex
+	kernels  map[string]*KernelStats
+	bytesIn  int64
+	bytesOut int64
+	transfer time.Duration
+}
+
+// KernelStats accumulates launch counts and wall time per kernel name.
+type KernelStats struct {
+	Name     string
+	Launches int
+	Total    time.Duration
+}
+
+// New creates a device.
+func New(name string) *Device {
+	return &Device{name: name, kernels: make(map[string]*KernelStats)}
+}
+
+// Name returns the device name.
+func (d *Device) Name() string { return d.name }
+
+// Launch1D runs kernel(i) for i in [0, n) across the worker pool and
+// accounts the elapsed wall time to the kernel name.
+func (d *Device) Launch1D(kernel string, n int, fn func(i int)) {
+	start := time.Now()
+	parallel.For(n, fn)
+	d.record(kernel, time.Since(start))
+}
+
+// Launch2D runs kernel(x, y) over the nx×ny grid. The y dimension is the
+// outer (block) dimension.
+func (d *Device) Launch2D(kernel string, nx, ny int, fn func(x, y int)) {
+	start := time.Now()
+	parallel.For(ny, func(y int) {
+		for x := 0; x < nx; x++ {
+			fn(x, y)
+		}
+	})
+	d.record(kernel, time.Since(start))
+}
+
+// LaunchBlocks runs fn once per contiguous index block covering [0, n),
+// for kernels that carry per-block scratch state (shared-memory style).
+func (d *Device) LaunchBlocks(kernel string, n int, fn func(lo, hi int)) {
+	start := time.Now()
+	parallel.ForRange(n, fn)
+	d.record(kernel, time.Since(start))
+}
+
+func (d *Device) record(kernel string, dt time.Duration) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	ks := d.kernels[kernel]
+	if ks == nil {
+		ks = &KernelStats{Name: kernel}
+		d.kernels[kernel] = ks
+	}
+	ks.Launches++
+	ks.Total += dt
+}
+
+// Upload models a host-to-device copy of src into dst, accounting bytes
+// and time.
+func (d *Device) Upload(dst, src []float64) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("device: upload length mismatch %d vs %d", len(dst), len(src))
+	}
+	start := time.Now()
+	copy(dst, src)
+	d.mu.Lock()
+	d.bytesIn += int64(len(src) * 8)
+	d.transfer += time.Since(start)
+	d.mu.Unlock()
+	return nil
+}
+
+// Download models a device-to-host copy of src into dst.
+func (d *Device) Download(dst, src []float64) error {
+	if len(dst) != len(src) {
+		return fmt.Errorf("device: download length mismatch %d vs %d", len(dst), len(src))
+	}
+	start := time.Now()
+	copy(dst, src)
+	d.mu.Lock()
+	d.bytesOut += int64(len(src) * 8)
+	d.transfer += time.Since(start)
+	d.mu.Unlock()
+	return nil
+}
+
+// Stats returns a copy of the per-kernel stats, sorted by name.
+func (d *Device) Stats() []KernelStats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]KernelStats, 0, len(d.kernels))
+	for _, ks := range d.kernels {
+		out = append(out, *ks)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// KernelTime returns the cumulative time attributed to one kernel.
+func (d *Device) KernelTime(kernel string) time.Duration {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if ks := d.kernels[kernel]; ks != nil {
+		return ks.Total
+	}
+	return 0
+}
+
+// TransferBytes reports total (in, out) transfer volume.
+func (d *Device) TransferBytes() (in, out int64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.bytesIn, d.bytesOut
+}
+
+// Reset clears all accumulated statistics.
+func (d *Device) Reset() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.kernels = make(map[string]*KernelStats)
+	d.bytesIn, d.bytesOut, d.transfer = 0, 0, 0
+}

@@ -1,0 +1,118 @@
+package device
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func TestLaunch1DComputes(t *testing.T) {
+	d := New("test")
+	const n = 1000
+	out := make([]float64, n)
+	d.Launch1D("square", n, func(i int) { out[i] = float64(i * i) })
+	for i := 0; i < n; i++ {
+		if out[i] != float64(i*i) {
+			t.Fatalf("out[%d] = %g", i, out[i])
+		}
+	}
+	st := d.Stats()
+	if len(st) != 1 || st[0].Name != "square" || st[0].Launches != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLaunch2DCoversGrid(t *testing.T) {
+	d := New("test")
+	const nx, ny = 17, 13
+	var hits [nx * ny]int32
+	d.Launch2D("grid", nx, ny, func(x, y int) {
+		atomic.AddInt32(&hits[y*nx+x], 1)
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("cell %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestLaunchBlocksDisjoint(t *testing.T) {
+	d := New("test")
+	const n = 500
+	var hits [n]int32
+	d.LaunchBlocks("blocks", n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestKernelTimingAccumulates(t *testing.T) {
+	d := New("test")
+	for i := 0; i < 3; i++ {
+		d.Launch1D("k", 100, func(int) {})
+	}
+	st := d.Stats()
+	if st[0].Launches != 3 {
+		t.Fatalf("launches = %d", st[0].Launches)
+	}
+	if d.KernelTime("k") <= 0 {
+		t.Fatal("kernel time not recorded")
+	}
+	if d.KernelTime("other") != 0 {
+		t.Fatal("unknown kernel should report zero")
+	}
+}
+
+func TestTransfers(t *testing.T) {
+	d := New("test")
+	host := []float64{1, 2, 3}
+	dev := make([]float64, 3)
+	if err := d.Upload(dev, host); err != nil {
+		t.Fatal(err)
+	}
+	if dev[2] != 3 {
+		t.Fatal("upload did not copy")
+	}
+	back := make([]float64, 3)
+	if err := d.Download(back, dev); err != nil {
+		t.Fatal(err)
+	}
+	if back[0] != 1 {
+		t.Fatal("download did not copy")
+	}
+	in, out := d.TransferBytes()
+	if in != 24 || out != 24 {
+		t.Fatalf("transfer bytes = %d/%d", in, out)
+	}
+	if err := d.Upload(make([]float64, 2), host); err == nil {
+		t.Fatal("want upload size mismatch error")
+	}
+	if err := d.Download(make([]float64, 2), dev); err == nil {
+		t.Fatal("want download size mismatch error")
+	}
+}
+
+func TestReset(t *testing.T) {
+	d := New("test")
+	d.Launch1D("k", 10, func(int) {})
+	d.Upload(make([]float64, 1), []float64{1})
+	d.Reset()
+	if len(d.Stats()) != 0 {
+		t.Fatal("stats not cleared")
+	}
+	in, out := d.TransferBytes()
+	if in != 0 || out != 0 {
+		t.Fatal("transfer accounting not cleared")
+	}
+}
+
+func TestName(t *testing.T) {
+	if New("a100").Name() != "a100" {
+		t.Fatal("name")
+	}
+}

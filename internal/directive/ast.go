@@ -1,0 +1,396 @@
+package directive
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Env supplies integer values for identifiers appearing in expressions.
+// In concrete slice specifiers (tensor map clauses), identifiers refer to
+// application integer variables (e.g. N, M); during functor application,
+// the data bridge also binds the functor's symbolic constants (e.g. i, j)
+// while sweeping the mapped ranges.
+type Env map[string]int
+
+// Expr is an integer expression tree: symbolic constants, integer literals,
+// and arithmetic over them (the s-expr / c-expr productions of Fig. 3).
+type Expr interface {
+	// Eval computes the expression under env. Unbound identifiers
+	// yield an error naming the missing symbol.
+	Eval(env Env) (int, error)
+	// Symbols appends the identifiers referenced by the expression.
+	Symbols(into map[string]bool)
+	fmt.Stringer
+}
+
+// IntLit is an integer literal.
+type IntLit struct{ Value int }
+
+// Eval returns the literal value.
+func (e IntLit) Eval(Env) (int, error) { return e.Value, nil }
+
+// Symbols adds nothing: literals reference no identifiers.
+func (e IntLit) Symbols(map[string]bool) {}
+
+func (e IntLit) String() string { return fmt.Sprintf("%d", e.Value) }
+
+// SymRef references a symbolic constant (s-constant) or a declared integer
+// variable; which one it is depends on the clause it appears in.
+type SymRef struct{ Name string }
+
+// Eval looks the identifier up in env.
+func (e SymRef) Eval(env Env) (int, error) {
+	v, ok := env[e.Name]
+	if !ok {
+		return 0, fmt.Errorf("directive: unbound symbol %q", e.Name)
+	}
+	return v, nil
+}
+
+// Symbols records the referenced identifier.
+func (e SymRef) Symbols(into map[string]bool) { into[e.Name] = true }
+
+func (e SymRef) String() string { return e.Name }
+
+// BinExpr is a binary arithmetic expression.
+type BinExpr struct {
+	Op   byte // one of + - * / %
+	L, R Expr
+}
+
+// Eval evaluates both operands and applies the operator, rejecting division
+// and modulo by zero.
+func (e BinExpr) Eval(env Env) (int, error) {
+	l, err := e.L.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	r, err := e.R.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	switch e.Op {
+	case '+':
+		return l + r, nil
+	case '-':
+		return l - r, nil
+	case '*':
+		return l * r, nil
+	case '/':
+		if r == 0 {
+			return 0, fmt.Errorf("directive: division by zero in %s", e)
+		}
+		return l / r, nil
+	case '%':
+		if r == 0 {
+			return 0, fmt.Errorf("directive: modulo by zero in %s", e)
+		}
+		return l % r, nil
+	}
+	return 0, fmt.Errorf("directive: unknown operator %q", e.Op)
+}
+
+// Symbols collects identifiers from both operands.
+func (e BinExpr) Symbols(into map[string]bool) {
+	e.L.Symbols(into)
+	e.R.Symbols(into)
+}
+
+func (e BinExpr) String() string {
+	l, r := e.L.String(), e.R.String()
+	if bl, ok := e.L.(BinExpr); ok && precedence(bl.Op) < precedence(e.Op) {
+		l = "(" + l + ")"
+	}
+	if br, ok := e.R.(BinExpr); ok && precedence(br.Op) <= precedence(e.Op) {
+		r = "(" + r + ")"
+	}
+	return fmt.Sprintf("%s%c%s", l, e.Op, r)
+}
+
+func precedence(op byte) int {
+	switch op {
+	case '*', '/', '%':
+		return 2
+	case '+', '-':
+		return 1
+	}
+	return 0
+}
+
+// NegExpr is unary negation.
+type NegExpr struct{ X Expr }
+
+// Eval negates the operand's value.
+func (e NegExpr) Eval(env Env) (int, error) {
+	v, err := e.X.Eval(env)
+	if err != nil {
+		return 0, err
+	}
+	return -v, nil
+}
+
+// Symbols collects identifiers from the operand.
+func (e NegExpr) Symbols(into map[string]bool) { e.X.Symbols(into) }
+
+func (e NegExpr) String() string {
+	if _, ok := e.X.(BinExpr); ok {
+		return "-(" + e.X.String() + ")"
+	}
+	return "-" + e.X.String()
+}
+
+// Slice is one s-slice / c-slice: a point access (Stop==nil) or a range
+// Start:Stop[:Step]. Step==nil means step 1. All fields may reference
+// symbolic constants.
+type Slice struct {
+	Start Expr
+	Stop  Expr // nil for point access
+	Step  Expr // nil for step 1
+}
+
+// IsPoint reports whether the slice selects a single element.
+func (s Slice) IsPoint() bool { return s.Stop == nil }
+
+func (s Slice) String() string {
+	if s.IsPoint() {
+		return s.Start.String()
+	}
+	out := s.Start.String() + ":" + s.Stop.String()
+	if s.Step != nil {
+		out += ":" + s.Step.String()
+	}
+	return out
+}
+
+// Symbols collects identifiers referenced by all slice components.
+func (s Slice) Symbols(into map[string]bool) {
+	s.Start.Symbols(into)
+	if s.Stop != nil {
+		s.Stop.Symbols(into)
+	}
+	if s.Step != nil {
+		s.Step.Symbols(into)
+	}
+}
+
+// SliceSpec is an ss-specifier: a bracketed, comma-separated list of slices
+// describing one tensor-space or memory-space access pattern.
+type SliceSpec struct {
+	Slices []Slice
+}
+
+func (ss SliceSpec) String() string {
+	parts := make([]string, len(ss.Slices))
+	for i, s := range ss.Slices {
+		parts[i] = s.String()
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+// Symbols collects identifiers referenced anywhere in the specifier.
+func (ss SliceSpec) Symbols(into map[string]bool) {
+	for _, s := range ss.Slices {
+		s.Symbols(into)
+	}
+}
+
+// FunctorDecl is a parsed tensor functor directive:
+//
+//	#pragma approx tensor functor(name: LHS = (RHS1, RHS2, ...))
+//
+// The LHS declares the shape of one tensor entry in the tensor memory
+// space; each RHS slice describes where the entry's features originate in
+// the application memory space, relative to the symbolic constants.
+type FunctorDecl struct {
+	Name string
+	LHS  SliceSpec
+	RHS  []SliceSpec
+}
+
+// SymbolNames returns the sorted symbolic constants used by the functor
+// (identifiers appearing in LHS or RHS expressions).
+func (f *FunctorDecl) SymbolNames() []string {
+	set := map[string]bool{}
+	f.LHS.Symbols(set)
+	for _, r := range f.RHS {
+		r.Symbols(set)
+	}
+	names := make([]string, 0, len(set))
+	for n := range set {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (f *FunctorDecl) String() string {
+	rhs := make([]string, len(f.RHS))
+	for i, r := range f.RHS {
+		rhs[i] = r.String()
+	}
+	return fmt.Sprintf("#pragma approx tensor functor(%s: %s = (%s))",
+		f.Name, f.LHS.String(), strings.Join(rhs, ", "))
+}
+
+// Direction says which way a tensor map moves data.
+type Direction int
+
+// Map directions: To moves application memory into the tensor memory space
+// (gather); From moves tensor results back into application memory
+// (scatter).
+const (
+	To Direction = iota
+	From
+)
+
+func (d Direction) String() string {
+	if d == From {
+		return "from"
+	}
+	return "to"
+}
+
+// MapTarget names an application array and the concrete ranges over which
+// the functor sweeps: array-ref '[' cs-specifier ']'.
+type MapTarget struct {
+	Array  string
+	Slices []Slice
+}
+
+func (mt MapTarget) String() string {
+	parts := make([]string, len(mt.Slices))
+	for i, s := range mt.Slices {
+		parts[i] = s.String()
+	}
+	return mt.Array + "[" + strings.Join(parts, ", ") + "]"
+}
+
+// MapDecl is a parsed tensor map directive:
+//
+//	#pragma approx tensor map(to|from: fnctr(t[1:N-1, 1:M-1], ...))
+type MapDecl struct {
+	Dir     Direction
+	Functor string
+	Targets []MapTarget
+}
+
+func (m *MapDecl) String() string {
+	parts := make([]string, len(m.Targets))
+	for i, t := range m.Targets {
+		parts[i] = t.String()
+	}
+	return fmt.Sprintf("#pragma approx tensor map(%s: %s(%s))",
+		m.Dir, m.Functor, strings.Join(parts, ", "))
+}
+
+// Mode is the ml-mode keyword of the approx ml clause.
+type Mode int
+
+// Execution-control modes. Infer replaces the region with model inference;
+// Collect runs the accurate path and records region inputs/outputs;
+// Predicated chooses between the two per invocation by evaluating a
+// boolean condition at run time.
+const (
+	Infer Mode = iota
+	Collect
+	Predicated
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Infer:
+		return "infer"
+	case Collect:
+		return "collect"
+	case Predicated:
+		return "predicated"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// FunctorApp is an inline functor application inside an ml clause's
+// mapped-memory list (the fa-expr production): it declares a tensor map
+// without a separate tensor map directive, e.g.
+//
+//	ml(infer) in(poses) out(energy_out(energies[0:N])) ...
+type FunctorApp struct {
+	Functor string
+	Targets []MapTarget
+}
+
+func (fa FunctorApp) String() string {
+	parts := make([]string, len(fa.Targets))
+	for i, t := range fa.Targets {
+		parts[i] = t.String()
+	}
+	return fa.Functor + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// MLDecl is a parsed approx ml directive:
+//
+//	#pragma approx ml(mode[:cond]) in(a, b) out(c) inout(d) \
+//	        model("m.gmod") db("d.gh5") if(cond)
+//
+// Each of in/out/inout accepts either plain array references (which must
+// be covered by tensor map directives) or inline functor applications
+// (fa-exprs, which create implicit maps). Cond and If hold the raw
+// condition text; the runtime binds them to caller-supplied predicates (a
+// compiler would have generated code for the expression — see DESIGN.md
+// substitution table).
+type MLDecl struct {
+	Mode      Mode
+	Cond      string // optional bool-expr after the mode keyword
+	In        []string
+	Out       []string
+	InOut     []string
+	InApps    []FunctorApp
+	OutApps   []FunctorApp
+	InOutApps []FunctorApp
+	Model     string
+	DB        string
+	If        string
+}
+
+func (m *MLDecl) String() string {
+	var b strings.Builder
+	b.WriteString("#pragma approx ml(")
+	b.WriteString(m.Mode.String())
+	if m.Cond != "" {
+		b.WriteString(":" + m.Cond)
+	}
+	b.WriteString(")")
+	writeList := func(kw string, items []string, apps []FunctorApp) {
+		parts := append([]string(nil), items...)
+		for _, a := range apps {
+			parts = append(parts, a.String())
+		}
+		if len(parts) > 0 {
+			fmt.Fprintf(&b, " %s(%s)", kw, strings.Join(parts, ", "))
+		}
+	}
+	writeList("in", m.In, m.InApps)
+	writeList("out", m.Out, m.OutApps)
+	writeList("inout", m.InOut, m.InOutApps)
+	if m.Model != "" {
+		fmt.Fprintf(&b, " model(%q)", m.Model)
+	}
+	if m.DB != "" {
+		fmt.Fprintf(&b, " db(%q)", m.DB)
+	}
+	if m.If != "" {
+		fmt.Fprintf(&b, " if(%s)", m.If)
+	}
+	return b.String()
+}
+
+// Directive is a parsed HPAC-ML directive: one of *FunctorDecl, *MapDecl,
+// or *MLDecl.
+type Directive interface {
+	fmt.Stringer
+	directive()
+}
+
+func (*FunctorDecl) directive() {}
+func (*MapDecl) directive()     {}
+func (*MLDecl) directive()      {}

@@ -1,0 +1,76 @@
+package directive
+
+import "testing"
+
+// The mapped-memory production of the ml clause accepts inline functor
+// applications (fa-exprs), the mechanism behind the paper's 4-directive
+// annotations (Table II).
+
+func TestParseMLWithInlineFunctorApplication(t *testing.T) {
+	ml := mustParse(t,
+		`ml(predicated:useModel) in(poses) out(energy_out(energies[0:NPOSES])) model("m") db("d")`,
+	).(*MLDecl)
+	if len(ml.In) != 1 || ml.In[0] != "poses" {
+		t.Fatalf("in = %v", ml.In)
+	}
+	if len(ml.Out) != 0 || len(ml.OutApps) != 1 {
+		t.Fatalf("out = %v, apps = %v", ml.Out, ml.OutApps)
+	}
+	app := ml.OutApps[0]
+	if app.Functor != "energy_out" || len(app.Targets) != 1 || app.Targets[0].Array != "energies" {
+		t.Fatalf("app = %+v", app)
+	}
+}
+
+func TestParseMLMixedNamesAndApps(t *testing.T) {
+	ml := mustParse(t,
+		`ml(collect) in(a, f(b[0:N]), c) out(g(d[0:N], e[0:N])) db("x")`,
+	).(*MLDecl)
+	if len(ml.In) != 2 || ml.In[0] != "a" || ml.In[1] != "c" {
+		t.Fatalf("in names = %v", ml.In)
+	}
+	if len(ml.InApps) != 1 || ml.InApps[0].Functor != "f" {
+		t.Fatalf("in apps = %v", ml.InApps)
+	}
+	if len(ml.OutApps) != 1 || len(ml.OutApps[0].Targets) != 2 {
+		t.Fatalf("out apps = %v", ml.OutApps)
+	}
+}
+
+func TestParseMLInOutApp(t *testing.T) {
+	ml := mustParse(t, `ml(infer) inout(cell(state[0:C, 0:H, 0:W])) model("m")`).(*MLDecl)
+	if len(ml.InOutApps) != 1 || ml.InOutApps[0].Functor != "cell" {
+		t.Fatalf("inout apps = %v", ml.InOutApps)
+	}
+	if len(ml.InOutApps[0].Targets[0].Slices) != 3 {
+		t.Fatalf("target slices = %v", ml.InOutApps[0].Targets[0].Slices)
+	}
+}
+
+func TestMLWithAppsPrintParseStable(t *testing.T) {
+	sources := []string{
+		`#pragma approx ml(predicated:useModel) in(poses) out(energy_out(energies[0:NPOSES])) model("m.gmod") db("d.gh5")`,
+		`#pragma approx ml(collect) in(f(a[0:N]), b) out(c) db("d.gh5")`,
+	}
+	for _, src := range sources {
+		d1 := mustParse(t, src)
+		d2 := mustParse(t, d1.String())
+		if d1.String() != d2.String() {
+			t.Fatalf("not a fixed point:\n1: %s\n2: %s", d1, d2)
+		}
+	}
+}
+
+func TestParseMLAppErrors(t *testing.T) {
+	bad := []string{
+		`ml(infer) out(f(x[0:N]) model("m")`, // unbalanced app
+		`ml(infer) out(f(x)) model("m")`,     // target without slices
+		`ml(infer) out(f()) model("m")`,      // empty application
+		`ml(infer) out(f(x[)) model("m")`,    // broken slice
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): want error", src)
+		}
+	}
+}

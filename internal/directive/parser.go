@@ -1,0 +1,551 @@
+package directive
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse parses one HPAC-ML directive. The "#pragma approx" prefix is
+// optional, so both full pragma text and bare clause text are accepted:
+//
+//	#pragma approx tensor functor(f: [i,0:3] = ([i-1], [i], [i+1]))
+//	tensor map(to: f(x[1:N-1]))
+//	ml(predicated:useModel) in(x) out(y) model("m.gmod") db("d.gh5")
+func Parse(src string) (Directive, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{src: src, toks: toks}
+	d, err := p.parseDirective()
+	if err != nil {
+		return nil, err
+	}
+	if !p.at(tokEOF) {
+		return nil, p.errorf("trailing input after directive")
+	}
+	return d, nil
+}
+
+// ParseAll parses a multi-line block of directives, one per line, ignoring
+// blank lines and lines starting with "//". Pragma line continuations
+// (trailing backslash) join lines first.
+func ParseAll(src string) ([]Directive, error) {
+	joined := strings.ReplaceAll(src, "\\\n", " ")
+	var out []Directive
+	for ln, line := range strings.Split(joined, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "//") {
+			continue
+		}
+		d, err := Parse(line)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: %w", ln+1, err)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+type parser struct {
+	src  string
+	toks []token
+	pos  int
+}
+
+func (p *parser) cur() token  { return p.toks[p.pos] }
+func (p *parser) next() token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(kind tokenKind) bool { return p.cur().kind == kind }
+
+func (p *parser) atKeyword(kw string) bool {
+	return p.cur().kind == tokIdent && p.cur().text == kw
+}
+
+func (p *parser) expect(kind tokenKind) (token, error) {
+	if !p.at(kind) {
+		return token{}, p.errorf("expected %s, found %s %q", kind, p.cur().kind, p.cur().text)
+	}
+	return p.next(), nil
+}
+
+func (p *parser) expectKeyword(kw string) error {
+	if !p.atKeyword(kw) {
+		return p.errorf("expected keyword %q, found %q", kw, p.cur().text)
+	}
+	p.next()
+	return nil
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	return fmt.Errorf("directive: %s (at offset %d in %q)",
+		fmt.Sprintf(format, args...), p.cur().pos, p.src)
+}
+
+func (p *parser) parseDirective() (Directive, error) {
+	// Optional "#pragma approx" or "approx" prefix.
+	if p.at(tokHash) {
+		p.next()
+		if err := p.expectKeyword("pragma"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKeyword("approx"); err != nil {
+			return nil, err
+		}
+	} else if p.atKeyword("approx") {
+		p.next()
+	}
+	switch {
+	case p.atKeyword("tensor"):
+		p.next()
+		switch {
+		case p.atKeyword("functor"):
+			p.next()
+			return p.parseFunctor()
+		case p.atKeyword("map"):
+			p.next()
+			return p.parseMap()
+		default:
+			return nil, p.errorf("expected 'functor' or 'map' after 'tensor'")
+		}
+	case p.atKeyword("ml"):
+		p.next()
+		return p.parseML()
+	default:
+		return nil, p.errorf("expected 'tensor' or 'ml' directive")
+	}
+}
+
+// parseFunctor parses functor(name: LHS = (RHS, ...)). Both the Fig. 2
+// double-parenthesized form (( [..],[..] )) and the single form are
+// accepted; the outer parentheses simply group the RHS tuple.
+func (p *parser) parseFunctor() (*FunctorDecl, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokColon); err != nil {
+		return nil, err
+	}
+	lhs, err := p.parseSliceSpec()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokAssign); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	// Optional extra grouping parenthesis, as written in the paper's
+	// example: = ( ( [..], [..] ) ).
+	extraParen := false
+	if p.at(tokLParen) {
+		extraParen = true
+		p.next()
+	}
+	var rhs []SliceSpec
+	for {
+		ss, err := p.parseSliceSpec()
+		if err != nil {
+			return nil, err
+		}
+		rhs = append(rhs, ss)
+		if !p.at(tokComma) {
+			break
+		}
+		p.next()
+	}
+	if extraParen {
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	f := &FunctorDecl{Name: name.text, LHS: lhs, RHS: rhs}
+	if err := validateFunctor(f); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// validateFunctor performs the semantic checks Clang's Sema would do.
+func validateFunctor(f *FunctorDecl) error {
+	if len(f.LHS.Slices) == 0 {
+		return fmt.Errorf("directive: functor %q has empty LHS", f.Name)
+	}
+	if len(f.RHS) == 0 {
+		return fmt.Errorf("directive: functor %q has empty RHS", f.Name)
+	}
+	// Every RHS slice list must have the same rank: they all describe
+	// accesses into the same mapped array sweep.
+	rank := len(f.RHS[0].Slices)
+	for _, r := range f.RHS[1:] {
+		if len(r.Slices) != rank {
+			return fmt.Errorf("directive: functor %q RHS ranks differ: %d vs %d",
+				f.Name, rank, len(r.Slices))
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseMap() (*MapDecl, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	dirTok, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	var dir Direction
+	switch dirTok.text {
+	case "to":
+		dir = To
+	case "from":
+		dir = From
+	default:
+		return nil, p.errorf("expected direction 'to' or 'from', found %q", dirTok.text)
+	}
+	if _, err := p.expect(tokColon); err != nil {
+		return nil, err
+	}
+	fn, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	var targets []MapTarget
+	for {
+		t, err := p.parseMapTarget()
+		if err != nil {
+			return nil, err
+		}
+		targets = append(targets, t)
+		if !p.at(tokComma) {
+			break
+		}
+		p.next()
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	return &MapDecl{Dir: dir, Functor: fn.text, Targets: targets}, nil
+}
+
+func (p *parser) parseMapTarget() (MapTarget, error) {
+	arr, err := p.expect(tokIdent)
+	if err != nil {
+		return MapTarget{}, err
+	}
+	if _, err := p.expect(tokLBrack); err != nil {
+		return MapTarget{}, err
+	}
+	var slices []Slice
+	for {
+		s, err := p.parseSlice()
+		if err != nil {
+			return MapTarget{}, err
+		}
+		slices = append(slices, s)
+		if !p.at(tokComma) {
+			break
+		}
+		p.next()
+	}
+	if _, err := p.expect(tokRBrack); err != nil {
+		return MapTarget{}, err
+	}
+	return MapTarget{Array: arr.text, Slices: slices}, nil
+}
+
+func (p *parser) parseML() (*MLDecl, error) {
+	if _, err := p.expect(tokLParen); err != nil {
+		return nil, err
+	}
+	modeTok, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	ml := &MLDecl{}
+	switch modeTok.text {
+	case "infer":
+		ml.Mode = Infer
+	case "collect":
+		ml.Mode = Collect
+	case "predicated":
+		ml.Mode = Predicated
+	default:
+		return nil, p.errorf("unknown ml-mode %q (want infer, collect, or predicated)", modeTok.text)
+	}
+	if p.at(tokColon) {
+		p.next()
+		cond, err := p.parseRawUntilCloseParen()
+		if err != nil {
+			return nil, err
+		}
+		ml.Cond = cond
+	}
+	if _, err := p.expect(tokRParen); err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	for p.at(tokIdent) {
+		kw := p.next().text
+		if seen[kw] {
+			return nil, p.errorf("duplicate clause %q in ml directive", kw)
+		}
+		seen[kw] = true
+		if _, err := p.expect(tokLParen); err != nil {
+			return nil, err
+		}
+		switch kw {
+		case "in", "out", "inout":
+			list, apps, err := p.parseMappedMemory()
+			if err != nil {
+				return nil, err
+			}
+			switch kw {
+			case "in":
+				ml.In, ml.InApps = list, apps
+			case "out":
+				ml.Out, ml.OutApps = list, apps
+			case "inout":
+				ml.InOut, ml.InOutApps = list, apps
+			}
+		case "model", "db", "database":
+			s, err := p.expect(tokString)
+			if err != nil {
+				return nil, err
+			}
+			if kw == "model" {
+				ml.Model = s.text
+			} else {
+				ml.DB = s.text
+			}
+		case "if":
+			cond, err := p.parseRawUntilCloseParen()
+			if err != nil {
+				return nil, err
+			}
+			ml.If = cond
+		default:
+			return nil, p.errorf("unknown ml clause %q", kw)
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+	}
+	if len(ml.In) == 0 && len(ml.Out) == 0 && len(ml.InOut) == 0 &&
+		len(ml.InApps) == 0 && len(ml.OutApps) == 0 && len(ml.InOutApps) == 0 {
+		return nil, p.errorf("ml directive needs at least one of in/out/inout")
+	}
+	return ml, nil
+}
+
+// parseMappedMemory parses the mapped-memory production: a comma-separated
+// mixture of plain array references and inline functor applications
+// (fa-exprs, e.g. "ofnctr(tnew[1:N-1, 1:M-1])").
+func (p *parser) parseMappedMemory() (names []string, apps []FunctorApp, err error) {
+	for {
+		id, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, nil, err
+		}
+		if p.at(tokLParen) {
+			p.next()
+			var targets []MapTarget
+			for {
+				t, err := p.parseMapTarget()
+				if err != nil {
+					return nil, nil, err
+				}
+				targets = append(targets, t)
+				if !p.at(tokComma) {
+					break
+				}
+				p.next()
+			}
+			if _, err := p.expect(tokRParen); err != nil {
+				return nil, nil, err
+			}
+			apps = append(apps, FunctorApp{Functor: id.text, Targets: targets})
+		} else {
+			names = append(names, id.text)
+		}
+		if !p.at(tokComma) {
+			return names, apps, nil
+		}
+		p.next()
+	}
+}
+
+// parseRawUntilCloseParen consumes tokens up to (not including) the next
+// unbalanced ')' and returns their concatenated text. Used for condition
+// expressions, which the runtime evaluates via user-bound predicates.
+func (p *parser) parseRawUntilCloseParen() (string, error) {
+	depth := 0
+	var parts []string
+	for {
+		t := p.cur()
+		switch t.kind {
+		case tokEOF:
+			return "", p.errorf("unterminated condition expression")
+		case tokLParen:
+			depth++
+		case tokRParen:
+			if depth == 0 {
+				return strings.Join(parts, ""), nil
+			}
+			depth--
+		}
+		if t.kind == tokString {
+			parts = append(parts, strconv.Quote(t.text))
+		} else {
+			parts = append(parts, t.text)
+		}
+		p.next()
+	}
+}
+
+func (p *parser) parseSliceSpec() (SliceSpec, error) {
+	if _, err := p.expect(tokLBrack); err != nil {
+		return SliceSpec{}, err
+	}
+	var slices []Slice
+	for {
+		s, err := p.parseSlice()
+		if err != nil {
+			return SliceSpec{}, err
+		}
+		slices = append(slices, s)
+		if !p.at(tokComma) {
+			break
+		}
+		p.next()
+	}
+	if _, err := p.expect(tokRBrack); err != nil {
+		return SliceSpec{}, err
+	}
+	return SliceSpec{Slices: slices}, nil
+}
+
+func (p *parser) parseSlice() (Slice, error) {
+	start, err := p.parseExpr()
+	if err != nil {
+		return Slice{}, err
+	}
+	s := Slice{Start: start}
+	if !p.at(tokColon) {
+		return s, nil
+	}
+	p.next()
+	stop, err := p.parseExpr()
+	if err != nil {
+		return Slice{}, err
+	}
+	s.Stop = stop
+	if p.at(tokColon) {
+		p.next()
+		step, err := p.parseExpr()
+		if err != nil {
+			return Slice{}, err
+		}
+		s.Step = step
+	}
+	return s, nil
+}
+
+// parseExpr parses additive expressions: term (('+'|'-') term)*.
+func (p *parser) parseExpr() (Expr, error) {
+	left, err := p.parseTerm()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokPlus) || p.at(tokMinus) {
+		op := byte('+')
+		if p.at(tokMinus) {
+			op = '-'
+		}
+		p.next()
+		right, err := p.parseTerm()
+		if err != nil {
+			return nil, err
+		}
+		left = BinExpr{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+// parseTerm parses multiplicative expressions: factor (('*'|'/'|'%') factor)*.
+func (p *parser) parseTerm() (Expr, error) {
+	left, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for p.at(tokStar) || p.at(tokSlash) || p.at(tokPercent) {
+		var op byte
+		switch p.cur().kind {
+		case tokStar:
+			op = '*'
+		case tokSlash:
+			op = '/'
+		default:
+			op = '%'
+		}
+		p.next()
+		right, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		left = BinExpr{Op: op, L: left, R: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseFactor() (Expr, error) {
+	switch {
+	case p.at(tokMinus):
+		p.next()
+		x, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		return NegExpr{X: x}, nil
+	case p.at(tokInt):
+		t := p.next()
+		v, err := strconv.Atoi(t.text)
+		if err != nil {
+			return nil, p.errorf("bad integer %q: %v", t.text, err)
+		}
+		return IntLit{Value: v}, nil
+	case p.at(tokIdent):
+		t := p.next()
+		return SymRef{Name: t.text}, nil
+	case p.at(tokLParen):
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errorf("expected expression, found %s %q", p.cur().kind, p.cur().text)
+	}
+}

@@ -1,0 +1,367 @@
+package directive
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, src string) Directive {
+	t.Helper()
+	d, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return d
+}
+
+func TestParsePaperFigure2Functor(t *testing.T) {
+	// The ifnctr declaration from Figure 2 of the paper, including the
+	// pragma prefix and line continuations. (The paper's listing drops
+	// one closing parenthesis; this is the balanced form.)
+	src := "#pragma approx tensor functor(ifnctr: \\\n" +
+		"[i, j, 0:5] = ( ([i-1, j], [i+1, j], \\\n[i, j-1:j+2])))"
+	d := mustParse(t, src)
+	f, ok := d.(*FunctorDecl)
+	if !ok {
+		t.Fatalf("got %T, want *FunctorDecl", d)
+	}
+	if f.Name != "ifnctr" {
+		t.Fatalf("name = %q", f.Name)
+	}
+	if len(f.LHS.Slices) != 3 {
+		t.Fatalf("LHS rank = %d, want 3", len(f.LHS.Slices))
+	}
+	if len(f.RHS) != 3 {
+		t.Fatalf("RHS slice count = %d, want 3", len(f.RHS))
+	}
+	syms := f.SymbolNames()
+	if len(syms) != 2 || syms[0] != "i" || syms[1] != "j" {
+		t.Fatalf("symbols = %v, want [i j]", syms)
+	}
+}
+
+func TestParsePaperFigure2OutputFunctor(t *testing.T) {
+	d := mustParse(t, "#pragma approx tensor functor(ofnctr: [i, j, 0:1] = ([i, j]))")
+	f := d.(*FunctorDecl)
+	if f.Name != "ofnctr" || len(f.RHS) != 1 {
+		t.Fatalf("unexpected parse: %v", f)
+	}
+}
+
+func TestParsePaperFigure2Maps(t *testing.T) {
+	d := mustParse(t, "#pragma approx tensor map(to: ifnctr(t[1:N-1, 1:M-1]))")
+	m := d.(*MapDecl)
+	if m.Dir != To || m.Functor != "ifnctr" {
+		t.Fatalf("unexpected map: %v", m)
+	}
+	if len(m.Targets) != 1 || m.Targets[0].Array != "t" || len(m.Targets[0].Slices) != 2 {
+		t.Fatalf("unexpected targets: %v", m.Targets)
+	}
+	d2 := mustParse(t, "#pragma approx tensor map(from: ofnctr(tnew[1:N-1, 1:M-1]))")
+	if d2.(*MapDecl).Dir != From {
+		t.Fatal("expected from direction")
+	}
+}
+
+func TestParsePaperFigure2ML(t *testing.T) {
+	src := `#pragma approx ml(predicated:true) in(t) out(tnew) db("/path/data.h5") model("/path/model.pt")`
+	d := mustParse(t, src)
+	ml := d.(*MLDecl)
+	if ml.Mode != Predicated {
+		t.Fatalf("mode = %v", ml.Mode)
+	}
+	if ml.Cond != "true" {
+		t.Fatalf("cond = %q", ml.Cond)
+	}
+	if len(ml.In) != 1 || ml.In[0] != "t" || len(ml.Out) != 1 || ml.Out[0] != "tnew" {
+		t.Fatalf("in/out = %v / %v", ml.In, ml.Out)
+	}
+	if ml.DB != "/path/data.h5" || ml.Model != "/path/model.pt" {
+		t.Fatalf("paths = %q %q", ml.DB, ml.Model)
+	}
+}
+
+func TestParseMLModes(t *testing.T) {
+	if mustParse(t, `ml(infer) in(x) out(y) model("m")`).(*MLDecl).Mode != Infer {
+		t.Fatal("infer mode")
+	}
+	if mustParse(t, `ml(collect) in(x) out(y) db("d")`).(*MLDecl).Mode != Collect {
+		t.Fatal("collect mode")
+	}
+	if _, err := Parse(`ml(transmogrify) in(x) out(y)`); err == nil {
+		t.Fatal("want error for unknown mode")
+	}
+}
+
+func TestParseMLInOut(t *testing.T) {
+	ml := mustParse(t, `ml(infer) inout(state) model("m.gmod")`).(*MLDecl)
+	if len(ml.InOut) != 1 || ml.InOut[0] != "state" {
+		t.Fatalf("inout = %v", ml.InOut)
+	}
+	ml2 := mustParse(t, `ml(collect) in(a, b, c) out(d, e) db("x")`).(*MLDecl)
+	if len(ml2.In) != 3 || len(ml2.Out) != 2 {
+		t.Fatalf("in/out = %v / %v", ml2.In, ml2.Out)
+	}
+}
+
+func TestParseMLIfClause(t *testing.T) {
+	ml := mustParse(t, `ml(infer) in(x) out(y) model("m") if(step % 2 == 0)`).(*MLDecl)
+	if ml.If == "" {
+		t.Fatal("if clause not captured")
+	}
+}
+
+func TestParseMLDatabaseAlias(t *testing.T) {
+	// Both db(...) and database(...) (Fig. 3 spelling) are accepted.
+	a := mustParse(t, `ml(collect) in(x) out(y) db("p")`).(*MLDecl)
+	b := mustParse(t, `ml(collect) in(x) out(y) database("p")`).(*MLDecl)
+	if a.DB != b.DB {
+		t.Fatalf("db alias mismatch: %q vs %q", a.DB, b.DB)
+	}
+}
+
+func TestParseMLErrors(t *testing.T) {
+	bad := []string{
+		`ml(infer)`,                            // no in/out/inout
+		`ml(infer) in(x) in(y) out(z)`,         // duplicate clause
+		`ml(infer) in(x) out(y) bogus("z")`,    // unknown clause
+		`ml(infer) in(x) out(y) model(m)`,      // model wants a string
+		`ml(infer:cond in(x) out(y)`,           // unterminated
+		`ml(infer) in() out(y)`,                // empty ident list
+		`tensor functor(f: [i] = ([i])) junk`,  // trailing input
+		`tensor map(sideways: f(x[0:N]))`,      // bad direction
+		`tensor functor(f: [] = ([i]))`,        // empty LHS
+		`tensor functor(f: [i] = ())`,          // empty RHS
+		`tensor functor(f: [i] = ([i],[i,j]))`, // RHS rank mismatch
+		`tensor frobnicate(f)`,                 // unknown tensor directive
+		`vector functor(f: [i] = ([i]))`,       // unknown directive
+		``,                                     // empty
+		`#pragma omp parallel`,                 // wrong pragma
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): want error", src)
+		}
+	}
+}
+
+func TestParseWithoutPrefix(t *testing.T) {
+	// Directives work without the #pragma approx prefix, and with a bare
+	// approx prefix.
+	mustParse(t, "tensor functor(f: [i, 0:1] = ([i]))")
+	mustParse(t, "approx tensor functor(f: [i, 0:1] = ([i]))")
+}
+
+func TestParseStridedSlices(t *testing.T) {
+	f := mustParse(t, "tensor functor(f: [i, 0:6:2] = ([i*2], [i*2+1], [i+N/2]))").(*FunctorDecl)
+	s := f.LHS.Slices[1]
+	if s.IsPoint() || s.Step == nil {
+		t.Fatal("expected stepped range")
+	}
+	start, _ := s.Start.Eval(nil)
+	stop, _ := s.Stop.Eval(nil)
+	step, _ := s.Step.Eval(nil)
+	if start != 0 || stop != 6 || step != 2 {
+		t.Fatalf("range = %d:%d:%d", start, stop, step)
+	}
+}
+
+func TestExprEval(t *testing.T) {
+	f := mustParse(t, "tensor functor(f: [i, 0:1] = ([3*(i+1)-N/2]))").(*FunctorDecl)
+	e := f.RHS[0].Slices[0].Start
+	v, err := e.Eval(Env{"i": 4, "N": 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 10 { // 3*5 - 5
+		t.Fatalf("eval = %d, want 10", v)
+	}
+	if _, err := e.Eval(Env{"i": 4}); err == nil {
+		t.Fatal("want unbound symbol error for N")
+	}
+}
+
+func TestExprDivModByZero(t *testing.T) {
+	f := mustParse(t, "tensor functor(f: [i, 0:1] = ([i/K], [i%K]))").(*FunctorDecl)
+	if _, err := f.RHS[0].Slices[0].Start.Eval(Env{"i": 1, "K": 0}); err == nil {
+		t.Fatal("want division by zero error")
+	}
+	if _, err := f.RHS[1].Slices[0].Start.Eval(Env{"i": 1, "K": 0}); err == nil {
+		t.Fatal("want modulo by zero error")
+	}
+}
+
+func TestNegativeExpr(t *testing.T) {
+	f := mustParse(t, "tensor functor(f: [i, 0:1] = ([-i+1]))").(*FunctorDecl)
+	v, err := f.RHS[0].Slices[0].Start.Eval(Env{"i": 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != -2 {
+		t.Fatalf("eval = %d, want -2", v)
+	}
+}
+
+func TestParseAll(t *testing.T) {
+	src := `
+// the Figure 2 program
+#pragma approx tensor functor(ifnctr: [i, j, 0:5] = (([i-1, j], [i+1, j], [i, j-1:j+2])))
+#pragma approx tensor functor(ofnctr: [i, j, 0:1] = ([i, j]))
+#pragma approx tensor map(to: ifnctr(t[1:N-1, 1:M-1]))
+#pragma approx tensor map(from: ofnctr(tnew[1:N-1, 1:M-1]))
+#pragma approx ml(predicated:true) in(t) out(tnew) db("/d.gh5") model("/m.gmod")
+`
+	ds, err := ParseAll(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 5 {
+		t.Fatalf("parsed %d directives, want 5", len(ds))
+	}
+	if _, ok := ds[0].(*FunctorDecl); !ok {
+		t.Fatal("directive 0 should be a functor")
+	}
+	if _, ok := ds[4].(*MLDecl); !ok {
+		t.Fatal("directive 4 should be an ml clause")
+	}
+}
+
+func TestParseAllReportsLine(t *testing.T) {
+	_, err := ParseAll("tensor functor(f: [i,0:1] = ([i]))\nnot a directive")
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("want line-numbered error, got %v", err)
+	}
+}
+
+func TestLexerErrors(t *testing.T) {
+	if _, err := Parse(`tensor functor(f: [i@2] = ([i]))`); err == nil {
+		t.Fatal("want error for illegal character")
+	}
+	if _, err := Parse(`ml(collect) in(x) out(y) db("unterminated`); err == nil {
+		t.Fatal("want error for unterminated string")
+	}
+}
+
+func TestStringEscapes(t *testing.T) {
+	ml := mustParse(t, `ml(collect) in(x) out(y) db("a\"b")`).(*MLDecl)
+	if ml.DB != `a"b` {
+		t.Fatalf("escaped string = %q", ml.DB)
+	}
+}
+
+// --- round-trip property tests ---
+
+// genFunctor builds a random valid functor declaration.
+func genFunctor(r *rand.Rand) *FunctorDecl {
+	symbols := []string{"i", "j", "k"}[:1+r.Intn(3)]
+	rank := len(symbols)
+	nFeat := 1 + r.Intn(3)
+
+	lhs := SliceSpec{}
+	for _, s := range symbols {
+		lhs.Slices = append(lhs.Slices, Slice{Start: SymRef{Name: s}})
+	}
+	featTotal := 1 + r.Intn(5)
+	lhs.Slices = append(lhs.Slices, Slice{
+		Start: IntLit{Value: 0},
+		Stop:  IntLit{Value: featTotal * nFeat},
+	})
+
+	f := &FunctorDecl{Name: "f", LHS: lhs}
+	for n := 0; n < nFeat; n++ {
+		var ss SliceSpec
+		for d := 0; d < rank; d++ {
+			base := Expr(SymRef{Name: symbols[d]})
+			if r.Intn(2) == 0 {
+				base = BinExpr{Op: byte("+-"[r.Intn(2)]), L: base, R: IntLit{Value: r.Intn(3)}}
+			}
+			ss.Slices = append(ss.Slices, Slice{Start: base})
+		}
+		f.RHS = append(f.RHS, ss)
+	}
+	return f
+}
+
+// Property: parse(print(f)) == print-identical functor for generated
+// declarations.
+func TestPropFunctorRoundTrip(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := genFunctor(r)
+		text := f.String()
+		d, err := Parse(text)
+		if err != nil {
+			t.Logf("parse error on %q: %v", text, err)
+			return false
+		}
+		return d.String() == text
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: parse(print(parse(x))) is stable for the paper's directives.
+func TestPropPrintParseStable(t *testing.T) {
+	sources := []string{
+		"#pragma approx tensor functor(ifnctr: [i, j, 0:5] = (([i-1, j], [i+1, j], [i, j-1:j+2])))",
+		"#pragma approx tensor map(to: ifnctr(t[1:N-1, 1:M-1]))",
+		"#pragma approx tensor map(from: ofnctr(tnew[1:N-1, 1:M-1]))",
+		`#pragma approx ml(predicated:useModel) in(t) out(tnew) model("m.gmod") db("d.gh5")`,
+		`#pragma approx ml(infer) inout(state) model("m.gmod")`,
+		"#pragma approx tensor functor(g: [i, 0:4:2] = ([i*3-1], [i%7+N/2]))",
+	}
+	for _, src := range sources {
+		d1, err := Parse(src)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", src, err)
+		}
+		d2, err := Parse(d1.String())
+		if err != nil {
+			t.Fatalf("Parse(print) on %q: %v\nprinted: %q", src, err, d1.String())
+		}
+		if d1.String() != d2.String() {
+			t.Fatalf("not a fixed point:\n1: %s\n2: %s", d1, d2)
+		}
+	}
+}
+
+// Property: Symbols() returns exactly the identifiers present in the text.
+func TestPropSymbolsComplete(t *testing.T) {
+	check := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		f := genFunctor(r)
+		want := map[string]bool{}
+		for _, ss := range f.RHS {
+			ss.Symbols(want)
+		}
+		f.LHS.Symbols(want)
+		got := f.SymbolNames()
+		if len(got) != len(want) {
+			return false
+		}
+		for _, n := range got {
+			if !want[n] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDirectionAndModeStrings(t *testing.T) {
+	if To.String() != "to" || From.String() != "from" {
+		t.Fatal("direction strings")
+	}
+	if Infer.String() != "infer" || Collect.String() != "collect" || Predicated.String() != "predicated" {
+		t.Fatal("mode strings")
+	}
+	if Mode(42).String() != "mode(42)" {
+		t.Fatal("unknown mode string")
+	}
+}

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+
+	hpacml "repro"
+
+	"repro/internal/benchmarks/binomial"
+	"repro/internal/benchmarks/common"
+	"repro/internal/bo"
+	"repro/internal/nn"
+)
+
+// binomialApp adapts the Binomial Options instance.
+type binomialApp struct {
+	in *binomial.Instance
+}
+
+func (a *binomialApp) Reset(seed int64)   { a.in.RandomizeOptions(seed) }
+func (a *binomialApp) RunAccurate()       { a.in.ComputePrices() }
+func (a *binomialApp) Outputs() []float64 { return a.in.Prices }
+func (a *binomialApp) InFeatures() int    { return 3 }
+func (a *binomialApp) OutFeatures() int   { return 1 }
+
+func (a *binomialApp) Region(modelPath, dbPath string) (*hpacml.Region, *bool, error) {
+	useModel := false
+	r, err := hpacml.NewRegion("binomial",
+		hpacml.Directives(binomial.Directives(modelPath, dbPath)),
+		hpacml.BindInt("NOPT", a.in.Cfg.NumOptions),
+		hpacml.BindArray("S", a.in.S, a.in.Cfg.NumOptions),
+		hpacml.BindArray("X", a.in.X, a.in.Cfg.NumOptions),
+		hpacml.BindArray("T", a.in.T, a.in.Cfg.NumOptions),
+		hpacml.BindArray("prices", a.in.Prices, a.in.Cfg.NumOptions),
+		hpacml.BindPredicate("useModel", func() bool { return useModel }),
+	)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r, &useModel, nil
+}
+
+// NewBinomial builds the Binomial Options harness with the Table IV
+// two-hidden-layer family.
+func NewBinomial(scale Scale) Harness {
+	cfg := binomial.DefaultConfig()
+	if scale == ScaleTest {
+		cfg.NumOptions = 1024
+		cfg.Steps = 256
+	}
+	in, err := binomial.New(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: binomial config invalid: %v", err))
+	}
+	dirText := binomial.Directives("model.gmod", "data.gh5")
+	loc, nDir := common.DirectiveStats(dirText)
+
+	h1Max, h2Max := 512, 512
+	if scale == ScaleTest {
+		h1Max, h2Max = 48, 24
+	}
+	return &tabularHarness{
+		info: common.Info{
+			Name:        "binomial",
+			Description: "American option pricing for a portfolio on a binomial lattice",
+			QoI:         "The computed prices",
+			Metric:      common.MetricRMSE,
+			TotalLoC:    binomial.SourceLoC(),
+			HPACMLLoC:   loc, DirectiveCount: nDir,
+		},
+		app:    &binomialApp{in: in},
+		metric: common.MetricRMSE,
+		arch: &bo.Space{Params: []bo.Param{
+			bo.IntParam{Key: "hidden1", Min: 5, Max: h1Max},
+			bo.IntParam{Key: "hidden2", Min: 0, Max: h2Max},
+		}},
+		paperArch: []string{
+			"Hidden 1 Features: [5, 512]",
+			"Hidden 2 Features: [0, 512]",
+		},
+		buildNet: buildTwoLayerNet,
+	}
+}
+
+// buildTwoLayerNet realizes the Table IV Binomial/Bonds family: one or
+// two hidden layers (hidden2 = 0 drops the second).
+func buildTwoLayerNet(arch map[string]bo.Value, dropout float64, inF, outF int, seed int64) (*nn.Network, error) {
+	h1 := arch["hidden1"].Int
+	h2 := arch["hidden2"].Int
+	if h1 < 1 || h2 < 0 {
+		return nil, fmt.Errorf("experiments: bad arch %v", arch)
+	}
+	hidden := []int{h1}
+	if h2 > 0 {
+		hidden = append(hidden, h2)
+	}
+	return buildMLP(hidden, dropout, inF, outF, seed), nil
+}

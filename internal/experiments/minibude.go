@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+
+	hpacml "repro"
+
+	"repro/internal/benchmarks/common"
+	"repro/internal/benchmarks/minibude"
+	"repro/internal/bo"
+	"repro/internal/nn"
+)
+
+// budeApp adapts the MiniBUDE instance to the tabular harness.
+type budeApp struct {
+	in *minibude.Instance
+}
+
+func (a *budeApp) Reset(seed int64) { a.in.RandomizePoses(seed) }
+func (a *budeApp) RunAccurate()     { a.in.ComputeEnergies() }
+func (a *budeApp) Outputs() []float64 {
+	return a.in.Energies
+}
+func (a *budeApp) InFeatures() int  { return 6 }
+func (a *budeApp) OutFeatures() int { return 1 }
+
+func (a *budeApp) Region(modelPath, dbPath string) (*hpacml.Region, *bool, error) {
+	useModel := false
+	r, err := hpacml.NewRegion("minibude",
+		hpacml.Directives(minibude.Directives(modelPath, dbPath)),
+		hpacml.BindInt("NPOSES", a.in.Cfg.NumPoses),
+		hpacml.BindArray("poses", a.in.Poses, a.in.Cfg.NumPoses, 6),
+		hpacml.BindArray("energies", a.in.Energies, a.in.Cfg.NumPoses),
+		hpacml.BindPredicate("useModel", func() bool { return useModel }),
+	)
+	if err != nil {
+		return nil, nil, err
+	}
+	return r, &useModel, nil
+}
+
+// NewMiniBUDE builds the MiniBUDE harness. The architecture space is the
+// Table IV family (hidden-layer count, first hidden size, feature
+// multiplier), scaled down at ScaleTest.
+func NewMiniBUDE(scale Scale) Harness {
+	cfg := minibude.DefaultConfig()
+	if scale == ScaleTest {
+		// Fewer poses than the campaign deck but the full interaction
+		// density (the real bm1 deck has a 938-atom protein), keeping
+		// the kernel compute-bound.
+		cfg.NumPoses = 1024
+		cfg.ProteinAtoms = 512
+		cfg.LigandAtoms = 26
+	}
+	in, err := minibude.New(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: minibude config invalid: %v", err))
+	}
+	dirText := minibude.Directives("model.gmod", "data.gh5")
+	loc, nDir := common.DirectiveStats(dirText)
+
+	var hidden1 bo.Param
+	var layers bo.Param
+	if scale == ScaleFull {
+		layers = bo.IntParam{Key: "layers", Min: 2, Max: 12}
+		hidden1 = bo.ChoiceParam{Key: "hidden1", Choices: []int{64, 128, 256, 512, 1024, 2048, 4096}}
+	} else {
+		layers = bo.IntParam{Key: "layers", Min: 2, Max: 4}
+		hidden1 = bo.ChoiceParam{Key: "hidden1", Choices: []int{16, 32, 64, 128}}
+	}
+	return &tabularHarness{
+		info: common.Info{
+			Name:        "minibude",
+			Description: "Virtual screening in molecular docking: empirical-forcefield pose scoring",
+			QoI:         "Ligand-protein binding energy for each pose",
+			Metric:      common.MetricMAPE,
+			TotalLoC:    minibude.SourceLoC(),
+			HPACMLLoC:   loc, DirectiveCount: nDir,
+		},
+		app:    &budeApp{in: in},
+		metric: common.MetricMAPE,
+		arch: &bo.Space{Params: []bo.Param{
+			layers,
+			hidden1,
+			bo.FloatParam{Key: "feature_mult", Min: 0.1, Max: 0.8},
+		}},
+		paperArch: []string{
+			"Num. Hidden Layers: [2, 12]",
+			"Hidden 1 Size: 64, 128, ..., 4096",
+			"Feature Multiplier: [0.1, 0.8]",
+		},
+		buildNet: buildBudeNet,
+	}
+}
+
+// buildBudeNet realizes the Table IV MiniBUDE family: layers hidden
+// layers, the first sized hidden1, each following layer shrunk by the
+// feature multiplier.
+func buildBudeNet(arch map[string]bo.Value, dropout float64, inF, outF int, seed int64) (*nn.Network, error) {
+	layers := arch["layers"].Int
+	h1 := arch["hidden1"].Int
+	mult := arch["feature_mult"].Float
+	if layers < 1 || h1 < 1 {
+		return nil, fmt.Errorf("experiments: bad minibude arch %v", arch)
+	}
+	hidden := make([]int, layers)
+	size := float64(h1)
+	for i := range hidden {
+		if size < 4 {
+			size = 4
+		}
+		hidden[i] = int(size)
+		size *= mult
+	}
+	return buildMLP(hidden, dropout, inF, outF, seed), nil
+}

@@ -1,0 +1,360 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"path/filepath"
+
+	hpacml "repro"
+
+	"repro/internal/benchmarks/common"
+	"repro/internal/benchmarks/miniweather"
+	"repro/internal/bo"
+	"repro/internal/nn"
+)
+
+// mwHarness wires MiniWeather: an iterative, auto-regressive region whose
+// state array is both input and output (the 3-directive inout annotation
+// of Table II). The if clause gates surrogate use per timestep, enabling
+// the Figure 9 interleaving study.
+type mwHarness struct {
+	info  common.Info
+	in    *miniweather.Instance
+	arch  *bo.Space
+	paper []string
+}
+
+// NewMiniWeather builds the MiniWeather harness with the Table IV
+// convolutional family.
+func NewMiniWeather(scale Scale) Harness {
+	cfg := miniweather.DefaultConfig()
+	if scale == ScaleTest {
+		cfg.NX, cfg.NZ = 32, 16
+	}
+	in, err := miniweather.New(cfg)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: miniweather config invalid: %v", err))
+	}
+	dirText := miniweather.Directives("model.gmod", "data.gh5")
+	loc, nDir := common.DirectiveStats(dirText)
+
+	var arch *bo.Space
+	if scale == ScaleFull {
+		arch = &bo.Space{Params: []bo.Param{
+			bo.IntParam{Key: "conv1_kernel", Min: 2, Max: 8},
+			bo.IntParam{Key: "conv1_channels", Min: 4, Max: 8},
+			bo.IntParam{Key: "conv2_kernel", Min: 0, Max: 6},
+		}}
+	} else {
+		arch = &bo.Space{Params: []bo.Param{
+			bo.IntParam{Key: "conv1_kernel", Min: 2, Max: 4},
+			bo.IntParam{Key: "conv1_channels", Min: 4, Max: 6},
+			bo.IntParam{Key: "conv2_kernel", Min: 0, Max: 3},
+		}}
+	}
+	return &mwHarness{
+		info: common.Info{
+			Name:        "miniweather",
+			Description: "Atmospheric dynamics via essential weather/climate modeling equations",
+			QoI:         "Simulation state variables (density, x momentum, z momentum, potential temperature) at each gridpoint",
+			Metric:      common.MetricRMSE,
+			TotalLoC:    miniweather.SourceLoC(),
+			HPACMLLoC:   loc, DirectiveCount: nDir,
+		},
+		in:   in,
+		arch: arch,
+		paper: []string{
+			"Conv. Layer 1 Kernel Size: [2, 8]",
+			"Conv. Layer 1 Output Channels: [4, 8]",
+			"Conv. Layer 2 Kernel Size: [0, 6]",
+		},
+	}
+}
+
+func (h *mwHarness) Info() common.Info        { return h.info }
+func (h *mwHarness) ArchSpace() *bo.Space     { return h.arch }
+func (h *mwHarness) PaperArchSpace() []string { return h.paper }
+
+// region builds the 3-directive inout region over the haloed state array.
+// The returned gate controls the if clause (true = HPAC-ML active) and
+// useModel the predicated mode (true = inference, false = collection).
+func (h *mwHarness) region(modelPath, dbPath string) (r *hpacml.Region, gate, useModel *bool, err error) {
+	g, u := true, false
+	nv, nzh, nxh := h.in.StateDims()
+	r, err = hpacml.NewRegion("miniweather",
+		hpacml.Directives(miniweather.Directives(modelPath, dbPath)),
+		hpacml.BindInt("NV", nv),
+		hpacml.BindInt("NZH", nzh),
+		hpacml.BindInt("NXH", nxh),
+		hpacml.BindArray("state", h.in.State, nv, nzh, nxh),
+		hpacml.BindPredicate("useModel", func() bool { return u }),
+		hpacml.BindPredicate("gate", func() bool { return g }),
+		hpacml.InputLayout(hpacml.LayoutChannels),
+		hpacml.OutputLayout(hpacml.LayoutChannels),
+	)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return r, &g, &u, nil
+}
+
+// Collect runs the simulation forward, recording (state_t, state_t+1)
+// pairs — the auto-regressive training set.
+func (h *mwHarness) Collect(dbPath string, opt Options) error {
+	h.in.InitThermalBubble()
+	region, gate, useModel, err := h.region("", dbPath)
+	if err != nil {
+		return err
+	}
+	defer region.Close()
+	*gate = true
+	*useModel = false
+	steps := opt.CollectRuns * 10
+	for s := 0; s < steps; s++ {
+		if err := region.Execute(func() error { h.in.Step(); return nil }); err != nil {
+			return fmt.Errorf("miniweather collect step %d: %w", s, err)
+		}
+	}
+	return region.Close()
+}
+
+// CollectOverhead measures Table III for MiniWeather.
+func (h *mwHarness) CollectOverhead(dir string, opt Options) (CollectStats, error) {
+	h.in.InitThermalBubble()
+	plain, err := timeIt(opt.EvalRuns, func() error { h.in.Step(); return nil })
+	if err != nil {
+		return CollectStats{}, err
+	}
+	dbPath := filepath.Join(dir, "miniweather-overhead.gh5")
+	region, gate, useModel, err := h.region("", dbPath)
+	if err != nil {
+		return CollectStats{}, err
+	}
+	defer region.Close()
+	*gate = true
+	*useModel = false
+	collect, err := timeIt(opt.EvalRuns, func() error {
+		return region.Execute(func() error { h.in.Step(); return nil })
+	})
+	if err != nil {
+		return CollectStats{}, err
+	}
+	if err := region.Close(); err != nil {
+		return CollectStats{}, err
+	}
+	mb, err := fileSizeMB(dbPath)
+	if err != nil {
+		return CollectStats{}, err
+	}
+	return CollectStats{
+		Benchmark:   "miniweather",
+		PlainSec:    plain.Seconds(),
+		CollectSec:  collect.Seconds(),
+		DataSizeMB:  mb,
+		OverheadX:   collect.Seconds() / plain.Seconds(),
+		Invocations: opt.EvalRuns + 1,
+	}, nil
+}
+
+// mwStats holds the per-channel normalization statistics computed from a
+// training database: input mean/std of the state channels and the std of
+// the per-step delta (next state minus current state).
+type mwStats struct {
+	inMean, inStd, deltaStd []float64
+	blockLen                int
+}
+
+// computeMWStats derives the normalization statistics from the dataset.
+func computeMWStats(ds *nn.Dataset) mwStats {
+	nc := miniweather.NumVars
+	per := ds.Y.Dim(1) / nc
+	rows := ds.Y.Dim(0)
+	xd := ds.X.Contiguous().Data()
+	yd := ds.Y.Contiguous().Data()
+	st := mwStats{
+		inMean:   make([]float64, nc),
+		inStd:    make([]float64, nc),
+		deltaStd: make([]float64, nc),
+		blockLen: per,
+	}
+	cols := nc * per
+	for c := 0; c < nc; c++ {
+		var sum, sum2, dsum, dsum2 float64
+		n := 0
+		for row := 0; row < rows; row++ {
+			base := row*cols + c*per
+			for i := 0; i < per; i++ {
+				x := xd[base+i]
+				d := yd[base+i] - x
+				sum += x
+				sum2 += x * x
+				dsum += d
+				dsum2 += d * d
+				n++
+			}
+		}
+		mean := sum / float64(n)
+		st.inMean[c] = mean
+		st.inStd[c] = math.Sqrt(math.Max(1e-12, sum2/float64(n)-mean*mean))
+		dmean := dsum / float64(n)
+		st.deltaStd[c] = math.Sqrt(math.Max(1e-12, dsum2/float64(n)-dmean*dmean))
+	}
+	return st
+}
+
+// Train fits the convolutional surrogate with normalized-delta training:
+// the model internally standardizes its input channels, predicts the
+// per-step delta on a normalized scale, rescales it to physical units,
+// and adds it to the input (residual). The loss weights each channel by
+// the inverse variance of its delta so the small-scale density channel —
+// which drives the gravity source term when the surrogate runs
+// auto-regressively — carries equal gradient weight.
+func (h *mwHarness) Train(dbPath, modelPath string, arch, hyper map[string]bo.Value, opt Options) (float64, error) {
+	ds, err := loadDataset(dbPath, "miniweather")
+	if err != nil {
+		return 0, err
+	}
+	stats := computeMWStats(ds)
+	net, err := h.buildCNN(arch, dropoutOf(hyper), opt.Seed, stats)
+	if err != nil {
+		return 0, err
+	}
+	cfg := trainCfg(hyper, opt)
+	cfg.Loss = nn.WeightedMSE{Weights: nn.InverseVarianceWeights(stats.deltaStd, stats.blockLen, 1e-9)}
+	hist, err := net.Fit(ds, nil, cfg)
+	if err != nil {
+		return 0, err
+	}
+	if err := net.Save(modelPath); err != nil {
+		return 0, err
+	}
+	return hist.BestVal, nil
+}
+
+// buildCNN realizes the Table IV MiniWeather family: one or two conv
+// layers (conv2_kernel = 0 drops the second) and a dense decoder, wrapped
+// as body of a residual block with channel normalization on the way in
+// and delta-scale restoration on the way out.
+func (h *mwHarness) buildCNN(arch map[string]bo.Value, dropout float64, seed int64, stats mwStats) (*nn.Network, error) {
+	cfg := h.in.Cfg
+	k1 := arch["conv1_kernel"].Int
+	ch := arch["conv1_channels"].Int
+	k2 := arch["conv2_kernel"].Int
+	nc := miniweather.NumVars
+
+	inScales := make([]float64, nc)
+	inShifts := make([]float64, nc)
+	for c := 0; c < nc; c++ {
+		inScales[c] = 1 / stats.inStd[c]
+		inShifts[c] = -stats.inMean[c] / stats.inStd[c]
+	}
+
+	body := nn.NewNetwork(seed)
+	body.Add(nn.NewChannelAffine(stats.blockLen, inScales, inShifts))
+	body.Add(body.NewConv2D(nc, ch, k1, k1, 1), nn.NewActivation(nn.ActTanh))
+	if k2 > 1 {
+		body.Add(body.NewConv2D(ch, ch, k2, k2, 1), nn.NewActivation(nn.ActTanh))
+	}
+	body.Add(nn.NewFlatten())
+	sample, err := body.OutShape([]int{nc, cfg.NZ, cfg.NX})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: invalid MiniWeather architecture %v: %w", arch, err)
+	}
+	flat := sample[0]
+	if dropout > 0 {
+		body.Add(body.NewDropout(dropout))
+	}
+	// Bottleneck decoder: a small latent keeps the dense decode cost (the
+	// dominant FLOPs term) proportional to the grid rather than quadratic
+	// in it.
+	const latent = 48
+	body.Add(body.NewDense(flat, latent), nn.NewActivation(nn.ActTanh))
+	body.Add(body.NewDense(latent, nc*cfg.NZ*cfg.NX))
+	body.Add(nn.NewChannelAffine(stats.blockLen, stats.deltaStd, nil))
+
+	net := nn.NewNetwork(seed + 1)
+	net.Add(nn.NewResidual(body))
+	return net, nil
+}
+
+// Evaluate spins the simulation up with accurate steps, then compares an
+// all-surrogate rollout against the accurate continuation: RMSE of the
+// final state and end-to-end speedup over the rollout window.
+func (h *mwHarness) Evaluate(modelPath string, opt Options) (EvalResult, error) {
+	const spinup, window = 30, 10
+	h.in.InitThermalBubble()
+	for s := 0; s < spinup; s++ {
+		h.in.Step()
+	}
+	snapshot := h.in.Interior(nil)
+
+	// Accurate continuation (timed).
+	accurate, err := timeIt(1, func() error {
+		h.in.SetInterior(snapshot)
+		for s := 0; s < window; s++ {
+			h.in.Step()
+		}
+		return nil
+	})
+	if err != nil {
+		return EvalResult{}, err
+	}
+	ref := h.in.Interior(nil)
+
+	// Surrogate rollout (timed) from the same snapshot.
+	region, gate, useModel, err := h.region(modelPath, "")
+	if err != nil {
+		return EvalResult{}, err
+	}
+	defer region.Close()
+	*gate = true
+	*useModel = true
+	hpacml.ClearModelCache()
+	surrogate, err := timeIt(1, func() error {
+		h.in.SetInterior(snapshot)
+		for s := 0; s < window; s++ {
+			if err := region.Execute(func() error { h.in.Step(); return nil }); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return EvalResult{}, err
+	}
+	pred := h.in.Interior(nil)
+
+	rmse, err := common.RMSE(pred, ref)
+	if err != nil {
+		return EvalResult{}, err
+	}
+	net, err := nn.Load(modelPath)
+	if err != nil {
+		return EvalResult{}, err
+	}
+	st := region.Stats()
+	inv := st.Inferences
+	if inv == 0 {
+		inv = 1
+	}
+	res := EvalResult{
+		Benchmark:     "miniweather",
+		Speedup:       accurate.Seconds() / surrogate.Seconds(),
+		Error:         rmse,
+		Params:        net.NumParams(),
+		LatencySec:    st.Inference.Seconds() / float64(inv),
+		ToTensorSec:   st.ToTensor.Seconds() / float64(inv),
+		InferenceSec:  st.Inference.Seconds() / float64(inv),
+		FromTensorSec: st.FromTensor.Seconds() / float64(inv),
+	}
+	return res, checkFinite("miniweather", res.Speedup, res.Error)
+}
+
+// Instance exposes the simulation for the Figure 9 interleaving driver.
+func (h *mwHarness) Instance() *miniweather.Instance { return h.in }
+
+// Region exposes region construction for the Figure 9 driver.
+func (h *mwHarness) Region(modelPath string) (*hpacml.Region, *bool, *bool, error) {
+	r, gate, useModel, err := h.region(modelPath, "")
+	return r, gate, useModel, err
+}

@@ -1,0 +1,151 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/benchmarks/common"
+)
+
+// Table1 returns the benchmark registry — the content of paper Table I.
+func Table1(scale Scale) []common.Info {
+	hs := Registry(scale)
+	out := make([]common.Info, len(hs))
+	for i, h := range hs {
+		out[i] = h.Info()
+	}
+	return out
+}
+
+// WriteTable1 renders Table I.
+func WriteTable1(w io.Writer, scale Scale) {
+	fmt.Fprintln(w, "Table I: The benchmarks used to evaluate HPAC-ML.")
+	tw := newTextTable("Benchmark", "Description", "QoI", "Metric")
+	for _, info := range Table1(scale) {
+		tw.row(info.Name, info.Description, info.QoI, string(info.Metric))
+	}
+	tw.flush(w)
+}
+
+// WriteTable2 renders Table II: application source-code impact.
+func WriteTable2(w io.Writer, scale Scale) {
+	fmt.Fprintln(w, "Table II: Application source code impact of HPAC-ML.")
+	tw := newTextTable("Benchmark", "Total LoC", "HPAC-ML LoC", "HPAC-ML Directives")
+	for _, info := range Table1(scale) {
+		tw.row(info.Name,
+			fmt.Sprintf("%d", info.TotalLoC),
+			fmt.Sprintf("%d", info.HPACMLLoC),
+			fmt.Sprintf("%d", info.DirectiveCount))
+	}
+	tw.flush(w)
+}
+
+// Table3 measures data-collection overhead for every benchmark.
+func Table3(dir string, scale Scale, opt Options) ([]CollectStats, error) {
+	var out []CollectStats
+	for _, h := range Registry(scale) {
+		cs, err := h.CollectOverhead(dir, opt)
+		if err != nil {
+			return nil, fmt.Errorf("table 3 (%s): %w", h.Info().Name, err)
+		}
+		out = append(out, cs)
+	}
+	return out, nil
+}
+
+// WriteTable3 renders Table III from measurements.
+func WriteTable3(w io.Writer, rows []CollectStats) {
+	fmt.Fprintln(w, "Table III: Data collection overhead.")
+	tw := newTextTable("Benchmark", "Original Runtime", "Runtime With Data Collection", "Overhead", "Collected Data Size (MB)")
+	for _, r := range rows {
+		tw.row(r.Benchmark,
+			fmtSeconds(r.PlainSec),
+			fmtSeconds(r.CollectSec),
+			fmt.Sprintf("%.2fx", r.OverheadX),
+			fmt.Sprintf("%.2f", r.DataSizeMB))
+	}
+	tw.flush(w)
+}
+
+// WriteTable4 renders Table IV: the paper-scale neural architecture
+// search spaces per benchmark.
+func WriteTable4(w io.Writer, scale Scale) {
+	fmt.Fprintln(w, "Table IV: Search space used for neural architecture search.")
+	for _, h := range Registry(scale) {
+		fmt.Fprintf(w, "  %s:\n", h.Info().Name)
+		for _, row := range h.PaperArchSpace() {
+			fmt.Fprintf(w, "    %s\n", row)
+		}
+	}
+}
+
+// WriteTable5 renders Table V: the BO hyperparameter space.
+func WriteTable5(w io.Writer) {
+	fmt.Fprintln(w, "Table V: Search space used for BO hyperparameter tuning.")
+	for _, row := range PaperHyperSpace() {
+		fmt.Fprintf(w, "  %s\n", row)
+	}
+}
+
+func fmtSeconds(s float64) string {
+	switch {
+	case s < 1e-3:
+		return fmt.Sprintf("%.2fus", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", s)
+	}
+}
+
+// textTable accumulates rows and renders them with aligned columns.
+type textTable struct {
+	header []string
+	rows   [][]string
+}
+
+func newTextTable(header ...string) *textTable {
+	return &textTable{header: header}
+}
+
+func (t *textTable) row(cells ...string) {
+	t.rows = append(t.rows, cells)
+}
+
+func (t *textTable) flush(w io.Writer) {
+	widths := make([]int, len(t.header))
+	for i, h := range t.header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i])
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	writeRow(t.header)
+	sep := make([]string, len(t.header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(r)
+	}
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}

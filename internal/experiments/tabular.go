@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+	"path/filepath"
+
+	hpacml "repro"
+
+	"repro/internal/benchmarks/common"
+	"repro/internal/bo"
+	"repro/internal/nn"
+)
+
+// tabularApp abstracts the three MLP benchmarks (MiniBUDE, Binomial
+// Options, Bonds): per-sample feature rows in, one QoI row out.
+type tabularApp interface {
+	// Reset re-randomizes the inputs with the given seed.
+	Reset(seed int64)
+	// RunAccurate executes the accurate path over the whole batch.
+	RunAccurate()
+	// Region builds the annotated HPAC-ML region around the app's
+	// buffers. The returned predicate pointer toggles inference.
+	Region(modelPath, dbPath string) (*hpacml.Region, *bool, error)
+	// Outputs returns the QoI buffer (aliased).
+	Outputs() []float64
+	// InFeatures and OutFeatures size the surrogate's I/O.
+	InFeatures() int
+	OutFeatures() int
+}
+
+// tabularHarness implements Harness for any tabularApp.
+type tabularHarness struct {
+	info      common.Info
+	app       tabularApp
+	arch      *bo.Space
+	paperArch []string
+	metric    common.Metric
+	buildNet  func(arch map[string]bo.Value, dropout float64, inF, outF int, seed int64) (*nn.Network, error)
+}
+
+func (h *tabularHarness) Info() common.Info        { return h.info }
+func (h *tabularHarness) ArchSpace() *bo.Space     { return h.arch }
+func (h *tabularHarness) PaperArchSpace() []string { return h.paperArch }
+
+// Collect runs the region in collection mode over fresh input batches.
+func (h *tabularHarness) Collect(dbPath string, opt Options) error {
+	region, useModel, err := h.app.Region("", dbPath)
+	if err != nil {
+		return err
+	}
+	defer region.Close()
+	*useModel = false
+	for run := 0; run < opt.CollectRuns; run++ {
+		h.app.Reset(opt.Seed + int64(run))
+		if err := region.Execute(func() error { h.app.RunAccurate(); return nil }); err != nil {
+			return fmt.Errorf("%s collect run %d: %w", h.info.Name, run, err)
+		}
+	}
+	return region.Close()
+}
+
+// CollectOverhead measures Table III for this benchmark.
+func (h *tabularHarness) CollectOverhead(dir string, opt Options) (CollectStats, error) {
+	h.app.Reset(opt.Seed)
+	plain, err := timeIt(opt.EvalRuns, func() error { h.app.RunAccurate(); return nil })
+	if err != nil {
+		return CollectStats{}, err
+	}
+	dbPath := filepath.Join(dir, h.info.Name+"-overhead.gh5")
+	region, useModel, err := h.app.Region("", dbPath)
+	if err != nil {
+		return CollectStats{}, err
+	}
+	defer region.Close()
+	*useModel = false
+	collect, err := timeIt(opt.EvalRuns, func() error {
+		return region.Execute(func() error { h.app.RunAccurate(); return nil })
+	})
+	if err != nil {
+		return CollectStats{}, err
+	}
+	if err := region.Close(); err != nil {
+		return CollectStats{}, err
+	}
+	mb, err := fileSizeMB(dbPath)
+	if err != nil {
+		return CollectStats{}, err
+	}
+	return CollectStats{
+		Benchmark:   h.info.Name,
+		PlainSec:    plain.Seconds(),
+		CollectSec:  collect.Seconds(),
+		DataSizeMB:  mb,
+		OverheadX:   collect.Seconds() / plain.Seconds(),
+		Invocations: opt.EvalRuns + 1,
+	}, nil
+}
+
+// Train fits an MLP per the architecture assignment.
+func (h *tabularHarness) Train(dbPath, modelPath string, arch, hyper map[string]bo.Value, opt Options) (float64, error) {
+	ds, err := loadDataset(dbPath, h.info.Name)
+	if err != nil {
+		return 0, err
+	}
+	net, err := h.buildNet(arch, dropoutOf(hyper), h.app.InFeatures(), h.app.OutFeatures(), opt.Seed)
+	if err != nil {
+		return 0, err
+	}
+	hist, err := net.Fit(ds, nil, trainCfg(hyper, opt))
+	if err != nil {
+		return 0, err
+	}
+	if err := net.Save(modelPath); err != nil {
+		return 0, err
+	}
+	return hist.BestVal, nil
+}
+
+// Evaluate measures end-to-end accurate vs surrogate runtime and QoI
+// error on a held-out input batch.
+func (h *tabularHarness) Evaluate(modelPath string, opt Options) (EvalResult, error) {
+	h.app.Reset(opt.Seed + 101) // test inputs unseen during training
+	accurate, err := timeIt(opt.EvalRuns, func() error { h.app.RunAccurate(); return nil })
+	if err != nil {
+		return EvalResult{}, err
+	}
+	ref := append([]float64(nil), h.app.Outputs()...)
+
+	region, useModel, err := h.app.Region(modelPath, "")
+	if err != nil {
+		return EvalResult{}, err
+	}
+	defer region.Close()
+	*useModel = true
+	hpacml.ClearModelCache()
+	surrogate, err := timeIt(opt.EvalRuns, func() error { return region.Execute(nil) })
+	if err != nil {
+		return EvalResult{}, err
+	}
+	pred := append([]float64(nil), h.app.Outputs()...)
+
+	var qoiErr float64
+	if h.metric == common.MetricMAPE {
+		qoiErr, err = common.MAPE(pred, ref)
+	} else {
+		qoiErr, err = common.RMSE(pred, ref)
+	}
+	if err != nil {
+		return EvalResult{}, err
+	}
+	net, err := nn.Load(modelPath)
+	if err != nil {
+		return EvalResult{}, err
+	}
+	st := region.Stats()
+	inv := st.Inferences
+	if inv == 0 {
+		inv = 1
+	}
+	res := EvalResult{
+		Benchmark:     h.info.Name,
+		Speedup:       accurate.Seconds() / surrogate.Seconds(),
+		Error:         qoiErr,
+		Params:        net.NumParams(),
+		LatencySec:    st.Inference.Seconds() / float64(inv),
+		ToTensorSec:   st.ToTensor.Seconds() / float64(inv),
+		InferenceSec:  st.Inference.Seconds() / float64(inv),
+		FromTensorSec: st.FromTensor.Seconds() / float64(inv),
+	}
+	return res, checkFinite(h.info.Name, res.Speedup, res.Error)
+}
+
+// buildMLP assembles hidden layers with ReLU activations and optional
+// dropout before the output layer.
+func buildMLP(hidden []int, dropout float64, inF, outF int, seed int64) *nn.Network {
+	net := nn.NewNetwork(seed)
+	prev := inF
+	for _, hSize := range hidden {
+		net.Add(net.NewDense(prev, hSize), nn.NewActivation(nn.ActReLU))
+		prev = hSize
+	}
+	if dropout > 0 {
+		net.Add(net.NewDropout(dropout))
+	}
+	net.Add(net.NewDense(prev, outF))
+	return net
+}

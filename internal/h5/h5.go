@@ -1,0 +1,401 @@
+// Package h5 is the persistent-storage substrate standing in for HDF5 in
+// the HPAC-ML runtime (the database() clause). It implements a hierarchical
+// container format, .gh5: named groups holding named datasets of float64
+// tensors, with crash-tolerant append — exactly the workflow data
+// collection needs (one group per annotated region; datasets for inputs,
+// outputs, and the region's execution time, appended once per region
+// invocation).
+//
+// The format is log-structured: a fixed header followed by self-delimiting
+// records. Appending never rewrites existing data; readers reconstruct the
+// group/dataset hierarchy by scanning. Records belonging to the same
+// dataset are concatenated along their first dimension on read, which
+// yields the paper's layout: the outer dimension is the collection
+// ensemble index, inner dimensions are the application's tensors.
+package h5
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+const (
+	fileMagic   = 0x47483546 // "GH5F"
+	fileVersion = 1
+	recordMagic = 0x52454331 // "REC1"
+
+	maxNameLen = 1 << 12
+	maxRank    = 16
+)
+
+// Writer appends datasets to a .gh5 file. It is not safe for concurrent
+// use; the HPAC-ML runtime serializes region invocations per database.
+type Writer struct {
+	f   *os.File
+	buf *bufio.Writer
+}
+
+// Create truncates (or creates) path and writes a fresh header.
+func Create(path string) (*Writer, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("h5: create: %w", err)
+	}
+	w := &Writer{f: f, buf: bufio.NewWriterSize(f, 1<<16)}
+	if err := writeU32(w.buf, fileMagic); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := writeU32(w.buf, fileVersion); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return w, nil
+}
+
+// Append opens path for appending, creating it with a header if absent.
+// The existing content is validated up to its last complete record.
+func Append(path string) (*Writer, error) {
+	st, err := os.Stat(path)
+	if errors.Is(err, os.ErrNotExist) || (err == nil && st.Size() == 0) {
+		return Create(path)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("h5: append: %w", err)
+	}
+	// Validate the header before appending blindly.
+	r, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("h5: append: %w", err)
+	}
+	br := bufio.NewReader(r)
+	magic, err := readU32(br)
+	if err == nil {
+		var version uint32
+		version, err = readU32(br)
+		if err == nil && (magic != fileMagic || version != fileVersion) {
+			err = fmt.Errorf("h5: %s is not a version-%d .gh5 file", path, fileVersion)
+		}
+	}
+	r.Close()
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("h5: append: %w", err)
+	}
+	return &Writer{f: f, buf: bufio.NewWriterSize(f, 1<<16)}, nil
+}
+
+// Write appends one dataset record under group/name.
+func (w *Writer) Write(group, name string, t *tensor.Tensor) error {
+	if group == "" || name == "" {
+		return fmt.Errorf("h5: empty group or dataset name")
+	}
+	if len(group) > maxNameLen || len(name) > maxNameLen {
+		return fmt.Errorf("h5: group/dataset name too long")
+	}
+	ct := t.Contiguous()
+	shape := ct.Shape()
+	if len(shape) > maxRank {
+		return fmt.Errorf("h5: rank %d exceeds maximum %d", len(shape), maxRank)
+	}
+	if err := writeU32(w.buf, recordMagic); err != nil {
+		return err
+	}
+	if err := writeString(w.buf, group); err != nil {
+		return err
+	}
+	if err := writeString(w.buf, name); err != nil {
+		return err
+	}
+	if err := writeU32(w.buf, uint32(len(shape))); err != nil {
+		return err
+	}
+	for _, d := range shape {
+		if err := writeI64(w.buf, int64(d)); err != nil {
+			return err
+		}
+	}
+	for _, v := range ct.Data() {
+		if err := writeF64(w.buf, v); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteScalar appends a single value as a [1]-shaped dataset record.
+func (w *Writer) WriteScalar(group, name string, v float64) error {
+	t, err := tensor.FromSlice([]float64{v}, 1)
+	if err != nil {
+		return err
+	}
+	return w.Write(group, name, t)
+}
+
+// Flush forces buffered records to the OS.
+func (w *Writer) Flush() error { return w.buf.Flush() }
+
+// Close flushes and closes the file.
+func (w *Writer) Close() error {
+	if err := w.buf.Flush(); err != nil {
+		w.f.Close()
+		return err
+	}
+	return w.f.Close()
+}
+
+// record is one dataset append as found in the file.
+type record struct {
+	group, name string
+	shape       []int
+	data        []float64
+}
+
+// File is a fully scanned .gh5 container.
+type File struct {
+	byGroup map[string]map[string][]*record
+}
+
+// Open scans path and returns the reconstructed hierarchy.
+func Open(path string) (*File, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("h5: open: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReaderSize(f, 1<<16)
+	magic, err := readU32(r)
+	if err != nil {
+		return nil, fmt.Errorf("h5: %s: missing header: %w", path, err)
+	}
+	version, err := readU32(r)
+	if err != nil {
+		return nil, fmt.Errorf("h5: %s: missing version: %w", path, err)
+	}
+	if magic != fileMagic || version != fileVersion {
+		return nil, fmt.Errorf("h5: %s is not a version-%d .gh5 file", path, fileVersion)
+	}
+	out := &File{byGroup: make(map[string]map[string][]*record)}
+	for {
+		rec, err := readRecord(r)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("h5: %s: %w", path, err)
+		}
+		ds := out.byGroup[rec.group]
+		if ds == nil {
+			ds = make(map[string][]*record)
+			out.byGroup[rec.group] = ds
+		}
+		ds[rec.name] = append(ds[rec.name], rec)
+	}
+	return out, nil
+}
+
+func readRecord(r *bufio.Reader) (*record, error) {
+	magic, err := readU32(r)
+	if err != nil {
+		return nil, io.EOF // clean end of file
+	}
+	if magic != recordMagic {
+		return nil, fmt.Errorf("corrupt record marker %#x", magic)
+	}
+	group, err := readString(r)
+	if err != nil {
+		return nil, fmt.Errorf("truncated record: %w", err)
+	}
+	name, err := readString(r)
+	if err != nil {
+		return nil, fmt.Errorf("truncated record: %w", err)
+	}
+	rank, err := readU32(r)
+	if err != nil {
+		return nil, fmt.Errorf("truncated record: %w", err)
+	}
+	if rank > maxRank {
+		return nil, fmt.Errorf("implausible rank %d", rank)
+	}
+	shape := make([]int, rank)
+	count := 1
+	for i := range shape {
+		v, err := readI64(r)
+		if err != nil {
+			return nil, fmt.Errorf("truncated record: %w", err)
+		}
+		if v < 0 || v > 1<<28 {
+			return nil, fmt.Errorf("implausible dimension %d", v)
+		}
+		shape[i] = int(v)
+		count *= shape[i]
+	}
+	data := make([]float64, count)
+	for i := range data {
+		if data[i], err = readF64(r); err != nil {
+			return nil, fmt.Errorf("truncated record data: %w", err)
+		}
+	}
+	return &record{group: group, name: name, shape: shape, data: data}, nil
+}
+
+// Groups lists group names in sorted order.
+func (f *File) Groups() []string {
+	out := make([]string, 0, len(f.byGroup))
+	for g := range f.byGroup {
+		out = append(out, g)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Datasets lists the dataset names in a group, sorted.
+func (f *File) Datasets(group string) []string {
+	ds := f.byGroup[group]
+	out := make([]string, 0, len(ds))
+	for n := range ds {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumRecords returns how many times group/name was appended.
+func (f *File) NumRecords(group, name string) int {
+	return len(f.byGroup[group][name])
+}
+
+// Read concatenates every record of group/name along the first dimension,
+// yielding the ensemble layout: [total rows, inner dims...]. Rank-0 and
+// rank-1 records are treated as rows of a [n, ...] matrix.
+func (f *File) Read(group, name string) (*tensor.Tensor, error) {
+	recs := f.byGroup[group][name]
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("h5: no dataset %q in group %q", name, group)
+	}
+	inner := recs[0].shape
+	if len(inner) == 0 {
+		inner = []int{1}
+	}
+	rows := 0
+	for _, rec := range recs {
+		s := rec.shape
+		if len(s) == 0 {
+			s = []int{1}
+		}
+		if len(s) != len(inner) {
+			return nil, fmt.Errorf("h5: dataset %q/%q has mixed ranks", group, name)
+		}
+		for i := 1; i < len(s); i++ {
+			if s[i] != inner[i] {
+				return nil, fmt.Errorf("h5: dataset %q/%q has mixed inner shapes %v vs %v", group, name, s, inner)
+			}
+		}
+		rows += s[0]
+	}
+	outShape := append([]int{rows}, inner[1:]...)
+	out := tensor.New(outShape...)
+	d := out.Data()
+	at := 0
+	for _, rec := range recs {
+		copy(d[at:at+len(rec.data)], rec.data)
+		at += len(rec.data)
+	}
+	return out, nil
+}
+
+// ReadRecords returns each append of group/name as its own tensor.
+func (f *File) ReadRecords(group, name string) ([]*tensor.Tensor, error) {
+	recs := f.byGroup[group][name]
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("h5: no dataset %q in group %q", name, group)
+	}
+	out := make([]*tensor.Tensor, len(recs))
+	for i, rec := range recs {
+		t, err := tensor.FromSlice(rec.data, rec.shape...)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = t
+	}
+	return out, nil
+}
+
+func writeU32(w io.Writer, v uint32) error {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func writeI64(w io.Writer, v int64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(v))
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func writeF64(w io.Writer, v float64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func writeString(w io.Writer, s string) error {
+	if err := writeU32(w, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, s)
+	return err
+}
+
+func readU32(r io.Reader) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}
+
+func readI64(r io.Reader) (int64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return int64(binary.LittleEndian.Uint64(buf[:])), nil
+}
+
+func readF64(r io.Reader) (float64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+}
+
+func readString(r io.Reader) (string, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return "", err
+	}
+	if n > maxNameLen {
+		return "", fmt.Errorf("implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

@@ -1,0 +1,319 @@
+package h5
+
+import (
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func tmpPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "data.gh5")
+}
+
+func TestWriteReadSingleDataset(t *testing.T) {
+	path := tmpPath(t)
+	w, err := Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, _ := tensor.FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)
+	if err := w.Write("region", "inputs", x); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Read("region", "inputs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.ShapeEqual(got.Shape(), []int{2, 3}) {
+		t.Fatalf("shape = %v", got.Shape())
+	}
+	if !reflect.DeepEqual(got.Data(), x.Data()) {
+		t.Fatal("data mismatch")
+	}
+}
+
+func TestAppendConcatenatesRows(t *testing.T) {
+	path := tmpPath(t)
+	w, _ := Create(path)
+	a, _ := tensor.FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	b, _ := tensor.FromSlice([]float64{5, 6}, 1, 2)
+	if err := w.Write("g", "d", a); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Write("g", "d", b); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := f.Read("g", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tensor.ShapeEqual(got.Shape(), []int{3, 2}) {
+		t.Fatalf("shape = %v, want [3 2]", got.Shape())
+	}
+	want := []float64{1, 2, 3, 4, 5, 6}
+	if !reflect.DeepEqual(got.Data(), want) {
+		t.Fatalf("data = %v", got.Data())
+	}
+	if f.NumRecords("g", "d") != 2 {
+		t.Fatalf("records = %d", f.NumRecords("g", "d"))
+	}
+}
+
+func TestAppendModeAcrossSessions(t *testing.T) {
+	path := tmpPath(t)
+	w1, _ := Create(path)
+	x, _ := tensor.FromSlice([]float64{1}, 1, 1)
+	if err := w1.Write("g", "d", x); err != nil {
+		t.Fatal(err)
+	}
+	w1.Close()
+
+	// A second collection session appends to the same database.
+	w2, err := Append(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, _ := tensor.FromSlice([]float64{2}, 1, 1)
+	if err := w2.Write("g", "d", y); err != nil {
+		t.Fatal(err)
+	}
+	w2.Close()
+
+	f, _ := Open(path)
+	got, err := f.Read("g", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dim(0) != 2 || got.At(0, 0) != 1 || got.At(1, 0) != 2 {
+		t.Fatalf("cross-session append wrong: %v", got)
+	}
+}
+
+func TestAppendCreatesFreshFile(t *testing.T) {
+	path := tmpPath(t)
+	w, err := Append(path) // no existing file
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.WriteScalar("g", "runtime_ns", 42); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	f, _ := Open(path)
+	got, err := f.Read("g", "runtime_ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.At(0) != 42 {
+		t.Fatalf("scalar = %g", got.At(0))
+	}
+}
+
+func TestAppendRejectsForeignFile(t *testing.T) {
+	path := tmpPath(t)
+	if err := os.WriteFile(path, []byte("NOT A GH5 FILE AT ALL"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Append(path); err == nil {
+		t.Fatal("want error appending to foreign file")
+	}
+}
+
+func TestMultipleGroupsAndDatasets(t *testing.T) {
+	path := tmpPath(t)
+	w, _ := Create(path)
+	one, _ := tensor.FromSlice([]float64{1}, 1)
+	for _, g := range []string{"regionB", "regionA"} {
+		for _, d := range []string{"outputs", "inputs", "runtime_ns"} {
+			if err := w.Write(g, d, one); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	w.Close()
+	f, _ := Open(path)
+	if got := f.Groups(); !reflect.DeepEqual(got, []string{"regionA", "regionB"}) {
+		t.Fatalf("groups = %v", got)
+	}
+	if got := f.Datasets("regionA"); !reflect.DeepEqual(got, []string{"inputs", "outputs", "runtime_ns"}) {
+		t.Fatalf("datasets = %v", got)
+	}
+	if got := f.Datasets("missing"); len(got) != 0 {
+		t.Fatalf("datasets of missing group = %v", got)
+	}
+}
+
+func TestReadMissingDataset(t *testing.T) {
+	path := tmpPath(t)
+	w, _ := Create(path)
+	w.Close()
+	f, _ := Open(path)
+	if _, err := f.Read("g", "d"); err == nil {
+		t.Fatal("want error for missing dataset")
+	}
+	if _, err := f.ReadRecords("g", "d"); err == nil {
+		t.Fatal("want error for missing dataset records")
+	}
+}
+
+func TestReadMixedShapesFails(t *testing.T) {
+	path := tmpPath(t)
+	w, _ := Create(path)
+	a, _ := tensor.FromSlice([]float64{1, 2}, 1, 2)
+	b, _ := tensor.FromSlice([]float64{1, 2, 3}, 1, 3)
+	w.Write("g", "d", a)
+	w.Write("g", "d", b)
+	w.Close()
+	f, _ := Open(path)
+	if _, err := f.Read("g", "d"); err == nil {
+		t.Fatal("want error for mixed inner shapes")
+	}
+	// But per-record reads still work.
+	recs, err := f.ReadRecords("g", "d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("records = %d", len(recs))
+	}
+}
+
+func TestOpenCorruptedFile(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.gh5")
+	if err := os.WriteFile(bad, []byte("garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(bad); err == nil {
+		t.Fatal("want error for corrupted file")
+	}
+	if _, err := Open(filepath.Join(dir, "missing.gh5")); err == nil {
+		t.Fatal("want error for missing file")
+	}
+}
+
+func TestOpenTruncatedRecord(t *testing.T) {
+	path := tmpPath(t)
+	w, _ := Create(path)
+	x, _ := tensor.FromSlice([]float64{1, 2, 3, 4}, 4)
+	w.Write("g", "d", x)
+	w.Close()
+	full, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(t.TempDir(), "trunc.gh5")
+	if err := os.WriteFile(trunc, full[:len(full)-9], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(trunc); err == nil {
+		t.Fatal("want error for truncated record")
+	}
+}
+
+func TestWriteValidation(t *testing.T) {
+	path := tmpPath(t)
+	w, _ := Create(path)
+	defer w.Close()
+	one, _ := tensor.FromSlice([]float64{1}, 1)
+	if err := w.Write("", "d", one); err == nil {
+		t.Fatal("want error for empty group")
+	}
+	if err := w.Write("g", "", one); err == nil {
+		t.Fatal("want error for empty dataset name")
+	}
+}
+
+func TestStridedTensorStoredContiguously(t *testing.T) {
+	path := tmpPath(t)
+	w, _ := Create(path)
+	base := tensor.New(2, 4)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 4; j++ {
+			base.Set(float64(i*4+j), i, j)
+		}
+	}
+	view, _ := base.Slice(1, 0, 4, 2) // columns 0 and 2
+	if err := w.Write("g", "d", view); err != nil {
+		t.Fatal(err)
+	}
+	w.Close()
+	f, _ := Open(path)
+	got, _ := f.Read("g", "d")
+	want := []float64{0, 2, 4, 6}
+	if !reflect.DeepEqual(got.Data(), want) {
+		t.Fatalf("strided write = %v, want %v", got.Data(), want)
+	}
+}
+
+// Property: write/read round-trips preserve shape and data for random
+// tensors, including multiple appends.
+func TestPropRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	i := 0
+	f := func(seed int64) bool {
+		i++
+		path := filepath.Join(dir, "prop", "f")
+		os.MkdirAll(filepath.Dir(path), 0o755)
+		path = path + string(rune('a'+i%26)) + ".gh5"
+		r := rand.New(rand.NewSource(seed))
+		w, err := Create(path)
+		if err != nil {
+			return false
+		}
+		rows, cols := 1+r.Intn(5), 1+r.Intn(5)
+		appends := 1 + r.Intn(4)
+		var all []float64
+		for a := 0; a < appends; a++ {
+			data := make([]float64, rows*cols)
+			for j := range data {
+				data[j] = r.NormFloat64()
+			}
+			all = append(all, data...)
+			x, err := tensor.FromSlice(data, rows, cols)
+			if err != nil {
+				return false
+			}
+			if err := w.Write("g", "d", x); err != nil {
+				return false
+			}
+		}
+		if err := w.Close(); err != nil {
+			return false
+		}
+		file, err := Open(path)
+		if err != nil {
+			return false
+		}
+		got, err := file.Read("g", "d")
+		if err != nil {
+			return false
+		}
+		if !tensor.ShapeEqual(got.Shape(), []int{rows * appends, cols}) {
+			return false
+		}
+		return reflect.DeepEqual(got.Data(), all)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

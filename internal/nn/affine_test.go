@@ -1,0 +1,231 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestAffineForwardBackward(t *testing.T) {
+	a := NewAffine(2, -1)
+	x, _ := tensor.FromSlice([]float64{0, 1, 2, 3}, 2, 2)
+	y, err := a.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-1, 1, 3, 5}
+	for i, w := range want {
+		if y.Data()[i] != w {
+			t.Fatalf("y[%d] = %g, want %g", i, y.Data()[i], w)
+		}
+	}
+	g, err := a.Backward(tensor.Full(1, 2, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range g.Data() {
+		if v != 2 {
+			t.Fatalf("grad = %g, want 2", v)
+		}
+	}
+}
+
+func TestAffineInGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := NewNetwork(5)
+	net.Add(NewAffine(0.5, 1), net.NewDense(3, 4), NewActivation(ActTanh), net.NewDense(4, 2))
+	numericalGradCheck(t, net, randTensor(rng, 3, 3), 1e-4)
+}
+
+func TestChannelAffineNormalizes(t *testing.T) {
+	// Two channels of 3 elements: scale/shift each independently.
+	c := NewChannelAffine(3, []float64{2, 10}, []float64{1, 0})
+	x, _ := tensor.FromSlice([]float64{1, 1, 1, 2, 2, 2}, 1, 2, 3)
+	y, err := c.Forward(x, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 3, 3, 20, 20, 20}
+	for i, w := range want {
+		if y.Contiguous().Data()[i] != w {
+			t.Fatalf("y[%d] = %g, want %g", i, y.Contiguous().Data()[i], w)
+		}
+	}
+}
+
+func TestChannelAffineBackwardScales(t *testing.T) {
+	c := NewChannelAffine(2, []float64{2, 4}, nil)
+	g, err := c.Backward(tensor.Full(1, 3, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := g.Data()
+	// Per sample: first block scaled by 2, second by 4.
+	if d[0] != 2 || d[1] != 2 || d[2] != 4 || d[3] != 4 {
+		t.Fatalf("grads = %v", d[:4])
+	}
+}
+
+func TestChannelAffineValidation(t *testing.T) {
+	c := NewChannelAffine(3, []float64{1, 1}, nil)
+	if _, err := c.OutShape([]int{5}); err == nil {
+		t.Fatal("want size mismatch error")
+	}
+	if _, err := c.Forward(tensor.New(2, 5), false); err == nil {
+		t.Fatal("want forward size mismatch error")
+	}
+	bad := &ChannelAffine{BlockLen: 0, Scales: []float64{1}, Shifts: []float64{0}}
+	if _, err := bad.OutShape([]int{1}); err == nil {
+		t.Fatal("want misconfiguration error")
+	}
+}
+
+func TestChannelAffineGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	net := NewNetwork(11)
+	net.Add(
+		NewChannelAffine(4, []float64{0.5, 2}, []float64{0.1, -0.1}),
+		NewFlatten(),
+		net.NewDense(8, 3),
+	)
+	numericalGradCheck(t, net, randTensor(rng, 2, 2, 2, 2), 1e-4)
+}
+
+func TestAffineLayersSaveLoad(t *testing.T) {
+	net := NewNetwork(13)
+	net.Add(
+		NewAffine(1.0/255, -0.5),
+		NewChannelAffine(4, []float64{1, 2, 3}, []float64{0.1, 0.2, 0.3}),
+		NewFlatten(),
+		net.NewDense(12, 2),
+	)
+	path := filepath.Join(t.TempDir(), "affine.gmod")
+	if err := net.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	x := randTensor(rng, 2, 3, 2, 2)
+	y1, err := net.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y2, err := loaded.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range y1.Data() {
+		if y1.Data()[i] != y2.Data()[i] {
+			t.Fatal("affine layers changed after reload")
+		}
+	}
+}
+
+func TestWeightedMSEMatchesMSEWithUnitWeights(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	p := randTensor(rng, 4, 6)
+	q := randTensor(rng, 4, 6)
+	w := WeightedMSE{Weights: []float64{1, 1, 1, 1, 1, 1}}
+	v1, err := w.Value(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := MSE{}.Value(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v1-v2) > 1e-12 {
+		t.Fatalf("unit-weighted MSE %g != MSE %g", v1, v2)
+	}
+	g1, _ := w.Grad(p, q)
+	g2, _ := MSE{}.Grad(p, q)
+	for i := range g1.Data() {
+		if math.Abs(g1.Data()[i]-g2.Data()[i]) > 1e-12 {
+			t.Fatal("unit-weighted gradient differs from MSE")
+		}
+	}
+}
+
+func TestWeightedMSEEmphasizesChannel(t *testing.T) {
+	p, _ := tensor.FromSlice([]float64{1, 0}, 1, 2)
+	q, _ := tensor.FromSlice([]float64{0, 1}, 1, 2)
+	// Weight the first element 9x: its unit error dominates.
+	w := WeightedMSE{Weights: []float64{9, 1}}
+	v, err := w.Value(p, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-5) > 1e-12 { // (9*1 + 1*1)/2
+		t.Fatalf("weighted value = %g, want 5", v)
+	}
+	if _, err := (WeightedMSE{Weights: []float64{1}}).Value(p, q); err == nil {
+		t.Fatal("want weight-length mismatch error")
+	}
+}
+
+func TestInverseVarianceWeights(t *testing.T) {
+	w := InverseVarianceWeights([]float64{1, 2}, 2, 1e-9)
+	if len(w) != 4 {
+		t.Fatalf("len = %d", len(w))
+	}
+	// Smaller std gets the larger weight, blocks are constant, mean is 1.
+	if !(w[0] > w[2]) || w[0] != w[1] || w[2] != w[3] {
+		t.Fatalf("weights = %v", w)
+	}
+	mean := (w[0] + w[1] + w[2] + w[3]) / 4
+	if math.Abs(mean-1) > 1e-12 {
+		t.Fatalf("mean = %g, want 1", mean)
+	}
+	// Degenerate stds hit the floor instead of dividing by zero.
+	w2 := InverseVarianceWeights([]float64{0, 1}, 1, 1e-3)
+	if math.IsInf(w2[0], 0) || math.IsNaN(w2[0]) {
+		t.Fatalf("floored weight = %g", w2[0])
+	}
+}
+
+func TestWeightedMSETrainingBalancesChannels(t *testing.T) {
+	// Two-output regression where output 0 is 100x smaller in scale.
+	// Weighted training should recover it much better than its scale.
+	rng := rand.New(rand.NewSource(23))
+	n := 256
+	x := randTensor(rng, n, 2)
+	y := tensor.New(n, 2)
+	for i := 0; i < n; i++ {
+		y.Set(0.01*(x.At(i, 0)+x.At(i, 1)), i, 0)
+		y.Set(1.0*(x.At(i, 0)-x.At(i, 1)), i, 1)
+	}
+	ds, _ := NewDataset(x, y)
+	channel0RMSE := func(loss Loss) float64 {
+		net := NewNetwork(29)
+		net.Add(net.NewDense(2, 16), NewActivation(ActTanh), net.NewDense(16, 2))
+		if _, err := net.Fit(ds, nil, TrainConfig{
+			Epochs: 150, BatchSize: 32, LR: 0.01, Seed: 4, Loss: loss,
+		}); err != nil {
+			t.Fatal(err)
+		}
+		pred, err := net.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var se float64
+		for i := 0; i < n; i++ {
+			d := pred.At(i, 0) - y.At(i, 0)
+			se += d * d
+		}
+		return math.Sqrt(se / float64(n))
+	}
+	weights := InverseVarianceWeights([]float64{0.01, 1}, 1, 1e-6)
+	weighted := channel0RMSE(WeightedMSE{Weights: weights})
+	unweighted := channel0RMSE(MSE{})
+	// With fixed seeds this is deterministic: inverse-variance weighting
+	// must fit the small channel at least as well as plain MSE.
+	if weighted >= unweighted {
+		t.Fatalf("weighting did not help the small channel: weighted %g vs plain %g", weighted, unweighted)
+	}
+}

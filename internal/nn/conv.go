@@ -1,0 +1,498 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// Conv1D is a 1-D convolution over [batch, InC, L] inputs producing
+// [batch, OutC, L'] with L' = (L-K)/Stride + 1 (valid padding).
+type Conv1D struct {
+	InC, OutC, K, Stride int
+	Weight               *Param // [OutC, InC, K]
+	Bias                 *Param // [OutC]
+
+	lastX *tensor.Tensor
+}
+
+// NewConv1D constructs a 1-D convolution with He-uniform init.
+func (n *Network) NewConv1D(inC, outC, k, stride int) *Conv1D {
+	c := &Conv1D{InC: inC, OutC: outC, K: k, Stride: stride,
+		Weight: newParam("weight", outC, inC, k),
+		Bias:   newParam("bias", outC),
+	}
+	initUniform(n.rng, c.Weight.W, kaimingBound(inC*k))
+	initUniform(n.rng, c.Bias.W, kaimingBound(inC*k))
+	return c
+}
+
+// Kind identifies the layer.
+func (c *Conv1D) Kind() string {
+	return fmt.Sprintf("Conv1D(%d->%d,k=%d,s=%d)", c.InC, c.OutC, c.K, c.Stride)
+}
+
+// Params returns the kernel and bias.
+func (c *Conv1D) Params() []*Param { return []*Param{c.Weight, c.Bias} }
+
+// OutShape maps [InC, L] to [OutC, L'].
+func (c *Conv1D) OutShape(in []int) ([]int, error) {
+	if len(in) != 2 || in[0] != c.InC {
+		return nil, fmt.Errorf("conv1d wants input shape [%d, L], got %v", c.InC, in)
+	}
+	if c.Stride <= 0 || c.K <= 0 {
+		return nil, fmt.Errorf("conv1d has non-positive kernel/stride (%d/%d)", c.K, c.Stride)
+	}
+	l := in[1]
+	if l < c.K {
+		return nil, fmt.Errorf("conv1d input length %d < kernel %d", l, c.K)
+	}
+	return []int{c.OutC, (l-c.K)/c.Stride + 1}, nil
+}
+
+// Forward computes the valid cross-correlation, parallel over the batch.
+func (c *Conv1D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	if x.Rank() != 3 || x.Dim(1) != c.InC {
+		return nil, fmt.Errorf("conv1d wants [batch, %d, L], got %v", c.InC, x.Shape())
+	}
+	sample, err := c.OutShape([]int{x.Dim(1), x.Dim(2)})
+	if err != nil {
+		return nil, err
+	}
+	x = x.Contiguous()
+	if train {
+		c.lastX = x
+	}
+	b, l, lOut := x.Dim(0), x.Dim(2), sample[1]
+	out := tensor.New(b, c.OutC, lOut)
+	xd, wd, bd, od := x.Data(), c.Weight.W.Data(), c.Bias.W.Data(), out.Data()
+	inC, outC, k, s := c.InC, c.OutC, c.K, c.Stride
+	parallel.ForRange(b, func(lo, hi int) {
+		for n := lo; n < hi; n++ {
+			xn := xd[n*inC*l : (n+1)*inC*l]
+			on := od[n*outC*lOut : (n+1)*outC*lOut]
+			for oc := 0; oc < outC; oc++ {
+				orow := on[oc*lOut : (oc+1)*lOut]
+				for p := range orow {
+					orow[p] = bd[oc]
+				}
+				for ic := 0; ic < inC; ic++ {
+					xrow := xn[ic*l : (ic+1)*l]
+					wrow := wd[(oc*inC+ic)*k : (oc*inC+ic+1)*k]
+					for p := 0; p < lOut; p++ {
+						base := p * s
+						var acc float64
+						for t := 0; t < k; t++ {
+							acc += xrow[base+t] * wrow[t]
+						}
+						orow[p] += acc
+					}
+				}
+			}
+		}
+	})
+	return out, nil
+}
+
+// Backward computes input gradients and accumulates kernel/bias gradients.
+func (c *Conv1D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if c.lastX == nil {
+		return nil, fmt.Errorf("conv1d backward without cached forward")
+	}
+	x := c.lastX
+	g := grad.Contiguous()
+	b, l := x.Dim(0), x.Dim(2)
+	lOut := g.Dim(2)
+	if g.Rank() != 3 || g.Dim(0) != b || g.Dim(1) != c.OutC {
+		return nil, fmt.Errorf("conv1d backward grad shape %v", g.Shape())
+	}
+	xd, gd, wd := x.Data(), g.Data(), c.Weight.W.Data()
+	dW, dB := c.Weight.Grad.Data(), c.Bias.Grad.Data()
+	inC, outC, k, s := c.InC, c.OutC, c.K, c.Stride
+	dx := tensor.New(b, inC, l)
+	dxd := dx.Data()
+	for n := 0; n < b; n++ {
+		xn := dxd[n*inC*l : (n+1)*inC*l]
+		xin := xd[n*inC*l : (n+1)*inC*l]
+		gn := gd[n*outC*lOut : (n+1)*outC*lOut]
+		for oc := 0; oc < outC; oc++ {
+			grow := gn[oc*lOut : (oc+1)*lOut]
+			for p := 0; p < lOut; p++ {
+				dB[oc] += grow[p]
+			}
+			for ic := 0; ic < inC; ic++ {
+				xrow := xin[ic*l : (ic+1)*l]
+				dxrow := xn[ic*l : (ic+1)*l]
+				wrow := wd[(oc*inC+ic)*k : (oc*inC+ic+1)*k]
+				dWrow := dW[(oc*inC+ic)*k : (oc*inC+ic+1)*k]
+				for p := 0; p < lOut; p++ {
+					gv := grow[p]
+					if gv == 0 {
+						continue
+					}
+					base := p * s
+					for t := 0; t < k; t++ {
+						dWrow[t] += gv * xrow[base+t]
+						dxrow[base+t] += gv * wrow[t]
+					}
+				}
+			}
+		}
+	}
+	c.lastX = nil
+	return dx, nil
+}
+
+func (c *Conv1D) spec() layerSpec {
+	return layerSpec{Kind: "conv1d", Ints: []int{c.InC, c.OutC, c.K, c.Stride}}
+}
+
+// Conv2D is a 2-D convolution over [batch, InC, H, W] inputs (valid
+// padding) producing [batch, OutC, H', W'].
+type Conv2D struct {
+	InC, OutC, KH, KW, Stride int
+	Weight                    *Param // [OutC, InC, KH, KW]
+	Bias                      *Param // [OutC]
+
+	lastX *tensor.Tensor
+}
+
+// NewConv2D constructs a 2-D convolution with He-uniform init.
+func (n *Network) NewConv2D(inC, outC, kh, kw, stride int) *Conv2D {
+	c := &Conv2D{InC: inC, OutC: outC, KH: kh, KW: kw, Stride: stride,
+		Weight: newParam("weight", outC, inC, kh, kw),
+		Bias:   newParam("bias", outC),
+	}
+	initUniform(n.rng, c.Weight.W, kaimingBound(inC*kh*kw))
+	initUniform(n.rng, c.Bias.W, kaimingBound(inC*kh*kw))
+	return c
+}
+
+// Kind identifies the layer.
+func (c *Conv2D) Kind() string {
+	return fmt.Sprintf("Conv2D(%d->%d,k=%dx%d,s=%d)", c.InC, c.OutC, c.KH, c.KW, c.Stride)
+}
+
+// Params returns the kernel and bias.
+func (c *Conv2D) Params() []*Param { return []*Param{c.Weight, c.Bias} }
+
+// OutShape maps [InC, H, W] to [OutC, H', W'].
+func (c *Conv2D) OutShape(in []int) ([]int, error) {
+	if len(in) != 3 || in[0] != c.InC {
+		return nil, fmt.Errorf("conv2d wants input shape [%d, H, W], got %v", c.InC, in)
+	}
+	if c.Stride <= 0 || c.KH <= 0 || c.KW <= 0 {
+		return nil, fmt.Errorf("conv2d has non-positive kernel/stride")
+	}
+	h, w := in[1], in[2]
+	if h < c.KH || w < c.KW {
+		return nil, fmt.Errorf("conv2d input %dx%d smaller than kernel %dx%d", h, w, c.KH, c.KW)
+	}
+	return []int{c.OutC, (h-c.KH)/c.Stride + 1, (w-c.KW)/c.Stride + 1}, nil
+}
+
+// Forward computes the valid cross-correlation, parallel over the batch.
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	if x.Rank() != 4 || x.Dim(1) != c.InC {
+		return nil, fmt.Errorf("conv2d wants [batch, %d, H, W], got %v", c.InC, x.Shape())
+	}
+	sample, err := c.OutShape([]int{x.Dim(1), x.Dim(2), x.Dim(3)})
+	if err != nil {
+		return nil, err
+	}
+	x = x.Contiguous()
+	if train {
+		c.lastX = x
+	}
+	b, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	hOut, wOut := sample[1], sample[2]
+	out := tensor.New(b, c.OutC, hOut, wOut)
+	xd, wd, bd, od := x.Data(), c.Weight.W.Data(), c.Bias.W.Data(), out.Data()
+	inC, outC, kh, kw, s := c.InC, c.OutC, c.KH, c.KW, c.Stride
+	parallel.ForRange(b, func(lo, hi int) {
+		for n := lo; n < hi; n++ {
+			xn := xd[n*inC*h*w : (n+1)*inC*h*w]
+			on := od[n*outC*hOut*wOut : (n+1)*outC*hOut*wOut]
+			for oc := 0; oc < outC; oc++ {
+				oImg := on[oc*hOut*wOut : (oc+1)*hOut*wOut]
+				for p := range oImg {
+					oImg[p] = bd[oc]
+				}
+				for ic := 0; ic < inC; ic++ {
+					xImg := xn[ic*h*w : (ic+1)*h*w]
+					wKer := wd[(oc*inC+ic)*kh*kw : (oc*inC+ic+1)*kh*kw]
+					for oy := 0; oy < hOut; oy++ {
+						for ox := 0; ox < wOut; ox++ {
+							baseY, baseX := oy*s, ox*s
+							var acc float64
+							for ky := 0; ky < kh; ky++ {
+								xrow := xImg[(baseY+ky)*w+baseX : (baseY+ky)*w+baseX+kw]
+								wrow := wKer[ky*kw : (ky+1)*kw]
+								for kx := 0; kx < kw; kx++ {
+									acc += xrow[kx] * wrow[kx]
+								}
+							}
+							oImg[oy*wOut+ox] += acc
+						}
+					}
+				}
+			}
+		}
+	})
+	return out, nil
+}
+
+// Backward computes input gradients and accumulates kernel/bias gradients.
+func (c *Conv2D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if c.lastX == nil {
+		return nil, fmt.Errorf("conv2d backward without cached forward")
+	}
+	x := c.lastX
+	g := grad.Contiguous()
+	b, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	hOut, wOut := g.Dim(2), g.Dim(3)
+	if g.Rank() != 4 || g.Dim(0) != b || g.Dim(1) != c.OutC {
+		return nil, fmt.Errorf("conv2d backward grad shape %v", g.Shape())
+	}
+	xd, gd, wd := x.Data(), g.Data(), c.Weight.W.Data()
+	dW, dB := c.Weight.Grad.Data(), c.Bias.Grad.Data()
+	inC, outC, kh, kw, s := c.InC, c.OutC, c.KH, c.KW, c.Stride
+	dx := tensor.New(b, inC, h, w)
+	dxd := dx.Data()
+	for n := 0; n < b; n++ {
+		xin := xd[n*inC*h*w : (n+1)*inC*h*w]
+		dxn := dxd[n*inC*h*w : (n+1)*inC*h*w]
+		gn := gd[n*outC*hOut*wOut : (n+1)*outC*hOut*wOut]
+		for oc := 0; oc < outC; oc++ {
+			gImg := gn[oc*hOut*wOut : (oc+1)*hOut*wOut]
+			for _, gv := range gImg {
+				dB[oc] += gv
+			}
+			for ic := 0; ic < inC; ic++ {
+				xImg := xin[ic*h*w : (ic+1)*h*w]
+				dxImg := dxn[ic*h*w : (ic+1)*h*w]
+				wKer := wd[(oc*inC+ic)*kh*kw : (oc*inC+ic+1)*kh*kw]
+				dWKer := dW[(oc*inC+ic)*kh*kw : (oc*inC+ic+1)*kh*kw]
+				for oy := 0; oy < hOut; oy++ {
+					for ox := 0; ox < wOut; ox++ {
+						gv := gImg[oy*wOut+ox]
+						if gv == 0 {
+							continue
+						}
+						baseY, baseX := oy*s, ox*s
+						for ky := 0; ky < kh; ky++ {
+							for kx := 0; kx < kw; kx++ {
+								idx := (baseY+ky)*w + baseX + kx
+								dWKer[ky*kw+kx] += gv * xImg[idx]
+								dxImg[idx] += gv * wKer[ky*kw+kx]
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	c.lastX = nil
+	return dx, nil
+}
+
+func (c *Conv2D) spec() layerSpec {
+	return layerSpec{Kind: "conv2d", Ints: []int{c.InC, c.OutC, c.KH, c.KW, c.Stride}}
+}
+
+// MaxPool1D pools [batch, C, L] with window K and stride K.
+type MaxPool1D struct {
+	K int
+
+	lastArg []int
+	inShape []int
+}
+
+// NewMaxPool1D constructs a 1-D max-pool layer with window k.
+func NewMaxPool1D(k int) *MaxPool1D { return &MaxPool1D{K: k} }
+
+// Kind identifies the layer.
+func (m *MaxPool1D) Kind() string { return fmt.Sprintf("MaxPool1D(%d)", m.K) }
+
+// Params returns nil.
+func (m *MaxPool1D) Params() []*Param { return nil }
+
+// OutShape maps [C, L] to [C, L/K].
+func (m *MaxPool1D) OutShape(in []int) ([]int, error) {
+	if len(in) != 2 {
+		return nil, fmt.Errorf("maxpool1d wants [C, L], got %v", in)
+	}
+	if m.K <= 0 {
+		return nil, fmt.Errorf("maxpool1d non-positive window %d", m.K)
+	}
+	if in[1] < m.K {
+		return nil, fmt.Errorf("maxpool1d input length %d < window %d", in[1], m.K)
+	}
+	return []int{in[0], in[1] / m.K}, nil
+}
+
+// Forward takes windowed maxima, recording argmax indices for backward.
+func (m *MaxPool1D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	if x.Rank() != 3 {
+		return nil, fmt.Errorf("maxpool1d wants [batch, C, L], got %v", x.Shape())
+	}
+	x = x.Contiguous()
+	b, ch, l := x.Dim(0), x.Dim(1), x.Dim(2)
+	lOut := l / m.K
+	if lOut == 0 {
+		return nil, fmt.Errorf("maxpool1d input length %d < window %d", l, m.K)
+	}
+	out := tensor.New(b, ch, lOut)
+	xd, od := x.Data(), out.Data()
+	var args []int
+	if train {
+		args = make([]int, b*ch*lOut)
+	}
+	k := m.K
+	parallel.ForRange(b*ch, func(lo, hi int) {
+		for rc := lo; rc < hi; rc++ {
+			xrow := xd[rc*l : (rc+1)*l]
+			orow := od[rc*lOut : (rc+1)*lOut]
+			for p := 0; p < lOut; p++ {
+				best, bestIdx := math.Inf(-1), 0
+				for t := 0; t < k; t++ {
+					if v := xrow[p*k+t]; v > best {
+						best, bestIdx = v, p*k+t
+					}
+				}
+				orow[p] = best
+				if args != nil {
+					args[rc*lOut+p] = rc*l + bestIdx
+				}
+			}
+		}
+	})
+	if train {
+		m.lastArg = args
+		m.inShape = x.Shape()
+	}
+	return out, nil
+}
+
+// Backward routes gradients to the argmax positions.
+func (m *MaxPool1D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if m.lastArg == nil {
+		return nil, fmt.Errorf("maxpool1d backward without cached forward")
+	}
+	g := grad.Contiguous()
+	gd := g.Data()
+	if len(gd) != len(m.lastArg) {
+		return nil, fmt.Errorf("maxpool1d backward size mismatch")
+	}
+	dx := tensor.New(m.inShape...)
+	dxd := dx.Data()
+	for i, src := range m.lastArg {
+		dxd[src] += gd[i]
+	}
+	m.lastArg, m.inShape = nil, nil
+	return dx, nil
+}
+
+func (m *MaxPool1D) spec() layerSpec { return layerSpec{Kind: "maxpool1d", Ints: []int{m.K}} }
+
+// MaxPool2D pools [batch, C, H, W] with a KxK window and stride K.
+type MaxPool2D struct {
+	K int
+
+	lastArg []int
+	inShape []int
+}
+
+// NewMaxPool2D constructs a 2-D max-pool layer with window k.
+func NewMaxPool2D(k int) *MaxPool2D { return &MaxPool2D{K: k} }
+
+// Kind identifies the layer.
+func (m *MaxPool2D) Kind() string { return fmt.Sprintf("MaxPool2D(%d)", m.K) }
+
+// Params returns nil.
+func (m *MaxPool2D) Params() []*Param { return nil }
+
+// OutShape maps [C, H, W] to [C, H/K, W/K].
+func (m *MaxPool2D) OutShape(in []int) ([]int, error) {
+	if len(in) != 3 {
+		return nil, fmt.Errorf("maxpool2d wants [C, H, W], got %v", in)
+	}
+	if m.K <= 0 {
+		return nil, fmt.Errorf("maxpool2d non-positive window %d", m.K)
+	}
+	if in[1] < m.K || in[2] < m.K {
+		return nil, fmt.Errorf("maxpool2d input %dx%d < window %d", in[1], in[2], m.K)
+	}
+	return []int{in[0], in[1] / m.K, in[2] / m.K}, nil
+}
+
+// Forward takes windowed maxima, recording argmax indices for backward.
+func (m *MaxPool2D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	if x.Rank() != 4 {
+		return nil, fmt.Errorf("maxpool2d wants [batch, C, H, W], got %v", x.Shape())
+	}
+	x = x.Contiguous()
+	b, ch, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	hOut, wOut := h/m.K, w/m.K
+	if hOut == 0 || wOut == 0 {
+		return nil, fmt.Errorf("maxpool2d input %dx%d < window %d", h, w, m.K)
+	}
+	out := tensor.New(b, ch, hOut, wOut)
+	xd, od := x.Data(), out.Data()
+	var args []int
+	if train {
+		args = make([]int, b*ch*hOut*wOut)
+	}
+	k := m.K
+	parallel.ForRange(b*ch, func(lo, hi int) {
+		for rc := lo; rc < hi; rc++ {
+			xImg := xd[rc*h*w : (rc+1)*h*w]
+			oImg := od[rc*hOut*wOut : (rc+1)*hOut*wOut]
+			for oy := 0; oy < hOut; oy++ {
+				for ox := 0; ox < wOut; ox++ {
+					best, bestIdx := math.Inf(-1), 0
+					for ky := 0; ky < k; ky++ {
+						for kx := 0; kx < k; kx++ {
+							idx := (oy*k+ky)*w + ox*k + kx
+							if v := xImg[idx]; v > best {
+								best, bestIdx = v, idx
+							}
+						}
+					}
+					oImg[oy*wOut+ox] = best
+					if args != nil {
+						args[rc*hOut*wOut+oy*wOut+ox] = rc*h*w + bestIdx
+					}
+				}
+			}
+		}
+	})
+	if train {
+		m.lastArg = args
+		m.inShape = x.Shape()
+	}
+	return out, nil
+}
+
+// Backward routes gradients to the argmax positions.
+func (m *MaxPool2D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if m.lastArg == nil {
+		return nil, fmt.Errorf("maxpool2d backward without cached forward")
+	}
+	g := grad.Contiguous()
+	gd := g.Data()
+	if len(gd) != len(m.lastArg) {
+		return nil, fmt.Errorf("maxpool2d backward size mismatch")
+	}
+	dx := tensor.New(m.inShape...)
+	dxd := dx.Data()
+	for i, src := range m.lastArg {
+		dxd[src] += gd[i]
+	}
+	m.lastArg, m.inShape = nil, nil
+	return dx, nil
+}
+
+func (m *MaxPool2D) spec() layerSpec { return layerSpec{Kind: "maxpool2d", Ints: []int{m.K}} }

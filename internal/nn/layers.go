@@ -1,0 +1,369 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// Dense is a fully connected layer: y = xW + b for x of shape [batch, In].
+type Dense struct {
+	In, Out int
+	Weight  *Param // [In, Out]
+	Bias    *Param // [Out]
+
+	lastX *tensor.Tensor
+}
+
+// NewDense constructs a Dense layer with He-uniform initialized weights.
+func (n *Network) NewDense(in, out int) *Dense {
+	d := &Dense{In: in, Out: out,
+		Weight: newParam("weight", in, out),
+		Bias:   newParam("bias", out),
+	}
+	initUniform(n.rng, d.Weight.W, kaimingBound(in))
+	initUniform(n.rng, d.Bias.W, kaimingBound(in))
+	return d
+}
+
+// Kind identifies the layer in summaries and serialized models.
+func (d *Dense) Kind() string { return fmt.Sprintf("Dense(%d->%d)", d.In, d.Out) }
+
+// Params returns the weight and bias parameters.
+func (d *Dense) Params() []*Param { return []*Param{d.Weight, d.Bias} }
+
+// OutShape maps [In] to [Out].
+func (d *Dense) OutShape(in []int) ([]int, error) {
+	if len(in) != 1 || in[0] != d.In {
+		return nil, fmt.Errorf("dense wants input shape [%d], got %v", d.In, in)
+	}
+	return []int{d.Out}, nil
+}
+
+// Forward computes xW + b with batch-parallel row blocks.
+func (d *Dense) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	if x.Rank() != 2 || x.Dim(1) != d.In {
+		return nil, fmt.Errorf("dense wants [batch, %d], got %v", d.In, x.Shape())
+	}
+	x = x.Contiguous()
+	if train {
+		d.lastX = x
+	}
+	b := x.Dim(0)
+	out := tensor.New(b, d.Out)
+	xd, wd, bd, od := x.Data(), d.Weight.W.Data(), d.Bias.W.Data(), out.Data()
+	in, outW := d.In, d.Out
+	parallel.ForRange(b, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			xrow := xd[r*in : (r+1)*in]
+			orow := od[r*outW : (r+1)*outW]
+			copy(orow, bd)
+			for k, xv := range xrow {
+				if xv == 0 {
+					continue
+				}
+				wrow := wd[k*outW : (k+1)*outW]
+				for j := range orow {
+					orow[j] += xv * wrow[j]
+				}
+			}
+		}
+	})
+	return out, nil
+}
+
+// Backward computes input gradients and accumulates dW, db.
+func (d *Dense) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if d.lastX == nil {
+		return nil, fmt.Errorf("dense backward without cached forward")
+	}
+	x := d.lastX
+	g := grad.Contiguous()
+	b := x.Dim(0)
+	if g.Rank() != 2 || g.Dim(0) != b || g.Dim(1) != d.Out {
+		return nil, fmt.Errorf("dense backward wants grad [%d, %d], got %v", b, d.Out, g.Shape())
+	}
+	xd, gd := x.Data(), g.Data()
+	wd := d.Weight.W.Data()
+	dW, dB := d.Weight.Grad.Data(), d.Bias.Grad.Data()
+	in, out := d.In, d.Out
+
+	// dW = X^T G, db = column sums of G. Serial over batch (accumulation
+	// race otherwise); the training batches are small.
+	for r := 0; r < b; r++ {
+		xrow := xd[r*in : (r+1)*in]
+		grow := gd[r*out : (r+1)*out]
+		for j, gv := range grow {
+			dB[j] += gv
+		}
+		for k, xv := range xrow {
+			if xv == 0 {
+				continue
+			}
+			dWrow := dW[k*out : (k+1)*out]
+			for j, gv := range grow {
+				dWrow[j] += xv * gv
+			}
+		}
+	}
+	// dX = G W^T, parallel over batch rows.
+	dx := tensor.New(b, in)
+	dxd := dx.Data()
+	parallel.ForRange(b, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			grow := gd[r*out : (r+1)*out]
+			dxrow := dxd[r*in : (r+1)*in]
+			for k := 0; k < in; k++ {
+				wrow := wd[k*out : (k+1)*out]
+				var s float64
+				for j, gv := range grow {
+					s += gv * wrow[j]
+				}
+				dxrow[k] = s
+			}
+		}
+	})
+	d.lastX = nil
+	return dx, nil
+}
+
+func (d *Dense) spec() layerSpec {
+	return layerSpec{Kind: "dense", Ints: []int{d.In, d.Out}}
+}
+
+// Activation kinds supported by the engine.
+const (
+	ActReLU      = "relu"
+	ActTanh      = "tanh"
+	ActSigmoid   = "sigmoid"
+	ActLeakyReLU = "leakyrelu"
+	ActIdentity  = "identity"
+)
+
+// Activation applies an elementwise nonlinearity.
+type Activation struct {
+	Fn string
+
+	lastOut *tensor.Tensor
+	lastIn  *tensor.Tensor
+}
+
+// NewActivation constructs the named activation; unknown names fail at
+// Forward time via OutShape validation in the builder instead.
+func NewActivation(fn string) *Activation { return &Activation{Fn: fn} }
+
+// Kind identifies the activation.
+func (a *Activation) Kind() string { return a.Fn }
+
+// Params returns nil: activations are parameter-free.
+func (a *Activation) Params() []*Param { return nil }
+
+// OutShape is the identity on shapes.
+func (a *Activation) OutShape(in []int) ([]int, error) {
+	if !validActivation(a.Fn) {
+		return nil, fmt.Errorf("unknown activation %q", a.Fn)
+	}
+	return append([]int(nil), in...), nil
+}
+
+func validActivation(fn string) bool {
+	switch fn {
+	case ActReLU, ActTanh, ActSigmoid, ActLeakyReLU, ActIdentity:
+		return true
+	}
+	return false
+}
+
+// Forward applies the nonlinearity elementwise.
+func (a *Activation) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	var f func(float64) float64
+	switch a.Fn {
+	case ActReLU:
+		f = func(v float64) float64 {
+			if v > 0 {
+				return v
+			}
+			return 0
+		}
+	case ActTanh:
+		f = math.Tanh
+	case ActSigmoid:
+		f = func(v float64) float64 { return 1 / (1 + math.Exp(-v)) }
+	case ActLeakyReLU:
+		f = func(v float64) float64 {
+			if v > 0 {
+				return v
+			}
+			return 0.01 * v
+		}
+	case ActIdentity:
+		f = func(v float64) float64 { return v }
+	default:
+		return nil, fmt.Errorf("unknown activation %q", a.Fn)
+	}
+	out := x.Contiguous().Clone()
+	d := out.Data()
+	parallel.ForChunked(len(d), 4096, func(i int) { d[i] = f(d[i]) })
+	if train {
+		a.lastIn = x.Contiguous()
+		a.lastOut = out
+	}
+	return out, nil
+}
+
+// Backward multiplies the incoming gradient by the activation derivative.
+func (a *Activation) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if a.lastOut == nil {
+		return nil, fmt.Errorf("activation backward without cached forward")
+	}
+	g := grad.Contiguous().Clone()
+	gd := g.Data()
+	od := a.lastOut.Data()
+	id := a.lastIn.Data()
+	switch a.Fn {
+	case ActReLU:
+		for i := range gd {
+			if id[i] <= 0 {
+				gd[i] = 0
+			}
+		}
+	case ActTanh:
+		for i := range gd {
+			gd[i] *= 1 - od[i]*od[i]
+		}
+	case ActSigmoid:
+		for i := range gd {
+			gd[i] *= od[i] * (1 - od[i])
+		}
+	case ActLeakyReLU:
+		for i := range gd {
+			if id[i] <= 0 {
+				gd[i] *= 0.01
+			}
+		}
+	case ActIdentity:
+	}
+	a.lastOut, a.lastIn = nil, nil
+	return g, nil
+}
+
+func (a *Activation) spec() layerSpec { return layerSpec{Kind: "act:" + a.Fn} }
+
+// Dropout randomly zeroes activations during training with probability P,
+// scaling survivors by 1/(1-P); inference is the identity.
+type Dropout struct {
+	P   float64
+	rng *rand.Rand
+
+	lastMask []float64
+}
+
+// NewDropout constructs a dropout layer drawing masks from the network's
+// deterministic RNG.
+func (n *Network) NewDropout(p float64) *Dropout {
+	return &Dropout{P: p, rng: rand.New(rand.NewSource(n.rng.Int63()))}
+}
+
+// Kind identifies the layer.
+func (d *Dropout) Kind() string { return fmt.Sprintf("Dropout(%.2f)", d.P) }
+
+// Params returns nil.
+func (d *Dropout) Params() []*Param { return nil }
+
+// OutShape is the identity.
+func (d *Dropout) OutShape(in []int) ([]int, error) {
+	if d.P < 0 || d.P >= 1 {
+		return nil, fmt.Errorf("dropout probability %g out of [0,1)", d.P)
+	}
+	return append([]int(nil), in...), nil
+}
+
+// Forward applies the mask during training; identity at inference.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	if !train || d.P == 0 {
+		d.lastMask = nil
+		return x, nil
+	}
+	if d.rng == nil {
+		d.rng = rand.New(rand.NewSource(1))
+	}
+	out := x.Contiguous().Clone()
+	data := out.Data()
+	mask := make([]float64, len(data))
+	keep := 1 - d.P
+	inv := 1 / keep
+	for i := range data {
+		if d.rng.Float64() < keep {
+			mask[i] = inv
+			data[i] *= inv
+		} else {
+			data[i] = 0
+		}
+	}
+	d.lastMask = mask
+	return out, nil
+}
+
+// Backward applies the cached mask to the gradient.
+func (d *Dropout) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if d.lastMask == nil {
+		return grad, nil
+	}
+	g := grad.Contiguous().Clone()
+	gd := g.Data()
+	if len(gd) != len(d.lastMask) {
+		return nil, fmt.Errorf("dropout backward size mismatch: %d vs %d", len(gd), len(d.lastMask))
+	}
+	for i := range gd {
+		gd[i] *= d.lastMask[i]
+	}
+	d.lastMask = nil
+	return g, nil
+}
+
+func (d *Dropout) spec() layerSpec { return layerSpec{Kind: "dropout", Floats: []float64{d.P}} }
+
+// Flatten collapses all sample dims into one: [B, d1, d2, ...] -> [B, D].
+type Flatten struct {
+	lastShape []int
+}
+
+// NewFlatten constructs a flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Kind identifies the layer.
+func (f *Flatten) Kind() string { return "Flatten" }
+
+// Params returns nil.
+func (f *Flatten) Params() []*Param { return nil }
+
+// OutShape collapses the sample dims.
+func (f *Flatten) OutShape(in []int) ([]int, error) {
+	return []int{tensor.NumElements(in)}, nil
+}
+
+// Forward reshapes to [batch, D].
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	if x.Rank() < 2 {
+		return nil, fmt.Errorf("flatten wants rank >= 2, got %v", x.Shape())
+	}
+	if train {
+		f.lastShape = x.Shape()
+	}
+	return x.Contiguous().Reshape(x.Dim(0), -1)
+}
+
+// Backward restores the cached input shape.
+func (f *Flatten) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
+	if f.lastShape == nil {
+		return nil, fmt.Errorf("flatten backward without cached forward")
+	}
+	out, err := grad.Contiguous().Reshape(f.lastShape...)
+	f.lastShape = nil
+	return out, err
+}
+
+func (f *Flatten) spec() layerSpec { return layerSpec{Kind: "flatten"} }

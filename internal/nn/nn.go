@@ -1,0 +1,218 @@
+// Package nn is the inference and training engine that stands in for Torch
+// (the C++ PyTorch API the paper's runtime uses). It provides dense layers,
+// 1-D/2-D convolutions, pooling, activations, dropout, the Sequential
+// container, MSE/MAE losses, SGD/Adam optimizers, and a self-describing
+// binary model format (.gmod) that plays the role of TorchScript archives:
+// the application's model() clause names a file on disk that the runtime
+// loads and evaluates.
+//
+// Tensors follow PyTorch conventions: dense inputs are [batch, features],
+// convolutional inputs are [batch, channels, length] (1-D) or
+// [batch, channels, height, width] (2-D). All math is float64.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Param is a trainable parameter with its gradient accumulator.
+type Param struct {
+	Name string
+	W    *tensor.Tensor
+	Grad *tensor.Tensor
+}
+
+func newParam(name string, shape ...int) *Param {
+	return &Param{Name: name, W: tensor.New(shape...), Grad: tensor.New(shape...)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Param) ZeroGrad() { p.Grad.Fill(0) }
+
+// Layer is one differentiable module. Forward with train=true caches
+// whatever the subsequent Backward call needs; Backward consumes the cache
+// and returns the gradient with respect to the layer input while
+// accumulating parameter gradients. Layers are not safe for concurrent
+// Forward calls on the same instance; parallelism lives inside the heavy
+// kernels instead.
+type Layer interface {
+	Kind() string
+	Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error)
+	Backward(grad *tensor.Tensor) (*tensor.Tensor, error)
+	Params() []*Param
+	// OutShape maps an input sample shape (without the batch dim) to the
+	// output sample shape, for static validation and model summaries.
+	OutShape(in []int) ([]int, error)
+	spec() layerSpec
+}
+
+// Network is a sequential composition of layers — the only container the
+// HPAC-ML search spaces need (MLPs and small CNNs).
+type Network struct {
+	Layers []*layerEntry
+	rng    *rand.Rand
+}
+
+type layerEntry struct {
+	Layer Layer
+}
+
+// NewNetwork creates an empty network whose parameter initialization draws
+// from the given seed, keeping model construction deterministic.
+func NewNetwork(seed int64) *Network {
+	return &Network{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Add appends layers to the network.
+func (n *Network) Add(layers ...Layer) *Network {
+	for _, l := range layers {
+		n.Layers = append(n.Layers, &layerEntry{Layer: l})
+	}
+	return n
+}
+
+// Forward runs inference (no caching, dropout disabled).
+func (n *Network) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
+	return n.forward(x, false)
+}
+
+// ForwardTrain runs a training-mode forward pass, caching activations.
+func (n *Network) ForwardTrain(x *tensor.Tensor) (*tensor.Tensor, error) {
+	return n.forward(x, true)
+}
+
+func (n *Network) forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	var err error
+	for i, e := range n.Layers {
+		if x, err = e.Layer.Forward(x, train); err != nil {
+			return nil, fmt.Errorf("nn: layer %d (%s): %w", i, e.Layer.Kind(), err)
+		}
+	}
+	return x, nil
+}
+
+// Backward propagates the loss gradient through the network, accumulating
+// parameter gradients. It must follow a ForwardTrain call.
+func (n *Network) Backward(grad *tensor.Tensor) error {
+	var err error
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		e := n.Layers[i]
+		if grad, err = e.Layer.Backward(grad); err != nil {
+			return fmt.Errorf("nn: backward layer %d (%s): %w", i, e.Layer.Kind(), err)
+		}
+	}
+	return nil
+}
+
+// Params returns every trainable parameter in the network.
+func (n *Network) Params() []*Param {
+	var out []*Param
+	for _, e := range n.Layers {
+		out = append(out, e.Layer.Params()...)
+	}
+	return out
+}
+
+// ZeroGrad clears all parameter gradients.
+func (n *Network) ZeroGrad() {
+	for _, p := range n.Params() {
+		p.ZeroGrad()
+	}
+}
+
+// NumParams returns the total scalar parameter count — the "model size"
+// axis of the paper's figures.
+func (n *Network) NumParams() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += p.W.Len()
+	}
+	return total
+}
+
+// FLOPsPerSample estimates multiply-accumulate work per input sample given
+// the sample shape (without batch dim). Used as the latency proxy during
+// search space pruning; actual latency is always measured.
+func (n *Network) FLOPsPerSample(in []int) (int64, error) {
+	var total int64
+	cur := append([]int(nil), in...)
+	for _, e := range n.Layers {
+		total += layerFLOPs(e.Layer, cur)
+		next, err := e.Layer.OutShape(cur)
+		if err != nil {
+			return 0, err
+		}
+		cur = next
+	}
+	return total, nil
+}
+
+func layerFLOPs(l Layer, in []int) int64 {
+	switch v := l.(type) {
+	case *Dense:
+		return 2 * int64(v.In) * int64(v.Out)
+	case *Conv1D:
+		out, err := v.OutShape(in)
+		if err != nil {
+			return 0
+		}
+		return 2 * int64(v.OutC) * int64(out[1]) * int64(v.InC) * int64(v.K)
+	case *Conv2D:
+		out, err := v.OutShape(in)
+		if err != nil {
+			return 0
+		}
+		return 2 * int64(v.OutC) * int64(out[1]) * int64(out[2]) * int64(v.InC) * int64(v.KH) * int64(v.KW)
+	default:
+		n := int64(1)
+		for _, d := range in {
+			n *= int64(d)
+		}
+		return n
+	}
+}
+
+// OutShape validates the network against an input sample shape and
+// returns the output sample shape.
+func (n *Network) OutShape(in []int) ([]int, error) {
+	cur := append([]int(nil), in...)
+	var err error
+	for i, e := range n.Layers {
+		if cur, err = e.Layer.OutShape(cur); err != nil {
+			return nil, fmt.Errorf("nn: layer %d (%s): %w", i, e.Layer.Kind(), err)
+		}
+	}
+	return cur, nil
+}
+
+// Summary renders a human-readable architecture description.
+func (n *Network) Summary() string {
+	s := ""
+	for i, e := range n.Layers {
+		if i > 0 {
+			s += " -> "
+		}
+		s += e.Layer.Kind()
+	}
+	return fmt.Sprintf("%s (%d params)", s, n.NumParams())
+}
+
+// initUniform fills t with Uniform(-a, a) draws from rng.
+func initUniform(rng *rand.Rand, t *tensor.Tensor, a float64) {
+	d := t.Data()
+	for i := range d {
+		d[i] = (rng.Float64()*2 - 1) * a
+	}
+}
+
+// kaimingBound returns the He-uniform bound for fanIn inputs.
+func kaimingBound(fanIn int) float64 {
+	if fanIn <= 0 {
+		return 0
+	}
+	return math.Sqrt(6.0 / float64(fanIn))
+}

@@ -1,0 +1,113 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	Step(params []*Param) error
+	Name() string
+}
+
+// SGD is stochastic gradient descent with optional momentum and decoupled
+// weight decay.
+type SGD struct {
+	LR          float64
+	Momentum    float64
+	WeightDecay float64
+
+	velocity map[*Param][]float64
+}
+
+// NewSGD constructs an SGD optimizer.
+func NewSGD(lr, momentum, weightDecay float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, WeightDecay: weightDecay}
+}
+
+// Name identifies the optimizer.
+func (s *SGD) Name() string { return "sgd" }
+
+// Step applies one SGD update to every parameter.
+func (s *SGD) Step(params []*Param) error {
+	if s.LR <= 0 {
+		return fmt.Errorf("nn: sgd learning rate must be positive, got %g", s.LR)
+	}
+	if s.velocity == nil {
+		s.velocity = make(map[*Param][]float64)
+	}
+	for _, p := range params {
+		w, g := p.W.Data(), p.Grad.Data()
+		if s.Momentum == 0 {
+			for i := range w {
+				w[i] -= s.LR * (g[i] + s.WeightDecay*w[i])
+			}
+			continue
+		}
+		v, ok := s.velocity[p]
+		if !ok {
+			v = make([]float64, len(w))
+			s.velocity[p] = v
+		}
+		for i := range w {
+			v[i] = s.Momentum*v[i] + g[i] + s.WeightDecay*w[i]
+			w[i] -= s.LR * v[i]
+		}
+	}
+	return nil
+}
+
+// Adam implements the Adam optimizer with decoupled weight decay (AdamW),
+// matching the paper's hyperparameter search space (learning rate and
+// weight decay, Table V).
+type Adam struct {
+	LR           float64
+	Beta1, Beta2 float64
+	Eps          float64
+	WeightDecay  float64
+
+	t int
+	m map[*Param][]float64
+	v map[*Param][]float64
+}
+
+// NewAdam constructs an Adam optimizer with standard betas.
+func NewAdam(lr, weightDecay float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, WeightDecay: weightDecay}
+}
+
+// Name identifies the optimizer.
+func (a *Adam) Name() string { return "adam" }
+
+// Step applies one Adam update to every parameter.
+func (a *Adam) Step(params []*Param) error {
+	if a.LR <= 0 {
+		return fmt.Errorf("nn: adam learning rate must be positive, got %g", a.LR)
+	}
+	if a.m == nil {
+		a.m = make(map[*Param][]float64)
+		a.v = make(map[*Param][]float64)
+	}
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for _, p := range params {
+		w, g := p.W.Data(), p.Grad.Data()
+		m, ok := a.m[p]
+		if !ok {
+			m = make([]float64, len(w))
+			a.m[p] = m
+			a.v[p] = make([]float64, len(w))
+		}
+		v := a.v[p]
+		for i := range w {
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g[i]
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g[i]*g[i]
+			mh := m[i] / bc1
+			vh := v[i] / bc2
+			w[i] -= a.LR * (mh/(math.Sqrt(vh)+a.Eps) + a.WeightDecay*w[i])
+		}
+	}
+	return nil
+}

@@ -1,0 +1,136 @@
+package nn
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestResidualIdentityAtZeroWeights(t *testing.T) {
+	body := NewNetwork(1)
+	d := body.NewDense(4, 4)
+	for i := range d.Weight.W.Data() {
+		d.Weight.W.Data()[i] = 0
+	}
+	for i := range d.Bias.W.Data() {
+		d.Bias.W.Data()[i] = 0
+	}
+	body.Add(d)
+	net := NewNetwork(2)
+	net.Add(NewResidual(body))
+	rng := rand.New(rand.NewSource(3))
+	x := randTensor(rng, 3, 4)
+	y, err := net.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x.Data() {
+		if y.Data()[i] != x.Data()[i] {
+			t.Fatal("zero-weight residual must be the identity")
+		}
+	}
+}
+
+func TestResidualGradCheck(t *testing.T) {
+	body := NewNetwork(5)
+	body.Add(body.NewDense(3, 6), NewActivation(ActTanh), body.NewDense(6, 3))
+	net := NewNetwork(6)
+	net.Add(NewResidual(body))
+	rng := rand.New(rand.NewSource(7))
+	numericalGradCheck(t, net, randTensor(rng, 4, 3), 1e-4)
+}
+
+func TestResidualConvBodyGradCheck(t *testing.T) {
+	// MiniWeather-shaped: conv encoder + dense decoder back to the full
+	// sample size, wrapped in a residual.
+	body := NewNetwork(9)
+	body.Add(body.NewConv2D(2, 3, 2, 2, 1), NewActivation(ActTanh), NewFlatten())
+	out, err := body.OutShape([]int{2, 4, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body.Add(body.NewDense(out[0], 2*4*4))
+	net := NewNetwork(10)
+	net.Add(NewResidual(body))
+	rng := rand.New(rand.NewSource(11))
+	numericalGradCheck(t, net, randTensor(rng, 2, 2, 4, 4), 1e-4)
+}
+
+func TestResidualShapeMismatchRejected(t *testing.T) {
+	body := NewNetwork(1)
+	body.Add(body.NewDense(4, 5)) // output size != input size
+	net := NewNetwork(2)
+	net.Add(NewResidual(body))
+	if _, err := net.OutShape([]int{4}); err == nil {
+		t.Fatal("want size mismatch error from OutShape")
+	}
+	if _, err := net.Forward(tensor.New(2, 4)); err == nil {
+		t.Fatal("want size mismatch error from Forward")
+	}
+}
+
+func TestResidualSaveLoadRoundTrip(t *testing.T) {
+	body := NewNetwork(21)
+	body.Add(body.NewConv2D(1, 2, 2, 2, 1), NewActivation(ActReLU), NewFlatten())
+	out, err := body.OutShape([]int{1, 5, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	body.Add(body.NewDense(out[0], 25))
+	net := NewNetwork(22)
+	net.Add(NewResidual(body))
+
+	path := filepath.Join(t.TempDir(), "res.gmod")
+	if err := net.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.NumParams() != net.NumParams() {
+		t.Fatalf("params %d vs %d after reload", loaded.NumParams(), net.NumParams())
+	}
+	rng := rand.New(rand.NewSource(23))
+	x := randTensor(rng, 2, 1, 5, 5)
+	y1, err := net.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y2, err := loaded.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range y1.Data() {
+		if y1.Data()[i] != y2.Data()[i] {
+			t.Fatal("residual outputs differ after reload")
+		}
+	}
+}
+
+func TestResidualTrainsDeltaFunction(t *testing.T) {
+	// Target: y = x + 0.1 * sin-ish perturbation. A residual net should
+	// learn the small delta quickly.
+	rng := rand.New(rand.NewSource(31))
+	n := 256
+	x := randTensor(rng, n, 2)
+	y := tensor.New(n, 2)
+	for i := 0; i < n; i++ {
+		y.Set(x.At(i, 0)+0.1*x.At(i, 1), i, 0)
+		y.Set(x.At(i, 1)-0.1*x.At(i, 0), i, 1)
+	}
+	ds, _ := NewDataset(x, y)
+	body := NewNetwork(33)
+	body.Add(body.NewDense(2, 8), NewActivation(ActTanh), body.NewDense(8, 2))
+	net := NewNetwork(34)
+	net.Add(NewResidual(body))
+	h, err := net.Fit(ds, nil, TrainConfig{Epochs: 200, BatchSize: 32, LR: 0.01, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.BestVal > 5e-3 {
+		t.Fatalf("residual delta fit did not converge: %g", h.BestVal)
+	}
+}

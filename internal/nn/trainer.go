@@ -1,0 +1,255 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/tensor"
+)
+
+// Dataset pairs model inputs with regression targets. X and Y share their
+// leading (sample) dimension.
+type Dataset struct {
+	X *tensor.Tensor
+	Y *tensor.Tensor
+}
+
+// NewDataset validates and constructs a dataset.
+func NewDataset(x, y *tensor.Tensor) (*Dataset, error) {
+	if x.Rank() < 2 || y.Rank() < 2 {
+		return nil, fmt.Errorf("nn: dataset wants rank >= 2 tensors, got %v and %v", x.Shape(), y.Shape())
+	}
+	if x.Dim(0) != y.Dim(0) {
+		return nil, fmt.Errorf("nn: dataset sample counts differ: %d vs %d", x.Dim(0), y.Dim(0))
+	}
+	return &Dataset{X: x.Contiguous(), Y: y.Contiguous()}, nil
+}
+
+// Len returns the number of samples.
+func (d *Dataset) Len() int { return d.X.Dim(0) }
+
+// Split partitions the dataset into a leading fraction and the remainder
+// (paper §V-B: training/validation set plus a held-out test set).
+func (d *Dataset) Split(frac float64) (*Dataset, *Dataset, error) {
+	if frac <= 0 || frac >= 1 {
+		return nil, nil, fmt.Errorf("nn: split fraction %g out of (0,1)", frac)
+	}
+	n := d.Len()
+	k := int(float64(n) * frac)
+	if k == 0 || k == n {
+		return nil, nil, fmt.Errorf("nn: split of %d samples at %g leaves an empty side", n, frac)
+	}
+	xa, err := d.X.Narrow(0, 0, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	xb, err := d.X.Narrow(0, k, n-k)
+	if err != nil {
+		return nil, nil, err
+	}
+	ya, err := d.Y.Narrow(0, 0, k)
+	if err != nil {
+		return nil, nil, err
+	}
+	yb, err := d.Y.Narrow(0, k, n-k)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Dataset{X: xa, Y: ya}, &Dataset{X: xb, Y: yb}, nil
+}
+
+// Shuffle permutes the samples in place-order (returns a reordered copy)
+// with the given seed.
+func (d *Dataset) Shuffle(seed int64) (*Dataset, error) {
+	n := d.Len()
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	return d.Gather(perm)
+}
+
+// Gather returns a dataset of the given sample indices (a copy).
+func (d *Dataset) Gather(idx []int) (*Dataset, error) {
+	xs := make([]*tensor.Tensor, len(idx))
+	ys := make([]*tensor.Tensor, len(idx))
+	for i, j := range idx {
+		if j < 0 || j >= d.Len() {
+			return nil, fmt.Errorf("nn: gather index %d out of range [0,%d)", j, d.Len())
+		}
+		xv, err := d.X.Index(0, j)
+		if err != nil {
+			return nil, err
+		}
+		yv, err := d.Y.Index(0, j)
+		if err != nil {
+			return nil, err
+		}
+		xs[i], ys[i] = xv, yv
+	}
+	x, err := tensor.Stack(0, xs...)
+	if err != nil {
+		return nil, err
+	}
+	y, err := tensor.Stack(0, ys...)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{X: x, Y: y}, nil
+}
+
+// Batch returns samples [lo, hi) as views.
+func (d *Dataset) Batch(lo, hi int) (*tensor.Tensor, *tensor.Tensor, error) {
+	x, err := d.X.Narrow(0, lo, hi-lo)
+	if err != nil {
+		return nil, nil, err
+	}
+	y, err := d.Y.Narrow(0, lo, hi-lo)
+	if err != nil {
+		return nil, nil, err
+	}
+	return x, y, nil
+}
+
+// TrainConfig controls Fit. The fields mirror the paper's hyperparameter
+// search space (Table V): learning rate, weight decay, dropout (a model
+// property), and batch size.
+type TrainConfig struct {
+	Epochs      int
+	BatchSize   int
+	LR          float64
+	WeightDecay float64
+	Optimizer   string // "adam" (default) or "sgd"
+	Momentum    float64
+	Loss        Loss // default MSE
+	Seed        int64
+	// Patience stops training after this many epochs without validation
+	// improvement; 0 disables early stopping.
+	Patience int
+	// ValFrac carves a validation split from the training data when a
+	// separate validation set is not given to Fit.
+	ValFrac float64
+	Verbose func(epoch int, trainLoss, valLoss float64)
+}
+
+// History records per-epoch losses.
+type History struct {
+	TrainLoss []float64
+	ValLoss   []float64
+	BestVal   float64
+	BestEpoch int
+	Stopped   bool // true if early stopping triggered
+}
+
+// Fit trains the network on train, validating on val (which may be nil:
+// then ValFrac of train is held out). It returns the training history;
+// the network holds the final-epoch weights.
+func (n *Network) Fit(train, val *Dataset, cfg TrainConfig) (*History, error) {
+	if cfg.Epochs <= 0 {
+		return nil, fmt.Errorf("nn: fit wants positive epochs, got %d", cfg.Epochs)
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 32
+	}
+	if cfg.LR == 0 {
+		cfg.LR = 1e-3
+	}
+	if cfg.Loss == nil {
+		cfg.Loss = MSE{}
+	}
+	if val == nil {
+		frac := cfg.ValFrac
+		if frac == 0 {
+			frac = 0.8
+		}
+		shuffled, err := train.Shuffle(cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if train, val, err = shuffled.Split(frac); err != nil {
+			return nil, err
+		}
+	}
+	var opt Optimizer
+	switch cfg.Optimizer {
+	case "", "adam":
+		opt = NewAdam(cfg.LR, cfg.WeightDecay)
+	case "sgd":
+		opt = NewSGD(cfg.LR, cfg.Momentum, cfg.WeightDecay)
+	default:
+		return nil, fmt.Errorf("nn: unknown optimizer %q", cfg.Optimizer)
+	}
+
+	h := &History{BestVal: math.Inf(1)}
+	rng := rand.New(rand.NewSource(cfg.Seed + 1))
+	nSamples := train.Len()
+	stale := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		perm := rng.Perm(nSamples)
+		var epochLoss float64
+		var batches int
+		for lo := 0; lo < nSamples; lo += cfg.BatchSize {
+			hi := lo + cfg.BatchSize
+			if hi > nSamples {
+				hi = nSamples
+			}
+			mb, err := train.Gather(perm[lo:hi])
+			if err != nil {
+				return nil, err
+			}
+			n.ZeroGrad()
+			pred, err := n.ForwardTrain(mb.X)
+			if err != nil {
+				return nil, err
+			}
+			loss, err := cfg.Loss.Value(pred, mb.Y)
+			if err != nil {
+				return nil, err
+			}
+			grad, err := cfg.Loss.Grad(pred, mb.Y)
+			if err != nil {
+				return nil, err
+			}
+			if err := n.Backward(grad); err != nil {
+				return nil, err
+			}
+			if err := opt.Step(n.Params()); err != nil {
+				return nil, err
+			}
+			epochLoss += loss
+			batches++
+		}
+		epochLoss /= float64(batches)
+		valLoss, err := n.Evaluate(val, cfg.Loss)
+		if err != nil {
+			return nil, err
+		}
+		h.TrainLoss = append(h.TrainLoss, epochLoss)
+		h.ValLoss = append(h.ValLoss, valLoss)
+		if cfg.Verbose != nil {
+			cfg.Verbose(epoch, epochLoss, valLoss)
+		}
+		if valLoss < h.BestVal {
+			h.BestVal = valLoss
+			h.BestEpoch = epoch
+			stale = 0
+		} else {
+			stale++
+			if cfg.Patience > 0 && stale >= cfg.Patience {
+				h.Stopped = true
+				break
+			}
+		}
+	}
+	return h, nil
+}
+
+// Evaluate returns the mean loss over a dataset in inference mode.
+func (n *Network) Evaluate(d *Dataset, loss Loss) (float64, error) {
+	if loss == nil {
+		loss = MSE{}
+	}
+	pred, err := n.Forward(d.X)
+	if err != nil {
+		return 0, err
+	}
+	return loss.Value(pred, d.Y)
+}

@@ -1,0 +1,82 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversAllIndices(t *testing.T) {
+	const n = 10_000
+	var hits [n]int32
+	For(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestForZeroAndNegative(t *testing.T) {
+	ran := false
+	For(0, func(int) { ran = true })
+	For(-5, func(int) { ran = true })
+	if ran {
+		t.Fatal("For must not run for n <= 0")
+	}
+}
+
+func TestForChunkedSmallStaysSerial(t *testing.T) {
+	// Under the chunk threshold the call must still visit everything.
+	var sum atomic.Int64
+	ForChunked(10, 100, func(i int) { sum.Add(int64(i)) })
+	if sum.Load() != 45 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+}
+
+func TestForRangeCoversDisjointRanges(t *testing.T) {
+	const n = 1000
+	var hits [n]int32
+	ForRange(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestForRangeZero(t *testing.T) {
+	ran := false
+	ForRange(0, func(lo, hi int) { ran = true })
+	if ran {
+		t.Fatal("ForRange must not run for n = 0")
+	}
+}
+
+func TestMaxWorkersPositive(t *testing.T) {
+	if MaxWorkers() < 1 {
+		t.Fatal("MaxWorkers must be >= 1")
+	}
+}
+
+// Property: parallel sum equals serial sum for arbitrary sizes.
+func TestPropParallelSumMatchesSerial(t *testing.T) {
+	f := func(n uint16) bool {
+		size := int(n%5000) + 1
+		var par atomic.Int64
+		For(size, func(i int) { par.Add(int64(i * i)) })
+		var ser int64
+		for i := 0; i < size; i++ {
+			ser += int64(i * i)
+		}
+		return par.Load() == ser
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,164 @@
+package workflow
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestSubmitAndGet(t *testing.T) {
+	e, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	f, err := Submit(e, func() (int, error) { return 42, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := f.Get()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 42 {
+		t.Fatalf("got %d", v)
+	}
+	if !f.Done() {
+		t.Fatal("future should report done after Get")
+	}
+}
+
+func TestErrorPropagation(t *testing.T) {
+	e, _ := New(1)
+	defer e.Close()
+	f, _ := Submit(e, func() (int, error) { return 0, fmt.Errorf("boom") })
+	if _, err := f.Get(); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestDependencyOrdering(t *testing.T) {
+	e, _ := New(4)
+	defer e.Close()
+	var order []int32
+	var mu atomic.Int32
+	record := func(id int32) {
+		for {
+			cur := mu.Load()
+			if mu.CompareAndSwap(cur, cur+1) {
+				break
+			}
+		}
+		order = append(order, id)
+	}
+	_ = record
+	var aDone atomic.Bool
+	a, _ := Submit(e, func() (int, error) {
+		time.Sleep(20 * time.Millisecond)
+		aDone.Store(true)
+		return 1, nil
+	})
+	b, _ := Submit(e, func() (int, error) {
+		if !aDone.Load() {
+			return 0, fmt.Errorf("dependency violated")
+		}
+		return 2, nil
+	}, a)
+	if v, err := b.Get(); err != nil || v != 2 {
+		t.Fatalf("b = %d, %v", v, err)
+	}
+}
+
+func TestDependencyFailureSkipsTask(t *testing.T) {
+	e, _ := New(2)
+	defer e.Close()
+	a, _ := Submit(e, func() (int, error) { return 0, fmt.Errorf("a failed") })
+	ran := false
+	b, _ := Submit(e, func() (int, error) { ran = true; return 1, nil }, a)
+	if _, err := b.Get(); err == nil {
+		t.Fatal("want dependency error")
+	}
+	if ran {
+		t.Fatal("dependent task must not run after failed dependency")
+	}
+}
+
+func TestBoundedParallelism(t *testing.T) {
+	e, _ := New(2)
+	defer e.Close()
+	var active, peak atomic.Int32
+	var futures []*Future[int]
+	for i := 0; i < 8; i++ {
+		f, _ := Submit(e, func() (int, error) {
+			cur := active.Add(1)
+			for {
+				p := peak.Load()
+				if cur <= p || peak.CompareAndSwap(p, cur) {
+					break
+				}
+			}
+			time.Sleep(10 * time.Millisecond)
+			active.Add(-1)
+			return 0, nil
+		})
+		futures = append(futures, f)
+	}
+	for _, f := range futures {
+		f.Get()
+	}
+	if p := peak.Load(); p > 2 {
+		t.Fatalf("parallelism exceeded bound: %d", p)
+	}
+}
+
+func TestPanicRecovered(t *testing.T) {
+	e, _ := New(1)
+	defer e.Close()
+	f, _ := Submit(e, func() (int, error) { panic("kaboom") })
+	if _, err := f.Get(); err == nil {
+		t.Fatal("want panic converted to error")
+	}
+}
+
+func TestMapCollectsInOrder(t *testing.T) {
+	e, _ := New(4)
+	defer e.Close()
+	out, err := Map(e, 10, func(i int) (int, error) { return i * i, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestMapReportsFirstError(t *testing.T) {
+	e, _ := New(4)
+	defer e.Close()
+	_, err := Map(e, 5, func(i int) (int, error) {
+		if i == 3 {
+			return 0, fmt.Errorf("task 3 failed")
+		}
+		return i, nil
+	})
+	if err == nil {
+		t.Fatal("want error from Map")
+	}
+}
+
+func TestSubmitAfterClose(t *testing.T) {
+	e, _ := New(1)
+	e.Close()
+	if _, err := Submit(e, func() (int, error) { return 0, nil }); err == nil {
+		t.Fatal("want error submitting to closed executor")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0); err == nil {
+		t.Fatal("want error for zero parallelism")
+	}
+}
