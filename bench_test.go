@@ -399,3 +399,192 @@ ml(infer) inout(x) model(%q)
 		}
 	})
 }
+
+// --- Batched inference engine ---
+
+// naiveMatMul is the seed's single-threaded triple loop, kept as the
+// ablation baseline for the blocked, parallel kernel.
+func naiveMatMul(a, b *tensor.Tensor) *tensor.Tensor {
+	m, k, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	ad, bd := a.Contiguous().Data(), b.Contiguous().Data()
+	out := tensor.New(m, n)
+	od := out.Data()
+	for i := 0; i < m; i++ {
+		arow := ad[i*k : (i+1)*k]
+		orow := od[i*n : (i+1)*n]
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := bd[kk*n : (kk+1)*n]
+			for j := range orow {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+	return out
+}
+
+// BenchmarkMatMulBlockedVsNaive measures the tensor engine's blocked,
+// parallel MatMul against the seed's serial triple loop.
+func BenchmarkMatMulBlockedVsNaive(b *testing.B) {
+	for _, size := range []int{128, 512} {
+		a := tensor.New(size, size)
+		w := tensor.New(size, size)
+		ad, wd := a.Data(), w.Data()
+		for i := range ad {
+			ad[i] = float64(i%13) * 0.37
+			wd[i] = float64(i%7) * 0.11
+		}
+		b.Run(fmt.Sprintf("naive-%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				naiveMatMul(a, w)
+			}
+		})
+		b.Run(fmt.Sprintf("blocked-%d", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := tensor.MatMul(a, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("blocked-into-%d", size), func(b *testing.B) {
+			dst := tensor.New(size, size)
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := tensor.MatMulInto(dst, a, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// optionBenchRegion builds the binomial MLP inference region used by the
+// batching benchmarks: chunk options of 3 features each, one surrogate
+// price out, with a mid-space MLP like the paper's binomial search space.
+func optionBenchRegion(b *testing.B, chunk int) (*hpacml.Region, []float64, []float64, []float64, []float64) {
+	b.Helper()
+	hpacml.ClearModelCache()
+	dir := b.TempDir()
+	modelPath := filepath.Join(dir, "options.gmod")
+	net := nn.NewNetwork(13)
+	net.Add(net.NewDense(3, 64), nn.NewActivation(nn.ActReLU),
+		net.NewDense(64, 64), nn.NewActivation(nn.ActReLU),
+		net.NewDense(64, 1))
+	if err := net.Save(modelPath); err != nil {
+		b.Fatal(err)
+	}
+	s := make([]float64, chunk)
+	x := make([]float64, chunk)
+	t := make([]float64, chunk)
+	prices := make([]float64, chunk)
+	r, err := hpacml.NewRegion("options-bench",
+		hpacml.Directives(fmt.Sprintf(`
+tensor functor(opt_in: [i, 0:3] = ([i]))
+tensor functor(price_out: [i, 0:1] = ([i]))
+tensor map(to: opt_in(S[0:NOPT], X[0:NOPT], T[0:NOPT]))
+ml(infer) in(S, X, T) out(price_out(prices[0:NOPT])) model(%q)
+`, modelPath)),
+		hpacml.BindInt("NOPT", chunk),
+		hpacml.BindArray("S", s, chunk),
+		hpacml.BindArray("X", x, chunk),
+		hpacml.BindArray("T", t, chunk),
+		hpacml.BindArray("prices", prices, chunk),
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r, s, x, t, prices
+}
+
+// BenchmarkExecuteSingleVsBatch is the headline measurement of the
+// batched inference engine: serving `batch` region invocations by
+// sequential Execute calls versus one ExecuteBatch call. One op is one
+// full sweep of `batch` invocations, so ns/op is directly comparable
+// between the two paths. chunk is the options priced per invocation:
+// chunk=1 is the fine-grained regime where per-invocation overhead
+// dominates and batching pays off most; chunk=32 is closer to
+// compute-bound, where batching approaches a wash on a single core and
+// wins through parallel utilization on larger machines.
+func BenchmarkExecuteSingleVsBatch(b *testing.B) {
+	for _, chunk := range []int{1, 32} {
+		for _, batch := range []int{4, 64} {
+			stage := func(s, x, t []float64) func(i int) error {
+				return func(i int) error {
+					for j := range s {
+						s[j] = 5 + float64((i*31+j*7)%25)
+						x[j] = 1 + float64((i*13+j*3)%99)
+						t[j] = 0.25 + float64((i+j)%39)*0.25
+					}
+					return nil
+				}
+			}
+			b.Run(fmt.Sprintf("single-chunk%d-batch%d", chunk, batch), func(b *testing.B) {
+				r, s, x, t, _ := optionBenchRegion(b, chunk)
+				defer r.Close()
+				st := stage(s, x, t)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					for k := 0; k < batch; k++ {
+						if err := st(k); err != nil {
+							b.Fatal(err)
+						}
+						if err := r.Execute(nil); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("batched-chunk%d-batch%d", chunk, batch), func(b *testing.B) {
+				r, s, x, t, _ := optionBenchRegion(b, chunk)
+				defer r.Close()
+				st := stage(s, x, t)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := r.ExecuteBatch(batch, st, nil); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkForwardBatch measures the NN-engine half of the amortization:
+// many small Forward calls against one ForwardBatch call over the same
+// rows.
+func BenchmarkForwardBatch(b *testing.B) {
+	net := nn.NewNetwork(3)
+	net.Add(net.NewDense(16, 128), nn.NewActivation(nn.ActReLU), net.NewDense(128, 4))
+	const parts, rows = 32, 8
+	xs := make([]*tensor.Tensor, parts)
+	for i := range xs {
+		xs[i] = tensor.New(rows, 16)
+		d := xs[i].Data()
+		for j := range d {
+			d[j] = float64((i*37 + j) % 19)
+		}
+	}
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, x := range xs {
+				if _, err := net.Forward(x); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := net.ForwardBatch(xs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,85 @@
+package hpacml_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	hpacml "repro"
+
+	"repro/internal/nn"
+)
+
+// Example_executeBatch prices several option chunks through one batched
+// surrogate call. Each stage callback loads one chunk's parameters into
+// the bound arrays; the runtime gathers all chunks into a single staging
+// tensor, runs the model once, and scatters each chunk's prices back
+// before its finish callback fires. Outputs are bit-identical to calling
+// Execute once per chunk.
+func Example_executeBatch() {
+	dir, err := os.MkdirTemp("", "hpacml-batch-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// A stand-in surrogate: 3 option parameters -> 1 price.
+	modelPath := filepath.Join(dir, "options.gmod")
+	net := nn.NewNetwork(21)
+	net.Add(net.NewDense(3, 16), nn.NewActivation(nn.ActTanh), net.NewDense(16, 1))
+	if err := net.Save(modelPath); err != nil {
+		log.Fatal(err)
+	}
+
+	const chunk = 4
+	s := make([]float64, chunk)
+	x := make([]float64, chunk)
+	tt := make([]float64, chunk)
+	prices := make([]float64, chunk)
+	region, err := hpacml.NewRegion("options",
+		hpacml.Directives(fmt.Sprintf(`
+tensor functor(opt_in: [i, 0:3] = ([i]))
+tensor functor(price_out: [i, 0:1] = ([i]))
+tensor map(to: opt_in(S[0:NOPT], X[0:NOPT], T[0:NOPT]))
+ml(infer) in(S, X, T) out(price_out(prices[0:NOPT])) model(%q)
+`, modelPath)),
+		hpacml.BindInt("NOPT", chunk),
+		hpacml.BindArray("S", s, chunk),
+		hpacml.BindArray("X", x, chunk),
+		hpacml.BindArray("T", tt, chunk),
+		hpacml.BindArray("prices", prices, chunk),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer region.Close()
+
+	const nChunks = 3
+	var total float64
+	err = region.ExecuteBatch(nChunks,
+		func(i int) error { // stage chunk i's parameters
+			for j := 0; j < chunk; j++ {
+				s[j] = 10 + float64(i*chunk+j)
+				x[j] = 25
+				tt[j] = 1 + float64(i)
+			}
+			return nil
+		},
+		func(i int) error { // chunk i's prices are now in place
+			for _, p := range prices {
+				total += p
+			}
+			return nil
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	st := region.Stats()
+	fmt.Printf("invocations: %d in %d batch\n", st.BatchedInvocations, st.Batches)
+	fmt.Printf("total priced: %.4f\n", total)
+	// Output:
+	// invocations: 3 in 1 batch
+	// total priced: 17.7930
+}

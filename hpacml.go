@@ -63,30 +63,45 @@ const (
 
 // Stats aggregates runtime accounting for one region — the quantities
 // behind the paper's Figure 6 (to-tensor / inference / from-tensor split)
-// and Table III (collection overhead).
+// and Table III (collection overhead), extended with the batched-execution
+// counters that quantify how much amortization ExecuteBatch achieves.
 type Stats struct {
 	Invocations  int
 	Inferences   int
 	Collections  int
 	AccurateRuns int
 
+	// Batches counts ExecuteBatch calls that reached the model;
+	// BatchedInvocations counts the region invocations those calls
+	// served. Batched invocations are also included in Invocations and
+	// Inferences, so (Inferences - BatchedInvocations) is the
+	// single-invocation count.
+	Batches            int
+	BatchedInvocations int
+
 	ToTensor   time.Duration
 	Inference  time.Duration
 	FromTensor time.Duration
 	Accurate   time.Duration
 	DBWrite    time.Duration
+
+	// BatchInference is model-engine time spent inside batched calls;
+	// Inference counts only single-invocation Execute model time. The
+	// two never overlap, so their sum is total surrogate engine time.
+	BatchInference time.Duration
 }
 
 // Clone returns a copy of the stats.
 func (s Stats) Clone() Stats { return s }
 
 // BridgeOverhead returns (to-tensor + from-tensor) time as a fraction of
-// inference-engine time.
+// total inference-engine time (single and batched).
 func (s Stats) BridgeOverhead() float64 {
-	if s.Inference == 0 {
+	engine := s.Inference + s.BatchInference
+	if engine == 0 {
 		return 0
 	}
-	return float64(s.ToTensor+s.FromTensor) / float64(s.Inference)
+	return float64(s.ToTensor+s.FromTensor) / float64(engine)
 }
 
 // Region is one annotated code region: its directives, bound application
@@ -116,6 +131,26 @@ type Region struct {
 	stats   Stats
 	dirSrcs []string // raw directive text, for Table II accounting
 	closed  bool
+
+	// Inference staging caches, reused across invocations so steady-state
+	// Execute and ExecuteBatch calls stop allocating and re-planning per
+	// call. singleX/Y serve Execute; batchX/Y serve ExecuteBatch;
+	// imgScratch holds the pre-transpose composition buffer of the image
+	// layout. The *St stagers are precomputed bridge views bound to the
+	// staging tensors (nil when the layout needs per-call transforms).
+	// The *Y output buffers and their stagers are model-dependent and
+	// dropped by InvalidateModel.
+	singleX       *tensor.Tensor
+	singleInSt    []*bridge.Stager
+	singleY       *tensor.Tensor
+	singleOutSt   []*bridge.Stager
+	batchX        *tensor.Tensor
+	batchBlocks   []*tensor.Tensor   // per-invocation row blocks of batchX
+	batchInSt     [][]*bridge.Stager // per invocation, per in-plan
+	batchY        *tensor.Tensor
+	batchOutViews []*tensor.Tensor   // per-invocation row blocks of batchY
+	batchOutSt    [][]*bridge.Stager // per invocation, per out-plan
+	imgScratch    *tensor.Tensor
 }
 
 // modelCache shares loaded models across regions keyed by path, matching
@@ -523,34 +558,379 @@ func (r *Region) runCollection(accurate func() error) error {
 }
 
 // runInference replaces the region with surrogate evaluation: gather
-// inputs, apply the model, scatter outputs.
+// inputs, apply the model, scatter outputs. Staging input and output
+// tensors are cached on the region, so steady-state calls reuse buffers
+// instead of allocating.
 func (r *Region) runInference() error {
 	if err := r.ensureModel(); err != nil {
 		return err
 	}
 
 	start := time.Now()
-	x, err := r.modelInput()
+	x, err := r.stagedInput()
 	r.stats.ToTensor += time.Since(start)
 	if err != nil {
 		return err
 	}
 
 	start = time.Now()
-	y, err := r.model.Forward(x)
+	var y *tensor.Tensor
+	if r.singleY != nil {
+		err = r.model.ForwardInto(r.singleY, x)
+		y = r.singleY
+	} else {
+		y, err = r.model.Forward(x)
+		if err == nil {
+			r.singleY = y
+			r.singleOutSt = r.outputStagers(y)
+		}
+	}
 	r.stats.Inference += time.Since(start)
 	if err != nil {
+		r.singleY, r.singleOutSt = nil, nil
 		return fmt.Errorf("hpacml: inference in region %q: %w", r.name, err)
 	}
 
 	start = time.Now()
-	err = r.scatterModelOutput(y)
+	if r.singleOutSt != nil {
+		err = scatterStagers(r.singleOutSt)
+	} else {
+		err = r.scatterModelOutput(y)
+	}
 	r.stats.FromTensor += time.Since(start)
 	if err != nil {
 		return err
 	}
 	r.stats.Inferences++
 	return nil
+}
+
+// stagedInput gathers the region inputs into the cached single-invocation
+// staging tensor, allocating it (and its stagers) on first use.
+func (r *Region) stagedInput() (*tensor.Tensor, error) {
+	if r.singleX == nil {
+		shape, err := r.modelInputShape()
+		if err != nil {
+			return nil, err
+		}
+		r.singleX = tensor.New(shape...)
+		r.singleInSt = r.inputStagers(r.singleX)
+	}
+	if r.singleInSt != nil {
+		for _, st := range r.singleInSt {
+			if err := st.Gather(); err != nil {
+				return nil, err
+			}
+		}
+		return r.singleX, nil
+	}
+	if err := r.modelInputInto(r.singleX); err != nil {
+		return nil, err
+	}
+	return r.singleX, nil
+}
+
+// inputStagers precomputes gather stagers binding the in-plans to dst.
+// It returns nil when the layout needs a per-call transform (image) or a
+// stager cannot be built; callers then fall back to modelInputInto,
+// which reports any real layout error.
+func (r *Region) inputStagers(dst *tensor.Tensor) []*bridge.Stager {
+	switch r.inLayout {
+	case LayoutFlat:
+		out := make([]*bridge.Stager, 0, len(r.inPlans))
+		if len(r.inPlans) == 1 {
+			st, err := r.inPlans[0].NewStager(dst)
+			if err != nil {
+				return nil
+			}
+			return append(out, st)
+		}
+		fOff := 0
+		for _, p := range r.inPlans {
+			part, err := dst.Narrow(1, fOff, p.Features())
+			if err != nil {
+				return nil
+			}
+			st, err := p.NewStager(part)
+			if err != nil {
+				return nil
+			}
+			out = append(out, st)
+			fOff += p.Features()
+		}
+		return out
+	case LayoutChannels:
+		if len(r.inPlans) != 1 {
+			return nil
+		}
+		st, err := r.inPlans[0].NewStager(dst)
+		if err != nil {
+			return nil
+		}
+		return []*bridge.Stager{st}
+	}
+	return nil
+}
+
+// outputStagers precomputes scatter stagers binding the out-plans to the
+// model output tensor y. It mirrors scatterModelOutput's flat and
+// channels layouts; nil means the caller must scatter generically.
+func (r *Region) outputStagers(y *tensor.Tensor) []*bridge.Stager {
+	switch r.outLayout {
+	case LayoutFlat:
+		totalF := 0
+		for _, p := range r.outPlans {
+			totalF += p.Features()
+		}
+		entries := r.outPlans[0].Entries()
+		if y.Len() != entries*totalF || !y.IsContiguous() {
+			return nil
+		}
+		flat, err := y.Reshape(entries, totalF)
+		if err != nil {
+			return nil
+		}
+		out := make([]*bridge.Stager, 0, len(r.outPlans))
+		fOff := 0
+		for _, p := range r.outPlans {
+			part, err := flat.Narrow(1, fOff, p.Features())
+			if err != nil {
+				return nil
+			}
+			st, err := p.NewStager(part)
+			if err != nil {
+				return nil
+			}
+			out = append(out, st)
+			fOff += p.Features()
+		}
+		return out
+	case LayoutChannels:
+		if len(r.outPlans) != 1 {
+			return nil
+		}
+		p := r.outPlans[0]
+		sweep := p.SweepShape()
+		if len(sweep) != 3 || p.Features() != 1 || y.Len() != tensor.NumElements(sweep) {
+			return nil
+		}
+		st, err := p.NewStager(y)
+		if err != nil {
+			return nil
+		}
+		return []*bridge.Stager{st}
+	}
+	return nil
+}
+
+// scatterStagers runs precomputed scatter stagers in plan order.
+func scatterStagers(sts []*bridge.Stager) error {
+	for _, st := range sts {
+		if err := st.Scatter(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExecuteBatch runs n independent invocations of the region through a
+// single batched model call: stage(i) is called to set up invocation i's
+// application inputs, which are immediately gathered into row block i of
+// one staging tensor; the model then runs once over all n invocations;
+// finally each invocation's outputs are scattered back in order, with
+// finish(i) called after invocation i's outputs are in place. Either
+// callback may be nil.
+//
+// This is the amortization that makes surrogates win on the paper's MLP
+// benchmarks: bridge planning, kernel dispatch, and model-call overhead
+// are paid once per batch instead of once per invocation. Outputs are
+// bit-identical to the sequential loop
+//
+//	for i := range n { stage(i); r.Execute(nil); finish(i) }
+//
+// because every NN kernel accumulates per output row in a
+// batch-size-independent order.
+//
+// Invocations must be independent: all inputs are gathered before any
+// output is scattered, so stage(i) must not depend on the outputs of
+// earlier invocations in the same batch (use sequential Execute for
+// auto-regressive regions like MiniWeather). The region must resolve to
+// the surrogate path: collection-mode regions, false predicates, and
+// false if() clauses are rejected, since their accurate path cannot be
+// batched.
+func (r *Region) ExecuteBatch(n int, stage func(i int) error, finish func(i int) error) error {
+	if r.closed {
+		return fmt.Errorf("hpacml: region %q used after Close", r.name)
+	}
+	if n <= 0 {
+		return nil
+	}
+	if err := r.requireInference(); err != nil {
+		return err
+	}
+	if err := r.ensureModel(); err != nil {
+		return err
+	}
+	shape, err := r.modelInputShape()
+	if err != nil {
+		return err
+	}
+	per := shape[0]
+	batchShape := append([]int{n * per}, shape[1:]...)
+	if r.batchX == nil || !tensor.ShapeEqual(r.batchX.Shape(), batchShape) {
+		if err := r.buildBatchStaging(n, per, batchShape); err != nil {
+			return err
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		if stage != nil {
+			if err := stage(i); err != nil {
+				return fmt.Errorf("hpacml: batch stage %d in region %q: %w", i, r.name, err)
+			}
+		}
+		start := time.Now()
+		if r.batchInSt != nil {
+			for _, st := range r.batchInSt[i] {
+				if err = st.Gather(); err != nil {
+					break
+				}
+			}
+		} else {
+			err = r.modelInputInto(r.batchBlocks[i])
+		}
+		r.stats.ToTensor += time.Since(start)
+		if err != nil {
+			return err
+		}
+	}
+
+	start := time.Now()
+	var y *tensor.Tensor
+	if r.batchY != nil {
+		err = r.model.ForwardInto(r.batchY, r.batchX)
+		y = r.batchY
+	} else {
+		y, err = r.model.Forward(r.batchX)
+	}
+	r.stats.BatchInference += time.Since(start)
+	if err != nil {
+		r.batchY, r.batchOutViews, r.batchOutSt = nil, nil, nil
+		return fmt.Errorf("hpacml: batched inference in region %q: %w", r.name, err)
+	}
+	if r.batchY == nil {
+		if err := r.buildBatchOutput(y, n); err != nil {
+			return err
+		}
+	}
+	r.stats.Invocations += n
+	r.stats.Inferences += n
+	r.stats.Batches++
+	r.stats.BatchedInvocations += n
+
+	for i := 0; i < n; i++ {
+		start := time.Now()
+		if r.batchOutSt != nil {
+			err = scatterStagers(r.batchOutSt[i])
+		} else {
+			err = r.scatterModelOutput(r.batchOutViews[i])
+		}
+		r.stats.FromTensor += time.Since(start)
+		if err != nil {
+			return err
+		}
+		if finish != nil {
+			if err := finish(i); err != nil {
+				return fmt.Errorf("hpacml: batch finish %d in region %q: %w", i, r.name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// buildBatchStaging (re)allocates the batched input staging tensor for n
+// invocations of per rows each, precomputing each invocation's row block
+// and, when the layout allows, its gather stagers.
+func (r *Region) buildBatchStaging(n, per int, batchShape []int) error {
+	x := tensor.New(batchShape...)
+	blocks := make([]*tensor.Tensor, n)
+	inSt := make([][]*bridge.Stager, 0, n)
+	for i := range blocks {
+		var err error
+		if blocks[i], err = x.Narrow(0, i*per, per); err != nil {
+			return err
+		}
+		if inSt != nil {
+			if sts := r.inputStagers(blocks[i]); sts != nil {
+				inSt = append(inSt, sts)
+			} else {
+				inSt = nil
+			}
+		}
+	}
+	r.batchX, r.batchBlocks, r.batchInSt = x, blocks, inSt
+	r.batchY, r.batchOutViews, r.batchOutSt = nil, nil, nil
+	return nil
+}
+
+// buildBatchOutput caches the first batched model output: it validates
+// that y splits evenly into n per-invocation row blocks and precomputes
+// each block's view and, when the layout allows, its scatter stagers.
+func (r *Region) buildBatchOutput(y *tensor.Tensor, n int) error {
+	if y.Rank() < 1 || y.Dim(0)%n != 0 {
+		return fmt.Errorf("hpacml: batched model output %v in region %q does not split into %d invocations",
+			y.Shape(), r.name, n)
+	}
+	outPer := y.Dim(0) / n
+	views := make([]*tensor.Tensor, n)
+	outSt := make([][]*bridge.Stager, 0, n)
+	for i := range views {
+		var err error
+		if views[i], err = y.Narrow(0, i*outPer, outPer); err != nil {
+			return err
+		}
+		if outSt != nil {
+			if sts := r.outputStagers(views[i]); sts != nil {
+				outSt = append(outSt, sts)
+			} else {
+				outSt = nil
+			}
+		}
+	}
+	r.batchY, r.batchOutViews, r.batchOutSt = y, views, outSt
+	return nil
+}
+
+// requireInference verifies the region currently resolves to the
+// surrogate path, which is the only path ExecuteBatch can serve.
+func (r *Region) requireInference() error {
+	if r.ml.If != "" {
+		gate, err := r.evalPredicate(r.ml.If)
+		if err != nil {
+			return err
+		}
+		if !gate() {
+			return fmt.Errorf("hpacml: ExecuteBatch in region %q: if() clause is false; batching requires the surrogate path", r.name)
+		}
+	}
+	switch r.ml.Mode {
+	case directive.Infer:
+		return nil
+	case directive.Predicated:
+		if r.ml.Cond != "" {
+			fn, err := r.evalPredicate(r.ml.Cond)
+			if err != nil {
+				return err
+			}
+			if !fn() {
+				return fmt.Errorf("hpacml: ExecuteBatch in region %q: predicate selects collection; batching requires inference", r.name)
+			}
+		}
+		return nil
+	case directive.Collect:
+		return fmt.Errorf("hpacml: ExecuteBatch in region %q: region is in collection mode", r.name)
+	}
+	return fmt.Errorf("hpacml: unknown ml mode %v", r.ml.Mode)
 }
 
 func (r *Region) ensureModel() error {
@@ -574,16 +954,13 @@ func (r *Region) ensureModel() error {
 }
 
 // InvalidateModel forces the next inference to reload the model from disk
-// (e.g. after a new training round wrote the file).
+// (e.g. after a new training round wrote the file). Cached output buffers
+// are model-dependent and dropped with it.
 func (r *Region) InvalidateModel() {
 	r.model = nil
+	r.singleY, r.singleOutSt = nil, nil
+	r.batchY, r.batchOutViews, r.batchOutSt = nil, nil, nil
 	modelCache.Delete(r.modelPath)
-}
-
-// gatherInputs composes all to-plans into the training-data layout
-// [entries, total features].
-func (r *Region) gatherInputs() (*tensor.Tensor, error) {
-	return gatherFlat(r.inPlans)
 }
 
 // gatherOutputs composes all from-plans (reading current application
@@ -632,11 +1009,16 @@ func gatherFlat(plans []*bridge.Plan) (*tensor.Tensor, error) {
 	return tensor.Concat(1, parts...)
 }
 
-// modelInput gathers the inputs and lays them out for the model.
-func (r *Region) modelInput() (*tensor.Tensor, error) {
+// modelInputShape returns the model input shape of one region invocation
+// for the configured input layout, validating layout constraints.
+func (r *Region) modelInputShape() ([]int, error) {
 	switch r.inLayout {
 	case LayoutFlat:
-		return r.gatherInputs()
+		totalF := 0
+		for _, p := range r.inPlans {
+			totalF += p.Features()
+		}
+		return []int{r.inPlans[0].Entries(), totalF}, nil
 	case LayoutImage2D:
 		if len(r.inPlans) != 1 {
 			return nil, fmt.Errorf("hpacml: image layout wants exactly one input map, got %d", len(r.inPlans))
@@ -646,24 +1028,7 @@ func (r *Region) modelInput() (*tensor.Tensor, error) {
 		if len(sweep) != 2 {
 			return nil, fmt.Errorf("hpacml: image layout wants a 2-D sweep, got %v", sweep)
 		}
-		g, err := p.Gather()
-		if err != nil {
-			return nil, err
-		}
-		// [S0, S1, F] -> [1, F, S0, S1]
-		flat, err := g.Reshape(sweep[0], sweep[1], p.Features())
-		if err != nil {
-			return nil, err
-		}
-		t1, err := flat.Transpose(0, 2) // [F, S1, S0]
-		if err != nil {
-			return nil, err
-		}
-		t2, err := t1.Transpose(1, 2) // [F, S0, S1]
-		if err != nil {
-			return nil, err
-		}
-		return t2.Contiguous().Reshape(1, p.Features(), sweep[0], sweep[1])
+		return []int{1, p.Features(), sweep[0], sweep[1]}, nil
 	case LayoutChannels:
 		if len(r.inPlans) != 1 {
 			return nil, fmt.Errorf("hpacml: channels layout wants exactly one input map, got %d", len(r.inPlans))
@@ -673,13 +1038,74 @@ func (r *Region) modelInput() (*tensor.Tensor, error) {
 		if len(sweep) != 3 || p.Features() != 1 {
 			return nil, fmt.Errorf("hpacml: channels layout wants a 3-D sweep with 1 feature, got %v/%d", sweep, p.Features())
 		}
-		g, err := p.Gather()
-		if err != nil {
-			return nil, err
-		}
-		return g.Reshape(1, sweep[0], sweep[1], sweep[2])
+		return []int{1, sweep[0], sweep[1], sweep[2]}, nil
 	}
 	return nil, fmt.Errorf("hpacml: unknown input layout %d", r.inLayout)
+}
+
+// modelInputInto gathers the region inputs into dst, which must have the
+// single-invocation model input shape — typically the cached staging
+// tensor, or one row block of the batched staging tensor.
+func (r *Region) modelInputInto(dst *tensor.Tensor) error {
+	switch r.inLayout {
+	case LayoutFlat:
+		if len(r.inPlans) == 1 {
+			return r.inPlans[0].GatherInto(dst)
+		}
+		fOff := 0
+		for _, p := range r.inPlans {
+			part, err := dst.Narrow(1, fOff, p.Features())
+			if err != nil {
+				return err
+			}
+			if err := p.GatherInto(part); err != nil {
+				return err
+			}
+			fOff += p.Features()
+		}
+		return nil
+	case LayoutImage2D:
+		p := r.inPlans[0]
+		sweep := p.SweepShape()
+		if len(sweep) != 2 {
+			return fmt.Errorf("hpacml: image layout wants a 2-D sweep, got %v", sweep)
+		}
+		// Compose as [S0, S1, F] in the cached scratch, then transpose
+		// into dst's [1, F, S0, S1] channel-first layout.
+		if r.imgScratch == nil {
+			r.imgScratch = tensor.New(sweep[0], sweep[1], p.Features())
+		}
+		if err := p.GatherInto(r.imgScratch); err != nil {
+			return err
+		}
+		t1, err := r.imgScratch.Transpose(0, 2) // [F, S1, S0]
+		if err != nil {
+			return err
+		}
+		t2, err := t1.Transpose(1, 2) // [F, S0, S1]
+		if err != nil {
+			return err
+		}
+		return tensor.CopyFlat(dst, t2)
+	case LayoutChannels:
+		return r.inPlans[0].GatherInto(dst)
+	}
+	return fmt.Errorf("hpacml: unknown input layout %d", r.inLayout)
+}
+
+// modelInput gathers the inputs into a freshly allocated tensor laid out
+// for the model (the collection path, which records the tensor, uses this
+// instead of the cached staging buffers).
+func (r *Region) modelInput() (*tensor.Tensor, error) {
+	shape, err := r.modelInputShape()
+	if err != nil {
+		return nil, err
+	}
+	dst := tensor.New(shape...)
+	if err := r.modelInputInto(dst); err != nil {
+		return nil, err
+	}
+	return dst, nil
 }
 
 // scatterModelOutput converts the model output back to the bridge layout

@@ -1,0 +1,358 @@
+package hpacml
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/nn"
+)
+
+// optionRegion builds a binomial-style MLP inference region: three input
+// parameter arrays gathered into a 3-feature tensor, one price array
+// scattered back.
+func optionRegion(t *testing.T, s, x, tt, prices []float64, modelPath string) *Region {
+	t.Helper()
+	n := len(prices)
+	r, err := NewRegion("options",
+		Directives(fmt.Sprintf(`
+tensor functor(opt_in: [i, 0:3] = ([i]))
+tensor functor(price_out: [i, 0:1] = ([i]))
+tensor map(to: opt_in(S[0:NOPT], X[0:NOPT], T[0:NOPT]))
+ml(infer) in(S, X, T) out(price_out(prices[0:NOPT])) model(%q)
+`, modelPath)),
+		BindInt("NOPT", n),
+		BindArray("S", s, n),
+		BindArray("X", x, n),
+		BindArray("T", tt, n),
+		BindArray("prices", prices, n),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func saveMLP(t *testing.T, dir string, seed int64, widths ...int) string {
+	t.Helper()
+	net := nn.NewNetwork(seed)
+	for i := 0; i < len(widths)-1; i++ {
+		net.Add(net.NewDense(widths[i], widths[i+1]))
+		if i < len(widths)-2 {
+			net.Add(nn.NewActivation(nn.ActTanh))
+		}
+	}
+	path := filepath.Join(dir, "m.gmod")
+	if err := net.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// chunkInputs builds n distinct per-invocation input sets for a chunk of
+// c options.
+func chunkInputs(n, c int) (s, x, tt [][]float64) {
+	s = make([][]float64, n)
+	x = make([][]float64, n)
+	tt = make([][]float64, n)
+	for i := 0; i < n; i++ {
+		s[i] = make([]float64, c)
+		x[i] = make([]float64, c)
+		tt[i] = make([]float64, c)
+		for j := 0; j < c; j++ {
+			s[i][j] = 5 + float64((i*31+j*7)%25)
+			x[i][j] = 1 + float64((i*13+j*3)%99)
+			tt[i][j] = 0.25 + float64((i+j)%39)*0.25
+		}
+	}
+	return s, x, tt
+}
+
+// TestExecuteBatchBitIdentical is the core batching contract: ExecuteBatch
+// over n invocations produces bit-identical outputs to n sequential
+// Execute calls, and reusing the cached staging buffers on a second batch
+// changes nothing.
+func TestExecuteBatchBitIdentical(t *testing.T) {
+	const nInvocations, chunk = 6, 32
+	ClearModelCache()
+	dir := t.TempDir()
+	modelPath := saveMLP(t, dir, 21, 3, 16, 16, 1)
+
+	s := make([]float64, chunk)
+	x := make([]float64, chunk)
+	tt := make([]float64, chunk)
+	prices := make([]float64, chunk)
+	r := optionRegion(t, s, x, tt, prices, modelPath)
+	defer r.Close()
+
+	sIn, xIn, tIn := chunkInputs(nInvocations, chunk)
+	stage := func(i int) error {
+		copy(s, sIn[i])
+		copy(x, xIn[i])
+		copy(tt, tIn[i])
+		return nil
+	}
+
+	// Sequential reference.
+	want := make([][]float64, nInvocations)
+	for i := 0; i < nInvocations; i++ {
+		if err := stage(i); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Execute(nil); err != nil {
+			t.Fatal(err)
+		}
+		want[i] = append([]float64(nil), prices...)
+	}
+
+	for round := 0; round < 2; round++ {
+		got := make([][]float64, nInvocations)
+		err := r.ExecuteBatch(nInvocations, stage, func(i int) error {
+			got[i] = append([]float64(nil), prices...)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			for j := range want[i] {
+				if got[i][j] != want[i][j] {
+					t.Fatalf("round %d: invocation %d option %d: batched %v, sequential %v",
+						round, i, j, got[i][j], want[i][j])
+				}
+			}
+		}
+	}
+
+	st := r.Stats()
+	if st.Batches != 2 || st.BatchedInvocations != 2*nInvocations {
+		t.Fatalf("batch counters: %+v", st)
+	}
+	if st.Invocations != nInvocations+2*nInvocations || st.Inferences != st.Invocations {
+		t.Fatalf("invocation counters: %+v", st)
+	}
+	if st.BatchInference <= 0 {
+		t.Fatalf("no batched inference time recorded: %+v", st)
+	}
+}
+
+// TestExecuteBatchImageLayout checks batching through the CNN image
+// layout: a 2-D sweep presented as [1, F, S0, S1] per invocation stacks
+// to [n, F, S0, S1] and still matches sequential execution exactly.
+func TestExecuteBatchImageLayout(t *testing.T) {
+	const H, W = 6, 6
+	const nInvocations = 4
+	ClearModelCache()
+	dir := t.TempDir()
+	net := nn.NewNetwork(5)
+	net.Add(net.NewConv2D(1, 2, 3, 3, 1), nn.NewActivation(nn.ActReLU),
+		nn.NewFlatten(), net.NewDense(2*(H-2)*(W-2), H*W))
+	modelPath := filepath.Join(dir, "cnn.gmod")
+	if err := net.Save(modelPath); err != nil {
+		t.Fatal(err)
+	}
+
+	grid := make([]float64, H*W)
+	out := make([]float64, H*W)
+	r, err := NewRegion("img",
+		Directives(fmt.Sprintf(`
+tensor functor(f: [i, j, 0:1] = ([i, j]))
+tensor map(to: f(g[0:H, 0:W]))
+tensor map(from: f(o[0:H, 0:W]))
+ml(infer) in(g) out(o) model(%q)
+`, modelPath)),
+		BindInt("H", H), BindInt("W", W),
+		BindArray("g", grid, H, W),
+		BindArray("o", out, H, W),
+		InputLayout(LayoutImage2D),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	stage := func(i int) error {
+		for j := range grid {
+			grid[j] = float64((i*17 + j) % 11)
+		}
+		return nil
+	}
+	want := make([][]float64, nInvocations)
+	for i := 0; i < nInvocations; i++ {
+		if err := stage(i); err != nil {
+			t.Fatal(err)
+		}
+		if err := r.Execute(nil); err != nil {
+			t.Fatal(err)
+		}
+		want[i] = append([]float64(nil), out...)
+	}
+	got := make([][]float64, nInvocations)
+	err = r.ExecuteBatch(nInvocations, stage, func(i int) error {
+		got[i] = append([]float64(nil), out...)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		for j := range want[i] {
+			if got[i][j] != want[i][j] {
+				t.Fatalf("invocation %d cell %d: batched %v, sequential %v", i, j, got[i][j], want[i][j])
+			}
+		}
+	}
+}
+
+func TestExecuteBatchRejectsNonInference(t *testing.T) {
+	const N = 4
+	dir := t.TempDir()
+	r, err := NewRegion("collect",
+		Directives(fmt.Sprintf(`
+tensor functor(f: [i, 0:1] = ([i]))
+tensor map(to: f(x[0:N]))
+tensor map(from: f(x[0:N]))
+ml(collect) inout(x) db(%q)
+`, filepath.Join(dir, "d.gh5"))),
+		BindInt("N", N),
+		BindArray("x", make([]float64, N), N),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if err := r.ExecuteBatch(2, nil, nil); err == nil {
+		t.Fatal("want error: collection mode cannot batch")
+	}
+
+	// A predicated region whose predicate selects collection must refuse
+	// too; flipping the predicate enables batching.
+	ClearModelCache()
+	modelPath := saveMLP(t, dir, 2, 1, 4, 1)
+	useModel := false
+	r2, err := NewRegion("pred",
+		Directives(fmt.Sprintf(`
+tensor functor(f: [i, 0:1] = ([i]))
+tensor map(to: f(x[0:N]))
+tensor map(from: f(x[0:N]))
+ml(predicated:useModel) inout(x) model(%q) db(%q)
+`, modelPath, filepath.Join(dir, "d2.gh5"))),
+		BindInt("N", N),
+		BindArray("x", make([]float64, N), N),
+		BindPredicate("useModel", func() bool { return useModel }),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Close()
+	if err := r2.ExecuteBatch(2, nil, nil); err == nil {
+		t.Fatal("want error: predicate selects collection")
+	}
+	useModel = true
+	if err := r2.ExecuteBatch(2, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExecuteBatchEdgeCases(t *testing.T) {
+	const N = 4
+	ClearModelCache()
+	dir := t.TempDir()
+	modelPath := saveMLP(t, dir, 2, 1, 4, 1)
+	x := make([]float64, N)
+	r, err := NewRegion("edge",
+		Directives(fmt.Sprintf(`
+tensor functor(f: [i, 0:1] = ([i]))
+tensor map(to: f(x[0:N]))
+tensor map(from: f(x[0:N]))
+ml(infer) inout(x) model(%q)
+`, modelPath)),
+		BindInt("N", N),
+		BindArray("x", x, N),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// n <= 0 is a no-op.
+	if err := r.ExecuteBatch(0, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if st := r.Stats(); st.Invocations != 0 {
+		t.Fatalf("empty batch recorded invocations: %+v", st)
+	}
+
+	// Callback errors propagate with context.
+	boom := fmt.Errorf("staging failed")
+	if err := r.ExecuteBatch(2, func(int) error { return boom }, nil); err == nil {
+		t.Fatal("want stage error")
+	}
+
+	// Varying batch sizes re-stage cleanly.
+	for _, n := range []int{1, 3, 2} {
+		if err := r.ExecuteBatch(n, nil, nil); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+	}
+
+	// Closed regions refuse.
+	r.Close()
+	if err := r.ExecuteBatch(1, nil, nil); err == nil {
+		t.Fatal("want error after Close")
+	}
+}
+
+// TestExecuteBatchAfterInvalidateModel exercises the model-dependent
+// cache drop: invalidating reloads the model and rebuilds output buffers.
+func TestExecuteBatchAfterInvalidateModel(t *testing.T) {
+	const N = 4
+	ClearModelCache()
+	dir := t.TempDir()
+	modelPath := saveMLP(t, dir, 2, 1, 4, 1)
+	x := make([]float64, N)
+	r, err := NewRegion("inv",
+		Directives(fmt.Sprintf(`
+tensor functor(f: [i, 0:1] = ([i]))
+tensor map(to: f(x[0:N]))
+tensor map(from: f(x[0:N]))
+ml(infer) inout(x) model(%q)
+`, modelPath)),
+		BindInt("N", N),
+		BindArray("x", x, N),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i := range x {
+		x[i] = float64(i + 1)
+	}
+	if err := r.ExecuteBatch(2, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	first := append([]float64(nil), x...)
+
+	// A different model at the same path must actually be used after
+	// invalidation.
+	net := nn.NewNetwork(77)
+	net.Add(net.NewDense(1, 8), nn.NewActivation(nn.ActTanh), net.NewDense(8, 1))
+	if err := net.Save(modelPath); err != nil {
+		t.Fatal(err)
+	}
+	r.InvalidateModel()
+	for i := range x {
+		x[i] = first[i]
+	}
+	if err := r.ExecuteBatch(2, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range x {
+		if x[i] != first[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("InvalidateModel did not take effect on the batched path")
+	}
+}

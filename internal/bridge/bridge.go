@@ -454,22 +454,124 @@ func (p *Plan) TensorShape() []int {
 // step of the bridge that copies data, and each element is copied exactly
 // once.
 func (p *Plan) Gather() (*tensor.Tensor, error) {
-	nSweep := len(p.sweepShape)
 	outFlat := tensor.New(append(append([]int(nil), p.sweepShape...), p.featTotal)...)
+	if err := p.GatherInto(outFlat); err != nil {
+		return nil, err
+	}
+	return outFlat.Reshape(p.TensorShape()...)
+}
+
+// GatherInto is Gather writing into a caller-provided destination, letting
+// callers reuse one staging tensor across invocations (the batched
+// region-execution path stages every invocation of a batch into row blocks
+// of a single tensor this way). dst must have the composition layout
+// [sweep dims..., features] or the flattened [entries, features] layout;
+// it may be a strided view (e.g. a Narrow of a larger staging tensor) as
+// long as its trailing dimension covers all features.
+func (p *Plan) GatherInto(dst *tensor.Tensor) error {
+	d, dim, err := p.composeLayout(dst)
+	if err != nil {
+		return fmt.Errorf("bridge: gather dst: %w", err)
+	}
 	fOff := 0
 	for _, tp := range p.targets {
 		for _, sv := range tp.slices {
-			dst, err := outFlat.Narrow(nSweep, fOff, sv.featElem)
+			part, err := d.Narrow(dim, fOff, sv.featElem)
 			if err != nil {
-				return nil, err
+				return err
 			}
-			if err := tensor.CopyFlat(dst, sv.view); err != nil {
-				return nil, fmt.Errorf("bridge: compose: %w", err)
+			if err := tensor.CopyFlat(part, sv.view); err != nil {
+				return fmt.Errorf("bridge: compose: %w", err)
 			}
 			fOff += sv.featElem
 		}
 	}
-	return outFlat.Reshape(p.TensorShape()...)
+	return nil
+}
+
+// ioPair couples one RHS slice's application-memory view with its slot
+// in a fixed composition tensor.
+type ioPair struct{ comp, view *tensor.Tensor }
+
+// Stager is a Plan bound to one fixed staging tensor: every per-slice
+// Narrow of the composition layout is resolved once at construction, so
+// repeated transfers through the same staging memory do no per-call
+// planning or allocation. This is what lets the batched region-execution
+// path stage thousands of invocations without re-deriving views.
+type Stager struct {
+	pairs []ioPair
+}
+
+// NewStager binds the plan to dst, which must satisfy the same layout
+// rules as GatherInto. The returned stager aliases both dst and the
+// plan's application memory; it stays valid as long as neither is
+// reallocated.
+func (p *Plan) NewStager(dst *tensor.Tensor) (*Stager, error) {
+	d, dim, err := p.composeLayout(dst)
+	if err != nil {
+		return nil, fmt.Errorf("bridge: stager: %w", err)
+	}
+	s := &Stager{pairs: make([]ioPair, 0, len(p.targets))}
+	fOff := 0
+	for _, tp := range p.targets {
+		for _, sv := range tp.slices {
+			part, err := d.Narrow(dim, fOff, sv.featElem)
+			if err != nil {
+				return nil, err
+			}
+			s.pairs = append(s.pairs, ioPair{comp: part, view: sv.view})
+			fOff += sv.featElem
+		}
+	}
+	return s, nil
+}
+
+// Gather copies current application memory into the staging tensor (the
+// "to" direction of the bound plan).
+func (s *Stager) Gather() error {
+	for _, pr := range s.pairs {
+		if err := tensor.CopyFlat(pr.comp, pr.view); err != nil {
+			return fmt.Errorf("bridge: staged gather: %w", err)
+		}
+	}
+	return nil
+}
+
+// Scatter copies the staging tensor back into application memory (the
+// "from" direction), writing slices in declaration order.
+func (s *Stager) Scatter() error {
+	for _, pr := range s.pairs {
+		if err := tensor.CopyFlat(pr.view, pr.comp); err != nil {
+			return fmt.Errorf("bridge: staged scatter: %w", err)
+		}
+	}
+	return nil
+}
+
+// composeLayout validates that t can receive (or supply) the plan's
+// composition layout and returns the tensor to narrow plus the feature
+// dimension index. Contiguous tensors of the right element count are
+// reshaped for free; strided views must already expose the feature axis
+// as their trailing dimension.
+func (p *Plan) composeLayout(t *tensor.Tensor) (*tensor.Tensor, int, error) {
+	if t == nil {
+		return nil, 0, fmt.Errorf("nil tensor")
+	}
+	flatComp := append(append([]int(nil), p.sweepShape...), p.featTotal)
+	switch {
+	case tensor.ShapeEqual(t.Shape(), flatComp):
+		return t, len(p.sweepShape), nil
+	case t.Rank() == 2 && t.Dim(0) == p.Entries() && t.Dim(1) == p.featTotal:
+		return t, 1, nil
+	}
+	if t.Len() == p.Entries()*p.featTotal && t.IsContiguous() {
+		r, err := t.Reshape(p.Entries(), p.featTotal)
+		if err != nil {
+			return nil, 0, err
+		}
+		return r, 1, nil
+	}
+	return nil, 0, fmt.Errorf("shape %v incompatible with composition layout %v", t.Shape(), flatComp)
 }
 
 // Scatter executes the plan in the "from" direction: the model-produced LHS

@@ -437,3 +437,100 @@ func TestPropStencilMatchesReference(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestGatherIntoMatchesGather checks the buffer-reusing composition path
+// against the allocating one, including gathering into a strided row
+// block of a larger batched staging tensor.
+func TestGatherIntoMatchesGather(t *testing.T) {
+	const N, M = 6, 7
+	f := parseFunctor(t, "tensor functor(ifnctr: [i, j, 0:5] = (([i-1, j], [i+1, j], [i, j-1:j+2])))")
+	m := parseMap(t, "tensor map(to: ifnctr(t[1:N-1, 1:M-1]))")
+	grid := make([]float64, N*M)
+	for i := range grid {
+		grid[i] = math.Sin(float64(i))
+	}
+	arr, err := NewArray("t", grid, N, M)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := Build(f, m, map[string]*Array{"t": arr}, directive.Env{"N": N, "M": M})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := plan.Gather()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantFlat, err := want.Reshape(plan.Entries(), plan.Features())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(got *tensor.Tensor) {
+		t.Helper()
+		g, err := got.Reshape(plan.Entries(), plan.Features())
+		if err != nil {
+			t.Fatal(err)
+		}
+		gc := g.Contiguous()
+		for i := 0; i < plan.Entries(); i++ {
+			for j := 0; j < plan.Features(); j++ {
+				if gc.At(i, j) != wantFlat.At(i, j) {
+					t.Fatalf("GatherInto differs at (%d,%d)", i, j)
+				}
+			}
+		}
+	}
+
+	// Composition layout [sweep..., features].
+	dst := tensor.New(N-2, M-2, 5)
+	if err := plan.GatherInto(dst); err != nil {
+		t.Fatal(err)
+	}
+	check(dst)
+
+	// Flattened [entries, features] layout.
+	flat := tensor.New(plan.Entries(), plan.Features())
+	if err := plan.GatherInto(flat); err != nil {
+		t.Fatal(err)
+	}
+	check(flat)
+
+	// A row block of a batched staging tensor: 3 invocations, gather into
+	// the middle block, then check the neighbors were untouched.
+	batch := tensor.Full(-7, 3*plan.Entries(), plan.Features())
+	mid, err := batch.Narrow(0, plan.Entries(), plan.Entries())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.GatherInto(mid); err != nil {
+		t.Fatal(err)
+	}
+	check(mid)
+	if batch.At(0, 0) != -7 || batch.At(2*plan.Entries(), 0) != -7 {
+		t.Fatal("GatherInto wrote outside its row block")
+	}
+
+	// A feature-column block of a wider staging tensor (multi-plan
+	// composition): strided dst with the feature axis trailing.
+	wide := tensor.Full(-3, plan.Entries(), plan.Features()+4)
+	col, err := wide.Narrow(1, 2, plan.Features())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plan.GatherInto(col); err != nil {
+		t.Fatal(err)
+	}
+	check(col)
+	if wide.At(0, 0) != -3 || wide.At(0, plan.Features()+2) != -3 {
+		t.Fatal("GatherInto wrote outside its column block")
+	}
+
+	// Incompatible destination shapes are rejected.
+	if err := plan.GatherInto(tensor.New(plan.Entries(), plan.Features()+1)); err == nil {
+		t.Fatal("want error for wrong feature count")
+	}
+	if err := plan.GatherInto(nil); err == nil {
+		t.Fatal("want error for nil dst")
+	}
+}

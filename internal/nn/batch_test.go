@@ -1,0 +1,161 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func mlpForTest(seed int64) *Network {
+	net := NewNetwork(seed)
+	net.Add(net.NewDense(6, 24), NewActivation(ActTanh), net.NewDense(24, 3))
+	return net
+}
+
+func randInput(rng *rand.Rand, rows, cols int) *tensor.Tensor {
+	x := tensor.New(rows, cols)
+	d := x.Data()
+	for i := range d {
+		d[i] = rng.NormFloat64()
+	}
+	return x
+}
+
+// TestForwardIntoMatchesForward checks the zero-allocation path returns
+// bit-identical values to the allocating one.
+func TestForwardIntoMatchesForward(t *testing.T) {
+	net := mlpForTest(11)
+	rng := rand.New(rand.NewSource(2))
+	for _, rows := range []int{1, 5, 64} {
+		x := randInput(rng, rows, 6)
+		want, err := net.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := tensor.Full(-99, rows, 3)
+		if err := net.ForwardInto(dst, x); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < rows; i++ {
+			for j := 0; j < 3; j++ {
+				if dst.At(i, j) != want.At(i, j) {
+					t.Fatalf("rows=%d: ForwardInto differs at (%d,%d)", rows, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestForwardIntoShapeMismatch(t *testing.T) {
+	net := mlpForTest(11)
+	x := tensor.New(4, 6)
+	if err := net.ForwardInto(tensor.New(4, 2), x); err == nil {
+		t.Fatal("want error for wrong dst shape")
+	}
+	if err := net.ForwardInto(nil, x); err == nil {
+		t.Fatal("want error for nil dst")
+	}
+}
+
+// TestForwardIntoZeroAllocSteadyState is the arena's contract: after the
+// first call warms the scratch buffers, small-batch inference performs no
+// heap allocations.
+func TestForwardIntoZeroAllocSteadyState(t *testing.T) {
+	net := mlpForTest(3)
+	x := randInput(rand.New(rand.NewSource(9)), 1, 6)
+	dst := tensor.New(1, 3)
+	if err := net.ForwardInto(dst, x); err != nil { // warm the arena
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := net.ForwardInto(dst, x); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state ForwardInto allocates %.1f objects/call, want 0", allocs)
+	}
+}
+
+// TestForwardBatchMatchesSequential checks the stacked pass against
+// per-input Forward calls bit for bit, including a non-uniform row split.
+func TestForwardBatchMatchesSequential(t *testing.T) {
+	net := mlpForTest(17)
+	rng := rand.New(rand.NewSource(5))
+	xs := []*tensor.Tensor{
+		randInput(rng, 3, 6),
+		randInput(rng, 1, 6),
+		randInput(rng, 8, 6),
+	}
+	got, err := net.ForwardBatch(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(xs) {
+		t.Fatalf("got %d outputs, want %d", len(got), len(xs))
+	}
+	for i, x := range xs {
+		want, err := net.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !tensor.ShapeEqual(got[i].Shape(), want.Shape()) {
+			t.Fatalf("output %d shape %v, want %v", i, got[i].Shape(), want.Shape())
+		}
+		for r := 0; r < want.Dim(0); r++ {
+			for c := 0; c < want.Dim(1); c++ {
+				if got[i].At(r, c) != want.At(r, c) {
+					t.Fatalf("output %d differs at (%d,%d): %g vs %g",
+						i, r, c, got[i].At(r, c), want.At(r, c))
+				}
+			}
+		}
+	}
+}
+
+func TestForwardBatchEdgeCases(t *testing.T) {
+	net := mlpForTest(1)
+	if out, err := net.ForwardBatch(nil); err != nil || out != nil {
+		t.Fatalf("empty batch: got %v, %v", out, err)
+	}
+	one, err := net.ForwardBatch([]*tensor.Tensor{tensor.New(2, 6)})
+	if err != nil || len(one) != 1 {
+		t.Fatalf("singleton batch: got %d outputs, err %v", len(one), err)
+	}
+	_, err = net.ForwardBatch([]*tensor.Tensor{tensor.New(2, 6), tensor.New(2, 5)})
+	if err == nil {
+		t.Fatal("want error for mismatched feature dims")
+	}
+	_, err = net.ForwardBatch([]*tensor.Tensor{tensor.Scalar(1), tensor.Scalar(2)})
+	if err == nil {
+		t.Fatal("want error for rank-0 inputs")
+	}
+}
+
+// TestForwardTrailingViewLayerDetachesScratch guards the arena against
+// view-returning trailing layers: a network ending in Flatten must not
+// hand the caller a tensor aliasing pooled scratch memory.
+func TestForwardTrailingViewLayerDetachesScratch(t *testing.T) {
+	net := NewNetwork(4)
+	net.Add(net.NewDense(3, 4), NewFlatten())
+	x := randInput(rand.New(rand.NewSource(8)), 2, 3)
+	y1, err := net.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snapshot := y1.Clone()
+	// A second pass with different inputs would clobber y1 if it aliased
+	// the pooled scratch buffer.
+	x2 := randInput(rand.New(rand.NewSource(99)), 2, 3)
+	if _, err := net.Forward(x2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < y1.Dim(0); i++ {
+		for j := 0; j < y1.Dim(1); j++ {
+			if y1.At(i, j) != snapshot.At(i, j) {
+				t.Fatal("Forward result aliases pooled scratch memory")
+			}
+		}
+	}
+}

@@ -52,27 +52,67 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
 	if train {
 		d.lastX = x
 	}
+	out := tensor.New(x.Dim(0), d.Out)
+	if err := d.forwardInto(out, x); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// inferDims reports the [batch, Out] output extents for a rank-2 input.
+func (d *Dense) inferDims(x *tensor.Tensor) (int, int, bool) {
+	if x.Rank() != 2 || x.Dim(1) != d.In {
+		return 0, 0, false
+	}
+	return x.Dim(0), d.Out, true
+}
+
+// forwardInto computes xW + b into dst without allocating.
+func (d *Dense) forwardInto(dst, x *tensor.Tensor) error {
+	if x.Rank() != 2 || x.Dim(1) != d.In {
+		return fmt.Errorf("dense wants [batch, %d], got %v", d.In, x.Shape())
+	}
 	b := x.Dim(0)
-	out := tensor.New(b, d.Out)
-	xd, wd, bd, od := x.Data(), d.Weight.W.Data(), d.Bias.W.Data(), out.Data()
+	if dst.Rank() != 2 || dst.Dim(0) != b || dst.Dim(1) != d.Out || !dst.IsContiguous() {
+		return fmt.Errorf("dense dst wants contiguous [%d, %d], got %v", b, d.Out, dst.Shape())
+	}
+	x = x.Contiguous()
+	xd, wd, bd, od := x.Data(), d.Weight.W.Data(), d.Bias.W.Data(), dst.Data()
 	in, outW := d.In, d.Out
+	// Small products run the loop directly: no closure, no goroutines,
+	// no allocation. The loop body must mirror the parallel branch so
+	// results are bit-identical either way.
+	if b*in*outW < denseParFLOPs {
+		for r := 0; r < b; r++ {
+			denseRow(xd[r*in:(r+1)*in], wd, bd, od[r*outW:(r+1)*outW])
+		}
+		return nil
+	}
 	parallel.ForRange(b, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
-			xrow := xd[r*in : (r+1)*in]
-			orow := od[r*outW : (r+1)*outW]
-			copy(orow, bd)
-			for k, xv := range xrow {
-				if xv == 0 {
-					continue
-				}
-				wrow := wd[k*outW : (k+1)*outW]
-				for j := range orow {
-					orow[j] += xv * wrow[j]
-				}
-			}
+			denseRow(xd[r*in:(r+1)*in], wd, bd, od[r*outW:(r+1)*outW])
 		}
 	})
-	return out, nil
+	return nil
+}
+
+// denseParFLOPs is the multiply-accumulate count below which a dense
+// forward pass runs serially on the calling goroutine.
+const denseParFLOPs = 1 << 18
+
+// denseRow computes one output row: orow = xrow @ W + bias.
+func denseRow(xrow, wd, bd, orow []float64) {
+	outW := len(orow)
+	copy(orow, bd)
+	for k, xv := range xrow {
+		if xv == 0 {
+			continue
+		}
+		wrow := wd[k*outW : (k+1)*outW]
+		for j := range orow {
+			orow[j] += xv * wrow[j]
+		}
+	}
 }
 
 // Backward computes input gradients and accumulates dW, db.
@@ -177,32 +217,38 @@ func validActivation(fn string) bool {
 	return false
 }
 
-// Forward applies the nonlinearity elementwise.
-func (a *Activation) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
-	var f func(float64) float64
+// fn returns the scalar map for the activation kind.
+func (a *Activation) fn() (func(float64) float64, error) {
 	switch a.Fn {
 	case ActReLU:
-		f = func(v float64) float64 {
+		return func(v float64) float64 {
 			if v > 0 {
 				return v
 			}
 			return 0
-		}
+		}, nil
 	case ActTanh:
-		f = math.Tanh
+		return math.Tanh, nil
 	case ActSigmoid:
-		f = func(v float64) float64 { return 1 / (1 + math.Exp(-v)) }
+		return func(v float64) float64 { return 1 / (1 + math.Exp(-v)) }, nil
 	case ActLeakyReLU:
-		f = func(v float64) float64 {
+		return func(v float64) float64 {
 			if v > 0 {
 				return v
 			}
 			return 0.01 * v
-		}
+		}, nil
 	case ActIdentity:
-		f = func(v float64) float64 { return v }
-	default:
-		return nil, fmt.Errorf("unknown activation %q", a.Fn)
+		return func(v float64) float64 { return v }, nil
+	}
+	return nil, fmt.Errorf("unknown activation %q", a.Fn)
+}
+
+// Forward applies the nonlinearity elementwise.
+func (a *Activation) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
+	f, err := a.fn()
+	if err != nil {
+		return nil, err
 	}
 	out := x.Contiguous().Clone()
 	d := out.Data()
@@ -212,6 +258,36 @@ func (a *Activation) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, erro
 		a.lastOut = out
 	}
 	return out, nil
+}
+
+// inferDims reports that the activation preserves rank-2 extents.
+func (a *Activation) inferDims(x *tensor.Tensor) (int, int, bool) {
+	if x.Rank() != 2 || !validActivation(a.Fn) {
+		return 0, 0, false
+	}
+	return x.Dim(0), x.Dim(1), true
+}
+
+// forwardInto applies the nonlinearity from x into dst without
+// allocating. dst may not alias a non-contiguous x.
+func (a *Activation) forwardInto(dst, x *tensor.Tensor) error {
+	f, err := a.fn()
+	if err != nil {
+		return err
+	}
+	if dst.Rank() != 2 || x.Rank() != 2 || dst.Dim(0) != x.Dim(0) || dst.Dim(1) != x.Dim(1) || !dst.IsContiguous() {
+		return fmt.Errorf("activation dst wants contiguous %v, got %v", x.Shape(), dst.Shape())
+	}
+	xd := x.Contiguous().Data()
+	od := dst.Data()
+	if len(od) < 4096 {
+		for i := range od {
+			od[i] = f(xd[i])
+		}
+		return nil
+	}
+	parallel.ForChunked(len(od), 4096, func(i int) { od[i] = f(xd[i]) })
+	return nil
 }
 
 // Backward multiplies the incoming gradient by the activation derivative.

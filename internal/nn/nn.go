@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"repro/internal/tensor"
 )
@@ -55,6 +56,11 @@ type Layer interface {
 type Network struct {
 	Layers []*layerEntry
 	rng    *rand.Rand
+
+	// scratch pools the ping-pong intermediate buffers of inference
+	// passes. Pooling (rather than a single arena) keeps concurrent
+	// Forward calls safe when regions share a cached model.
+	scratch sync.Pool
 }
 
 type layerEntry struct {
@@ -75,14 +81,194 @@ func (n *Network) Add(layers ...Layer) *Network {
 	return n
 }
 
-// Forward runs inference (no caching, dropout disabled).
+// Forward runs inference (no caching, dropout disabled). Intermediate
+// activations come from a pooled scratch arena, so only the returned
+// output tensor is allocated per call; ForwardInto removes that
+// allocation too.
 func (n *Network) Forward(x *tensor.Tensor) (*tensor.Tensor, error) {
-	return n.forward(x, false)
+	return n.forwardInference(x, nil)
+}
+
+// ForwardInto runs inference writing the final output into dst, which
+// must be a contiguous tensor of the network's output shape for x's
+// batch size. Together with the scratch arena this makes steady-state
+// MLP inference allocation-free: dense and activation layers write into
+// reused ping-pong buffers and the last layer writes into dst.
+func (n *Network) ForwardInto(dst, x *tensor.Tensor) error {
+	if dst == nil {
+		return fmt.Errorf("nn: ForwardInto with nil dst")
+	}
+	_, err := n.forwardInference(x, dst)
+	return err
+}
+
+// ForwardBatch runs inference for several independent inputs in a single
+// forward pass, amortizing per-call kernel dispatch across the batch.
+// All inputs must share their non-leading dimensions; they are stacked
+// along dim 0, evaluated once, and the combined output is split back at
+// the same row boundaries. The returned tensors are views into one
+// shared result buffer. Results are bit-identical to calling Forward on
+// each input separately, because every kernel accumulates per output row
+// in a batch-size-independent order.
+func (n *Network) ForwardBatch(xs []*tensor.Tensor) ([]*tensor.Tensor, error) {
+	switch len(xs) {
+	case 0:
+		return nil, nil
+	case 1:
+		y, err := n.Forward(xs[0])
+		if err != nil {
+			return nil, err
+		}
+		return []*tensor.Tensor{y}, nil
+	}
+	if xs[0].Rank() < 1 {
+		return nil, fmt.Errorf("nn: ForwardBatch input 0 has no batch dimension (shape %v)", xs[0].Shape())
+	}
+	rest := xs[0].Shape()[1:]
+	total := 0
+	for i, x := range xs {
+		if x.Rank() < 1 || !tensor.ShapeEqual(x.Shape()[1:], rest) {
+			return nil, fmt.Errorf("nn: ForwardBatch input %d shape %v incompatible with %v", i, x.Shape(), xs[0].Shape())
+		}
+		total += x.Dim(0)
+	}
+	big := tensor.New(append([]int{total}, rest...)...)
+	at := 0
+	for _, x := range xs {
+		slot, err := big.Narrow(0, at, x.Dim(0))
+		if err != nil {
+			return nil, err
+		}
+		if err := slot.CopyFrom(x); err != nil {
+			return nil, err
+		}
+		at += x.Dim(0)
+	}
+	y, err := n.forwardInference(big, nil)
+	if err != nil {
+		return nil, err
+	}
+	if y.Rank() < 1 || y.Dim(0) != total {
+		return nil, fmt.Errorf("nn: ForwardBatch output shape %v does not preserve the %d stacked rows", y.Shape(), total)
+	}
+	outs := make([]*tensor.Tensor, len(xs))
+	at = 0
+	for i, x := range xs {
+		if outs[i], err = y.Narrow(0, at, x.Dim(0)); err != nil {
+			return nil, err
+		}
+		at += x.Dim(0)
+	}
+	return outs, nil
 }
 
 // ForwardTrain runs a training-mode forward pass, caching activations.
 func (n *Network) ForwardTrain(x *tensor.Tensor) (*tensor.Tensor, error) {
 	return n.forward(x, true)
+}
+
+// inferScratch holds one inference pass's ping-pong intermediate buffers
+// plus cached tensor headers, reused while layer output shapes repeat.
+type inferScratch struct {
+	bufs       [2][]float64
+	ts         [2]*tensor.Tensor
+	rows, cols [2]int
+}
+
+// tensorFor returns a [rows, cols] tensor backed by the slot's buffer,
+// growing the buffer and rebuilding the header only when the shape
+// changed since the slot's last use.
+func (s *inferScratch) tensorFor(slot, rows, cols int) *tensor.Tensor {
+	if s.ts[slot] != nil && s.rows[slot] == rows && s.cols[slot] == cols {
+		return s.ts[slot]
+	}
+	n := rows * cols
+	if cap(s.bufs[slot]) < n {
+		s.bufs[slot] = make([]float64, n)
+	}
+	t, err := tensor.Wrap(s.bufs[slot][:n], rows, cols)
+	if err != nil {
+		panic("nn: scratch wrap: " + err.Error()) // cannot happen: buffer sized above
+	}
+	s.ts[slot] = t
+	s.rows[slot], s.cols[slot] = rows, cols
+	return t
+}
+
+// intoLayer is implemented by layers whose inference pass can write a
+// rank-2 output into a caller-provided tensor without allocating.
+type intoLayer interface {
+	// inferDims maps x to the layer's [rows, cols] output extents;
+	// ok is false when x is not an acceptable rank-2 input (the caller
+	// then falls back to the allocating Forward path).
+	inferDims(x *tensor.Tensor) (rows, cols int, ok bool)
+	// forwardInto computes the inference output of x into dst. dst must
+	// not alias x.
+	forwardInto(dst, x *tensor.Tensor) error
+}
+
+// forwardInference walks the layers in inference mode, routing rank-2
+// intermediates through the pooled scratch arena. When dst is non-nil
+// the final output is written there; otherwise it is freshly allocated.
+func (n *Network) forwardInference(x *tensor.Tensor, dst *tensor.Tensor) (*tensor.Tensor, error) {
+	s, _ := n.scratch.Get().(*inferScratch)
+	if s == nil {
+		s = &inferScratch{}
+	}
+	defer n.scratch.Put(s)
+
+	cur := x
+	slot := 0
+	// inScratch tracks whether cur may alias a pooled buffer. Fallback
+	// layers can return views of their input (Flatten, Dropout), so the
+	// flag stays set across them conservatively.
+	inScratch := false
+	for i, e := range n.Layers {
+		last := i == len(n.Layers)-1
+		il, ok := e.Layer.(intoLayer)
+		if ok {
+			rows, cols, dimsOK := il.inferDims(cur)
+			if dimsOK {
+				var out *tensor.Tensor
+				switch {
+				case last && dst != nil:
+					if dst.Rank() != 2 || dst.Dim(0) != rows || dst.Dim(1) != cols {
+						return nil, fmt.Errorf("nn: ForwardInto dst shape %v, want [%d %d]", dst.Shape(), rows, cols)
+					}
+					out = dst
+				case last:
+					out = tensor.New(rows, cols)
+				default:
+					out = s.tensorFor(slot, rows, cols)
+					slot ^= 1
+				}
+				if err := il.forwardInto(out, cur); err != nil {
+					return nil, fmt.Errorf("nn: layer %d (%s): %w", i, e.Layer.Kind(), err)
+				}
+				cur = out
+				inScratch = out != dst && !last
+				continue
+			}
+		}
+		var err error
+		if cur, err = e.Layer.Forward(cur, false); err != nil {
+			return nil, fmt.Errorf("nn: layer %d (%s): %w", i, e.Layer.Kind(), err)
+		}
+	}
+	if dst != nil && cur != dst {
+		// The last layer could not write in place (not an intoLayer, or a
+		// non-rank-2 output); copy the result over.
+		if err := dst.CopyFrom(cur); err != nil {
+			return nil, fmt.Errorf("nn: ForwardInto output: %w", err)
+		}
+		return dst, nil
+	}
+	if inScratch {
+		// A trailing view-returning layer left cur aliasing pooled
+		// memory; detach before the scratch returns to the pool.
+		cur = cur.Clone()
+	}
+	return cur, nil
 }
 
 func (n *Network) forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {

@@ -1,0 +1,134 @@
+package tensor
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+)
+
+// The MatMul kernel parallelizes across output-row ranges and adapts its
+// loop order to the size of B. While B fits in the last-level cache, each
+// output row is accumulated fully while resident in L1 and B's rows are
+// streamed — panel blocking would only add C re-traffic. Once B outgrows
+// the cache, the kernel switches to [matMulBlockK x matMulBlockJ] panels
+// of B that stay cache-resident while applied to every row of the
+// worker's range. Both orders accumulate each output element over k
+// ascending, so the paths (and any row split across workers) are
+// bit-identical.
+const (
+	// matMulPanelBytes approximates the last-level cache share available
+	// to B; beyond it the kernel blocks B into panels.
+	matMulPanelBytes = 8 << 20
+	// matMulBlockK bounds the depth of a B panel.
+	matMulBlockK = 256
+	// matMulBlockJ bounds a panel's column window so one panel
+	// (matMulBlockK x matMulBlockJ float64s, ~1 MB) fits in L2.
+	matMulBlockJ = 512
+	// matMulParFLOPs is the multiply-accumulate count below which the
+	// goroutine fan-out costs more than it saves and the kernel runs
+	// serially on the calling goroutine.
+	matMulParFLOPs = 1 << 18
+)
+
+// MatMul computes a @ b for rank-2 tensors [m,k] x [k,n] -> [m,n] with a
+// cache-aware kernel parallelized across row ranges.
+func MatMul(a, b *Tensor) (*Tensor, error) {
+	m, n, err := matMulDims(a, b)
+	if err != nil {
+		return nil, err
+	}
+	out := New(m, n)
+	matMulKernel(out, a, b)
+	return out, nil
+}
+
+// MatMulInto computes a @ b into dst, which must be a contiguous [m,n]
+// tensor whose storage does not overlap a or b. dst's previous contents
+// are overwritten, letting hot paths (the NN engine's dense layers, the
+// batched region-inference staging) reuse one output buffer across calls
+// instead of allocating per invocation.
+func MatMulInto(dst, a, b *Tensor) error {
+	m, n, err := matMulDims(a, b)
+	if err != nil {
+		return err
+	}
+	if dst.Rank() != 2 || dst.shape[0] != m || dst.shape[1] != n {
+		return fmt.Errorf("tensor: matmul dst shape %v, want [%d %d]", dst.shape, m, n)
+	}
+	if !dst.IsContiguous() {
+		return fmt.Errorf("tensor: matmul dst must be contiguous")
+	}
+	matMulKernel(dst, a, b)
+	return nil
+}
+
+func matMulDims(a, b *Tensor) (m, n int, err error) {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return 0, 0, fmt.Errorf("tensor: matmul wants rank-2 operands, got %d and %d", a.Rank(), b.Rank())
+	}
+	if a.shape[1] != b.shape[0] {
+		return 0, 0, fmt.Errorf("tensor: matmul inner dims differ: %d vs %d", a.shape[1], b.shape[0])
+	}
+	return a.shape[0], b.shape[1], nil
+}
+
+// matMulKernel assumes shapes were validated and dst is contiguous.
+func matMulKernel(dst, a, b *Tensor) {
+	m, k, n := a.shape[0], a.shape[1], b.shape[1]
+	ac, bc := a.Contiguous(), b.Contiguous()
+	ad := ac.data[ac.offset:]
+	bd := bc.data[bc.offset:]
+	od := dst.data[dst.offset : dst.offset+m*n]
+	for i := range od {
+		od[i] = 0
+	}
+	if m*k*n < matMulParFLOPs {
+		matMulRows(ad, bd, od, k, n, 0, m)
+		return
+	}
+	parallel.ForRange(m, func(lo, hi int) {
+		matMulRows(ad, bd, od, k, n, lo, hi)
+	})
+}
+
+// matMulRows accumulates output rows [lo, hi), choosing stream or panel
+// order by the size of B.
+func matMulRows(ad, bd, od []float64, k, n, lo, hi int) {
+	if k*n*8 <= matMulPanelBytes {
+		for i := lo; i < hi; i++ {
+			arow := ad[i*k : (i+1)*k]
+			orow := od[i*n : (i+1)*n]
+			for kk := 0; kk < k; kk++ {
+				av := arow[kk]
+				if av == 0 {
+					continue
+				}
+				brow := bd[kk*n : (kk+1)*n]
+				for j := range orow {
+					orow[j] += av * brow[j]
+				}
+			}
+		}
+		return
+	}
+	for k0 := 0; k0 < k; k0 += matMulBlockK {
+		k1 := min(k0+matMulBlockK, k)
+		for j0 := 0; j0 < n; j0 += matMulBlockJ {
+			j1 := min(j0+matMulBlockJ, n)
+			for i := lo; i < hi; i++ {
+				arow := ad[i*k : (i+1)*k]
+				orow := od[i*n+j0 : i*n+j1]
+				for kk := k0; kk < k1; kk++ {
+					av := arow[kk]
+					if av == 0 {
+						continue
+					}
+					brow := bd[kk*n+j0 : kk*n+j1]
+					for j := range orow {
+						orow[j] += av * brow[j]
+					}
+				}
+			}
+		}
+	}
+}

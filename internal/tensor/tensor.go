@@ -678,38 +678,6 @@ func Stack(dim int, ts ...*Tensor) (*Tensor, error) {
 	return out, nil
 }
 
-// MatMul computes a @ b for rank-2 tensors [m,k] x [k,n] -> [m,n].
-func MatMul(a, b *Tensor) (*Tensor, error) {
-	if a.Rank() != 2 || b.Rank() != 2 {
-		return nil, fmt.Errorf("tensor: matmul wants rank-2 operands, got %d and %d", a.Rank(), b.Rank())
-	}
-	m, k := a.shape[0], a.shape[1]
-	k2, n := b.shape[0], b.shape[1]
-	if k != k2 {
-		return nil, fmt.Errorf("tensor: matmul inner dims differ: %d vs %d", k, k2)
-	}
-	ac, bc := a.Contiguous(), b.Contiguous()
-	ad := ac.data[ac.offset:]
-	bd := bc.data[bc.offset:]
-	out := New(m, n)
-	od := out.data
-	for i := 0; i < m; i++ {
-		arow := ad[i*k : (i+1)*k]
-		orow := od[i*n : (i+1)*n]
-		for kk := 0; kk < k; kk++ {
-			av := arow[kk]
-			if av == 0 {
-				continue
-			}
-			brow := bd[kk*n : (kk+1)*n]
-			for j := range orow {
-				orow[j] += av * brow[j]
-			}
-		}
-	}
-	return out, nil
-}
-
 // String renders small tensors fully and large tensors as a summary.
 func (t *Tensor) String() string {
 	const maxRender = 64
