@@ -30,6 +30,7 @@ func main() {
 	full := flag.Bool("full", false, "use campaign-scale problem sizes")
 	seed := flag.Int64("seed", 29, "random seed")
 	parallelism := flag.Int("parallel", 1, "benchmarks searched in parallel when -benchmark all")
+	innerWorkers := flag.Int("inner-workers", 1, "concurrent training runs during each inner search's random-initialization phase (>1 adds contention noise to measured latencies)")
 	flag.Parse()
 
 	if *benchmark == "" {
@@ -52,6 +53,7 @@ func main() {
 		InnerIters:    *inner,
 		OuterPatience: *patience,
 		Seed:          *seed,
+		InnerWorkers:  *innerWorkers,
 	}
 
 	var targets []experiments.Harness

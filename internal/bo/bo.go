@@ -11,6 +11,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"repro/internal/gp"
 )
@@ -168,6 +169,17 @@ type Config struct {
 	// after five).
 	Patience int
 	Seed     int64
+	// Workers bounds the number of concurrent objective evaluations
+	// during the random-initialization phase (those trials are
+	// independent: no surrogate has engaged yet); 0 or 1 evaluates
+	// serially. Points and trial order are identical for any Workers
+	// value — the warmup points are drawn from the same RNG stream
+	// before evaluation fans out — so results are too whenever the
+	// objective is deterministic; wall-clock measurements inside the
+	// objective pick up contention noise. The objective must be safe
+	// for concurrent calls when Workers > 1. The GP-guided phase is
+	// inherently sequential and always runs serially.
+	Workers int
 }
 
 func (c *Config) fill(dim int) {
@@ -182,7 +194,9 @@ func (c *Config) fill(dim int) {
 	}
 }
 
-// Minimize runs single-objective BO with Expected Improvement.
+// Minimize runs single-objective BO with Expected Improvement. With
+// cfg.Workers > 1 the random-initialization trials evaluate
+// concurrently; see Config.Workers.
 func Minimize(space *Space, obj Objective, cfg Config) (*Result, error) {
 	if space.Dim() == 0 {
 		return nil, fmt.Errorf("bo: empty search space")
@@ -196,36 +210,94 @@ func Minimize(space *Space, obj Objective, cfg Config) (*Result, error) {
 	best := math.Inf(1)
 	stale := 0
 
-	for it := 0; it < cfg.Iterations; it++ {
+	record := func(tr *Trial, it int) bool {
+		res.Trials = append(res.Trials, tr)
+		if tr.Value < best {
+			best = tr.Value
+			res.Best = tr
+			stale = 0
+			return false
+		}
+		stale++
+		return cfg.Patience > 0 && stale >= cfg.Patience && it >= cfg.InitRandom
+	}
+
+	start := 0
+	if cfg.Workers > 1 {
+		// Draw every warmup point from the RNG first — the exact stream
+		// the serial loop would consume — then fan the independent
+		// evaluations out and fold the results back in order.
+		warm := min(cfg.InitRandom, cfg.Iterations)
+		trials := make([]*Trial, warm)
+		for i := range trials {
+			u := proposePoint(space, nil, cfg, rng, i)
+			assign, err := space.Decode(u)
+			if err != nil {
+				return nil, err
+			}
+			trials[i] = &Trial{U: u, Assign: assign}
+		}
+		evalTrials(trials, cfg.Workers, func(tr *Trial) { evalTrial(tr, obj) })
+		for it, tr := range trials {
+			record(tr, it) // warmup cannot trip patience (it < InitRandom)
+		}
+		start = warm
+	}
+	for it := start; it < cfg.Iterations; it++ {
 		u := proposePoint(space, res.Trials, cfg, rng, it)
 		assign, err := space.Decode(u)
 		if err != nil {
 			return nil, err
 		}
 		tr := &Trial{U: u, Assign: assign}
-		v, err := obj(assign)
-		if err != nil {
-			tr.Failed = true
-			tr.Value = math.Inf(1)
-		} else {
-			tr.Value = v
-		}
-		res.Trials = append(res.Trials, tr)
-		if tr.Value < best {
-			best = tr.Value
-			res.Best = tr
-			stale = 0
-		} else {
-			stale++
-			if cfg.Patience > 0 && stale >= cfg.Patience && it >= cfg.InitRandom {
-				break
-			}
+		evalTrial(tr, obj)
+		if record(tr, it) {
+			break
 		}
 	}
 	if res.Best == nil {
 		return nil, fmt.Errorf("bo: all %d trials failed", len(res.Trials))
 	}
 	return res, nil
+}
+
+// evalTrial runs the objective for one trial, mapping errors to a failed
+// trial at +Inf.
+func evalTrial(tr *Trial, obj Objective) {
+	v, err := obj(tr.Assign)
+	if err != nil {
+		tr.Failed = true
+		tr.Value = math.Inf(1)
+		return
+	}
+	tr.Value = v
+}
+
+// evalTrials evaluates independent trials with up to workers concurrent
+// eval calls, writing each result into its own Trial.
+func evalTrials(trials []*Trial, workers int, eval func(*Trial)) {
+	if workers > len(trials) {
+		workers = len(trials)
+	}
+	if workers < 1 {
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan *Trial)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for tr := range next {
+				eval(tr)
+			}
+		}()
+	}
+	for _, tr := range trials {
+		next <- tr
+	}
+	close(next)
+	wg.Wait()
 }
 
 // proposePoint returns the next point: random during warmup, otherwise the
@@ -304,6 +376,8 @@ func stdNormCDF(z float64) float64 {
 // random weight vector, scalarizes the (normalized) objectives with the
 // augmented Chebyshev function, and performs one EI step on the
 // scalarization. The Pareto front of all successful trials is returned.
+// With cfg.Workers > 1 the random-initialization trials evaluate
+// concurrently; see Config.Workers.
 func MinimizeMulti(space *Space, obj MultiObjective, nObjs int, cfg Config) (*Result, error) {
 	if nObjs < 2 {
 		return nil, fmt.Errorf("bo: multi-objective needs >= 2 objectives, got %d", nObjs)
@@ -316,17 +390,55 @@ func MinimizeMulti(space *Space, obj MultiObjective, nObjs int, cfg Config) (*Re
 	res := &Result{}
 	stale := 0
 
-	for it := 0; it < cfg.Iterations; it++ {
-		// Random scalarization weights for this iteration.
-		w := make([]float64, nObjs)
-		var sum float64
-		for i := range w {
-			w[i] = -math.Log(1 - rng.Float64())
-			sum += w[i]
+	evalMulti := func(tr *Trial) {
+		objs, err := obj(tr.Assign)
+		if err != nil || len(objs) != nObjs {
+			tr.Failed = true
+			tr.Objs = make([]float64, nObjs)
+			for i := range tr.Objs {
+				tr.Objs[i] = math.Inf(1)
+			}
+			return
 		}
-		for i := range w {
-			w[i] /= sum
+		tr.Objs = objs
+	}
+	record := func(tr *Trial, it int) bool {
+		res.Trials = append(res.Trials, tr)
+		before := len(res.Pareto)
+		res.Pareto = paretoFront(res.Trials)
+		if len(res.Pareto) != before || contains(res.Pareto, tr) {
+			stale = 0
+			return false
 		}
+		stale++
+		return cfg.Patience > 0 && stale >= cfg.Patience && it >= cfg.InitRandom
+	}
+
+	start := 0
+	if cfg.Workers > 1 {
+		// Consume the RNG exactly as the serial warmup would — the
+		// scalarization weights are drawn (and discarded: warmup
+		// proposals ignore them) before each point — then fan the
+		// independent evaluations out and fold results back in order.
+		warm := min(cfg.InitRandom, cfg.Iterations)
+		trials := make([]*Trial, warm)
+		for i := range trials {
+			drawChebyshevWeights(rng, nObjs)
+			u := proposeScalarized(space, nil, nil, cfg, rng, i)
+			assign, err := space.Decode(u)
+			if err != nil {
+				return nil, err
+			}
+			trials[i] = &Trial{U: u, Assign: assign}
+		}
+		evalTrials(trials, cfg.Workers, evalMulti)
+		for it, tr := range trials {
+			record(tr, it) // warmup cannot trip patience (it < InitRandom)
+		}
+		start = warm
+	}
+	for it := start; it < cfg.Iterations; it++ {
+		w := drawChebyshevWeights(rng, nObjs)
 		scalar := scalarizeTrials(res.Trials, w, nObjs)
 		u := proposeScalarized(space, res.Trials, scalar, cfg, rng, it)
 		assign, err := space.Decode(u)
@@ -334,27 +446,9 @@ func MinimizeMulti(space *Space, obj MultiObjective, nObjs int, cfg Config) (*Re
 			return nil, err
 		}
 		tr := &Trial{U: u, Assign: assign}
-		objs, err := obj(assign)
-		if err != nil || len(objs) != nObjs {
-			tr.Failed = true
-			tr.Objs = make([]float64, nObjs)
-			for i := range tr.Objs {
-				tr.Objs[i] = math.Inf(1)
-			}
-		} else {
-			tr.Objs = objs
-		}
-		res.Trials = append(res.Trials, tr)
-		before := len(res.Pareto)
-		res.Pareto = paretoFront(res.Trials)
-		improved := len(res.Pareto) != before || contains(res.Pareto, tr)
-		if improved {
-			stale = 0
-		} else {
-			stale++
-			if cfg.Patience > 0 && stale >= cfg.Patience && it >= cfg.InitRandom {
-				break
-			}
+		evalMulti(tr)
+		if record(tr, it) {
+			break
 		}
 	}
 	if len(res.Pareto) == 0 {
@@ -363,6 +457,24 @@ func MinimizeMulti(space *Space, obj MultiObjective, nObjs int, cfg Config) (*Re
 	// Best = knee point: minimal normalized sum of objectives.
 	res.Best = kneePoint(res.Pareto)
 	return res, nil
+}
+
+// drawChebyshevWeights draws one ParEGO iteration's random
+// scalarization weight vector (normalized exponential draws). It is the
+// single source of the per-iteration RNG consumption: the parallel
+// warmup calls it purely to keep the stream aligned with the serial
+// loop, so any change to the draw stays consistent across both paths.
+func drawChebyshevWeights(rng *rand.Rand, nObjs int) []float64 {
+	w := make([]float64, nObjs)
+	var sum float64
+	for i := range w {
+		w[i] = -math.Log(1 - rng.Float64())
+		sum += w[i]
+	}
+	for i := range w {
+		w[i] /= sum
+	}
+	return w
 }
 
 func contains(ts []*Trial, t *Trial) bool {

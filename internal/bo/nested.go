@@ -3,6 +3,7 @@ package bo
 import (
 	"fmt"
 	"math"
+	"sync"
 )
 
 // NestedConfig controls the two-level search of paper §V-C: the outer
@@ -15,12 +16,24 @@ type NestedConfig struct {
 	InnerIters    int
 	OuterPatience int
 	Seed          int64
+	// InnerWorkers is passed to every inner hyperparameter search as
+	// Config.Workers: its random-initialization trials (independent
+	// training runs) evaluate concurrently, amortizing the Table V
+	// campaign across cores. The eval callback must be safe for
+	// concurrent calls when InnerWorkers > 1. The hyperparameter points
+	// and trial order are identical for any value, but wall-clock
+	// measurements inside eval (latency objectives) pick up contention
+	// noise from concurrent training runs — use 1 when latency numbers
+	// must be reproducible.
+	InnerWorkers int
 }
 
 // NestedEval trains and scores one (architecture, hyperparameter)
 // configuration, returning the model's inference latency (seconds) and
-// validation error. The architecture alone determines latency; the inner
-// level minimizes validation error.
+// validation error. The architecture alone determines latency (the
+// outer level records the minimum observed across the inner trials, an
+// order-independent aggregate); the inner level minimizes validation
+// error.
 type NestedEval func(arch, hyper map[string]Value) (latencySec, valError float64, err error)
 
 // NestedTrial is one outer-level result: an architecture with its best
@@ -51,21 +64,32 @@ func NestedSearch(archSpace, hyperSpace *Space, eval NestedEval, cfg NestedConfi
 		return nil, fmt.Errorf("bo: nested search wants positive iteration counts")
 	}
 	res := &NestedResult{}
+	// Guards ModelsEvaluated and the latency capture: the inner search's
+	// warmup trials run concurrently when InnerWorkers > 1.
+	var mu sync.Mutex
 
 	outerObj := func(arch map[string]Value) ([]float64, error) {
-		var lat float64
-		latSet := false
+		lat := math.Inf(1)
+		innerSeed := cfg.Seed + int64(res.ModelsEvaluated)
 		inner, err := Minimize(hyperSpace, func(hyper map[string]Value) (float64, error) {
+			mu.Lock()
 			res.ModelsEvaluated++
+			mu.Unlock()
 			l, v, err := eval(arch, hyper)
 			if err != nil {
 				return 0, err
 			}
-			if !latSet {
-				lat, latSet = l, true
+			// Keep the minimum observed latency: order-independent, so
+			// concurrent warmup completion order cannot change it, and
+			// the least-contended measurement of an architecture-
+			// determined quantity.
+			mu.Lock()
+			if l < lat {
+				lat = l
 			}
+			mu.Unlock()
 			return v, nil
-		}, Config{Iterations: cfg.InnerIters, Seed: cfg.Seed + int64(res.ModelsEvaluated)})
+		}, Config{Iterations: cfg.InnerIters, Seed: innerSeed, Workers: cfg.InnerWorkers})
 		if err != nil {
 			return nil, err
 		}

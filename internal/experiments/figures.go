@@ -7,6 +7,7 @@ import (
 	"math/rand"
 	"path/filepath"
 	"sort"
+	"sync"
 
 	hpacml "repro"
 
@@ -482,16 +483,28 @@ func NestedCampaign(h Harness, dir string, opt Options, cfg bo.NestedConfig) (*b
 	if err := h.Collect(dbPath, opt); err != nil {
 		return nil, err
 	}
+	// The callback must be safe for concurrent calls when
+	// cfg.InnerWorkers > 1: the trial counter (and the model path
+	// derived from it) is mutex-guarded, and Evaluate is serialized —
+	// the harness app is shared mutable state, and latency is a
+	// wall-clock measurement. Training, the expensive phase, still runs
+	// concurrently; see NestedConfig.InnerWorkers for the measurement
+	// noise concurrent training adds.
+	var mu, evalMu sync.Mutex
 	trial := 0
 	return bo.NestedSearch(h.ArchSpace(), HyperSpace(),
 		func(arch, hyper map[string]bo.Value) (float64, float64, error) {
+			mu.Lock()
 			trial++
 			modelPath := filepath.Join(dir, fmt.Sprintf("%s-search-%d.gmod", name, trial))
+			mu.Unlock()
 			valErr, err := h.Train(dbPath, modelPath, arch, hyper, opt)
 			if err != nil {
 				return 0, 0, err
 			}
+			evalMu.Lock()
 			res, err := h.Evaluate(modelPath, opt)
+			evalMu.Unlock()
 			if err != nil {
 				return 0, 0, err
 			}

@@ -3,6 +3,8 @@ package nn
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/parallel"
 	"repro/internal/tensor"
@@ -10,12 +12,61 @@ import (
 
 // Conv1D is a 1-D convolution over [batch, InC, L] inputs producing
 // [batch, OutC, L'] with L' = (L-K)/Stride + 1 (valid padding).
+//
+// Both passes run as im2col + blocked MatMul: the input is unrolled into
+// a [batch*L', InC*K] patch matrix once, after which forward is one
+// patches@Wᵀ product, and backward is two more (dW = dYᵀ@patches,
+// dPatches = dY@W) plus a col2im scatter — every O(n·k) loop rides the
+// cache-aware parallel kernels in internal/tensor.
 type Conv1D struct {
 	InC, OutC, K, Stride int
 	Weight               *Param // [OutC, InC, K]
 	Bias                 *Param // [OutC]
 
 	lastX *tensor.Tensor
+	// wMat lazily caches the [OutC, InC*K] view of Weight.W (whose
+	// backing storage never changes after construction). Atomic because
+	// concurrent inference callers may race to build it; building twice
+	// is harmless (idempotent views of the same storage), and the warm
+	// path is a bare load so it costs no allocation.
+	wMat atomic.Pointer[tensor.Tensor]
+	// Training-path arenas, reused across steps: the im2col patch
+	// matrix, the [batch*L', OutC] pre-transpose output, the forward
+	// output, the transposed incoming gradient, the patch gradient, the
+	// weight-gradient staging and the input gradient.
+	colBuf  scratch
+	out2Buf scratch
+	fwdOut  scratch
+	gtBuf   scratch
+	dcolBuf scratch
+	dwBuf   scratch
+	dxBuf   scratch
+	// pool recycles inference-path patch/output buffers so concurrent
+	// Forward callers (regions sharing a cached model) never contend on
+	// the training arenas.
+	pool sync.Pool
+}
+
+// convScratch is one inference pass's im2col buffers.
+type convScratch struct {
+	col, out2 []float64
+}
+
+// convParFLOPs is the multiply-accumulate count below which conv
+// im2col/col2im/transpose passes run serially on the calling goroutine.
+const convParFLOPs = 1 << 18
+
+// weightMat returns Weight.W viewed as [OutC, InC*K].
+func (c *Conv1D) weightMat() *tensor.Tensor {
+	if m := c.wMat.Load(); m != nil {
+		return m
+	}
+	m, err := c.Weight.W.Reshape(c.OutC, c.InC*c.K)
+	if err != nil {
+		panic("nn: conv1d weight reshape: " + err.Error()) // cannot happen: contiguous [OutC,InC,K]
+	}
+	c.wMat.Store(m)
+	return m
 }
 
 // NewConv1D constructs a 1-D convolution with He-uniform init.
@@ -52,7 +103,35 @@ func (c *Conv1D) OutShape(in []int) ([]int, error) {
 	return []int{c.OutC, (l-c.K)/c.Stride + 1}, nil
 }
 
-// Forward computes the valid cross-correlation, parallel over the batch.
+// im2col1d unrolls x ([b, inC, l] flat) into col ([b*lOut, inC*k] flat):
+// col[(n*lOut+p), ic*k+t] = x[n, ic, p*s+t]. Each patch row is assembled
+// from contiguous copies.
+func im2col1d(col, xd []float64, b, inC, l, lOut, k, s int, par bool) {
+	cols := inC * k
+	body := func(lo, hi int) {
+		for n := lo; n < hi; n++ {
+			xn := xd[n*inC*l : (n+1)*inC*l]
+			for p := 0; p < lOut; p++ {
+				row := col[(n*lOut+p)*cols : (n*lOut+p+1)*cols]
+				base := p * s
+				for ic := 0; ic < inC; ic++ {
+					copy(row[ic*k:(ic+1)*k], xn[ic*l+base:ic*l+base+k])
+				}
+			}
+		}
+	}
+	if par {
+		parallel.ForRange(b, body)
+	} else {
+		body(0, b)
+	}
+}
+
+// Forward computes the valid cross-correlation as im2col + patches@Wᵀ
+// through the blocked MatMul kernel. The training pass stages through
+// layer-owned arenas (and caches the patch matrix for Backward);
+// inference recycles pooled buffers so shared networks stay safe under
+// concurrent callers.
 func (c *Conv1D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
 	if x.Rank() != 3 || x.Dim(1) != c.InC {
 		return nil, fmt.Errorf("conv1d wants [batch, %d, L], got %v", c.InC, x.Shape())
@@ -62,41 +141,73 @@ func (c *Conv1D) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
 		return nil, err
 	}
 	x = x.Contiguous()
+	b, l, lOut := x.Dim(0), x.Dim(2), sample[1]
+	inC, outC, k, s := c.InC, c.OutC, c.K, c.Stride
+	rows, cols := b*lOut, inC*k
+	par := b*outC*lOut*inC*k >= convParFLOPs
+
+	var col, out2, out *tensor.Tensor
+	var ps *convScratch
 	if train {
 		c.lastX = x
+		col = c.colBuf.get2(rows, cols)
+		out2 = c.out2Buf.get2(rows, outC)
+		out = c.fwdOut.get3(b, outC, lOut)
+	} else {
+		ps, _ = c.pool.Get().(*convScratch)
+		if ps == nil {
+			ps = &convScratch{}
+		}
+		if cap(ps.col) < rows*cols {
+			ps.col = make([]float64, rows*cols)
+		}
+		if cap(ps.out2) < rows*outC {
+			ps.out2 = make([]float64, rows*outC)
+		}
+		if col, err = tensor.Wrap(ps.col[:rows*cols], rows, cols); err != nil {
+			return nil, err
+		}
+		if out2, err = tensor.Wrap(ps.out2[:rows*outC], rows, outC); err != nil {
+			return nil, err
+		}
+		out = tensor.New(b, outC, lOut)
 	}
-	b, l, lOut := x.Dim(0), x.Dim(2), sample[1]
-	out := tensor.New(b, c.OutC, lOut)
-	xd, wd, bd, od := x.Data(), c.Weight.W.Data(), c.Bias.W.Data(), out.Data()
-	inC, outC, k, s := c.InC, c.OutC, c.K, c.Stride
-	parallel.ForRange(b, func(lo, hi int) {
+
+	im2col1d(col.Data(), x.Data(), b, inC, l, lOut, k, s, par)
+	if err := tensor.MatMulTransBInto(out2, col, c.weightMat()); err != nil {
+		return nil, err
+	}
+	// Transpose [b*lOut, outC] into [b, outC, lOut] and add the bias.
+	o2d, od, bd := out2.Data(), out.Data(), c.Bias.W.Data()
+	scatter := func(lo, hi int) {
 		for n := lo; n < hi; n++ {
-			xn := xd[n*inC*l : (n+1)*inC*l]
+			o2n := o2d[n*lOut*outC : (n+1)*lOut*outC]
 			on := od[n*outC*lOut : (n+1)*outC*lOut]
 			for oc := 0; oc < outC; oc++ {
+				bv := bd[oc]
 				orow := on[oc*lOut : (oc+1)*lOut]
 				for p := range orow {
-					orow[p] = bd[oc]
-				}
-				for ic := 0; ic < inC; ic++ {
-					xrow := xn[ic*l : (ic+1)*l]
-					wrow := wd[(oc*inC+ic)*k : (oc*inC+ic+1)*k]
-					for p := 0; p < lOut; p++ {
-						base := p * s
-						var acc float64
-						for t := 0; t < k; t++ {
-							acc += xrow[base+t] * wrow[t]
-						}
-						orow[p] += acc
-					}
+					orow[p] = o2n[p*outC+oc] + bv
 				}
 			}
 		}
-	})
+	}
+	if par {
+		parallel.ForRange(b, scatter)
+	} else {
+		scatter(0, b)
+	}
+	if ps != nil {
+		c.pool.Put(ps)
+	}
 	return out, nil
 }
 
-// Backward computes input gradients and accumulates kernel/bias gradients.
+// Backward computes input gradients and accumulates kernel/bias
+// gradients, reusing the patch matrix cached by the training forward:
+// dW = dYᵀ@patches (MatMulTransAInto), dPatches = dY@W (MatMulInto), and
+// a col2im scatter-add parallelized over the batch (samples are
+// independent, so there is no accumulation race).
 func (c *Conv1D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 	if c.lastX == nil {
 		return nil, fmt.Errorf("conv1d backward without cached forward")
@@ -108,38 +219,65 @@ func (c *Conv1D) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 	if g.Rank() != 3 || g.Dim(0) != b || g.Dim(1) != c.OutC {
 		return nil, fmt.Errorf("conv1d backward grad shape %v", g.Shape())
 	}
-	xd, gd, wd := x.Data(), g.Data(), c.Weight.W.Data()
-	dW, dB := c.Weight.Grad.Data(), c.Bias.Grad.Data()
+	gd := g.Data()
+	dB := c.Bias.Grad.Data()
 	inC, outC, k, s := c.InC, c.OutC, c.K, c.Stride
-	dx := tensor.New(b, inC, l)
-	dxd := dx.Data()
+	rows, cols := b*lOut, inC*k
+	par := b*outC*lOut*inC*k >= convParFLOPs
+
+	// dB plus the [b, outC, lOut] -> [b*lOut, outC] gradient transpose
+	// feeding the matrix products.
+	gt := c.gtBuf.get2(rows, outC)
+	gtd := gt.Data()
 	for n := 0; n < b; n++ {
-		xn := dxd[n*inC*l : (n+1)*inC*l]
-		xin := xd[n*inC*l : (n+1)*inC*l]
 		gn := gd[n*outC*lOut : (n+1)*outC*lOut]
 		for oc := 0; oc < outC; oc++ {
 			grow := gn[oc*lOut : (oc+1)*lOut]
-			for p := 0; p < lOut; p++ {
-				dB[oc] += grow[p]
+			var sum float64
+			for p, gv := range grow {
+				sum += gv
+				gtd[(n*lOut+p)*outC+oc] = gv
 			}
-			for ic := 0; ic < inC; ic++ {
-				xrow := xin[ic*l : (ic+1)*l]
-				dxrow := xn[ic*l : (ic+1)*l]
-				wrow := wd[(oc*inC+ic)*k : (oc*inC+ic+1)*k]
-				dWrow := dW[(oc*inC+ic)*k : (oc*inC+ic+1)*k]
-				for p := 0; p < lOut; p++ {
-					gv := grow[p]
-					if gv == 0 {
-						continue
-					}
-					base := p * s
-					for t := 0; t < k; t++ {
-						dWrow[t] += gv * xrow[base+t]
-						dxrow[base+t] += gv * wrow[t]
+			dB[oc] += sum
+		}
+	}
+	// dW += dYᵀ @ patches.
+	col := c.colBuf.get2(rows, cols) // still holds im2col(lastX) from Forward
+	dwm := c.dwBuf.get2(outC, cols)
+	if err := tensor.MatMulTransAInto(dwm, gt, col); err != nil {
+		return nil, err
+	}
+	dW, dwd := c.Weight.Grad.Data(), dwm.Data()
+	for i := range dW {
+		dW[i] += dwd[i]
+	}
+	// dPatches = dY @ W, then col2im scatter-add into dX.
+	dcol := c.dcolBuf.get2(rows, cols)
+	if err := tensor.MatMulInto(dcol, gt, c.weightMat()); err != nil {
+		return nil, err
+	}
+	dx := c.dxBuf.get3(b, inC, l)
+	dx.Fill(0)
+	dcd, dxd := dcol.Data(), dx.Data()
+	col2im := func(lo, hi int) {
+		for n := lo; n < hi; n++ {
+			dxn := dxd[n*inC*l : (n+1)*inC*l]
+			for p := 0; p < lOut; p++ {
+				drow := dcd[(n*lOut+p)*cols : (n*lOut+p+1)*cols]
+				base := p * s
+				for ic := 0; ic < inC; ic++ {
+					dxrow := dxn[ic*l+base : ic*l+base+k]
+					for t, dv := range drow[ic*k : (ic+1)*k] {
+						dxrow[t] += dv
 					}
 				}
 			}
 		}
+	}
+	if par {
+		parallel.ForRange(b, col2im)
+	} else {
+		col2im(0, b)
 	}
 	c.lastX = nil
 	return dx, nil

@@ -16,6 +16,12 @@ type Dense struct {
 	Bias    *Param // [Out]
 
 	lastX *tensor.Tensor
+	// Training-path arenas, reused across steps so a steady-state step
+	// allocates nothing. Inference keeps its allocating/pooled paths so
+	// concurrent Forward callers never touch these.
+	fwdOut scratch // forward output [batch, Out]
+	dxBuf  scratch // input gradient [batch, In]
+	dwBuf  scratch // weight-gradient staging [In, Out]
 }
 
 // NewDense constructs a Dense layer with He-uniform initialized weights.
@@ -43,16 +49,22 @@ func (d *Dense) OutShape(in []int) ([]int, error) {
 	return []int{d.Out}, nil
 }
 
-// Forward computes xW + b with batch-parallel row blocks.
+// Forward computes xW + b with batch-parallel row blocks. The training
+// pass writes into a layer-owned arena (reused across steps) and caches
+// the input for Backward; inference allocates so shared networks stay
+// safe under concurrent callers.
 func (d *Dense) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
 	if x.Rank() != 2 || x.Dim(1) != d.In {
 		return nil, fmt.Errorf("dense wants [batch, %d], got %v", d.In, x.Shape())
 	}
 	x = x.Contiguous()
+	var out *tensor.Tensor
 	if train {
 		d.lastX = x
+		out = d.fwdOut.get2(x.Dim(0), d.Out)
+	} else {
+		out = tensor.New(x.Dim(0), d.Out)
 	}
-	out := tensor.New(x.Dim(0), d.Out)
 	if err := d.forwardInto(out, x); err != nil {
 		return nil, err
 	}
@@ -115,7 +127,13 @@ func denseRow(xrow, wd, bd, orow []float64) {
 	}
 }
 
-// Backward computes input gradients and accumulates dW, db.
+// Backward computes input gradients and accumulates dW, db. Both matrix
+// products run through the transpose-aware blocked kernels: dW = XᵀG via
+// MatMulTransAInto (into a reusable staging buffer, then accumulated so
+// gradient-accumulation semantics are preserved) and dX = GWᵀ via
+// MatMulTransBInto, neither materializing a transposed copy. The kernels
+// accumulate over the shared dimension ascending — the same order as the
+// old hand-rolled loops — so results are bit-identical.
 func (d *Dense) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 	if d.lastX == nil {
 		return nil, fmt.Errorf("dense backward without cached forward")
@@ -126,46 +144,31 @@ func (d *Dense) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 	if g.Rank() != 2 || g.Dim(0) != b || g.Dim(1) != d.Out {
 		return nil, fmt.Errorf("dense backward wants grad [%d, %d], got %v", b, d.Out, g.Shape())
 	}
-	xd, gd := x.Data(), g.Data()
-	wd := d.Weight.W.Data()
-	dW, dB := d.Weight.Grad.Data(), d.Bias.Grad.Data()
-	in, out := d.In, d.Out
+	gd := g.Data()
+	dB := d.Bias.Grad.Data()
+	out := d.Out
 
-	// dW = X^T G, db = column sums of G. Serial over batch (accumulation
-	// race otherwise); the training batches are small.
+	// db = column sums of G.
 	for r := 0; r < b; r++ {
-		xrow := xd[r*in : (r+1)*in]
 		grow := gd[r*out : (r+1)*out]
 		for j, gv := range grow {
 			dB[j] += gv
 		}
-		for k, xv := range xrow {
-			if xv == 0 {
-				continue
-			}
-			dWrow := dW[k*out : (k+1)*out]
-			for j, gv := range grow {
-				dWrow[j] += xv * gv
-			}
-		}
 	}
-	// dX = G W^T, parallel over batch rows.
-	dx := tensor.New(b, in)
-	dxd := dx.Data()
-	parallel.ForRange(b, func(lo, hi int) {
-		for r := lo; r < hi; r++ {
-			grow := gd[r*out : (r+1)*out]
-			dxrow := dxd[r*in : (r+1)*in]
-			for k := 0; k < in; k++ {
-				wrow := wd[k*out : (k+1)*out]
-				var s float64
-				for j, gv := range grow {
-					s += gv * wrow[j]
-				}
-				dxrow[k] = s
-			}
-		}
-	})
+	// dW += X^T G.
+	dw := d.dwBuf.get2(d.In, out)
+	if err := tensor.MatMulTransAInto(dw, x, g); err != nil {
+		return nil, err
+	}
+	dW, dwd := d.Weight.Grad.Data(), dw.Data()
+	for i := range dW {
+		dW[i] += dwd[i]
+	}
+	// dX = G W^T.
+	dx := d.dxBuf.get2(b, d.In)
+	if err := tensor.MatMulTransBInto(dx, g, d.Weight.W); err != nil {
+		return nil, err
+	}
 	d.lastX = nil
 	return dx, nil
 }
@@ -189,6 +192,10 @@ type Activation struct {
 
 	lastOut *tensor.Tensor
 	lastIn  *tensor.Tensor
+	// Training-path arenas (see Dense): forward output and input
+	// gradient, reused across steps.
+	fwdOut scratch
+	dxBuf  scratch
 }
 
 // NewActivation constructs the named activation; unknown names fail at
@@ -244,17 +251,46 @@ func (a *Activation) fn() (func(float64) float64, error) {
 	return nil, fmt.Errorf("unknown activation %q", a.Fn)
 }
 
-// Forward applies the nonlinearity elementwise.
+// applyElemwise maps dst[i] = f(src[i]) (src may alias dst), running the
+// small case inline with no closure and chunk-parallelizing the rest.
+// One home for the elementwise threshold keeps the activation paths'
+// parallelization policy consistent.
+func applyElemwise(dst, src []float64, f func(float64) float64) {
+	if len(dst) < elemwiseParMin {
+		for i := range dst {
+			dst[i] = f(src[i])
+		}
+		return
+	}
+	parallel.ForChunked(len(dst), elemwiseParMin, func(i int) { dst[i] = f(src[i]) })
+}
+
+// elemwiseParMin is the element count below which elementwise maps run
+// serially on the calling goroutine.
+const elemwiseParMin = 4096
+
+// Forward applies the nonlinearity elementwise. The training pass maps
+// the input into a layer-owned arena; inference clones (the rank-2 hot
+// path goes through forwardInto and the pooled arena instead).
 func (a *Activation) Forward(x *tensor.Tensor, train bool) (*tensor.Tensor, error) {
 	f, err := a.fn()
 	if err != nil {
 		return nil, err
 	}
-	out := x.Contiguous().Clone()
-	d := out.Data()
-	parallel.ForChunked(len(d), 4096, func(i int) { d[i] = f(d[i]) })
+	xc := x.Contiguous()
+	var out *tensor.Tensor
 	if train {
-		a.lastIn = x.Contiguous()
+		out = a.fwdOut.like(xc)
+	}
+	if out == nil {
+		out = xc.Clone()
+		d := out.Data()
+		applyElemwise(d, d, f)
+	} else {
+		applyElemwise(out.Data(), xc.Data(), f)
+	}
+	if train {
+		a.lastIn = xc
 		a.lastOut = out
 	}
 	return out, nil
@@ -278,24 +314,23 @@ func (a *Activation) forwardInto(dst, x *tensor.Tensor) error {
 	if dst.Rank() != 2 || x.Rank() != 2 || dst.Dim(0) != x.Dim(0) || dst.Dim(1) != x.Dim(1) || !dst.IsContiguous() {
 		return fmt.Errorf("activation dst wants contiguous %v, got %v", x.Shape(), dst.Shape())
 	}
-	xd := x.Contiguous().Data()
-	od := dst.Data()
-	if len(od) < 4096 {
-		for i := range od {
-			od[i] = f(xd[i])
-		}
-		return nil
-	}
-	parallel.ForChunked(len(od), 4096, func(i int) { od[i] = f(xd[i]) })
+	applyElemwise(dst.Data(), x.Contiguous().Data(), f)
 	return nil
 }
 
-// Backward multiplies the incoming gradient by the activation derivative.
+// Backward multiplies the incoming gradient by the activation
+// derivative, writing into a layer-owned arena instead of cloning.
 func (a *Activation) Backward(grad *tensor.Tensor) (*tensor.Tensor, error) {
 	if a.lastOut == nil {
 		return nil, fmt.Errorf("activation backward without cached forward")
 	}
-	g := grad.Contiguous().Clone()
+	gc := grad.Contiguous()
+	g := a.dxBuf.like(gc)
+	if g == nil {
+		g = gc.Clone()
+	} else if err := g.CopyFrom(gc); err != nil {
+		return nil, err
+	}
 	gd := g.Data()
 	od := a.lastOut.Data()
 	id := a.lastIn.Data()

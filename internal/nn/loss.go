@@ -17,6 +17,26 @@ type Loss interface {
 	Name() string
 }
 
+// lossGradInto is implemented by losses whose gradient can be written
+// into a caller-provided tensor without allocating. The trainer uses it
+// to keep the steady-state training step allocation-free, falling back
+// to Grad for losses that do not implement it.
+type lossGradInto interface {
+	// GradInto writes dLoss/dPred into dst, which must be a contiguous
+	// tensor shaped like pred.
+	GradInto(dst, pred, target *tensor.Tensor) error
+}
+
+func checkGradDst(dst, pred *tensor.Tensor) error {
+	if !tensor.SameShape(dst, pred) {
+		return fmt.Errorf("nn: loss grad dst shape %v, want %v", dst.Shape(), pred.Shape())
+	}
+	if !dst.IsContiguous() {
+		return fmt.Errorf("nn: loss grad dst must be contiguous")
+	}
+	return nil
+}
+
 // MSE is mean squared error, the training loss of the paper's regression
 // surrogates.
 type MSE struct{}
@@ -43,14 +63,27 @@ func (MSE) Grad(pred, target *tensor.Tensor) (*tensor.Tensor, error) {
 	if err := checkSameShape(pred, target); err != nil {
 		return nil, err
 	}
-	p, t := pred.Contiguous(), target.Contiguous()
-	out := p.Clone()
-	od, td := out.Data(), t.Data()
-	inv := 2.0 / float64(len(od))
-	for i := range od {
-		od[i] = (od[i] - td[i]) * inv
+	out := pred.Clone()
+	if err := (MSE{}).GradInto(out, out, target); err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// GradInto computes 2*(pred-target)/n into dst without allocating.
+func (MSE) GradInto(dst, pred, target *tensor.Tensor) error {
+	if err := checkSameShape(pred, target); err != nil {
+		return err
+	}
+	if err := checkGradDst(dst, pred); err != nil {
+		return err
+	}
+	pd, td, od := pred.Contiguous().Data(), target.Contiguous().Data(), dst.Data()
+	inv := 2.0 / float64(len(od))
+	for i := range od {
+		od[i] = (pd[i] - td[i]) * inv
+	}
+	return nil
 }
 
 // WeightedMSE is mean squared error with a per-output-element weight,
@@ -124,18 +157,28 @@ func (l WeightedMSE) Value(pred, target *tensor.Tensor) (float64, error) {
 
 // Grad computes 2*w_j*(pred-target)/n.
 func (l WeightedMSE) Grad(pred, target *tensor.Tensor) (*tensor.Tensor, error) {
-	_, per, err := l.check(pred, target)
-	if err != nil {
+	out := pred.Clone()
+	if err := l.GradInto(out, out, target); err != nil {
 		return nil, err
 	}
-	p, t := pred.Contiguous(), target.Contiguous()
-	out := p.Clone()
-	od, td := out.Data(), t.Data()
+	return out, nil
+}
+
+// GradInto computes 2*w_j*(pred-target)/n into dst without allocating.
+func (l WeightedMSE) GradInto(dst, pred, target *tensor.Tensor) error {
+	_, per, err := l.check(pred, target)
+	if err != nil {
+		return err
+	}
+	if err := checkGradDst(dst, pred); err != nil {
+		return err
+	}
+	pd, td, od := pred.Contiguous().Data(), target.Contiguous().Data(), dst.Data()
 	inv := 2.0 / float64(len(od))
 	for i := range od {
-		od[i] = l.Weights[i%per] * (od[i] - td[i]) * inv
+		od[i] = l.Weights[i%per] * (pd[i] - td[i]) * inv
 	}
-	return out, nil
+	return nil
 }
 
 // MAE is mean absolute error.
@@ -159,28 +202,38 @@ func (MAE) Value(pred, target *tensor.Tensor) (float64, error) {
 
 // Grad computes sign(pred-target)/n.
 func (MAE) Grad(pred, target *tensor.Tensor) (*tensor.Tensor, error) {
-	if err := checkSameShape(pred, target); err != nil {
+	out := pred.Clone()
+	if err := (MAE{}).GradInto(out, out, target); err != nil {
 		return nil, err
 	}
-	p, t := pred.Contiguous(), target.Contiguous()
-	out := p.Clone()
-	od, td := out.Data(), t.Data()
+	return out, nil
+}
+
+// GradInto computes sign(pred-target)/n into dst without allocating.
+func (MAE) GradInto(dst, pred, target *tensor.Tensor) error {
+	if err := checkSameShape(pred, target); err != nil {
+		return err
+	}
+	if err := checkGradDst(dst, pred); err != nil {
+		return err
+	}
+	pd, td, od := pred.Contiguous().Data(), target.Contiguous().Data(), dst.Data()
 	inv := 1.0 / float64(len(od))
 	for i := range od {
 		switch {
-		case od[i] > td[i]:
+		case pd[i] > td[i]:
 			od[i] = inv
-		case od[i] < td[i]:
+		case pd[i] < td[i]:
 			od[i] = -inv
 		default:
 			od[i] = 0
 		}
 	}
-	return out, nil
+	return nil
 }
 
 func checkSameShape(a, b *tensor.Tensor) error {
-	if !tensor.ShapeEqual(a.Shape(), b.Shape()) {
+	if !tensor.SameShape(a, b) {
 		return fmt.Errorf("nn: loss shape mismatch %v vs %v", a.Shape(), b.Shape())
 	}
 	if a.Len() == 0 {

@@ -3,6 +3,8 @@ package nn
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/parallel"
 )
 
 // Optimizer updates parameters from their accumulated gradients.
@@ -11,14 +13,49 @@ type Optimizer interface {
 	Name() string
 }
 
+// optParMin is the per-parameter element count below which an optimizer
+// update runs serially on the calling goroutine: the paper's search-space
+// models are mostly small, and goroutine fan-out would cost more than it
+// saves (and would allocate, breaking the zero-alloc training step).
+const optParMin = 1 << 14
+
+// Note on loop structure: every update below writes the serial loop
+// inline and only builds the parallel.ForRange closure inside the
+// large-parameter branch. Hoisting the body into a shared closure would
+// force a heap allocation per parameter per step (a closure that may
+// escape to ForRange always escapes), breaking the zero-alloc step.
+// Updates are elementwise-independent, so the range split cannot change
+// results.
+
+// sameParams reports whether bound is exactly the parameter set params
+// (same length, same pointers in the same order).
+func sameParams(bound, params []*Param) bool {
+	if len(bound) != len(params) {
+		return false
+	}
+	for i := range bound {
+		if bound[i] != params[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // SGD is stochastic gradient descent with optional momentum and decoupled
-// weight decay.
+// weight decay. Optimizer state lives in per-parameter slots bound to the
+// parameter set on the first Step, so the hot loop does no map lookups;
+// behind the slots the state is keyed by parameter identity, so an
+// optimizer alternating between parameter sets keeps each parameter's
+// velocity (matching the old map semantics) — the map is touched only
+// when the set changes.
 type SGD struct {
 	LR          float64
 	Momentum    float64
 	WeightDecay float64
 
-	velocity map[*Param][]float64
+	bound    []*Param
+	velocity [][]float64
+	state    map[*Param][]float64
 }
 
 // NewSGD constructs an SGD optimizer.
@@ -29,30 +66,57 @@ func NewSGD(lr, momentum, weightDecay float64) *SGD {
 // Name identifies the optimizer.
 func (s *SGD) Name() string { return "sgd" }
 
-// Step applies one SGD update to every parameter.
+// Step applies one SGD update to every parameter, parallelizing the
+// element loop for large parameters.
 func (s *SGD) Step(params []*Param) error {
 	if s.LR <= 0 {
 		return fmt.Errorf("nn: sgd learning rate must be positive, got %g", s.LR)
 	}
-	if s.velocity == nil {
-		s.velocity = make(map[*Param][]float64)
+	if !sameParams(s.bound, params) {
+		s.bound = append([]*Param(nil), params...)
+		if s.state == nil {
+			s.state = make(map[*Param][]float64, len(params))
+		}
+		s.velocity = make([][]float64, len(params))
+		for i, p := range params {
+			s.velocity[i] = s.state[p]
+		}
 	}
-	for _, p := range params {
+	lr, mom, wd := s.LR, s.Momentum, s.WeightDecay
+	for pi, p := range params {
 		w, g := p.W.Data(), p.Grad.Data()
-		if s.Momentum == 0 {
-			for i := range w {
-				w[i] -= s.LR * (g[i] + s.WeightDecay*w[i])
+		if mom == 0 {
+			if len(w) < optParMin || parallel.MaxWorkers() == 1 {
+				for i := range w {
+					w[i] -= lr * (g[i] + wd*w[i])
+				}
+			} else {
+				parallel.ForRange(len(w), func(lo, hi int) {
+					for i := lo; i < hi; i++ {
+						w[i] -= lr * (g[i] + wd*w[i])
+					}
+				})
 			}
 			continue
 		}
-		v, ok := s.velocity[p]
-		if !ok {
+		v := s.velocity[pi]
+		if v == nil {
 			v = make([]float64, len(w))
-			s.velocity[p] = v
+			s.velocity[pi] = v
+			s.state[p] = v
 		}
-		for i := range w {
-			v[i] = s.Momentum*v[i] + g[i] + s.WeightDecay*w[i]
-			w[i] -= s.LR * v[i]
+		if len(w) < optParMin || parallel.MaxWorkers() == 1 {
+			for i := range w {
+				v[i] = mom*v[i] + g[i] + wd*w[i]
+				w[i] -= lr * v[i]
+			}
+		} else {
+			parallel.ForRange(len(w), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					v[i] = mom*v[i] + g[i] + wd*w[i]
+					w[i] -= lr * v[i]
+				}
+			})
 		}
 	}
 	return nil
@@ -60,16 +124,25 @@ func (s *SGD) Step(params []*Param) error {
 
 // Adam implements the Adam optimizer with decoupled weight decay (AdamW),
 // matching the paper's hyperparameter search space (learning rate and
-// weight decay, Table V).
+// weight decay, Table V). Moment state lives in per-parameter slots bound
+// to the parameter set on the first Step, so the hot loop does no map
+// lookups; behind the slots the moments are keyed by parameter identity,
+// so an optimizer alternating between parameter sets keeps each
+// parameter's moments, and the bias-correction step count t advances
+// once per Step regardless of the set — both matching the old map
+// semantics. The map is touched only when the set changes.
 type Adam struct {
 	LR           float64
 	Beta1, Beta2 float64
 	Eps          float64
 	WeightDecay  float64
 
-	t int
-	m map[*Param][]float64
-	v map[*Param][]float64
+	t      int
+	bound  []*Param
+	m      [][]float64
+	v      [][]float64
+	mState map[*Param][]float64
+	vState map[*Param][]float64
 }
 
 // NewAdam constructs an Adam optimizer with standard betas.
@@ -80,33 +153,56 @@ func NewAdam(lr, weightDecay float64) *Adam {
 // Name identifies the optimizer.
 func (a *Adam) Name() string { return "adam" }
 
-// Step applies one Adam update to every parameter.
+// Step applies one Adam update to every parameter, parallelizing the
+// element loop for large parameters.
 func (a *Adam) Step(params []*Param) error {
 	if a.LR <= 0 {
 		return fmt.Errorf("nn: adam learning rate must be positive, got %g", a.LR)
 	}
-	if a.m == nil {
-		a.m = make(map[*Param][]float64)
-		a.v = make(map[*Param][]float64)
+	if !sameParams(a.bound, params) {
+		a.bound = append([]*Param(nil), params...)
+		if a.mState == nil {
+			a.mState = make(map[*Param][]float64, len(params))
+			a.vState = make(map[*Param][]float64, len(params))
+		}
+		a.m = make([][]float64, len(params))
+		a.v = make([][]float64, len(params))
+		for i, p := range params {
+			a.m[i] = a.mState[p]
+			a.v[i] = a.vState[p]
+		}
 	}
 	a.t++
 	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
 	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
-	for _, p := range params {
+	lr, b1, b2, eps, wd := a.LR, a.Beta1, a.Beta2, a.Eps, a.WeightDecay
+	for pi, p := range params {
 		w, g := p.W.Data(), p.Grad.Data()
-		m, ok := a.m[p]
-		if !ok {
-			m = make([]float64, len(w))
-			a.m[p] = m
-			a.v[p] = make([]float64, len(w))
+		if a.m[pi] == nil {
+			a.m[pi] = make([]float64, len(w))
+			a.v[pi] = make([]float64, len(w))
+			a.mState[p] = a.m[pi]
+			a.vState[p] = a.v[pi]
 		}
-		v := a.v[p]
-		for i := range w {
-			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g[i]
-			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g[i]*g[i]
-			mh := m[i] / bc1
-			vh := v[i] / bc2
-			w[i] -= a.LR * (mh/(math.Sqrt(vh)+a.Eps) + a.WeightDecay*w[i])
+		m, v := a.m[pi], a.v[pi]
+		if len(w) < optParMin || parallel.MaxWorkers() == 1 {
+			for i := range w {
+				m[i] = b1*m[i] + (1-b1)*g[i]
+				v[i] = b2*v[i] + (1-b2)*g[i]*g[i]
+				mh := m[i] / bc1
+				vh := v[i] / bc2
+				w[i] -= lr * (mh/(math.Sqrt(vh)+eps) + wd*w[i])
+			}
+		} else {
+			parallel.ForRange(len(w), func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					m[i] = b1*m[i] + (1-b1)*g[i]
+					v[i] = b2*v[i] + (1-b2)*g[i]*g[i]
+					mh := m[i] / bc1
+					vh := v[i] / bc2
+					w[i] -= lr * (mh/(math.Sqrt(vh)+eps) + wd*w[i])
+				}
+			})
 		}
 	}
 	return nil

@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -67,6 +68,75 @@ func (d *Dataset) Shuffle(seed int64) (*Dataset, error) {
 	return d.Gather(perm)
 }
 
+// gatherParElems is the element count above which GatherInto copies
+// rows in parallel.
+const gatherParElems = 1 << 16
+
+// GatherInto copies the samples named by idx into dstX and dstY, which
+// must be contiguous tensors of shapes [len(idx), xSample...] and
+// [len(idx), ySample...]. It is the allocation-free counterpart of
+// Gather: the trainer fills one reusable minibatch arena per step
+// instead of staging every sample through Index+Stack copies.
+func (d *Dataset) GatherInto(dstX, dstY *tensor.Tensor, idx []int) error {
+	xs, err := gatherDst(dstX, d.X, len(idx), "x")
+	if err != nil {
+		return err
+	}
+	ys, err := gatherDst(dstY, d.Y, len(idx), "y")
+	if err != nil {
+		return err
+	}
+	n := d.Len()
+	for _, j := range idx {
+		if j < 0 || j >= n {
+			return fmt.Errorf("nn: gather index %d out of range [0,%d)", j, n)
+		}
+	}
+	xPer, yPer := xs, ys
+	xd, yd := d.X.Data(), d.Y.Data()
+	dxd, dyd := dstX.Data(), dstY.Data()
+	// Small batches copy inline — no closure, no goroutines, no
+	// allocation — mirroring the engine's other hot loops.
+	if len(idx)*(xPer+yPer) < gatherParElems {
+		for i, j := range idx {
+			copy(dxd[i*xPer:(i+1)*xPer], xd[j*xPer:(j+1)*xPer])
+			copy(dyd[i*yPer:(i+1)*yPer], yd[j*yPer:(j+1)*yPer])
+		}
+		return nil
+	}
+	parallel.ForRange(len(idx), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			j := idx[i]
+			copy(dxd[i*xPer:(i+1)*xPer], xd[j*xPer:(j+1)*xPer])
+			copy(dyd[i*yPer:(i+1)*yPer], yd[j*yPer:(j+1)*yPer])
+		}
+	})
+	return nil
+}
+
+// gatherDst validates one GatherInto destination against its source and
+// returns the per-sample element count.
+func gatherDst(dst, src *tensor.Tensor, rows int, which string) (int, error) {
+	if dst == nil || !dst.IsContiguous() {
+		return 0, fmt.Errorf("nn: gather %s dst must be contiguous", which)
+	}
+	if dst.Rank() != src.Rank() || dst.Dim(0) != rows {
+		return 0, fmt.Errorf("nn: gather %s dst shape %v, want %d samples of %v", which, dst.Shape(), rows, src.Shape()[1:])
+	}
+	for i := 1; i < src.Rank(); i++ {
+		if dst.Dim(i) != src.Dim(i) {
+			return 0, fmt.Errorf("nn: gather %s dst shape %v, want %d samples of %v", which, dst.Shape(), rows, src.Shape()[1:])
+		}
+	}
+	if !src.IsContiguous() {
+		return 0, fmt.Errorf("nn: gather %s source must be contiguous", which)
+	}
+	if src.Dim(0) == 0 {
+		return 0, fmt.Errorf("nn: gather from empty %s dataset", which)
+	}
+	return src.Len() / src.Dim(0), nil
+}
+
 // Gather returns a dataset of the given sample indices (a copy).
 func (d *Dataset) Gather(idx []int) (*Dataset, error) {
 	xs := make([]*tensor.Tensor, len(idx))
@@ -124,8 +194,12 @@ type TrainConfig struct {
 	// Patience stops training after this many epochs without validation
 	// improvement; 0 disables early stopping.
 	Patience int
-	// ValFrac carves a validation split from the training data when a
-	// separate validation set is not given to Fit.
+	// ValFrac is the fraction of the training data held out for
+	// validation when a separate validation set is not given to Fit;
+	// 0 selects the default of 0.2. (An earlier revision passed this
+	// value to Split as the *training* fraction, contradicting the name
+	// and this comment; the zero default carves the same 80/20 split
+	// either way, so default-config callers are unaffected.)
 	ValFrac float64
 	Verbose func(epoch int, trainLoss, valLoss float64)
 }
@@ -142,6 +216,13 @@ type History struct {
 // Fit trains the network on train, validating on val (which may be nil:
 // then ValFrac of train is held out). It returns the training history;
 // the network holds the final-epoch weights.
+//
+// The hot loop is allocation-free in steady state for the engine's
+// standard layers: minibatches are gathered into a reusable arena
+// (GatherInto), layers stage activations and gradients through their own
+// arenas, the loss gradient goes through GradInto, and the optimizer
+// updates per-parameter state slots in place. Only the per-epoch shuffle
+// and validation pass allocate.
 func (n *Network) Fit(train, val *Dataset, cfg TrainConfig) (*History, error) {
 	if cfg.Epochs <= 0 {
 		return nil, fmt.Errorf("nn: fit wants positive epochs, got %d", cfg.Epochs)
@@ -156,15 +237,18 @@ func (n *Network) Fit(train, val *Dataset, cfg TrainConfig) (*History, error) {
 		cfg.Loss = MSE{}
 	}
 	if val == nil {
-		frac := cfg.ValFrac
-		if frac == 0 {
-			frac = 0.8
+		valFrac := cfg.ValFrac
+		if valFrac == 0 {
+			valFrac = 0.2
+		}
+		if valFrac <= 0 || valFrac >= 1 {
+			return nil, fmt.Errorf("nn: validation fraction %g out of (0,1)", valFrac)
 		}
 		shuffled, err := train.Shuffle(cfg.Seed)
 		if err != nil {
 			return nil, err
 		}
-		if train, val, err = shuffled.Split(frac); err != nil {
+		if train, val, err = shuffled.Split(1 - valFrac); err != nil {
 			return nil, err
 		}
 	}
@@ -181,6 +265,14 @@ func (n *Network) Fit(train, val *Dataset, cfg TrainConfig) (*History, error) {
 	h := &History{BestVal: math.Inf(1)}
 	rng := rand.New(rand.NewSource(cfg.Seed + 1))
 	nSamples := train.Len()
+	params := n.Params()
+	gradInto, _ := cfg.Loss.(lossGradInto)
+	// Minibatch and loss-gradient arenas, reused across steps. Datasets
+	// of rank > maxScratchRank or with non-contiguous storage fall back
+	// to the allocating Gather path, which handles any strides.
+	var mbX, mbY, gradBuf scratch
+	arena := train.X.Rank() <= maxScratchRank && train.Y.Rank() <= maxScratchRank &&
+		train.X.IsContiguous() && train.Y.IsContiguous()
 	stale := 0
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		perm := rng.Perm(nSamples)
@@ -191,27 +283,48 @@ func (n *Network) Fit(train, val *Dataset, cfg TrainConfig) (*History, error) {
 			if hi > nSamples {
 				hi = nSamples
 			}
-			mb, err := train.Gather(perm[lo:hi])
+			var bx, by *tensor.Tensor
+			if arena {
+				bx = mbX.batchOf(train.X, hi-lo)
+				by = mbY.batchOf(train.Y, hi-lo)
+				if err := train.GatherInto(bx, by, perm[lo:hi]); err != nil {
+					return nil, err
+				}
+			} else {
+				mb, err := train.Gather(perm[lo:hi])
+				if err != nil {
+					return nil, err
+				}
+				bx, by = mb.X, mb.Y
+			}
+			for _, p := range params {
+				p.ZeroGrad()
+			}
+			pred, err := n.ForwardTrain(bx)
 			if err != nil {
 				return nil, err
 			}
-			n.ZeroGrad()
-			pred, err := n.ForwardTrain(mb.X)
+			loss, err := cfg.Loss.Value(pred, by)
 			if err != nil {
 				return nil, err
 			}
-			loss, err := cfg.Loss.Value(pred, mb.Y)
-			if err != nil {
-				return nil, err
+			var grad *tensor.Tensor
+			if gradInto != nil {
+				if grad = gradBuf.like(pred); grad != nil {
+					if err := gradInto.GradInto(grad, pred, by); err != nil {
+						return nil, err
+					}
+				}
 			}
-			grad, err := cfg.Loss.Grad(pred, mb.Y)
-			if err != nil {
-				return nil, err
+			if grad == nil {
+				if grad, err = cfg.Loss.Grad(pred, by); err != nil {
+					return nil, err
+				}
 			}
 			if err := n.Backward(grad); err != nil {
 				return nil, err
 			}
-			if err := opt.Step(n.Params()); err != nil {
+			if err := opt.Step(params); err != nil {
 				return nil, err
 			}
 			epochLoss += loss

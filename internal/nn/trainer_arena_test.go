@@ -1,0 +1,246 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestGatherIntoMatchesGather checks the arena fill against the
+// allocating Gather path over random index sets, for both flat and
+// channeled sample shapes.
+func TestGatherIntoMatchesGather(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	flat, err := NewDataset(randTensor(rng, 20, 5), randTensor(rng, 20, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	chan3, err := NewDataset(randTensor(rng, 12, 2, 6), randTensor(rng, 12, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ds := range []*Dataset{flat, chan3} {
+		for trial := 0; trial < 5; trial++ {
+			k := 1 + rng.Intn(ds.Len())
+			idx := make([]int, k)
+			for i := range idx {
+				idx[i] = rng.Intn(ds.Len())
+			}
+			want, err := ds.Gather(idx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sx, sy scratch
+			bx := sx.batchOf(ds.X, k)
+			by := sy.batchOf(ds.Y, k)
+			if err := ds.GatherInto(bx, by, idx); err != nil {
+				t.Fatal(err)
+			}
+			gx, wx := bx.Data(), want.X.Data()
+			for i := range wx {
+				if gx[i] != wx[i] {
+					t.Fatalf("GatherInto X differs at %d: %g vs %g", i, gx[i], wx[i])
+				}
+			}
+			gy, wy := by.Data(), want.Y.Data()
+			for i := range wy {
+				if gy[i] != wy[i] {
+					t.Fatalf("GatherInto Y differs at %d: %g vs %g", i, gy[i], wy[i])
+				}
+			}
+		}
+	}
+}
+
+// TestGatherIntoFromSplitView checks gathering out of a Narrow view (the
+// shape Fit actually produces: a contiguous dim-0 slice with an offset).
+func TestGatherIntoFromSplitView(t *testing.T) {
+	x := tensor.New(10, 2)
+	y := tensor.New(10, 1)
+	for i := 0; i < 10; i++ {
+		x.Set(float64(i), i, 0)
+		y.Set(float64(-i), i, 0)
+	}
+	ds, err := NewDataset(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, back, err := ds.Split(0.5) // samples 5..9
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sx, sy scratch
+	bx := sx.batchOf(back.X, 2)
+	by := sy.batchOf(back.Y, 2)
+	if err := back.GatherInto(bx, by, []int{4, 0}); err != nil {
+		t.Fatal(err)
+	}
+	if bx.At(0, 0) != 9 || bx.At(1, 0) != 5 {
+		t.Fatalf("gathered X = %v, want rows 9 and 5", bx)
+	}
+	if by.At(0, 0) != -9 || by.At(1, 0) != -5 {
+		t.Fatalf("gathered Y = %v, want rows -9 and -5", by)
+	}
+}
+
+func TestGatherIntoErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	ds, err := NewDataset(randTensor(rng, 8, 3), randTensor(rng, 8, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.GatherInto(tensor.New(2, 3), tensor.New(2, 1), []int{0, 99}); err == nil {
+		t.Fatal("want out-of-range index error")
+	}
+	if err := ds.GatherInto(tensor.New(2, 4), tensor.New(2, 1), []int{0, 1}); err == nil {
+		t.Fatal("want X sample-shape mismatch error")
+	}
+	if err := ds.GatherInto(tensor.New(3, 3), tensor.New(2, 1), []int{0, 1}); err == nil {
+		t.Fatal("want X row-count mismatch error")
+	}
+	if err := ds.GatherInto(tensor.New(2, 3), tensor.New(2, 2), []int{0, 1}); err == nil {
+		t.Fatal("want Y sample-shape mismatch error")
+	}
+	if err := ds.GatherInto(nil, tensor.New(2, 1), []int{0, 1}); err == nil {
+		t.Fatal("want nil dst error")
+	}
+	bad, err := tensor.New(3, 2).Transpose(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ds.GatherInto(bad, tensor.New(2, 1), []int{0, 1}); err == nil {
+		t.Fatal("want non-contiguous dst error")
+	}
+}
+
+// TestTrainStepZeroAllocSteadyState is the training engine's headline
+// contract: once the arenas are warm, a full minibatch step — gather,
+// zero-grad, forward, loss, loss gradient, backward, optimizer — does
+// zero heap allocation for a Dense network under both optimizers.
+func TestTrainStepZeroAllocSteadyState(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc assertions run in the non-race job")
+	}
+	rng := rand.New(rand.NewSource(55))
+	ds, err := NewDataset(randTensor(rng, 64, 6), randTensor(rng, 64, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, optName := range []string{"adam", "sgd"} {
+		net := NewNetwork(5)
+		net.Add(net.NewDense(6, 16), NewActivation(ActTanh), net.NewDense(16, 2))
+		var opt Optimizer
+		if optName == "adam" {
+			opt = NewAdam(1e-3, 1e-4)
+		} else {
+			opt = NewSGD(1e-3, 0.9, 1e-4)
+		}
+		params := net.Params()
+		var gi lossGradInto = MSE{}
+		var loss Loss = MSE{}
+		var mbX, mbY, gradBuf scratch
+		idx := rand.New(rand.NewSource(3)).Perm(64)[:16]
+		step := func() {
+			bx := mbX.batchOf(ds.X, len(idx))
+			by := mbY.batchOf(ds.Y, len(idx))
+			if err := ds.GatherInto(bx, by, idx); err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range params {
+				p.ZeroGrad()
+			}
+			pred, err := net.ForwardTrain(bx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if _, err := loss.Value(pred, by); err != nil {
+				t.Fatal(err)
+			}
+			grad := gradBuf.like(pred)
+			if err := gi.GradInto(grad, pred, by); err != nil {
+				t.Fatal(err)
+			}
+			if err := net.Backward(grad); err != nil {
+				t.Fatal(err)
+			}
+			if err := opt.Step(params); err != nil {
+				t.Fatal(err)
+			}
+		}
+		step() // warm the arenas and optimizer slots
+		if allocs := testing.AllocsPerRun(100, step); allocs != 0 {
+			t.Errorf("%s: steady-state training step allocates %.1f objects/step, want 0", optName, allocs)
+		}
+	}
+}
+
+// TestFitNonContiguousDatasetFallsBack: a Dataset built literally
+// around a strided view (bypassing NewDataset's Contiguous call) must
+// train through the allocating Gather fallback, not error out of the
+// arena path.
+func TestFitNonContiguousDatasetFallsBack(t *testing.T) {
+	rng := rand.New(rand.NewSource(97))
+	xt := randTensor(rng, 2, 24) // [features, samples]
+	x, err := xt.Transpose(0, 1) // [24, 2], non-contiguous
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := &Dataset{X: x, Y: randTensor(rng, 24, 1)}
+	val, err := NewDataset(randTensor(rng, 8, 2), randTensor(rng, 8, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := NewNetwork(1)
+	net.Add(net.NewDense(2, 1))
+	if _, err := net.Fit(train, val, TrainConfig{Epochs: 2, BatchSize: 8, LR: 1e-2, Seed: 1}); err != nil {
+		t.Fatalf("Fit on non-contiguous dataset: %v", err)
+	}
+}
+
+// TestFitValFracSemantics pins the documented ValFrac meaning: the
+// fraction held out for validation. A recording loss observes the train
+// batch and validation set sizes Fit actually uses.
+func TestFitValFracSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(91))
+	ds, err := NewDataset(randTensor(rng, 10, 2), randTensor(rng, 10, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &recordingLoss{}
+	net := NewNetwork(1)
+	net.Add(net.NewDense(2, 1))
+	if _, err := net.Fit(ds, nil, TrainConfig{
+		Epochs: 1, BatchSize: 100, LR: 1e-3, Loss: rec, ValFrac: 0.3,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// 10 samples at ValFrac 0.3: 7 train (one batch), 3 validation.
+	if len(rec.sizes) != 2 || rec.sizes[0] != 7 || rec.sizes[1] != 3 {
+		t.Fatalf("observed batch sizes %v, want [7 3] (70%% train, 30%% val)", rec.sizes)
+	}
+	if _, err := net.Fit(ds, nil, TrainConfig{Epochs: 1, ValFrac: 1.5}); err == nil {
+		t.Fatal("want error for ValFrac outside (0,1)")
+	}
+	if _, err := net.Fit(ds, nil, TrainConfig{Epochs: 1, ValFrac: -0.2}); err == nil {
+		t.Fatal("want error for negative ValFrac")
+	}
+}
+
+// recordingLoss is an MSE that records the batch size of every Value
+// call; it deliberately does not implement lossGradInto, covering Fit's
+// allocating fallback.
+type recordingLoss struct {
+	sizes []int
+}
+
+func (r *recordingLoss) Name() string { return "recording-mse" }
+
+func (r *recordingLoss) Value(pred, target *tensor.Tensor) (float64, error) {
+	r.sizes = append(r.sizes, pred.Dim(0))
+	return MSE{}.Value(pred, target)
+}
+
+func (r *recordingLoss) Grad(pred, target *tensor.Tensor) (*tensor.Tensor, error) {
+	return MSE{}.Grad(pred, target)
+}

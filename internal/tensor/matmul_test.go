@@ -202,4 +202,3 @@ func BenchmarkMatMul(b *testing.B) {
 		})
 	}
 }
-

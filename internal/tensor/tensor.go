@@ -469,6 +469,14 @@ func advanceBy(t *Tensor, idx []int, pos, chunk int) int {
 	return pos
 }
 
+// SameShape reports whether two tensors have identical shapes. Unlike
+// ShapeEqual(a.Shape(), b.Shape()) it copies neither shape, so hot-path
+// validation (the loss functions, called every training step) stays
+// allocation-free.
+func SameShape(a, b *Tensor) bool {
+	return ShapeEqual(a.shape, b.shape)
+}
+
 // ShapeEqual reports whether two shapes are identical.
 func ShapeEqual(a, b []int) bool {
 	if len(a) != len(b) {

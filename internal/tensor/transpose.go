@@ -1,0 +1,172 @@
+package tensor
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+)
+
+// The transpose-aware kernels below compute AᵀB and ABᵀ without ever
+// materializing a transposed copy: the "transposed" operand is read in
+// place with the access pattern that keeps the inner loops streaming over
+// contiguous memory. They exist for the training hot path, where a dense
+// layer's backward pass is exactly dW = XᵀG and dX = GWᵀ. Like MatMul,
+// every output element accumulates over the shared dimension ascending,
+// so results are bit-identical across the serial/parallel and
+// streamed/panel paths and across any output-row split.
+
+// MatMulTransAInto computes aᵀ @ b into dst for a of shape [r, m] and b
+// of shape [r, n]; dst must be a contiguous [m, n] tensor that does not
+// overlap a or b. dst's previous contents are overwritten.
+//
+// a is read column-wise (the transposed access), but the kernel blocks
+// the shared dimension so the touched panel of b stays cache-resident
+// while each column strip of a is consumed.
+func MatMulTransAInto(dst, a, b *Tensor) error {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return fmt.Errorf("tensor: matmul-transA wants rank-2 operands, got %d and %d", a.Rank(), b.Rank())
+	}
+	if a.shape[0] != b.shape[0] {
+		return fmt.Errorf("tensor: matmul-transA shared dims differ: %d vs %d", a.shape[0], b.shape[0])
+	}
+	r, m, n := a.shape[0], a.shape[1], b.shape[1]
+	if dst.Rank() != 2 || dst.shape[0] != m || dst.shape[1] != n {
+		return fmt.Errorf("tensor: matmul-transA dst shape %v, want [%d %d]", dst.shape, m, n)
+	}
+	if !dst.IsContiguous() {
+		return fmt.Errorf("tensor: matmul-transA dst must be contiguous")
+	}
+	ac, bc := a.Contiguous(), b.Contiguous()
+	ad := ac.data[ac.offset:]
+	bd := bc.data[bc.offset:]
+	od := dst.data[dst.offset : dst.offset+m*n]
+	if r*m*n < matMulParFLOPs {
+		matMulTransARows(ad, bd, od, r, m, n, 0, m)
+		return nil
+	}
+	parallel.ForRange(m, func(lo, hi int) {
+		matMulTransARows(ad, bd, od, r, m, n, lo, hi)
+	})
+	return nil
+}
+
+// matMulTransARows computes output rows [lo, hi) of aᵀb. Each output row
+// i gathers column i of a against the rows of b; while b fits in cache
+// the row is accumulated in one sweep, beyond that b is blocked into
+// [matMulBlockK x matMulBlockJ] panels reused across the row range.
+func matMulTransARows(ad, bd, od []float64, r, m, n, lo, hi int) {
+	if r*n*8 <= matMulPanelBytes {
+		for i := lo; i < hi; i++ {
+			orow := od[i*n : (i+1)*n]
+			for j := range orow {
+				orow[j] = 0
+			}
+			for rr := 0; rr < r; rr++ {
+				av := ad[rr*m+i]
+				if av == 0 {
+					continue
+				}
+				brow := bd[rr*n : (rr+1)*n]
+				for j := range orow {
+					orow[j] += av * brow[j]
+				}
+			}
+		}
+		return
+	}
+	for i := lo; i < hi; i++ {
+		orow := od[i*n : (i+1)*n]
+		for j := range orow {
+			orow[j] = 0
+		}
+	}
+	for r0 := 0; r0 < r; r0 += matMulBlockK {
+		r1 := min(r0+matMulBlockK, r)
+		for j0 := 0; j0 < n; j0 += matMulBlockJ {
+			j1 := min(j0+matMulBlockJ, n)
+			for i := lo; i < hi; i++ {
+				orow := od[i*n+j0 : i*n+j1]
+				for rr := r0; rr < r1; rr++ {
+					av := ad[rr*m+i]
+					if av == 0 {
+						continue
+					}
+					brow := bd[rr*n+j0 : rr*n+j1]
+					for j := range orow {
+						orow[j] += av * brow[j]
+					}
+				}
+			}
+		}
+	}
+}
+
+// MatMulTransBInto computes a @ bᵀ into dst for a of shape [m, r] and b
+// of shape [n, r]; dst must be a contiguous [m, n] tensor that does not
+// overlap a or b. dst's previous contents are overwritten.
+//
+// Every output element is a dot product of two contiguous rows, so both
+// operands stream; for large b the kernel additionally blocks b's rows
+// so a panel stays cache-resident across the worker's output rows.
+func MatMulTransBInto(dst, a, b *Tensor) error {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		return fmt.Errorf("tensor: matmul-transB wants rank-2 operands, got %d and %d", a.Rank(), b.Rank())
+	}
+	if a.shape[1] != b.shape[1] {
+		return fmt.Errorf("tensor: matmul-transB shared dims differ: %d vs %d", a.shape[1], b.shape[1])
+	}
+	m, r, n := a.shape[0], a.shape[1], b.shape[0]
+	if dst.Rank() != 2 || dst.shape[0] != m || dst.shape[1] != n {
+		return fmt.Errorf("tensor: matmul-transB dst shape %v, want [%d %d]", dst.shape, m, n)
+	}
+	if !dst.IsContiguous() {
+		return fmt.Errorf("tensor: matmul-transB dst must be contiguous")
+	}
+	ac, bc := a.Contiguous(), b.Contiguous()
+	ad := ac.data[ac.offset:]
+	bd := bc.data[bc.offset:]
+	od := dst.data[dst.offset : dst.offset+m*n]
+	if m*r*n < matMulParFLOPs {
+		matMulTransBRows(ad, bd, od, r, n, 0, m)
+		return nil
+	}
+	parallel.ForRange(m, func(lo, hi int) {
+		matMulTransBRows(ad, bd, od, r, n, lo, hi)
+	})
+	return nil
+}
+
+// matMulTransBRows computes output rows [lo, hi) of abᵀ as row-row dot
+// products, blocking b's rows into cache-resident panels when b is large.
+func matMulTransBRows(ad, bd, od []float64, r, n, lo, hi int) {
+	if n*r*8 <= matMulPanelBytes {
+		for i := lo; i < hi; i++ {
+			arow := ad[i*r : (i+1)*r]
+			orow := od[i*n : (i+1)*n]
+			for j := range orow {
+				brow := bd[j*r : (j+1)*r]
+				var s float64
+				for rr, av := range arow {
+					s += av * brow[rr]
+				}
+				orow[j] = s
+			}
+		}
+		return
+	}
+	for j0 := 0; j0 < n; j0 += matMulBlockJ {
+		j1 := min(j0+matMulBlockJ, n)
+		for i := lo; i < hi; i++ {
+			arow := ad[i*r : (i+1)*r]
+			orow := od[i*n+j0 : i*n+j1]
+			for j := j0; j < j1; j++ {
+				brow := bd[j*r : (j+1)*r]
+				var s float64
+				for rr, av := range arow {
+					s += av * brow[rr]
+				}
+				orow[j-j0] = s
+			}
+		}
+	}
+}

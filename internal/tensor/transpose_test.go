@@ -1,0 +1,286 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// transARef computes aᵀb the slow, obviously correct way.
+func transARef(a, b *Tensor) *Tensor {
+	r, m, n := a.Dim(0), a.Dim(1), b.Dim(1)
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for rr := 0; rr < r; rr++ {
+				s += a.At(rr, i) * b.At(rr, j)
+			}
+			out.Set(s, i, j)
+		}
+	}
+	return out
+}
+
+// transBRef computes abᵀ the slow, obviously correct way.
+func transBRef(a, b *Tensor) *Tensor {
+	m, r, n := a.Dim(0), a.Dim(1), b.Dim(0)
+	out := New(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s float64
+			for rr := 0; rr < r; rr++ {
+				s += a.At(i, rr) * b.At(j, rr)
+			}
+			out.Set(s, i, j)
+		}
+	}
+	return out
+}
+
+// TestPropMatMulTransAMatchesReference covers random shapes plus shapes
+// crossing the parallel-dispatch and panel-blocking thresholds.
+func TestPropMatMulTransAMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	shapes := [][3]int{{1, 1, 1}, {7, 1, 3}, {1, 5, 4}, {300, 3, 2}}
+	for trial := 0; trial < 20; trial++ {
+		shapes = append(shapes, [3]int{1 + rng.Intn(40), 1 + rng.Intn(40), 1 + rng.Intn(40)})
+	}
+	// Cross matMulParFLOPs and the panel path (r*n beyond matMulPanelBytes).
+	shapes = append(shapes, [3]int{300, 70, 64}, [3]int{520, 9, 530}, [3]int{1100, 3, 1000})
+	for _, s := range shapes {
+		r, m, n := s[0], s[1], s[2]
+		a := randTensor(rng, r, m)
+		b := randTensor(rng, r, n)
+		dst := Full(math.NaN(), m, n)
+		if err := MatMulTransAInto(dst, a, b); err != nil {
+			t.Fatalf("[%d %d %d]: %v", r, m, n, err)
+		}
+		want := transARef(a, b)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				g, w := dst.At(i, j), want.At(i, j)
+				if math.Abs(g-w) > 1e-9*(1+math.Abs(w)) {
+					t.Fatalf("[%d %d %d] at (%d,%d): got %g, want %g", r, m, n, i, j, g, w)
+				}
+			}
+		}
+	}
+}
+
+// TestPropMatMulTransBMatchesReference covers random shapes plus shapes
+// crossing the parallel-dispatch and panel-blocking thresholds.
+func TestPropMatMulTransBMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	shapes := [][3]int{{1, 1, 1}, {3, 7, 1}, {5, 1, 4}, {2, 300, 3}}
+	for trial := 0; trial < 20; trial++ {
+		shapes = append(shapes, [3]int{1 + rng.Intn(40), 1 + rng.Intn(40), 1 + rng.Intn(40)})
+	}
+	shapes = append(shapes, [3]int{70, 300, 64}, [3]int{9, 530, 520}, [3]int{3, 1000, 1100})
+	for _, s := range shapes {
+		m, r, n := s[0], s[1], s[2]
+		a := randTensor(rng, m, r)
+		b := randTensor(rng, n, r)
+		dst := Full(math.NaN(), m, n)
+		if err := MatMulTransBInto(dst, a, b); err != nil {
+			t.Fatalf("[%d %d %d]: %v", m, r, n, err)
+		}
+		want := transBRef(a, b)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				g, w := dst.At(i, j), want.At(i, j)
+				if math.Abs(g-w) > 1e-9*(1+math.Abs(w)) {
+					t.Fatalf("[%d %d %d] at (%d,%d): got %g, want %g", m, r, n, i, j, g, w)
+				}
+			}
+		}
+	}
+}
+
+// TestTransKernelsMatchMatMulOfTranspose pins the kernels against the
+// existing MatMul applied to materialized transposes: same math, two
+// independent code paths.
+func TestTransKernelsMatchMatMulOfTranspose(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	a := randTensor(rng, 33, 17)
+	b := randTensor(rng, 33, 21)
+	at, err := a.Transpose(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantA, err := MatMul(at.Contiguous(), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotA := New(17, 21)
+	if err := MatMulTransAInto(gotA, a, b); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 17; i++ {
+		for j := 0; j < 21; j++ {
+			if math.Abs(gotA.At(i, j)-wantA.At(i, j)) > 1e-12*(1+math.Abs(wantA.At(i, j))) {
+				t.Fatalf("transA differs at (%d,%d)", i, j)
+			}
+		}
+	}
+
+	c := randTensor(rng, 21, 17)
+	ct, err := c.Transpose(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantB, err := MatMul(a, ct.Contiguous())
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotB := New(33, 21)
+	if err := MatMulTransBInto(gotB, a, c); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 33; i++ {
+		for j := 0; j < 21; j++ {
+			if math.Abs(gotB.At(i, j)-wantB.At(i, j)) > 1e-12*(1+math.Abs(wantB.At(i, j))) {
+				t.Fatalf("transB differs at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestMatMulTransIntoErrors(t *testing.T) {
+	a, b := New(6, 4), New(6, 3)
+	if err := MatMulTransAInto(New(4, 4), a, b); err == nil {
+		t.Fatal("want error for transA dst shape mismatch")
+	}
+	if err := MatMulTransAInto(New(4, 3), New(5, 4), b); err == nil {
+		t.Fatal("want error for transA shared-dim mismatch")
+	}
+	if err := MatMulTransAInto(New(4, 3), New(6), b); err == nil {
+		t.Fatal("want error for transA rank-1 operand")
+	}
+	badA, err := New(3, 4).Transpose(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := MatMulTransAInto(badA, a, b); err == nil {
+		t.Fatal("want error for transA non-contiguous dst")
+	}
+
+	p, q := New(5, 4), New(3, 4)
+	if err := MatMulTransBInto(New(5, 5), p, q); err == nil {
+		t.Fatal("want error for transB dst shape mismatch")
+	}
+	if err := MatMulTransBInto(New(5, 3), p, New(3, 2)); err == nil {
+		t.Fatal("want error for transB shared-dim mismatch")
+	}
+	if err := MatMulTransBInto(New(5, 3), New(4), q); err == nil {
+		t.Fatal("want error for transB rank-1 operand")
+	}
+	badB, err := New(3, 5).Transpose(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := MatMulTransBInto(badB, p, q); err == nil {
+		t.Fatal("want error for transB non-contiguous dst")
+	}
+}
+
+// TestMatMulTransIntoZeroAlloc asserts the warm-kernel contract: with
+// contiguous operands below the parallel threshold, neither transpose
+// kernel allocates.
+func TestMatMulTransIntoZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates; alloc assertions run in the non-race job")
+	}
+	rng := rand.New(rand.NewSource(31))
+	a := randTensor(rng, 24, 16)
+	b := randTensor(rng, 24, 8)
+	dstA := New(16, 8)
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := MatMulTransAInto(dstA, a, b); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("warm MatMulTransAInto allocates %.1f objects/call, want 0", allocs)
+	}
+	c := randTensor(rng, 8, 16)
+	dstB := New(24, 8)
+	if allocs := testing.AllocsPerRun(100, func() {
+		if err := MatMulTransBInto(dstB, a, c); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("warm MatMulTransBInto allocates %.1f objects/call, want 0", allocs)
+	}
+}
+
+// TestMatMulTransABitIdenticalAcrossRowSplits mirrors the MatMul
+// invariant: any output-row split must reproduce the whole product bit
+// for bit, since workers split dW's rows during training.
+func TestMatMulTransABitIdenticalAcrossRowSplits(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	const r, m, n = 130, 96, 50
+	a := randTensor(rng, r, m)
+	b := randTensor(rng, r, n)
+	whole := New(m, n)
+	if err := MatMulTransAInto(whole, a, b); err != nil {
+		t.Fatal(err)
+	}
+	for _, rows := range []int{1, 7, 32} {
+		for lo := 0; lo < m; lo += rows {
+			hi := min(lo+rows, m)
+			sub, err := a.Narrow(1, lo, hi-lo)
+			if err != nil {
+				t.Fatal(err)
+			}
+			part := New(hi-lo, n)
+			if err := MatMulTransAInto(part, sub.Contiguous(), b); err != nil {
+				t.Fatal(err)
+			}
+			for i := lo; i < hi; i++ {
+				for j := 0; j < n; j++ {
+					if part.At(i-lo, j) != whole.At(i, j) {
+						t.Fatalf("rows=%d: row %d differs from whole product", rows, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkMatMulTrans(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	for _, size := range []int{64, 256} {
+		x := randTensor(rng, size, size)
+		y := randTensor(rng, size, size)
+		dst := New(size, size)
+		b.Run(fmt.Sprintf("transA-n%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := MatMulTransAInto(dst, x, y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("transA-naive-n%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				xt, err := x.Transpose(0, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := MatMulInto(dst, xt.Contiguous(), y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("transB-n%d", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := MatMulTransBInto(dst, x, y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
