@@ -1,11 +1,14 @@
 // hpacml-eval deploys a trained surrogate in its benchmark and measures
 // end-to-end speedup, QoI error, and the HPAC-ML phase breakdown — phase
 // three of the paper's workflow, emitting one CSV row per run like the
-// paper's benchmark_evaluation scripts.
+// paper's benchmark_evaluation scripts, or (with -json) one record of the
+// machine-readable results schema shared with the hpacml-serve load
+// generator (internal/results).
 //
 // Usage:
 //
 //	hpacml-eval -benchmark binomial -model models/binomial.gmod -runs 20
+//	hpacml-eval -benchmark binomial -model models/binomial.gmod -json -out eval.json
 package main
 
 import (
@@ -15,6 +18,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/results"
 )
 
 func main() {
@@ -24,6 +28,8 @@ func main() {
 	full := flag.Bool("full", false, "use campaign-scale problem sizes")
 	seed := flag.Int64("seed", 29, "random seed")
 	csvOut := flag.String("csv", "", "optional CSV output path (default stdout)")
+	jsonOut := flag.Bool("json", false, "emit the shared results schema (internal/results) instead of CSV")
+	outPath := flag.String("out", "", "with -json: output path (default stdout)")
 	flag.Parse()
 
 	if *benchmark == "" || *model == "" {
@@ -50,6 +56,29 @@ func main() {
 	res, err := h.Evaluate(*model, opt)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *jsonOut {
+		rec := &results.Record{
+			Tool:      "hpacml-eval",
+			Benchmark: res.Benchmark,
+			Model:     *model,
+			Eval: &results.Eval{
+				Speedup:       res.Speedup,
+				Error:         res.Error,
+				Metric:        string(h.Info().Metric),
+				Params:        res.Params,
+				LatencySec:    res.LatencySec,
+				ToTensorSec:   res.ToTensorSec,
+				InferenceSec:  res.InferenceSec,
+				FromTensorSec: res.FromTensorSec,
+				BaselineError: res.BaselineError,
+			},
+		}
+		if err := rec.WriteFile(*outPath); err != nil {
+			fatal(err)
+		}
+		return
 	}
 
 	out := os.Stdout

@@ -1,0 +1,151 @@
+// hpacml-serve hosts trained surrogates behind the dynamic micro-batching
+// HTTP API (internal/serve): many concurrent single-invocation clients are
+// coalesced into Region.ExecuteBatch calls over a pool of replica regions,
+// with checksum-based hot reload when a model file is retrained in place.
+//
+// Serve one or more .gmod models:
+//
+//	hpacml-serve -addr :8080 -model binomial=models/binomial.gmod \
+//	    -max-batch 32 -max-delay 2ms -workers 2 -reload 2s
+//
+// Or act as the load generator against a running server, writing the
+// shared results schema (the same one hpacml-eval -json emits):
+//
+//	hpacml-serve -loadgen -target http://127.0.0.1:8080 \
+//	    -loadgen-model binomial -rps 0 -duration 5s -concurrency 32 \
+//	    -out BENCH_serve.json
+//
+// The server exits 0 on SIGINT/SIGTERM after draining queued requests —
+// the clean shutdown the CI smoke step asserts.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/serve"
+)
+
+// modelFlags collects repeated -model name=path[:in:out] values.
+type modelFlags []serve.ModelSpec
+
+func (m *modelFlags) String() string { return fmt.Sprintf("%v", []serve.ModelSpec(*m)) }
+
+func (m *modelFlags) Set(v string) error {
+	name, rest, ok := strings.Cut(v, "=")
+	if !ok || name == "" || rest == "" {
+		return fmt.Errorf("want name=path[:in:out], got %q", v)
+	}
+	spec := serve.ModelSpec{Name: name, Path: rest}
+	if parts := strings.Split(rest, ":"); len(parts) == 3 {
+		spec.Path = parts[0]
+		if _, err := fmt.Sscanf(parts[1]+" "+parts[2], "%d %d", &spec.In, &spec.Out); err != nil {
+			return fmt.Errorf("bad dims in %q: %v", v, err)
+		}
+	}
+	*m = append(*m, spec)
+	return nil
+}
+
+func main() {
+	var models modelFlags
+	flag.Var(&models, "model", "model to serve as name=path[:in:out]; repeatable. Dims are inferred from dense-first .gmod files")
+	addr := flag.String("addr", ":8080", "listen address")
+	maxBatch := flag.Int("max-batch", 32, "max invocations coalesced into one ExecuteBatch call")
+	maxDelay := flag.Duration("max-delay", 2*time.Millisecond, "max wait for a batch to fill before cutting it")
+	queueCap := flag.Int("queue", 0, "bounded queue capacity per model (0 = 8*max-batch); overflow rejects with 429")
+	workers := flag.Int("workers", 2, "replica regions per model")
+	reload := flag.Duration("reload", 2*time.Second, "model-file checksum poll interval for hot reload (0 disables)")
+
+	loadgen := flag.Bool("loadgen", false, "run as load generator instead of server")
+	target := flag.String("target", "http://127.0.0.1:8080", "loadgen: server base URL")
+	lgModel := flag.String("loadgen-model", "", "loadgen: model to exercise (default: the server's first)")
+	rps := flag.Float64("rps", 0, "loadgen: target requests/sec across all clients (0 = closed loop)")
+	duration := flag.Duration("duration", 5*time.Second, "loadgen: run length")
+	concurrency := flag.Int("concurrency", 16, "loadgen: concurrent clients")
+	out := flag.String("out", "", "loadgen: result JSON path (default stdout)")
+	seed := flag.Int64("seed", 29, "loadgen: input-vector seed")
+	flag.Parse()
+
+	if *loadgen {
+		rec, err := serve.RunLoadGen(serve.LoadGenConfig{
+			Target:      *target,
+			Model:       *lgModel,
+			RPS:         *rps,
+			Duration:    *duration,
+			Concurrency: *concurrency,
+			Seed:        *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		if err := rec.WriteFile(*out); err != nil {
+			fatal(err)
+		}
+		sv := rec.Serving
+		fmt.Fprintf(os.Stderr, "loadgen: %d completed (%.0f req/s), %d rejected, %d errors, mean batch %.1f, p95 %.2fms\n",
+			sv.Completed, sv.AchievedRPS, sv.Rejected, sv.Errors, sv.MeanBatch, sv.LatencyP95Ms)
+		return
+	}
+
+	if len(models) == 0 {
+		fmt.Fprintln(os.Stderr, "hpacml-serve: at least one -model name=path is required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	s, err := serve.NewServer(serve.Config{
+		MaxBatch:       *maxBatch,
+		MaxDelay:       *maxDelay,
+		QueueCap:       *queueCap,
+		Workers:        *workers,
+		ReloadInterval: *reload,
+	}, models...)
+	if err != nil {
+		fatal(err)
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: serve.NewHandler(s)}
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	for _, info := range s.Models() {
+		fmt.Fprintf(os.Stderr, "hpacml-serve: serving %q (%d -> %d features, %d replicas) from %s\n",
+			info.Name, info.InDim, info.OutDim, info.Replicas, info.Path)
+	}
+	fmt.Fprintf(os.Stderr, "hpacml-serve: listening on %s (max batch %d, max delay %v)\n", *addr, *maxBatch, *maxDelay)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		fatal(err)
+	case sig := <-sigc:
+		fmt.Fprintf(os.Stderr, "hpacml-serve: %v, draining\n", sig)
+	}
+	// Shutdown (not Close) lets handlers blocked in Infer write their
+	// responses as the workers drain — no accepted request loses its
+	// reply. The coalescer's own drain follows.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "hpacml-serve: shutdown: %v\n", err)
+	}
+	if err := s.Close(); err != nil {
+		fatal(err)
+	}
+	for _, snap := range s.Snapshot() {
+		fmt.Fprintf(os.Stderr, "hpacml-serve: %q served %d requests in %d batches (mean %.1f), %d rejected\n",
+			snap.Name, snap.Completed, snap.Batches, snap.MeanBatch, snap.Rejected)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hpacml-serve:", err)
+	os.Exit(1)
+}

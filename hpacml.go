@@ -91,9 +91,6 @@ type Stats struct {
 	BatchInference time.Duration
 }
 
-// Clone returns a copy of the stats.
-func (s Stats) Clone() Stats { return s }
-
 // BridgeOverhead returns (to-tensor + from-tensor) time as a fraction of
 // total inference-engine time (single and batched).
 func (s Stats) BridgeOverhead() float64 {
@@ -106,6 +103,15 @@ func (s Stats) BridgeOverhead() float64 {
 
 // Region is one annotated code region: its directives, bound application
 // memory, bridge plans, and execution-control state.
+//
+// A Region is NOT safe for concurrent use. Execute and ExecuteBatch flip
+// execution-control state, write through the bound application arrays,
+// reuse cached staging tensors, and bump the unsynchronized stats
+// counters; two goroutines calling into the same Region race on all of
+// them. Concurrent callers should instead give each worker goroutine its
+// own replica Region (same directives, its own bound arrays) and feed the
+// replicas from a shared queue — the replica-pool idiom internal/serve
+// uses to turn independent concurrent requests into ExecuteBatch calls.
 type Region struct {
 	name string
 
@@ -134,23 +140,39 @@ type Region struct {
 
 	// Inference staging caches, reused across invocations so steady-state
 	// Execute and ExecuteBatch calls stop allocating and re-planning per
-	// call. singleX/Y serve Execute; batchX/Y serve ExecuteBatch;
-	// imgScratch holds the pre-transpose composition buffer of the image
-	// layout. The *St stagers are precomputed bridge views bound to the
-	// staging tensors (nil when the layout needs per-call transforms).
-	// The *Y output buffers and their stagers are model-dependent and
-	// dropped by InvalidateModel.
-	singleX       *tensor.Tensor
-	singleInSt    []*bridge.Stager
-	singleY       *tensor.Tensor
-	singleOutSt   []*bridge.Stager
-	batchX        *tensor.Tensor
-	batchBlocks   []*tensor.Tensor   // per-invocation row blocks of batchX
-	batchInSt     [][]*bridge.Stager // per invocation, per in-plan
-	batchY        *tensor.Tensor
-	batchOutViews []*tensor.Tensor   // per-invocation row blocks of batchY
-	batchOutSt    [][]*bridge.Stager // per invocation, per out-plan
-	imgScratch    *tensor.Tensor
+	// call. singleX/Y serve Execute; batches holds one batchState per
+	// distinct ExecuteBatch size, so callers whose batch size fluctuates
+	// (the serving coalescer cuts batches anywhere in [1, MaxBatch]) don't
+	// rebuild staging on every size change; imgScratch holds the
+	// pre-transpose composition buffer of the image layout. The *St
+	// stagers are precomputed bridge views bound to the staging tensors
+	// (nil when the layout needs per-call transforms). The output buffers
+	// and their stagers are model-dependent and dropped by
+	// InvalidateModel.
+	singleX     *tensor.Tensor
+	singleInSt  []*bridge.Stager
+	singleY     *tensor.Tensor
+	singleOutSt []*bridge.Stager
+	batches     map[int]*batchState
+	imgScratch  *tensor.Tensor
+}
+
+// maxBatchStates caps how many distinct batch sizes keep cached staging
+// at once (the serving coalescer cuts batches anywhere in [1, MaxBatch],
+// so 64 covers its default policy without eviction).
+const maxBatchStates = 64
+
+// batchState is the cached staging for one ExecuteBatch size n: the
+// batched input tensor with its per-invocation row blocks and gather
+// stagers, and (once the first batch of this size has run) the batched
+// output tensor with its per-invocation views and scatter stagers.
+type batchState struct {
+	x        *tensor.Tensor
+	blocks   []*tensor.Tensor   // per-invocation row blocks of x
+	inSt     [][]*bridge.Stager // per invocation, per in-plan
+	y        *tensor.Tensor
+	outViews []*tensor.Tensor   // per-invocation row blocks of y
+	outSt    [][]*bridge.Stager // per invocation, per out-plan
 }
 
 // modelCache shares loaded models across regions keyed by path, matching
@@ -448,6 +470,13 @@ func (r *Region) NumDirectives() int { return len(r.dirSrcs) }
 func (r *Region) DirectiveLines() []string {
 	return append([]string(nil), r.dirSrcs...)
 }
+
+// InputShape returns the model input shape of one region invocation
+// under the configured input layout — what the bridge will present to
+// the model. Serving-layer replica pools use it to validate that a
+// registered model's expected input matches the region's bridging before
+// any traffic arrives.
+func (r *Region) InputShape() ([]int, error) { return r.modelInputShape() }
 
 // Stats returns a snapshot of the region's runtime accounting.
 func (r *Region) Stats() Stats { return r.stats }
@@ -771,18 +800,32 @@ func (r *Region) ExecuteBatch(n int, stage func(i int) error, finish func(i int)
 	if err := r.ensureModel(); err != nil {
 		return err
 	}
-	shape, err := r.modelInputShape()
-	if err != nil {
-		return err
-	}
-	per := shape[0]
-	batchShape := append([]int{n * per}, shape[1:]...)
-	if r.batchX == nil || !tensor.ShapeEqual(r.batchX.Shape(), batchShape) {
-		if err := r.buildBatchStaging(n, per, batchShape); err != nil {
+	bs := r.batches[n]
+	if bs == nil {
+		shape, err := r.modelInputShape()
+		if err != nil {
 			return err
 		}
+		if bs, err = r.buildBatchStaging(n, shape); err != nil {
+			return err
+		}
+		if r.batches == nil {
+			r.batches = make(map[int]*batchState)
+		}
+		// Bound the cache: a caller cycling through many distinct batch
+		// sizes (variable tail batches) must not accumulate staging
+		// tensors forever. Evicting an arbitrary entry costs at most one
+		// rebuild for that size later.
+		if len(r.batches) >= maxBatchStates {
+			for k := range r.batches {
+				delete(r.batches, k)
+				break
+			}
+		}
+		r.batches[n] = bs
 	}
 
+	var err error
 	for i := 0; i < n; i++ {
 		if stage != nil {
 			if err := stage(i); err != nil {
@@ -790,14 +833,14 @@ func (r *Region) ExecuteBatch(n int, stage func(i int) error, finish func(i int)
 			}
 		}
 		start := time.Now()
-		if r.batchInSt != nil {
-			for _, st := range r.batchInSt[i] {
+		if bs.inSt != nil {
+			for _, st := range bs.inSt[i] {
 				if err = st.Gather(); err != nil {
 					break
 				}
 			}
 		} else {
-			err = r.modelInputInto(r.batchBlocks[i])
+			err = r.modelInputInto(bs.blocks[i])
 		}
 		r.stats.ToTensor += time.Since(start)
 		if err != nil {
@@ -807,19 +850,19 @@ func (r *Region) ExecuteBatch(n int, stage func(i int) error, finish func(i int)
 
 	start := time.Now()
 	var y *tensor.Tensor
-	if r.batchY != nil {
-		err = r.model.ForwardInto(r.batchY, r.batchX)
-		y = r.batchY
+	if bs.y != nil {
+		err = r.model.ForwardInto(bs.y, bs.x)
+		y = bs.y
 	} else {
-		y, err = r.model.Forward(r.batchX)
+		y, err = r.model.Forward(bs.x)
 	}
 	r.stats.BatchInference += time.Since(start)
 	if err != nil {
-		r.batchY, r.batchOutViews, r.batchOutSt = nil, nil, nil
+		bs.y, bs.outViews, bs.outSt = nil, nil, nil
 		return fmt.Errorf("hpacml: batched inference in region %q: %w", r.name, err)
 	}
-	if r.batchY == nil {
-		if err := r.buildBatchOutput(y, n); err != nil {
+	if bs.y == nil {
+		if err := r.buildBatchOutput(bs, y, n); err != nil {
 			return err
 		}
 	}
@@ -830,10 +873,10 @@ func (r *Region) ExecuteBatch(n int, stage func(i int) error, finish func(i int)
 
 	for i := 0; i < n; i++ {
 		start := time.Now()
-		if r.batchOutSt != nil {
-			err = scatterStagers(r.batchOutSt[i])
+		if bs.outSt != nil {
+			err = scatterStagers(bs.outSt[i])
 		} else {
-			err = r.scatterModelOutput(r.batchOutViews[i])
+			err = r.scatterModelOutput(bs.outViews[i])
 		}
 		r.stats.FromTensor += time.Since(start)
 		if err != nil {
@@ -848,35 +891,38 @@ func (r *Region) ExecuteBatch(n int, stage func(i int) error, finish func(i int)
 	return nil
 }
 
-// buildBatchStaging (re)allocates the batched input staging tensor for n
-// invocations of per rows each, precomputing each invocation's row block
-// and, when the layout allows, its gather stagers.
-func (r *Region) buildBatchStaging(n, per int, batchShape []int) error {
-	x := tensor.New(batchShape...)
-	blocks := make([]*tensor.Tensor, n)
+// buildBatchStaging allocates the batched input staging tensor for n
+// invocations, precomputing each invocation's row block and, when the
+// layout allows, its gather stagers. One batchState is cached per batch
+// size, so a caller alternating sizes (the serving coalescer) pays the
+// build once per distinct size, not once per size change.
+func (r *Region) buildBatchStaging(n int, shape []int) (*batchState, error) {
+	per := shape[0]
+	x := tensor.New(append([]int{n * per}, shape[1:]...)...)
+	bs := &batchState{x: x, blocks: make([]*tensor.Tensor, n)}
 	inSt := make([][]*bridge.Stager, 0, n)
-	for i := range blocks {
+	for i := range bs.blocks {
 		var err error
-		if blocks[i], err = x.Narrow(0, i*per, per); err != nil {
-			return err
+		if bs.blocks[i], err = x.Narrow(0, i*per, per); err != nil {
+			return nil, err
 		}
 		if inSt != nil {
-			if sts := r.inputStagers(blocks[i]); sts != nil {
+			if sts := r.inputStagers(bs.blocks[i]); sts != nil {
 				inSt = append(inSt, sts)
 			} else {
 				inSt = nil
 			}
 		}
 	}
-	r.batchX, r.batchBlocks, r.batchInSt = x, blocks, inSt
-	r.batchY, r.batchOutViews, r.batchOutSt = nil, nil, nil
-	return nil
+	bs.inSt = inSt
+	return bs, nil
 }
 
-// buildBatchOutput caches the first batched model output: it validates
-// that y splits evenly into n per-invocation row blocks and precomputes
-// each block's view and, when the layout allows, its scatter stagers.
-func (r *Region) buildBatchOutput(y *tensor.Tensor, n int) error {
+// buildBatchOutput caches the first batched model output of a batch size:
+// it validates that y splits evenly into n per-invocation row blocks and
+// precomputes each block's view and, when the layout allows, its scatter
+// stagers.
+func (r *Region) buildBatchOutput(bs *batchState, y *tensor.Tensor, n int) error {
 	if y.Rank() < 1 || y.Dim(0)%n != 0 {
 		return fmt.Errorf("hpacml: batched model output %v in region %q does not split into %d invocations",
 			y.Shape(), r.name, n)
@@ -897,7 +943,7 @@ func (r *Region) buildBatchOutput(y *tensor.Tensor, n int) error {
 			}
 		}
 	}
-	r.batchY, r.batchOutViews, r.batchOutSt = y, views, outSt
+	bs.y, bs.outViews, bs.outSt = y, views, outSt
 	return nil
 }
 
@@ -957,11 +1003,33 @@ func (r *Region) ensureModel() error {
 // (e.g. after a new training round wrote the file). Cached output buffers
 // are model-dependent and dropped with it.
 func (r *Region) InvalidateModel() {
-	r.model = nil
-	r.singleY, r.singleOutSt = nil, nil
-	r.batchY, r.batchOutViews, r.batchOutSt = nil, nil, nil
+	r.dropModel()
 	modelCache.Delete(r.modelPath)
 }
+
+// RefreshModel drops the region's model pointer and model-dependent
+// caches so the next inference re-resolves the model from the shared
+// cache. Unlike InvalidateModel it does not evict the cache entry:
+// paired with StoreModel it lets a replica pool swap onto already-loaded
+// validated weights without touching disk — if every replica re-read the
+// file instead, a concurrent retrain could hand different replicas
+// different (or torn) bytes for the same swap.
+func (r *Region) RefreshModel() { r.dropModel() }
+
+func (r *Region) dropModel() {
+	r.model = nil
+	r.singleY, r.singleOutSt = nil, nil
+	for _, bs := range r.batches {
+		bs.y, bs.outViews, bs.outSt = nil, nil, nil
+	}
+}
+
+// StoreModel publishes an already-loaded model under path in the shared
+// model cache, so every region whose model() clause names that path
+// resolves to this exact object on its next (re)load. The serving
+// registry's hot reload validates one loaded network and then publishes
+// it here, making the swap atomic across its replica pool.
+func StoreModel(path string, m *nn.Network) { modelCache.Store(path, m) }
 
 // gatherOutputs composes all from-plans (reading current application
 // memory) into [entries, total features] — used during collection.

@@ -62,7 +62,9 @@ func Create(path string) (*Writer, error) {
 }
 
 // Append opens path for appending, creating it with a header if absent.
-// The existing content is validated up to its last complete record.
+// The existing content is validated up to its last complete record; a
+// partial record left by a crash mid-append is truncated away first, so
+// the new records remain readable after it.
 func Append(path string) (*Writer, error) {
 	st, err := os.Stat(path)
 	if errors.Is(err, os.ErrNotExist) || (err == nil && st.Size() == 0) {
@@ -71,29 +73,62 @@ func Append(path string) (*Writer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("h5: append: %w", err)
 	}
-	// Validate the header before appending blindly.
+	// Validate the header and find the end of the last complete record
+	// before appending blindly.
 	r, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("h5: append: %w", err)
 	}
-	br := bufio.NewReader(r)
-	magic, err := readU32(br)
+	cr := &countingReader{r: bufio.NewReaderSize(r, 1<<16)}
+	magic, err := readU32(cr)
 	if err == nil {
 		var version uint32
-		version, err = readU32(br)
+		version, err = readU32(cr)
 		if err == nil && (magic != fileMagic || version != fileVersion) {
 			err = fmt.Errorf("h5: %s is not a version-%d .gh5 file", path, fileVersion)
 		}
 	}
-	r.Close()
 	if err != nil {
+		r.Close()
 		return nil, err
+	}
+	goodEnd := cr.n
+	for {
+		if err := skimRecord(cr); err != nil {
+			if err == io.EOF || errors.Is(err, errTruncated) {
+				break
+			}
+			// A real I/O failure or corruption must not truncate: only a
+			// tail provably cut short by a crash may be dropped.
+			r.Close()
+			return nil, fmt.Errorf("h5: append: %s: %w", path, err)
+		}
+		goodEnd = cr.n
+	}
+	r.Close()
+	if goodEnd < st.Size() {
+		if err := os.Truncate(path, goodEnd); err != nil {
+			return nil, fmt.Errorf("h5: append: dropping partial tail record: %w", err)
+		}
 	}
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("h5: append: %w", err)
 	}
 	return &Writer{f: f, buf: bufio.NewWriterSize(f, 1<<16)}, nil
+}
+
+// countingReader tracks how many bytes have been consumed, so Append can
+// locate the end of the last complete record.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
 }
 
 // Write appends one dataset record under group/name.
@@ -167,7 +202,16 @@ type File struct {
 	byGroup map[string]map[string][]*record
 }
 
-// Open scans path and returns the reconstructed hierarchy.
+// errTruncated marks a record cut off by the end of the file — the shape
+// a crash mid-append leaves behind. Readers treat it as a clean stop
+// (every complete record before it is recovered); corruption inside the
+// file (a bad record marker, implausible sizes) is still a hard error.
+var errTruncated = errors.New("h5: truncated tail record")
+
+// Open scans path and returns the reconstructed hierarchy. A file whose
+// final record was cut short by a crash mid-append is not an error:
+// scanning stops at the last complete record, which is the crash
+// tolerance the log-structured format exists to provide.
 func Open(path string) (*File, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -189,7 +233,7 @@ func Open(path string) (*File, error) {
 	out := &File{byGroup: make(map[string]map[string][]*record)}
 	for {
 		rec, err := readRecord(r)
-		if err == io.EOF {
+		if err == io.EOF || errors.Is(err, errTruncated) {
 			break
 		}
 		if err != nil {
@@ -205,25 +249,44 @@ func Open(path string) (*File, error) {
 	return out, nil
 }
 
-func readRecord(r *bufio.Reader) (*record, error) {
+func readRecord(r io.Reader) (*record, error) { return decodeRecord(r, false) }
+
+// skimRecord walks one record without materializing its payload — the
+// cheap scan Append uses to find the end of the last complete record.
+func skimRecord(r io.Reader) error {
+	_, err := decodeRecord(r, true)
+	return err
+}
+
+func decodeRecord(r io.Reader, skim bool) (*record, error) {
 	magic, err := readU32(r)
 	if err != nil {
-		return nil, io.EOF // clean end of file
+		// Distinguish the three boundary cases: a clean end of file, a
+		// marker cut mid-write by a crash (recoverable truncation), and a
+		// genuine read failure (must not be mistaken for either — Append
+		// would truncate good records after it).
+		if errors.Is(err, io.EOF) {
+			return nil, io.EOF
+		}
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, recordErr(err)
+		}
+		return nil, fmt.Errorf("record marker read: %w", err)
 	}
 	if magic != recordMagic {
 		return nil, fmt.Errorf("corrupt record marker %#x", magic)
 	}
 	group, err := readString(r)
 	if err != nil {
-		return nil, fmt.Errorf("truncated record: %w", err)
+		return nil, recordErr(err)
 	}
 	name, err := readString(r)
 	if err != nil {
-		return nil, fmt.Errorf("truncated record: %w", err)
+		return nil, recordErr(err)
 	}
 	rank, err := readU32(r)
 	if err != nil {
-		return nil, fmt.Errorf("truncated record: %w", err)
+		return nil, recordErr(err)
 	}
 	if rank > maxRank {
 		return nil, fmt.Errorf("implausible rank %d", rank)
@@ -233,7 +296,7 @@ func readRecord(r *bufio.Reader) (*record, error) {
 	for i := range shape {
 		v, err := readI64(r)
 		if err != nil {
-			return nil, fmt.Errorf("truncated record: %w", err)
+			return nil, recordErr(err)
 		}
 		if v < 0 || v > 1<<28 {
 			return nil, fmt.Errorf("implausible dimension %d", v)
@@ -241,13 +304,28 @@ func readRecord(r *bufio.Reader) (*record, error) {
 		shape[i] = int(v)
 		count *= shape[i]
 	}
+	if skim {
+		if _, err := io.CopyN(io.Discard, r, int64(count)*8); err != nil {
+			return nil, recordErr(err)
+		}
+		return nil, nil
+	}
 	data := make([]float64, count)
 	for i := range data {
 		if data[i], err = readF64(r); err != nil {
-			return nil, fmt.Errorf("truncated record data: %w", err)
+			return nil, recordErr(err)
 		}
 	}
 	return &record{group: group, name: name, shape: shape, data: data}, nil
+}
+
+// recordErr classifies a mid-record read failure: running out of file is
+// a truncated tail (recoverable); anything else stays a hard error.
+func recordErr(err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%w: %v", errTruncated, err)
+	}
+	return fmt.Errorf("broken record: %w", err)
 }
 
 // Groups lists group names in sorted order.

@@ -1,0 +1,139 @@
+package h5
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// writeRecords appends n [2,3] records to path under stencil/inputs,
+// returning the file size after each complete record.
+func writeRecords(t *testing.T, path string, n int) []int64 {
+	t.Helper()
+	w, err := Append(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := make([]int64, 0, n)
+	for i := 0; i < n; i++ {
+		rec := tensor.New(2, 3)
+		for j := range rec.Data() {
+			rec.Data()[j] = float64(i*10 + j)
+		}
+		if err := w.Write("stencil", "inputs", rec); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		st, err := os.Stat(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sizes = append(sizes, st.Size())
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return sizes
+}
+
+// TestTruncatedTailRecovery is the crash-tolerance contract of the
+// package doc: a file cut off anywhere inside its final record still
+// yields every complete record before the cut.
+func TestTruncatedTailRecovery(t *testing.T) {
+	dir := t.TempDir()
+	base := filepath.Join(dir, "full.gh5")
+	sizes := writeRecords(t, base, 4)
+	full, err := os.ReadFile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cut points inside the last record: just after the previous record
+	// (zero extra bytes), mid record-marker, mid name, mid shape, and mid
+	// data payload.
+	prevEnd := sizes[2]
+	recLen := sizes[3] - prevEnd
+	cuts := []int64{prevEnd, prevEnd + 2, prevEnd + 9, prevEnd + 17, sizes[3] - 11}
+	for _, cut := range cuts {
+		if cut < prevEnd || cut >= sizes[3] {
+			t.Fatalf("bad cut %d (record spans %d..%d, len %d)", cut, prevEnd, sizes[3], recLen)
+		}
+		path := filepath.Join(dir, "cut.gh5")
+		if err := os.WriteFile(path, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		f, err := Open(path)
+		if err != nil {
+			t.Fatalf("cut at %d: Open: %v", cut, err)
+		}
+		if got := f.NumRecords("stencil", "inputs"); got != 3 {
+			t.Fatalf("cut at %d: recovered %d records, want 3", cut, got)
+		}
+		data, err := f.Read("stencil", "inputs")
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		if data.Dim(0) != 6 || data.Data()[6] != 10 || data.Data()[17] != 25 {
+			t.Fatalf("cut at %d: recovered rows corrupted: %v %v", cut, data.Shape(), data.Data())
+		}
+	}
+
+	// Corruption (not truncation) must still fail loudly: flip a record
+	// marker byte in the middle of the file.
+	badPath := filepath.Join(dir, "corrupt.gh5")
+	bad := append([]byte(nil), full...)
+	bad[sizes[0]] ^= 0xff // first byte of record 2's marker
+	if err := os.WriteFile(badPath, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(badPath); err == nil {
+		t.Fatal("corrupt marker mid-file must not open cleanly")
+	}
+}
+
+// TestAppendAfterCrash: Append drops the partial tail record, so records
+// appended after a crash remain readable alongside the survivors.
+func TestAppendAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "crash.gh5")
+	sizes := writeRecords(t, path, 3)
+
+	// Crash mid-append: the last record loses its final 9 bytes.
+	if err := os.Truncate(path, sizes[2]-9); err != nil {
+		t.Fatal(err)
+	}
+	w, err := Append(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, _ := os.Stat(path); st.Size() != sizes[1] {
+		t.Fatalf("partial tail not truncated: size %d, want %d", st.Size(), sizes[1])
+	}
+	rec := tensor.New(2, 3)
+	rec.Fill(99)
+	if err := w.Write("stencil", "inputs", rec); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.NumRecords("stencil", "inputs"); got != 3 {
+		t.Fatalf("recovered+appended %d records, want 3", got)
+	}
+	data, err := f.Read("stencil", "inputs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if data.Dim(0) != 6 || data.Data()[12] != 99 {
+		t.Fatalf("appended record not readable: %v %v", data.Shape(), data.Data())
+	}
+}

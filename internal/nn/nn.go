@@ -375,6 +375,32 @@ func (n *Network) OutShape(in []int) ([]int, error) {
 	return cur, nil
 }
 
+// VectorIO reports the flat per-sample input and output widths of a
+// network whose first layer is Dense — the MLP surrogates a model
+// registry can host without being told their shapes. Networks that open
+// with a convolution (whose input width depends on the spatial extent,
+// not the model file) cannot be inferred and return an error; callers
+// must then supply dimensions explicitly.
+func (n *Network) VectorIO() (in, out int, err error) {
+	if len(n.Layers) == 0 {
+		return 0, 0, fmt.Errorf("nn: VectorIO on empty network")
+	}
+	d, ok := n.Layers[0].Layer.(*Dense)
+	if !ok {
+		return 0, 0, fmt.Errorf("nn: VectorIO: first layer is %s, not dense; input width is not self-describing",
+			n.Layers[0].Layer.Kind())
+	}
+	outShape, err := n.OutShape([]int{d.In})
+	if err != nil {
+		return 0, 0, err
+	}
+	out = 1
+	for _, dim := range outShape {
+		out *= dim
+	}
+	return d.In, out, nil
+}
+
 // Summary renders a human-readable architecture description.
 func (n *Network) Summary() string {
 	s := ""

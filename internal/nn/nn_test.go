@@ -639,3 +639,22 @@ func TestPropForwardDeterministic(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestVectorIO(t *testing.T) {
+	net := NewNetwork(1)
+	net.Add(net.NewDense(7, 16), NewActivation(ActTanh), net.NewDense(16, 3))
+	in, out, err := net.VectorIO()
+	if err != nil || in != 7 || out != 3 {
+		t.Fatalf("VectorIO = %d, %d, %v; want 7, 3, nil", in, out, err)
+	}
+
+	// Conv-first networks can't self-describe their input width.
+	cnn := NewNetwork(2)
+	cnn.Add(cnn.NewConv1D(1, 2, 3, 1), NewFlatten(), cnn.NewDense(12, 1))
+	if _, _, err := cnn.VectorIO(); err == nil {
+		t.Fatal("want error for conv-first network")
+	}
+	if _, _, err := NewNetwork(3).VectorIO(); err == nil {
+		t.Fatal("want error for empty network")
+	}
+}

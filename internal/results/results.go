@@ -1,0 +1,92 @@
+// Package results defines the machine-readable result schema shared by
+// the repo's command-line tools: hpacml-eval's -json output and the
+// hpacml-serve load generator both emit one Record, so CI benchmark
+// artifacts (BENCH_*.json) have a single shape regardless of which tool
+// produced them.
+package results
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Record is one tool run. Exactly one of Eval or Serving is set,
+// according to Tool.
+type Record struct {
+	// Tool names the producer: "hpacml-eval" or "hpacml-serve-loadgen".
+	Tool string `json:"tool"`
+	// Benchmark is the benchmark name for eval runs, empty for serving.
+	Benchmark string `json:"benchmark,omitempty"`
+	// Model is the surrogate the run exercised: a .gmod path for eval,
+	// a registry model name for serving.
+	Model string `json:"model,omitempty"`
+
+	Eval    *Eval    `json:"eval,omitempty"`
+	Serving *Serving `json:"serving,omitempty"`
+}
+
+// Eval is a deployed-surrogate measurement: end-to-end speedup, QoI
+// error, and the HPAC-ML phase breakdown (the data behind the paper's
+// Figures 5-8, previously available only as CSV).
+type Eval struct {
+	Speedup       float64 `json:"speedup"`
+	Error         float64 `json:"error"`
+	Metric        string  `json:"metric"`
+	Params        int     `json:"params"`
+	LatencySec    float64 `json:"latency_sec"`
+	ToTensorSec   float64 `json:"to_tensor_sec"`
+	InferenceSec  float64 `json:"inference_sec"`
+	FromTensorSec float64 `json:"from_tensor_sec"`
+	BaselineError float64 `json:"baseline_error"`
+}
+
+// Serving is a load-generator run against a surrogate server: client-side
+// traffic accounting plus the server-reported coalescing evidence (mean
+// batch size and the batch-size histogram).
+type Serving struct {
+	TargetRPS   float64 `json:"target_rps"` // 0 means unthrottled
+	Concurrency int     `json:"concurrency"`
+	DurationSec float64 `json:"duration_sec"`
+
+	Sent        uint64  `json:"sent"`
+	Completed   uint64  `json:"completed"`
+	Rejected    uint64  `json:"rejected"` // backpressure: queue-full refusals
+	Errors      uint64  `json:"errors"`
+	AchievedRPS float64 `json:"achieved_rps"`
+
+	// Client-observed request latency quantiles, milliseconds.
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP95Ms float64 `json:"latency_p95_ms"`
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
+
+	// Server-reported coalescing evidence: batches > 1 must actually
+	// form for the micro-batching claim to hold.
+	MeanBatch float64           `json:"mean_batch"`
+	BatchHist map[string]uint64 `json:"batch_hist,omitempty"`
+}
+
+// WriteJSON writes the record as indented JSON to w.
+func (r *Record) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteFile writes the record as indented JSON to path ("" or "-" means
+// stdout).
+func (r *Record) WriteFile(path string) error {
+	if path == "" || path == "-" {
+		return r.WriteJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("results: %w", err)
+	}
+	if err := r.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

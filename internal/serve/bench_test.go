@@ -1,0 +1,107 @@
+package serve
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	hpacml "repro"
+)
+
+// benchWidths is a mid-sized MLP surrogate: big enough that the model
+// call dominates staging, the regime where coalescing pays.
+var benchWidths = []int{16, 128, 128, 8}
+
+// clients is the concurrent-caller count both benchmark arms serve.
+const clients = 64
+
+// BenchmarkCoalescedVsSerial is the acceptance benchmark: N concurrent
+// single-invocation clients served through the micro-batching coalescer
+// versus the same clients serialized through one Region.Execute behind a
+// mutex (the only correct alternative, since a Region is not safe for
+// concurrent use). ns/op is per completed request; the coalesced number
+// must be at least 2x better under concurrent load.
+func BenchmarkCoalescedVsSerial(b *testing.B) {
+	dir := b.TempDir()
+	net := mlp(3, benchWidths...)
+	path := dir + "/bench.gmod"
+	if err := net.Save(path); err != nil {
+		b.Fatal(err)
+	}
+	in, out := benchWidths[0], benchWidths[len(benchWidths)-1]
+	inputs := make([][]float64, 64)
+	for k := range inputs {
+		inputs[k] = inputVec(k, in)
+	}
+
+	b.Run("serial-mutex", func(b *testing.B) {
+		hpacml.ClearModelCache()
+		rep, err := newReplica("serial", path, 0, in, out)
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer rep.region.Close()
+		var mu sync.Mutex
+		var k int
+		b.SetParallelism(clients / runtime.GOMAXPROCS(0))
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			buf := make([]float64, out)
+			for pb.Next() {
+				mu.Lock()
+				k++
+				copy(rep.in, inputs[k%len(inputs)])
+				if err := rep.region.Execute(nil); err != nil {
+					mu.Unlock()
+					b.Error(err)
+					return
+				}
+				copy(buf, rep.out)
+				mu.Unlock()
+			}
+		})
+	})
+
+	b.Run("coalesced", func(b *testing.B) {
+		hpacml.ClearModelCache()
+		workers := runtime.GOMAXPROCS(0)
+		if workers > 4 {
+			workers = 4
+		}
+		s, err := NewServer(Config{
+			MaxBatch: 64,
+			MaxDelay: 100 * time.Microsecond,
+			QueueCap: 1024,
+			Workers:  workers,
+		}, ModelSpec{Name: "m", Path: path})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer s.Close()
+		var k int64
+		var mu sync.Mutex
+		next := func() []float64 {
+			mu.Lock()
+			k++
+			v := inputs[k%int64(len(inputs))]
+			mu.Unlock()
+			return v
+		}
+		b.SetParallelism(clients / runtime.GOMAXPROCS(0))
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := s.Infer("m", next()); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		})
+		b.StopTimer()
+		snap := s.Snapshot()[0]
+		if snap.Batches > 0 {
+			b.ReportMetric(snap.MeanBatch, "mean-batch")
+		}
+	})
+}

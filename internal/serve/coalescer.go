@@ -1,0 +1,84 @@
+package serve
+
+import (
+	"time"
+)
+
+// request is one queued invocation: the caller's input features, the
+// output slot the worker fills, and the completion channel the caller
+// blocks on. in is read and out written only between enqueue and the
+// done send, so no locking is needed on either.
+type request struct {
+	in   []float64
+	out  []float64
+	enq  time.Time
+	done chan error
+}
+
+// worker is one replica's serving loop: block for a batch's first
+// request, then keep filling until MaxBatch requests have accumulated or
+// MaxDelay has passed since that first arrival — whichever trips first
+// cuts the batch. Workers exit once the queue is closed and drained, so
+// Close never drops queued work.
+func (s *Server) worker(m *model, rep *replica) {
+	defer s.wg.Done()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	batch := make([]*request, 0, s.cfg.MaxBatch)
+	for {
+		first, ok := <-m.queue
+		if !ok {
+			return
+		}
+		batch = append(batch[:0], first)
+		timer.Reset(s.cfg.MaxDelay)
+	fill:
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case req, ok := <-m.queue:
+				if !ok {
+					break fill
+				}
+				batch = append(batch, req)
+			case <-timer.C:
+				break fill
+			}
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+		s.runBatch(m, rep, batch)
+	}
+}
+
+// runBatch serves one coalesced batch on the worker's replica Region:
+// stage(i) copies request i's inputs into the replica's bound input
+// array just before its row block is gathered; finish(i) copies the
+// replica's bound output array back out after invocation i's outputs are
+// scattered. A pending hot reload is applied first — the batch boundary
+// is the only point where the single-threaded replica can safely swap
+// models. RefreshModel (not InvalidateModel) re-resolves from the
+// shared cache, where checkReload published the validated network, so
+// the swap never re-reads disk.
+func (s *Server) runBatch(m *model, rep *replica, batch []*request) {
+	if gen := m.gen.Load(); gen != rep.gen {
+		rep.region.RefreshModel()
+		rep.gen = gen
+	}
+	if s.cfg.batchHook != nil {
+		s.cfg.batchHook(m.name, len(batch))
+	}
+	err := rep.region.ExecuteBatch(len(batch),
+		func(i int) error { copy(rep.in, batch[i].in); return nil },
+		func(i int) error { copy(batch[i].out, rep.out); return nil },
+	)
+	m.stats.observe(rep.idx, rep.region.Stats(), batch, time.Now(), err)
+	for _, req := range batch {
+		req.done <- err
+	}
+}

@@ -1,0 +1,134 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+)
+
+// InferRequest is the /v1/infer request body. Input carries one
+// invocation; Inputs carries several, which the handler submits
+// concurrently so they coalesce into batches like independent clients
+// would. Exactly one of the two must be set.
+type InferRequest struct {
+	Model  string      `json:"model"`
+	Input  []float64   `json:"input,omitempty"`
+	Inputs [][]float64 `json:"inputs,omitempty"`
+}
+
+// InferResponse mirrors the request: Output answers Input, Outputs
+// answers Inputs.
+type InferResponse struct {
+	Model   string      `json:"model"`
+	Output  []float64   `json:"output,omitempty"`
+	Outputs [][]float64 `json:"outputs,omitempty"`
+}
+
+// StatsResponse is the /v1/stats payload.
+type StatsResponse struct {
+	UptimeSec float64         `json:"uptime_sec"`
+	Models    []ModelSnapshot `json:"models"`
+}
+
+// errorBody is every non-200 response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// NewHandler exposes the server over the HTTP JSON API:
+//
+//	POST /v1/infer   {"model": "m", "input": [...]}  -> {"output": [...]}
+//	GET  /v1/models  registry listing
+//	GET  /v1/stats   per-model serving stats
+//	GET  /healthz    liveness
+//
+// Backpressure surfaces as 429, unknown models as 404, malformed bodies
+// and wrong input widths as 400, shutdown as 503.
+func NewHandler(s *Server) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/infer", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+			return
+		}
+		var req InferRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
+			return
+		}
+		switch {
+		case req.Input != nil && req.Inputs == nil:
+			out, err := s.Infer(req.Model, req.Input)
+			if err != nil {
+				writeErr(w, statusFor(err), err)
+				return
+			}
+			writeJSON(w, http.StatusOK, InferResponse{Model: req.Model, Output: out})
+		case req.Inputs != nil && req.Input == nil:
+			outs := make([][]float64, len(req.Inputs))
+			errs := make([]error, len(req.Inputs))
+			var wg sync.WaitGroup
+			for i := range req.Inputs {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					outs[i], errs[i] = s.Infer(req.Model, req.Inputs[i])
+				}(i)
+			}
+			wg.Wait()
+			for _, err := range errs {
+				if err != nil {
+					writeErr(w, statusFor(err), err)
+					return
+				}
+			}
+			writeJSON(w, http.StatusOK, InferResponse{Model: req.Model, Outputs: outs})
+		default:
+			writeErr(w, http.StatusBadRequest, errors.New(`set exactly one of "input" or "inputs"`))
+		}
+	})
+	mux.HandleFunc("/v1/models", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Models())
+	})
+	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, StatsResponse{
+			UptimeSec: s.Uptime().Seconds(),
+			Models:    s.Snapshot(),
+		})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	return mux
+}
+
+// statusFor maps serving errors to HTTP codes. Anything that is not a
+// recognized caller mistake is a server-side inference failure and must
+// read as 5xx, so clients and monitors don't misfile region/model
+// faults as bad requests.
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, ErrUnknownModel):
+		return http.StatusNotFound
+	case errors.Is(err, ErrBadInput):
+		return http.StatusBadRequest
+	case errors.Is(err, ErrQueueFull):
+		return http.StatusTooManyRequests
+	case errors.Is(err, ErrServerClosed):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}

@@ -1,0 +1,222 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/results"
+)
+
+// LoadGenConfig drives RunLoadGen against a running server's HTTP API.
+type LoadGenConfig struct {
+	// Target is the server base URL, e.g. http://127.0.0.1:8080.
+	Target string
+	// Model names the registry entry to load; empty picks the server's
+	// first model.
+	Model string
+	// RPS is the target request rate across all clients; 0 runs
+	// closed-loop (every client fires as fast as its requests complete).
+	RPS float64
+	// Duration is how long to generate load. Default 5s.
+	Duration time.Duration
+	// Concurrency is the client goroutine count. Default 16.
+	Concurrency int
+	// Seed makes the random input vectors reproducible.
+	Seed int64
+}
+
+// RunLoadGen fires Concurrency HTTP clients at the target's /v1/infer
+// for the configured duration, then folds the client-side traffic
+// accounting together with the server's own coalescing stats into the
+// shared results schema (the BENCH_serve.json artifact).
+func RunLoadGen(cfg LoadGenConfig) (*results.Record, error) {
+	if cfg.Duration <= 0 {
+		cfg.Duration = 5 * time.Second
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 16
+	}
+	inDim, model, err := targetModel(cfg.Target, cfg.Model)
+	if err != nil {
+		return nil, err
+	}
+
+	var sent, completed, rejected, errs atomic.Uint64
+	lats := make([][]float64, cfg.Concurrency)
+
+	// done closes at the deadline so rate-limited clients parked on the
+	// token channel exit immediately instead of waiting out one token
+	// each (at low RPS that would overshoot the duration by up to
+	// Concurrency/RPS seconds).
+	done := make(chan struct{})
+	timer := time.AfterFunc(cfg.Duration, func() { close(done) })
+	defer timer.Stop()
+
+	// Pacing: at a target RPS one shared ticker feeds a token channel;
+	// closed-loop mode leaves tick nil and clients free-run.
+	var tick chan struct{}
+	if cfg.RPS > 0 {
+		tick = make(chan struct{}, cfg.Concurrency)
+		interval := time.Duration(float64(time.Second) / cfg.RPS)
+		if interval <= 0 {
+			interval = time.Microsecond
+		}
+		go func() {
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					select {
+					case tick <- struct{}{}:
+					default: // clients saturated; shed the token
+					}
+				case <-done:
+					return
+				}
+			}
+		}()
+	}
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	deadline := time.Now().Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Concurrency; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(c)*7919))
+			in := make([]float64, inDim)
+			for time.Now().Before(deadline) {
+				if tick != nil {
+					select {
+					case <-tick:
+					case <-done:
+						return
+					}
+					if !time.Now().Before(deadline) {
+						return
+					}
+				}
+				for i := range in {
+					in[i] = rng.Float64()
+				}
+				sent.Add(1)
+				start := time.Now()
+				code, err := postInfer(client, cfg.Target, model, in)
+				switch {
+				case err != nil:
+					errs.Add(1)
+				case code == http.StatusOK:
+					completed.Add(1)
+					lats[c] = append(lats[c], time.Since(start).Seconds())
+				case code == http.StatusTooManyRequests:
+					rejected.Add(1)
+				default:
+					errs.Add(1)
+				}
+			}
+		}(c)
+	}
+	started := time.Now()
+	wg.Wait()
+	elapsed := time.Since(started)
+
+	all := []float64{}
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+
+	serving := &results.Serving{
+		TargetRPS:    cfg.RPS,
+		Concurrency:  cfg.Concurrency,
+		DurationSec:  elapsed.Seconds(),
+		Sent:         sent.Load(),
+		Completed:    completed.Load(),
+		Rejected:     rejected.Load(),
+		Errors:       errs.Load(),
+		LatencyP50Ms: quantileMs(all, 0.50),
+		LatencyP95Ms: quantileMs(all, 0.95),
+		LatencyP99Ms: quantileMs(all, 0.99),
+	}
+	if elapsed > 0 {
+		serving.AchievedRPS = float64(completed.Load()) / elapsed.Seconds()
+	}
+	// Fold in the server's coalescing evidence.
+	if snap, err := fetchStats(client, cfg.Target, model); err == nil {
+		serving.MeanBatch = snap.MeanBatch
+		serving.BatchHist = snap.BatchHist
+	}
+	return &results.Record{
+		Tool:    "hpacml-serve-loadgen",
+		Model:   model,
+		Serving: serving,
+	}, nil
+}
+
+// targetModel resolves the model to load against and its input width
+// from the server's registry listing.
+func targetModel(target, want string) (inDim int, name string, err error) {
+	resp, err := http.Get(target + "/v1/models")
+	if err != nil {
+		return 0, "", fmt.Errorf("serve: loadgen: %w", err)
+	}
+	defer resp.Body.Close()
+	var infos []ModelInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		return 0, "", fmt.Errorf("serve: loadgen: bad /v1/models payload: %w", err)
+	}
+	if len(infos) == 0 {
+		return 0, "", fmt.Errorf("serve: loadgen: target hosts no models")
+	}
+	if want == "" {
+		return infos[0].InDim, infos[0].Name, nil
+	}
+	for _, info := range infos {
+		if info.Name == want {
+			return info.InDim, info.Name, nil
+		}
+	}
+	return 0, "", fmt.Errorf("serve: loadgen: target does not host model %q", want)
+}
+
+// postInfer sends one /v1/infer request, returning the HTTP status.
+func postInfer(client *http.Client, target, model string, in []float64) (int, error) {
+	body, err := json.Marshal(InferRequest{Model: model, Input: in})
+	if err != nil {
+		return 0, err
+	}
+	resp, err := client.Post(target+"/v1/infer", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+// fetchStats pulls the named model's snapshot from /v1/stats.
+func fetchStats(client *http.Client, target, model string) (*ModelSnapshot, error) {
+	resp, err := client.Get(target + "/v1/stats")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var sr StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		return nil, err
+	}
+	for i := range sr.Models {
+		if sr.Models[i].Name == model {
+			return &sr.Models[i], nil
+		}
+	}
+	return nil, fmt.Errorf("serve: loadgen: no stats for model %q", model)
+}

@@ -1,0 +1,124 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	hpacml "repro"
+)
+
+// TestCoalescerRaceManySubmitters is the satellite -race exercise: many
+// concurrent submitters against a multi-replica pool, with hot-reload
+// checks and stats snapshots racing the traffic. Model "a"'s outputs are
+// verified bit-for-bit against direct execution; model "b" absorbs
+// concurrent reloads (its outputs change mid-run by design, so only
+// error-freedom is asserted there).
+func TestCoalescerRaceManySubmitters(t *testing.T) {
+	hpacml.ClearModelCache()
+	dir := t.TempDir()
+	pathA := saveMLP(t, dir, "a.gmod", 21, 4, 16, 2)
+	pathB := saveMLP(t, dir, "b.gmod", 22, 3, 8, 1)
+
+	s, err := NewServer(Config{MaxBatch: 8, MaxDelay: 200 * time.Microsecond, Workers: 3},
+		ModelSpec{Name: "a", Path: pathA},
+		ModelSpec{Name: "b", Path: pathB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	const submitters = 8
+	const perSubmitter = 40
+	wantA := make([][]float64, submitters*perSubmitter)
+	for k := range wantA {
+		wantA[k] = directForward(t, pathA, inputVec(k, 4))
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, submitters*2+2)
+
+	// Verified traffic on model a.
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for j := 0; j < perSubmitter; j++ {
+				k := g*perSubmitter + j
+				out, err := s.Infer("a", inputVec(k, 4))
+				if err != nil {
+					errc <- err
+					return
+				}
+				for i := range out {
+					if out[i] != wantA[k][i] {
+						t.Errorf("request %d: got %v want %v", k, out, wantA[k])
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	// Unverified traffic on model b, racing its reloads.
+	for g := 0; g < submitters; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for j := 0; j < perSubmitter; j++ {
+				if _, err := s.Infer("b", inputVec(g*perSubmitter+j, 3)); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(g)
+	}
+	// Reload churn: rewrite b with fresh weights and poll, concurrently
+	// with the traffic above.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for round := 0; round < 5; round++ {
+			if err := mlp(int64(100+round), 3, 8, 1).Save(pathB); err != nil {
+				errc <- err
+				return
+			}
+			if err := s.CheckReload(); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	// Stats readers racing everything.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			s.Snapshot()
+			s.Models()
+		}
+	}()
+
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+
+	snaps := s.Snapshot()
+	var completed uint64
+	coalesced := false
+	for _, snap := range snaps {
+		completed += snap.Completed
+		for size, c := range snap.BatchHist {
+			if size != "1" && c > 0 {
+				coalesced = true
+			}
+		}
+	}
+	if completed != 2*submitters*perSubmitter {
+		t.Fatalf("completed %d, want %d", completed, 2*submitters*perSubmitter)
+	}
+	if !coalesced {
+		t.Fatalf("no batch larger than 1 formed under %d concurrent submitters: %+v", 2*submitters, snaps)
+	}
+}

@@ -1,0 +1,256 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	hpacml "repro"
+
+	"repro/internal/nn"
+)
+
+// ModelSpec registers one named surrogate: a .gmod file served as a flat
+// vector function of In input features to Out output features. Leave
+// In/Out zero to infer both from the model file (possible whenever the
+// network opens with a dense layer, which all the repo's MLP surrogates
+// do).
+type ModelSpec struct {
+	Name string
+	Path string
+	In   int
+	Out  int
+}
+
+// ModelInfo is the registry view of a hosted model (the /v1/models
+// payload).
+type ModelInfo struct {
+	Name       string `json:"name"`
+	Path       string `json:"path"`
+	InDim      int    `json:"input_dim"`
+	OutDim     int    `json:"output_dim"`
+	Checksum   string `json:"checksum"`
+	Generation uint64 `json:"generation"`
+	Replicas   int    `json:"replicas"`
+}
+
+// model is one registry entry: the shared bounded queue, the replica
+// pool draining it, the serving stats, and the hot-reload state.
+type model struct {
+	name    string
+	path    string
+	in, out int
+
+	queue    chan *request
+	replicas []*replica
+	stats    *modelStats
+
+	// gen counts accepted reloads; replicas compare it against their own
+	// generation at each batch boundary and RefreshModel on mismatch,
+	// picking up the network checkReload published to the shared cache.
+	gen   atomic.Uint64
+	sumMu sync.Mutex
+	sum   [sha256.Size]byte
+}
+
+// replica is one worker's single-threaded execution context: a Region
+// plus the application arrays it is bound to. The worker copies request
+// inputs into in, runs the region, and copies outputs from out.
+type replica struct {
+	idx    int
+	region *hpacml.Region
+	in     []float64
+	out    []float64
+	gen    uint64
+}
+
+// newModel resolves the spec (loading the .gmod to infer or validate
+// dimensions), checksums the file, publishes the loaded network to the
+// shared model cache, and builds the replica pool. On failure every
+// already-built replica is closed.
+func newModel(spec ModelSpec, cfg Config) (*model, error) {
+	if spec.Name == "" || spec.Path == "" {
+		return nil, fmt.Errorf("serve: model spec needs a name and a path, got %+v", spec)
+	}
+	// Checksum the same bytes being loaded: hash first, then load, so a
+	// concurrent retrain is caught by the next poll rather than pinning a
+	// wrong checksum to the loaded weights.
+	sum, err := fileChecksum(spec.Path)
+	if err != nil {
+		return nil, fmt.Errorf("serve: model %q: %w", spec.Name, err)
+	}
+	net, in, out, err := resolveDims(spec)
+	if err != nil {
+		return nil, err
+	}
+	hpacml.StoreModel(spec.Path, net)
+	m := &model{
+		name:  spec.Name,
+		path:  spec.Path,
+		in:    in,
+		out:   out,
+		queue: make(chan *request, cfg.QueueCap),
+		stats: newModelStats(cfg.MaxBatch, cfg.Workers),
+		sum:   sum,
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		rep, err := newReplica(spec.Name, spec.Path, i, in, out)
+		if err != nil {
+			m.closeReplicas()
+			return nil, err
+		}
+		m.replicas = append(m.replicas, rep)
+	}
+	return m, nil
+}
+
+// closeReplicas releases every replica region built so far.
+func (m *model) closeReplicas() {
+	for _, rep := range m.replicas {
+		rep.region.Close()
+	}
+}
+
+// resolveDims loads the model file to infer (or cross-check) the flat
+// I/O widths the replicas will be bound to, returning the loaded
+// network so callers can publish the exact validated object.
+func resolveDims(spec ModelSpec) (net *nn.Network, in, out int, err error) {
+	net, err = nn.Load(spec.Path)
+	if err != nil {
+		return nil, 0, 0, fmt.Errorf("serve: model %q: %w", spec.Name, err)
+	}
+	if spec.In <= 0 && spec.Out <= 0 {
+		if in, out, err = net.VectorIO(); err != nil {
+			return nil, 0, 0, fmt.Errorf("serve: model %q: %w (pass explicit dimensions)", spec.Name, err)
+		}
+		return net, in, out, nil
+	}
+	if spec.In <= 0 || spec.Out <= 0 {
+		return nil, 0, 0, fmt.Errorf("serve: model %q: give both In and Out or neither", spec.Name)
+	}
+	if err := validateDims(net, spec.In, spec.Out); err != nil {
+		return nil, 0, 0, fmt.Errorf("serve: model %q: %w", spec.Name, err)
+	}
+	return net, spec.In, spec.Out, nil
+}
+
+// validateDims checks that net maps [in]-feature samples to out total
+// output features.
+func validateDims(net *nn.Network, in, out int) error {
+	shape, err := net.OutShape([]int{in})
+	if err != nil {
+		return fmt.Errorf("model rejects %d-feature input: %w", in, err)
+	}
+	got := 1
+	for _, d := range shape {
+		got *= d
+	}
+	if got != out {
+		return fmt.Errorf("model maps %d features to %d outputs, registry says %d", in, got, out)
+	}
+	return nil
+}
+
+// newReplica builds one generic vector-in/vector-out inference region
+// bound to fresh staging arrays: the bridge gathers the in-array as a
+// [1, FIN] sample and scatters the model's [1, FOUT] output back into
+// the out-array, so ExecuteBatch over n requests stacks to [n, FIN]. A
+// zero-input warmup runs immediately so a bad model file fails replica
+// construction, not the first request.
+func newReplica(name, path string, idx, in, out int) (*replica, error) {
+	x := make([]float64, in)
+	y := make([]float64, out)
+	region, err := hpacml.NewRegion(fmt.Sprintf("%s/replica%d", name, idx),
+		hpacml.Directives(fmt.Sprintf(`
+tensor functor(vin: [i, 0:FIN] = ([0:FIN]))
+tensor functor(vout: [i, 0:FOUT] = ([0:FOUT]))
+tensor map(to: vin(x[0:1]))
+tensor map(from: vout(y[0:1]))
+ml(infer) in(x) out(y) model(%q)
+`, path)),
+		hpacml.BindInt("FIN", in),
+		hpacml.BindInt("FOUT", out),
+		hpacml.BindArray("x", x, in),
+		hpacml.BindArray("y", y, out),
+	)
+	if err != nil {
+		return nil, fmt.Errorf("serve: model %q replica %d: %w", name, idx, err)
+	}
+	if shape, err := region.InputShape(); err != nil || len(shape) != 2 || shape[0] != 1 || shape[1] != in {
+		region.Close()
+		return nil, fmt.Errorf("serve: model %q replica %d: bridge presents %v (err %v), want [1 %d]", name, idx, shape, err, in)
+	}
+	if err := region.Execute(nil); err != nil {
+		region.Close()
+		return nil, fmt.Errorf("serve: model %q warmup: %w", name, err)
+	}
+	region.ResetStats() // don't count the warmup as served traffic
+	return &replica{idx: idx, region: region, in: x, out: y}, nil
+}
+
+// info snapshots the registry view.
+func (m *model) info() ModelInfo {
+	m.sumMu.Lock()
+	sum := m.sum
+	m.sumMu.Unlock()
+	return ModelInfo{
+		Name:       m.name,
+		Path:       m.path,
+		InDim:      m.in,
+		OutDim:     m.out,
+		Checksum:   hex.EncodeToString(sum[:]),
+		Generation: m.gen.Load(),
+		Replicas:   len(m.replicas),
+	}
+}
+
+// checkReload re-checksums the model file. When the bytes changed, the
+// new file is loaded once and validated (loadable, same I/O widths — a
+// width change would break the replicas' bound arrays and is refused),
+// the validated network is published to the shared model cache, and the
+// model generation is bumped; each replica swaps onto the published
+// weights at its next batch boundary via RefreshModel, so in-flight
+// requests finish on the old ones and every replica sees the same
+// object — never a torn or re-retrained file read of its own.
+func (m *model) checkReload() error {
+	sum, err := fileChecksum(m.path)
+	if err != nil {
+		m.stats.reloadFailed()
+		return fmt.Errorf("serve: model %q reload: %w", m.name, err)
+	}
+	m.sumMu.Lock()
+	same := sum == m.sum
+	m.sumMu.Unlock()
+	if same {
+		return nil
+	}
+	net, err := nn.Load(m.path)
+	if err != nil {
+		m.stats.reloadFailed()
+		return fmt.Errorf("serve: model %q reload: %w", m.name, err)
+	}
+	if err := validateDims(net, m.in, m.out); err != nil {
+		m.stats.reloadFailed()
+		return fmt.Errorf("serve: model %q reload refused: %w", m.name, err)
+	}
+	hpacml.StoreModel(m.path, net)
+	m.sumMu.Lock()
+	m.sum = sum
+	m.sumMu.Unlock()
+	m.gen.Add(1)
+	m.stats.reloaded()
+	return nil
+}
+
+// fileChecksum hashes a model file's contents.
+func fileChecksum(path string) ([sha256.Size]byte, error) {
+	var sum [sha256.Size]byte
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return sum, err
+	}
+	return sha256.Sum256(b), nil
+}

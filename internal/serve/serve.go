@@ -1,0 +1,281 @@
+// Package serve is the HPAC-ML surrogate inference server: the
+// concurrent-caller execution path the embedded programming model lacks.
+//
+// Region.ExecuteBatch amortizes bridge and model-call overhead only when
+// one caller already holds a batch of invocations. A deployment serving
+// many independent simulation clients has the opposite shape: thousands
+// of goroutines (or HTTP requests), each carrying a single invocation.
+// This package turns the second shape into the first with a dynamic
+// micro-batching coalescer:
+//
+//   - Callers submit one invocation each (Server.Infer) into a bounded
+//     per-model queue. A full queue rejects immediately (ErrQueueFull) —
+//     explicit backpressure, never unbounded buffering.
+//   - Worker goroutines drain the queue, cutting a batch when either
+//     MaxBatch invocations have accumulated or MaxDelay has elapsed since
+//     the batch's first request, then run one Region.ExecuteBatch call.
+//   - Because a Region is not safe for concurrent use, each worker owns a
+//     replica Region (same directives, its own bound arrays) — the
+//     replica-pool idiom. Replicas share the loaded model through the
+//     runtime's path-keyed model cache, and the nn engine's pooled
+//     scratch buffers keep concurrent Forward calls safe.
+//
+// Models are named entries in a registry loaded from .gmod files; a
+// checksum poll detects retrained files, validates and publishes the new
+// network once (hpacml.StoreModel), and swaps replicas onto it at their
+// next batch boundary (Region.RefreshModel) without dropping in-flight
+// requests or re-reading disk per replica. A serving stats layer tracks per-model
+// throughput, the batch-size histogram (the direct evidence coalescing
+// happens), and p50/p95/p99 latency, and aggregates the regions' own
+// bridge/inference phase counters.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Sentinel errors returned by Server.Infer.
+var (
+	// ErrQueueFull is backpressure: the model's bounded queue is at
+	// capacity and the request was rejected rather than buffered.
+	ErrQueueFull = errors.New("serve: queue full")
+	// ErrServerClosed means the server is shutting down.
+	ErrServerClosed = errors.New("serve: server closed")
+	// ErrUnknownModel means the request named an unregistered model.
+	ErrUnknownModel = errors.New("serve: unknown model")
+	// ErrBadInput means the request's input vector does not match the
+	// model's input width — a caller mistake, distinct from server-side
+	// inference failures.
+	ErrBadInput = errors.New("serve: bad input")
+)
+
+// Config is the batching and pooling policy shared by every model the
+// server hosts.
+type Config struct {
+	// MaxBatch caps invocations per ExecuteBatch call. A batch is cut as
+	// soon as it reaches MaxBatch. Default 32.
+	MaxBatch int
+	// MaxDelay bounds how long the first request of a batch waits for
+	// company before the batch is cut anyway. Default 2ms.
+	MaxDelay time.Duration
+	// QueueCap bounds each model's request queue; submissions beyond it
+	// fail with ErrQueueFull. Default 8 * MaxBatch.
+	QueueCap int
+	// Workers is the replica-pool size per model: how many Regions serve
+	// the shared queue concurrently. Default 2.
+	Workers int
+	// ReloadInterval is how often model files are re-checksummed for
+	// hot reload. Zero disables background polling (CheckReload still
+	// works on demand).
+	ReloadInterval time.Duration
+
+	// batchHook, when set, runs before each ExecuteBatch call. Test seam
+	// for stalling workers deterministically.
+	batchHook func(model string, n int)
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 32
+	}
+	if c.MaxDelay <= 0 {
+		c.MaxDelay = 2 * time.Millisecond
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 8 * c.MaxBatch
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	return c
+}
+
+// Server hosts a registry of surrogate models behind micro-batching
+// queues. All methods are safe for concurrent use.
+type Server struct {
+	cfg    Config
+	models map[string]*model // immutable after NewServer
+	start  time.Time
+
+	// mu serializes queue sends against Close closing the queues.
+	mu     sync.RWMutex
+	closed bool
+
+	wg       sync.WaitGroup
+	stopPoll chan struct{}
+	pollDone chan struct{}
+}
+
+// NewServer builds the registry (loading every model to resolve and
+// validate its dimensions), spins up each model's replica pool, and
+// starts the hot-reload poller when configured. Every replica runs one
+// zero-input warmup inference so model-load errors surface here, not on
+// the first request.
+func NewServer(cfg Config, specs ...ModelSpec) (*Server, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("serve: no models registered")
+	}
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		models:   make(map[string]*model, len(specs)),
+		start:    time.Now(),
+		stopPoll: make(chan struct{}),
+		pollDone: make(chan struct{}),
+	}
+	closeAll := func() {
+		for _, m := range s.models {
+			m.closeReplicas()
+		}
+	}
+	for _, spec := range specs {
+		if _, dup := s.models[spec.Name]; dup {
+			closeAll()
+			return nil, fmt.Errorf("serve: model %q registered twice", spec.Name)
+		}
+		m, err := newModel(spec, cfg)
+		if err != nil {
+			closeAll()
+			return nil, err
+		}
+		s.models[m.name] = m
+	}
+	for _, m := range s.models {
+		for _, rep := range m.replicas {
+			s.wg.Add(1)
+			go s.worker(m, rep)
+		}
+	}
+	if cfg.ReloadInterval > 0 {
+		go s.pollReload()
+	} else {
+		close(s.pollDone)
+	}
+	return s, nil
+}
+
+// Infer runs one invocation of the named model: in must hold the model's
+// input-feature count and the returned slice holds its output features.
+// The call blocks until a worker has served the request as part of a
+// coalesced batch; it fails fast with ErrQueueFull under backpressure.
+func (s *Server) Infer(modelName string, in []float64) ([]float64, error) {
+	m := s.models[modelName]
+	if m == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, modelName)
+	}
+	if len(in) != m.in {
+		return nil, fmt.Errorf("%w: model %q wants %d input features, got %d", ErrBadInput, modelName, m.in, len(in))
+	}
+	req := &request{
+		in:   in,
+		out:  make([]float64, m.out),
+		enq:  time.Now(),
+		done: make(chan error, 1),
+	}
+	s.mu.RLock()
+	if s.closed {
+		s.mu.RUnlock()
+		return nil, ErrServerClosed
+	}
+	select {
+	case m.queue <- req:
+		s.mu.RUnlock()
+	default:
+		s.mu.RUnlock()
+		m.stats.reject()
+		return nil, fmt.Errorf("%w: model %q at capacity %d", ErrQueueFull, modelName, cap(m.queue))
+	}
+	if err := <-req.done; err != nil {
+		return nil, err
+	}
+	return req.out, nil
+}
+
+// Models lists the registry in name order.
+func (s *Server) Models() []ModelInfo {
+	names := make([]string, 0, len(s.models))
+	for n := range s.models {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]ModelInfo, 0, len(names))
+	for _, n := range names {
+		out = append(out, s.models[n].info())
+	}
+	return out
+}
+
+// Snapshot returns the per-model serving stats in name order.
+func (s *Server) Snapshot() []ModelSnapshot {
+	infos := s.Models()
+	out := make([]ModelSnapshot, 0, len(infos))
+	for _, info := range infos {
+		m := s.models[info.Name]
+		out = append(out, m.stats.snapshot(info))
+	}
+	return out
+}
+
+// Uptime reports how long the server has been accepting traffic.
+func (s *Server) Uptime() time.Duration { return time.Since(s.start) }
+
+// CheckReload re-checksums every model file now, arming replica swaps
+// for any that changed. It returns the first validation failure (a
+// missing file, an unloadable model, or a dimension change, which would
+// break the replicas' bound arrays); failed models keep serving their
+// current weights.
+func (s *Server) CheckReload() error {
+	var first error
+	for _, info := range s.Models() {
+		if err := s.models[info.Name].checkReload(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// pollReload is the background hot-reload loop.
+func (s *Server) pollReload() {
+	defer close(s.pollDone)
+	t := time.NewTicker(s.cfg.ReloadInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.CheckReload() // per-model errors are counted in stats
+		case <-s.stopPoll:
+			return
+		}
+	}
+}
+
+// Close stops accepting requests, lets the workers drain everything
+// already queued, and waits for them to exit. In-flight and queued
+// requests complete normally; only later Infer calls see
+// ErrServerClosed.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for _, m := range s.models {
+		close(m.queue)
+	}
+	s.mu.Unlock()
+	close(s.stopPoll)
+	s.wg.Wait()
+	<-s.pollDone
+	for _, m := range s.models {
+		for _, rep := range m.replicas {
+			rep.region.Close()
+		}
+	}
+	return nil
+}

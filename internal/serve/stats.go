@@ -1,0 +1,190 @@
+package serve
+
+import (
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	hpacml "repro"
+)
+
+// latWindow is the number of most-recent request latencies kept per
+// model for quantile estimation.
+const latWindow = 4096
+
+// modelStats is the serving-side accounting for one model. All mutation
+// happens under mu: workers record a batch at a time, Infer records
+// rejections, and snapshot reads everything.
+type modelStats struct {
+	mu    sync.Mutex
+	start time.Time
+
+	completed uint64
+	errors    uint64
+	rejected  uint64
+	batches   uint64
+
+	// hist[n] counts batches that served exactly n invocations
+	// (1 <= n <= MaxBatch) — the coalescing evidence.
+	hist []uint64
+
+	// lat is a ring of the last latWindow request latencies in seconds.
+	lat   []float64
+	latAt int
+
+	// replicaRegion holds each replica's latest Region.Stats() copy, so
+	// the aggregate bridges/inference phase split stays readable while
+	// the replicas keep running.
+	replicaRegion []hpacml.Stats
+
+	reloads      uint64
+	reloadErrors uint64
+}
+
+func newModelStats(maxBatch, workers int) *modelStats {
+	return &modelStats{
+		start:         time.Now(),
+		hist:          make([]uint64, maxBatch+1),
+		lat:           make([]float64, 0, latWindow),
+		replicaRegion: make([]hpacml.Stats, workers),
+	}
+}
+
+// observe records one served batch: its size, outcome, each request's
+// queue-to-completion latency, and the owning replica's region counters.
+func (st *modelStats) observe(replicaIdx int, region hpacml.Stats, batch []*request, now time.Time, err error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.batches++
+	n := len(batch)
+	if n >= len(st.hist) {
+		n = len(st.hist) - 1
+	}
+	st.hist[n]++
+	if replicaIdx < len(st.replicaRegion) {
+		st.replicaRegion[replicaIdx] = region
+	}
+	if err != nil {
+		st.errors += uint64(len(batch))
+		return
+	}
+	st.completed += uint64(len(batch))
+	for _, req := range batch {
+		sec := now.Sub(req.enq).Seconds()
+		if len(st.lat) < cap(st.lat) {
+			st.lat = append(st.lat, sec)
+		} else {
+			st.lat[st.latAt] = sec
+			st.latAt = (st.latAt + 1) % cap(st.lat)
+		}
+	}
+}
+
+func (st *modelStats) reject() {
+	st.mu.Lock()
+	st.rejected++
+	st.mu.Unlock()
+}
+
+func (st *modelStats) reloaded() {
+	st.mu.Lock()
+	st.reloads++
+	st.mu.Unlock()
+}
+
+func (st *modelStats) reloadFailed() {
+	st.mu.Lock()
+	st.reloadErrors++
+	st.mu.Unlock()
+}
+
+// ModelSnapshot is one model's serving stats (the /v1/stats payload):
+// traffic totals, throughput, the batch-size histogram, latency
+// quantiles, and the summed Region phase counters of the replica pool.
+type ModelSnapshot struct {
+	ModelInfo
+
+	Completed uint64 `json:"completed"`
+	Errors    uint64 `json:"errors"`
+	Rejected  uint64 `json:"rejected"`
+	Batches   uint64 `json:"batches"`
+
+	// ThroughputRPS is completed requests per second of serving uptime.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// MeanBatch is completed+errored invocations per batch — above 1
+	// exactly when the coalescer is doing its job.
+	MeanBatch float64 `json:"mean_batch"`
+	// BatchHist maps batch size (as a string, for JSON) to how many
+	// batches were cut at that size. Zero entries are omitted.
+	BatchHist map[string]uint64 `json:"batch_hist,omitempty"`
+
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP95Ms float64 `json:"latency_p95_ms"`
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
+
+	Reloads      uint64 `json:"reloads"`
+	ReloadErrors uint64 `json:"reload_errors"`
+
+	// Region is the replica pool's summed runtime accounting — the
+	// to-tensor / inference / from-tensor phase split of the traffic
+	// served so far.
+	Region hpacml.Stats `json:"region"`
+}
+
+// snapshot renders the stats under the model's registry info.
+func (st *modelStats) snapshot(info ModelInfo) ModelSnapshot {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	snap := ModelSnapshot{
+		ModelInfo:    info,
+		Completed:    st.completed,
+		Errors:       st.errors,
+		Rejected:     st.rejected,
+		Batches:      st.batches,
+		Reloads:      st.reloads,
+		ReloadErrors: st.reloadErrors,
+		BatchHist:    make(map[string]uint64),
+	}
+	if up := time.Since(st.start).Seconds(); up > 0 {
+		snap.ThroughputRPS = float64(st.completed) / up
+	}
+	if st.batches > 0 {
+		snap.MeanBatch = float64(st.completed+st.errors) / float64(st.batches)
+	}
+	for n, c := range st.hist {
+		if c > 0 {
+			snap.BatchHist[strconv.Itoa(n)] = c
+		}
+	}
+	snap.LatencyP50Ms = quantileMs(st.lat, 0.50)
+	snap.LatencyP95Ms = quantileMs(st.lat, 0.95)
+	snap.LatencyP99Ms = quantileMs(st.lat, 0.99)
+	for _, rs := range st.replicaRegion {
+		snap.Region.Invocations += rs.Invocations
+		snap.Region.Inferences += rs.Inferences
+		snap.Region.Collections += rs.Collections
+		snap.Region.AccurateRuns += rs.AccurateRuns
+		snap.Region.Batches += rs.Batches
+		snap.Region.BatchedInvocations += rs.BatchedInvocations
+		snap.Region.ToTensor += rs.ToTensor
+		snap.Region.Inference += rs.Inference
+		snap.Region.FromTensor += rs.FromTensor
+		snap.Region.Accurate += rs.Accurate
+		snap.Region.DBWrite += rs.DBWrite
+		snap.Region.BatchInference += rs.BatchInference
+	}
+	return snap
+}
+
+// quantileMs returns the p-quantile of the latency window in
+// milliseconds (nearest-rank on a sorted copy; 0 when empty).
+func quantileMs(lat []float64, p float64) float64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), lat...)
+	sort.Float64s(sorted)
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx] * 1e3
+}
