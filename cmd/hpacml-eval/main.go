@@ -64,15 +64,17 @@ func main() {
 			Benchmark: res.Benchmark,
 			Model:     *model,
 			Eval: &results.Eval{
-				Speedup:       res.Speedup,
-				Error:         res.Error,
-				Metric:        string(h.Info().Metric),
-				Params:        res.Params,
-				LatencySec:    res.LatencySec,
-				ToTensorSec:   res.ToTensorSec,
-				InferenceSec:  res.InferenceSec,
-				FromTensorSec: res.FromTensorSec,
-				BaselineError: res.BaselineError,
+				Speedup:         res.Speedup,
+				Error:           res.Error,
+				Metric:          string(h.Info().Metric),
+				Params:          res.Params,
+				LatencySec:      res.LatencySec,
+				ToTensorSec:     res.ToTensorSec,
+				InferenceSec:    res.InferenceSec,
+				FromTensorSec:   res.FromTensorSec,
+				BaselineError:   res.BaselineError,
+				Fallbacks:       res.Fallbacks,
+				RemoteInference: res.RemoteInference,
 			},
 		}
 		if err := rec.WriteFile(*outPath); err != nil {
@@ -93,7 +95,8 @@ func main() {
 	w := csv.NewWriter(out)
 	defer w.Flush()
 	w.Write([]string{"benchmark", "speedup", "error", "metric", "params",
-		"latency_sec", "to_tensor_sec", "inference_sec", "from_tensor_sec", "baseline_error"})
+		"latency_sec", "to_tensor_sec", "inference_sec", "from_tensor_sec", "baseline_error",
+		"fallbacks", "remote_inference"})
 	w.Write([]string{
 		res.Benchmark,
 		fmt.Sprintf("%.4f", res.Speedup),
@@ -105,6 +108,8 @@ func main() {
 		fmt.Sprintf("%.6g", res.InferenceSec),
 		fmt.Sprintf("%.6g", res.FromTensorSec),
 		fmt.Sprintf("%.6g", res.BaselineError),
+		fmt.Sprintf("%d", res.Fallbacks),
+		fmt.Sprintf("%d", res.RemoteInference),
 	})
 }
 

@@ -15,6 +15,11 @@
 //	    -loadgen-model binomial -rps 0 -duration 5s -concurrency 32 \
 //	    -out BENCH_serve.json
 //
+// Applications reach a hosted model from their own annotated regions by
+// swapping the model path for a model URI — model("http://host:8080/binomial")
+// — which selects the runtime's remote engine (with accurate-path
+// fallback) instead of in-process inference; see examples/remote.
+//
 // The server exits 0 on SIGINT/SIGTERM after draining queued requests —
 // the clean shutdown the CI smoke step asserts.
 package main
@@ -114,9 +119,18 @@ func main() {
 	httpSrv := &http.Server{Addr: *addr, Handler: serve.NewHandler(s)}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
+	uriHost := *addr
+	if strings.HasPrefix(uriHost, ":") {
+		uriHost = "<this-host>" + uriHost
+	}
 	for _, info := range s.Models() {
 		fmt.Fprintf(os.Stderr, "hpacml-serve: serving %q (%d -> %d features, %d replicas) from %s\n",
 			info.Name, info.InDim, info.OutDim, info.Replicas, info.Path)
+		// The model-URI form regions use to execute against this server:
+		// the same annotation as the local case, with the path swapped
+		// for the URI (the runtime's remote engine takes it from there).
+		fmt.Fprintf(os.Stderr, "hpacml-serve:   regions reach it with model(%q)\n",
+			fmt.Sprintf("http://%s/%s", uriHost, info.Name))
 	}
 	fmt.Fprintf(os.Stderr, "hpacml-serve: listening on %s (max batch %d, max delay %v)\n", *addr, *maxBatch, *maxDelay)
 

@@ -1,0 +1,127 @@
+package hpacml
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// modelCache shares loaded models across local engines keyed by path,
+// matching the paper's "loads the model file if it has not already been
+// loaded". It lives with the local backend: remote engines never touch
+// it, and the serving registry publishes validated networks into it
+// with StoreModel so a whole replica pool swaps onto one object.
+var modelCache sync.Map // string -> *nn.Network
+
+// ClearModelCache drops all cached models (used by tests and the
+// model-cache ablation benchmark).
+func ClearModelCache() { modelCache = sync.Map{} }
+
+// StoreModel publishes an already-loaded model under path in the shared
+// local-engine model cache, so every region whose model() clause names
+// that path resolves to this exact object on its next (re)load. The
+// serving registry's hot reload validates one loaded network and then
+// publishes it here, making the swap atomic across its replica pool.
+func StoreModel(path string, m *nn.Network) { modelCache.Store(path, m) }
+
+// LocalEngine is the default backend: in-process inference on a
+// network loaded from a .gmod file through the shared path-keyed model
+// cache. It is the engine every region with a plain file path in its
+// model() clause gets, and its behavior — cache sharing, refresh
+// re-resolving from the cache without touching disk, invalidate
+// evicting the cache entry — is exactly the model handling Region
+// itself used to hard-wire.
+type LocalEngine struct {
+	path string
+	net  *nn.Network
+}
+
+// NewLocalEngine builds a local engine for a .gmod path. The file is
+// not touched until Warmup (or the first inference).
+func NewLocalEngine(path string) *LocalEngine { return &LocalEngine{path: path} }
+
+// Path returns the model path the engine loads from.
+func (e *LocalEngine) Path() string { return e.path }
+
+// Network returns the loaded network, or nil before warmup (or after
+// Refresh). Stats layers use it to report parameter counts.
+func (e *LocalEngine) Network() *nn.Network { return e.net }
+
+// ensure resolves the network: the engine's own pointer, then the
+// shared cache, then disk (publishing the load for other engines).
+func (e *LocalEngine) ensure() error {
+	if e.net != nil {
+		return nil
+	}
+	if e.path == "" {
+		return fmt.Errorf("hpacml: local engine has no model path")
+	}
+	if cached, ok := modelCache.Load(e.path); ok {
+		e.net = cached.(*nn.Network)
+		return nil
+	}
+	m, err := nn.Load(e.path)
+	if err != nil {
+		return err
+	}
+	modelCache.Store(e.path, m)
+	e.net = m
+	return nil
+}
+
+// Warmup loads the model (via the shared cache) so load errors surface
+// before traffic. The input shape needs no validation here: the
+// network's own shape checks run in OutputShape and Infer.
+func (e *LocalEngine) Warmup(ctx context.Context, inShape []int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return e.ensure()
+}
+
+// OutputShape maps the full input shape to the network's output shape:
+// the leading entry/batch dimension passes through, the per-sample
+// remainder goes through the network's layer shape propagation.
+func (e *LocalEngine) OutputShape(in []int) ([]int, error) {
+	if err := e.ensure(); err != nil {
+		return nil, err
+	}
+	if len(in) < 2 {
+		return nil, fmt.Errorf("hpacml: local engine wants a batched input shape, got %v", in)
+	}
+	sample, err := e.net.OutShape(in[1:])
+	if err != nil {
+		return nil, err
+	}
+	return append([]int{in[0]}, sample...), nil
+}
+
+// Infer runs the network's zero-allocation inference pass into out.
+func (e *LocalEngine) Infer(ctx context.Context, in, out *tensor.Tensor) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := e.ensure(); err != nil {
+		return err
+	}
+	return e.net.ForwardInto(out, in)
+}
+
+// Refresh drops the engine's network pointer so the next use
+// re-resolves from the shared cache — the replica-pool hot-reload swap,
+// which must not re-read disk (a concurrent retrain could hand
+// different replicas different or torn bytes for the same swap).
+func (e *LocalEngine) Refresh() { e.net = nil }
+
+// Invalidate additionally evicts the shared cache entry, forcing the
+// next load to re-read the file (e.g. after a new training round wrote
+// it).
+func (e *LocalEngine) Invalidate() {
+	e.net = nil
+	if e.path != "" {
+		modelCache.Delete(e.path)
+	}
+}

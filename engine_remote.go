@@ -1,0 +1,187 @@
+package hpacml
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/directive"
+	"repro/internal/serveclient"
+	"repro/internal/tensor"
+)
+
+// RemoteEngine executes a region's inference against a running
+// hpacml-serve instance over its HTTP JSON API, through the typed
+// pooled client (internal/serveclient). A region selects it by writing
+// an http(s):// URI in its model() clause —
+//
+//	ml(infer) in(x) out(y) model("http://127.0.0.1:8080/binomial")
+//
+// — where the URI's last path segment is the server's registered model
+// name and the rest is the server base URL. The annotation is the same
+// one-line contract as the local case; only the reference changes,
+// which is the SmartSim-style separation of the solver loop from where
+// the model actually runs.
+//
+// The served API is flat vectors, so remote execution covers flat
+// [rows, features] regions (the paper's MLP benchmarks); image/channel
+// layouts are refused at warmup. A batch of rows travels as one
+// request, and the caller's context deadline rides the wire: cancel the
+// context and the HTTP request is torn down. Regions built from a model
+// URI wrap this engine in a FallbackEngine automatically, so a dead
+// server degrades to the accurate path instead of failing the solve.
+type RemoteEngine struct {
+	client *serveclient.Client
+	model  string
+
+	resolved bool
+	inDim    int
+	outDim   int
+
+	rows [][]float64 // request scratch, reused across batches
+}
+
+// DefaultRemoteTimeout bounds each request of a region-built remote
+// engine end-to-end, so a hung server (accepted connection, no answer)
+// surfaces as an engine error the fallback policy can act on instead of
+// blocking Execute indefinitely. Engines built directly with
+// NewRemoteEngine choose their own limit (zero = context-only).
+const DefaultRemoteTimeout = 30 * time.Second
+
+// RemoteOption configures a RemoteEngine.
+type RemoteOption func(*remoteConfig)
+
+type remoteConfig struct {
+	timeout time.Duration
+	client  *serveclient.Client
+}
+
+// WithRequestTimeout bounds each inference request end-to-end,
+// independent of the caller's context (whichever expires first wins).
+func WithRequestTimeout(d time.Duration) RemoteOption {
+	return func(c *remoteConfig) { c.timeout = d }
+}
+
+// WithClient substitutes the underlying serve client (shared pools,
+// custom transports). The base URL of the client wins over the URI's.
+func WithClient(c *serveclient.Client) RemoteOption {
+	return func(rc *remoteConfig) { rc.client = c }
+}
+
+// NewRemoteEngine builds a remote engine from a model URI
+// (http(s)://host[:port][/prefix...]/model-name).
+func NewRemoteEngine(uri string, opts ...RemoteOption) (*RemoteEngine, error) {
+	base, name, err := directive.SplitRemoteModel(uri)
+	if err != nil {
+		return nil, err
+	}
+	var cfg remoteConfig
+	for _, opt := range opts {
+		opt(&cfg)
+	}
+	client := cfg.client
+	if client == nil {
+		var copts []serveclient.Option
+		if cfg.timeout > 0 {
+			copts = append(copts, serveclient.WithTimeout(cfg.timeout))
+		}
+		client = serveclient.New(base, copts...)
+	}
+	return &RemoteEngine{client: client, model: name}, nil
+}
+
+// ModelName returns the registered model name the engine targets.
+func (e *RemoteEngine) ModelName() string { return e.model }
+
+// RemoteExecution marks the engine for Stats.RemoteInference counting.
+func (e *RemoteEngine) RemoteExecution() bool { return true }
+
+// Warmup resolves the model in the server's registry (recording its
+// I/O widths) and validates the region's bridged input shape against
+// it: remote execution serves flat [rows, features] regions only.
+func (e *RemoteEngine) Warmup(ctx context.Context, inShape []int) error {
+	if len(inShape) != 2 {
+		return fmt.Errorf("hpacml: remote engine serves flat [rows, features] regions, got input shape %v", inShape)
+	}
+	if !e.resolved {
+		info, err := e.client.Model(ctx, e.model)
+		if err != nil {
+			return fmt.Errorf("hpacml: remote model %q at %s: %w", e.model, e.client.Base(), err)
+		}
+		e.inDim, e.outDim = info.InDim, info.OutDim
+		e.resolved = true
+	}
+	if inShape[1] != e.inDim {
+		return fmt.Errorf("hpacml: remote model %q wants %d input features, region presents %d", e.model, e.inDim, inShape[1])
+	}
+	return nil
+}
+
+// OutputShape maps [rows, inDim] to [rows, outDim] using the registry
+// dimensions resolved at warmup.
+func (e *RemoteEngine) OutputShape(in []int) ([]int, error) {
+	if !e.resolved {
+		return nil, fmt.Errorf("hpacml: remote engine for model %q not warmed up", e.model)
+	}
+	if len(in) != 2 || in[1] != e.inDim {
+		return nil, fmt.Errorf("hpacml: remote model %q wants [rows, %d] inputs, got %v", e.model, e.inDim, in)
+	}
+	return []int{in[0], e.outDim}, nil
+}
+
+// Infer ships the staged rows to the server — one request whether the
+// region ran single or batched — and copies the answers into out. Row
+// slices alias the staging tensor's storage, so building the request
+// allocates only the JSON encoding.
+func (e *RemoteEngine) Infer(ctx context.Context, in, out *tensor.Tensor) error {
+	if in.Rank() != 2 || out.Rank() != 2 {
+		return fmt.Errorf("hpacml: remote engine wants 2-D staging, got %v -> %v", in.Shape(), out.Shape())
+	}
+	rows, inF := in.Dim(0), in.Dim(1)
+	outF := out.Dim(1)
+	inData, outData := in.Contiguous().Data(), out.Data()
+
+	if rows == 1 {
+		got, err := e.client.Infer(ctx, e.model, inData)
+		if err != nil {
+			return err
+		}
+		if len(got) != outF {
+			return fmt.Errorf("hpacml: remote model %q answered %d features, want %d", e.model, len(got), outF)
+		}
+		copy(outData, got)
+		return nil
+	}
+
+	if cap(e.rows) < rows {
+		e.rows = make([][]float64, rows)
+	}
+	ins := e.rows[:rows]
+	for i := range ins {
+		ins[i] = inData[i*inF : (i+1)*inF]
+	}
+	outs, err := e.client.InferBatch(ctx, e.model, ins)
+	if err != nil {
+		return err
+	}
+	if len(outs) != rows {
+		return fmt.Errorf("hpacml: remote model %q answered %d rows, want %d", e.model, len(outs), rows)
+	}
+	for i, o := range outs {
+		if len(o) != outF {
+			return fmt.Errorf("hpacml: remote model %q row %d has %d features, want %d", e.model, i, len(o), outF)
+		}
+		copy(outData[i*outF:(i+1)*outF], o)
+	}
+	return nil
+}
+
+// Refresh drops the resolved registry dimensions so the next warmup
+// re-queries the server (e.g. after the server swapped deployments).
+func (e *RemoteEngine) Refresh() { e.resolved = false }
+
+// Close releases the client's pooled connections.
+func (e *RemoteEngine) Close() error {
+	e.client.CloseIdleConnections()
+	return nil
+}

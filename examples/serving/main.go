@@ -13,13 +13,11 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
 	"log"
 	"math"
 	"math/rand"
-	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -28,6 +26,7 @@ import (
 
 	"repro/internal/nn"
 	"repro/internal/serve"
+	"repro/internal/serveclient"
 	"repro/internal/tensor"
 )
 
@@ -93,6 +92,10 @@ func main() {
 	ts := httptest.NewServer(serve.NewHandler(srv))
 	defer ts.Close()
 
+	// Each client goes through the typed serve client (the same one the
+	// runtime's remote engine and the load generator use), so nobody
+	// hand-rolls request marshalling.
+	api := serveclient.New(ts.URL)
 	const clients, perClient = 32, 25
 	var wg sync.WaitGroup
 	var mu sync.Mutex
@@ -104,20 +107,11 @@ func main() {
 			rng := rand.New(rand.NewSource(int64(1000 + c)))
 			for j := 0; j < perClient; j++ {
 				in := []float64{rng.Float64(), rng.Float64(), rng.Float64()}
-				body, _ := json.Marshal(serve.InferRequest{Model: "pricer", Input: in})
-				resp, err := http.Post(ts.URL+"/v1/infer", "application/json", bytes.NewReader(body))
+				out, err := api.Infer(context.Background(), "pricer", in)
 				if err != nil {
 					log.Fatal(err)
 				}
-				var ir serve.InferResponse
-				if err := json.NewDecoder(resp.Body).Decode(&ir); err != nil {
-					log.Fatal(err)
-				}
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK {
-					log.Fatalf("infer failed: %d", resp.StatusCode)
-				}
-				err2 := math.Abs(ir.Output[0] - truth(in[0], in[1], in[2]))
+				err2 := math.Abs(out[0] - truth(in[0], in[1], in[2]))
 				mu.Lock()
 				if err2 > worst {
 					worst = err2

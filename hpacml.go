@@ -31,15 +31,15 @@
 package hpacml
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"strings"
-	"sync"
 	"time"
 
 	"repro/internal/bridge"
 	"repro/internal/directive"
 	"repro/internal/h5"
-	"repro/internal/nn"
 	"repro/internal/tensor"
 )
 
@@ -78,6 +78,16 @@ type Stats struct {
 	// single-invocation count.
 	Batches            int
 	BatchedInvocations int
+
+	// Fallbacks counts surrogate attempts that ran the accurate region
+	// instead because the engine failed or the caller's context
+	// deadline expired (the FallbackEngine policy). Those invocations
+	// are also counted in AccurateRuns, never in Inferences.
+	Fallbacks int
+	// RemoteInference counts invocations whose inference executed on a
+	// remote engine (an http(s):// model URI) rather than in-process.
+	// Remote invocations are also included in Inferences.
+	RemoteInference int
 
 	ToTensor   time.Duration
 	Inference  time.Duration
@@ -132,7 +142,20 @@ type Region struct {
 	modelPath string
 	dbPath    string
 
-	model   *nn.Network
+	// engine is the pluggable surrogate-execution backend. It is built
+	// lazily from the model() reference on first inference (LocalEngine
+	// for file paths, a fallback-wrapped RemoteEngine for http(s) URIs)
+	// unless the caller injected one with WithEngine. engineOwned says
+	// whether Close should release it; engineRemote and engineFallback
+	// cache the policy markers derived from the engine's type. warmed
+	// flips after a successful Engine.Warmup and is cleared whenever the
+	// model state is dropped.
+	engine         Engine
+	engineOwned    bool
+	engineRemote   bool
+	engineFallback bool
+	warmed         bool
+
 	writer  *h5.Writer
 	stats   Stats
 	dirSrcs []string // raw directive text, for Table II accounting
@@ -174,14 +197,6 @@ type batchState struct {
 	outViews []*tensor.Tensor   // per-invocation row blocks of y
 	outSt    [][]*bridge.Stager // per invocation, per out-plan
 }
-
-// modelCache shares loaded models across regions keyed by path, matching
-// the paper's "loads the model file if it has not already been loaded".
-var modelCache sync.Map // string -> *nn.Network
-
-// ClearModelCache drops all cached models (used by tests and the
-// model-cache ablation benchmark).
-func ClearModelCache() { modelCache = sync.Map{} }
 
 // Option configures a Region under construction.
 type Option func(*Region) error
@@ -325,6 +340,19 @@ func (r *Region) finalize() error {
 	}
 	if r.dbPath == "" {
 		r.dbPath = r.ml.DB
+	}
+	// Model references set through WithModel bypass the directive
+	// parser, so re-run its grammar check here: plain paths pass, URIs
+	// must be well-formed http(s)://host/model-name forms.
+	if r.modelPath != "" {
+		if err := directive.ValidateModelRef(r.modelPath); err != nil {
+			return err
+		}
+	}
+	if r.dbPath != "" {
+		if err := directive.ValidateDBRef(r.dbPath); err != nil {
+			return err
+		}
 	}
 
 	// Inline functor applications in the ml clause (fa-exprs) create
@@ -488,8 +516,22 @@ func (r *Region) ResetStats() { r.stats = Stats{} }
 // invokes the accurate path (optionally collecting data) or replaces it
 // with surrogate inference. accurate is the outlined structured block.
 func (r *Region) Execute(accurate func() error) error {
+	return r.ExecuteContext(context.Background(), accurate)
+}
+
+// ExecuteContext is Execute with a caller-supplied context. The context
+// flows through the region's engine down to the backend — a remote
+// engine threads it into its HTTP requests, so cancelling the context
+// cancels in-flight inference on the wire. When the engine carries the
+// fallback policy (every http(s):// model URI does by default), a
+// context that expires before or during inference runs the accurate
+// path instead of failing the invocation.
+func (r *Region) ExecuteContext(ctx context.Context, accurate func() error) error {
 	if r.closed {
 		return fmt.Errorf("hpacml: region %q used after Close", r.name)
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	r.stats.Invocations++
 
@@ -508,7 +550,7 @@ func (r *Region) Execute(accurate func() error) error {
 
 	switch r.ml.Mode {
 	case directive.Infer:
-		return r.runInference()
+		return r.runInference(ctx, accurate)
 	case directive.Collect:
 		return r.runCollection(accurate)
 	case directive.Predicated:
@@ -521,7 +563,7 @@ func (r *Region) Execute(accurate func() error) error {
 			cond = fn()
 		}
 		if cond {
-			return r.runInference()
+			return r.runInference(ctx, accurate)
 		}
 		return r.runCollection(accurate)
 	}
@@ -586,13 +628,87 @@ func (r *Region) runCollection(accurate func() error) error {
 	return r.writer.WriteScalar(r.name, "runtime_ns", float64(runtime.Nanoseconds()))
 }
 
+// setEngine installs an engine and derives its policy markers.
+func (r *Region) setEngine(e Engine, owned bool) {
+	r.engine = e
+	r.engineOwned = owned
+	r.engineRemote = isRemote(e)
+	r.engineFallback = wantsFallback(e)
+	r.warmed = false
+}
+
+// ensureEngine resolves the region's engine from its model() reference
+// on first use: a plain path gets the in-process LocalEngine, an
+// http(s):// URI a RemoteEngine wrapped in the FallbackEngine policy
+// (a distributed deployment should degrade to the accurate path, not
+// fail the solve, when the server is unreachable). Injected engines
+// (WithEngine) short-circuit all of it.
+func (r *Region) ensureEngine() error {
+	if r.engine != nil {
+		return nil
+	}
+	if r.modelPath == "" {
+		return fmt.Errorf("hpacml: inference without model() clause in region %q", r.name)
+	}
+	if directive.IsRemoteModel(r.modelPath) {
+		// The default timeout keeps the fallback promise honest: a
+		// server that accepts connections but never answers must still
+		// degrade to the accurate path, not hang Execute forever. An
+		// application wanting different limits injects its own engine
+		// with WithEngine.
+		remote, err := NewRemoteEngine(r.modelPath, WithRequestTimeout(DefaultRemoteTimeout))
+		if err != nil {
+			return fmt.Errorf("hpacml: region %q: %w", r.name, err)
+		}
+		r.setEngine(NewFallbackEngine(remote), true)
+		return nil
+	}
+	r.setEngine(NewLocalEngine(r.modelPath), true)
+	return nil
+}
+
+// warmEngine runs the engine's warmup hook once against the region's
+// single-invocation input shape. Failure leaves warmed unset, so the
+// next invocation retries — a remote server may come up later, and the
+// local engine's load error repeats exactly as the old in-line model
+// load did.
+func (r *Region) warmEngine(ctx context.Context) error {
+	if r.warmed {
+		return nil
+	}
+	shape, err := r.modelInputShape()
+	if err != nil {
+		return err
+	}
+	if err := r.engine.Warmup(ctx, shape); err != nil {
+		return err
+	}
+	r.warmed = true
+	return nil
+}
+
+// fallbackOr applies the engine's fallback policy to an inference
+// failure: when engaged and an accurate closure exists, the accurate
+// region runs (counted in Stats.Fallbacks) and the error is swallowed;
+// otherwise the error propagates.
+func (r *Region) fallbackOr(accurate func() error, err error) error {
+	if r.engineFallback && accurate != nil {
+		r.stats.Fallbacks++
+		return r.runAccurate(accurate)
+	}
+	return err
+}
+
 // runInference replaces the region with surrogate evaluation: gather
-// inputs, apply the model, scatter outputs. Staging input and output
+// inputs, run the engine, scatter outputs. Staging input and output
 // tensors are cached on the region, so steady-state calls reuse buffers
 // instead of allocating.
-func (r *Region) runInference() error {
-	if err := r.ensureModel(); err != nil {
+func (r *Region) runInference(ctx context.Context, accurate func() error) error {
+	if err := r.ensureEngine(); err != nil {
 		return err
+	}
+	if err := r.warmEngine(ctx); err != nil {
+		return r.fallbackOr(accurate, err)
 	}
 
 	start := time.Now()
@@ -603,34 +719,36 @@ func (r *Region) runInference() error {
 	}
 
 	start = time.Now()
-	var y *tensor.Tensor
-	if r.singleY != nil {
-		err = r.model.ForwardInto(r.singleY, x)
-		y = r.singleY
-	} else {
-		y, err = r.model.Forward(x)
-		if err == nil {
-			r.singleY = y
-			r.singleOutSt = r.outputStagers(y)
+	if r.singleY == nil {
+		outShape, oerr := r.engine.OutputShape(x.Shape())
+		if oerr != nil {
+			r.stats.Inference += time.Since(start)
+			return r.fallbackOr(accurate, fmt.Errorf("hpacml: inference in region %q: %w", r.name, oerr))
 		}
+		r.singleY = tensor.New(outShape...)
+		r.singleOutSt = r.outputStagers(r.singleY)
 	}
+	err = r.engine.Infer(ctx, x, r.singleY)
 	r.stats.Inference += time.Since(start)
 	if err != nil {
 		r.singleY, r.singleOutSt = nil, nil
-		return fmt.Errorf("hpacml: inference in region %q: %w", r.name, err)
+		return r.fallbackOr(accurate, fmt.Errorf("hpacml: inference in region %q: %w", r.name, err))
 	}
 
 	start = time.Now()
 	if r.singleOutSt != nil {
 		err = scatterStagers(r.singleOutSt)
 	} else {
-		err = r.scatterModelOutput(y)
+		err = r.scatterModelOutput(r.singleY)
 	}
 	r.stats.FromTensor += time.Since(start)
 	if err != nil {
 		return err
 	}
 	r.stats.Inferences++
+	if r.engineRemote {
+		r.stats.RemoteInference++
+	}
 	return nil
 }
 
@@ -788,17 +906,35 @@ func scatterStagers(sts []*bridge.Stager) error {
 // false if() clauses are rejected, since their accurate path cannot be
 // batched.
 func (r *Region) ExecuteBatch(n int, stage func(i int) error, finish func(i int) error) error {
+	return r.ExecuteBatchContext(context.Background(), n, stage, finish)
+}
+
+// ExecuteBatchContext is ExecuteBatch with a caller-supplied context,
+// which flows through the engine to the backend exactly as in
+// ExecuteContext. Unlike the single-invocation path, a batched engine
+// failure always propagates — there is no accurate form of a batch to
+// fall back to (the invocations are independent precisely because only
+// the surrogate runs them together), so callers that want the paper's
+// conditional execution under batching must retry invocations
+// individually through ExecuteContext.
+func (r *Region) ExecuteBatchContext(ctx context.Context, n int, stage func(i int) error, finish func(i int) error) error {
 	if r.closed {
 		return fmt.Errorf("hpacml: region %q used after Close", r.name)
 	}
 	if n <= 0 {
 		return nil
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := r.requireInference(); err != nil {
 		return err
 	}
-	if err := r.ensureModel(); err != nil {
+	if err := r.ensureEngine(); err != nil {
 		return err
+	}
+	if err := r.warmEngine(ctx); err != nil {
+		return fmt.Errorf("hpacml: batched inference in region %q: %w", r.name, err)
 	}
 	bs := r.batches[n]
 	if bs == nil {
@@ -849,27 +985,30 @@ func (r *Region) ExecuteBatch(n int, stage func(i int) error, finish func(i int)
 	}
 
 	start := time.Now()
-	var y *tensor.Tensor
-	if bs.y != nil {
-		err = r.model.ForwardInto(bs.y, bs.x)
-		y = bs.y
-	} else {
-		y, err = r.model.Forward(bs.x)
+	if bs.y == nil {
+		outShape, oerr := r.engine.OutputShape(bs.x.Shape())
+		if oerr != nil {
+			r.stats.BatchInference += time.Since(start)
+			return fmt.Errorf("hpacml: batched inference in region %q: %w", r.name, oerr)
+		}
+		if err := r.buildBatchOutput(bs, tensor.New(outShape...), n); err != nil {
+			r.stats.BatchInference += time.Since(start)
+			return err
+		}
 	}
+	err = r.engine.Infer(ctx, bs.x, bs.y)
 	r.stats.BatchInference += time.Since(start)
 	if err != nil {
 		bs.y, bs.outViews, bs.outSt = nil, nil, nil
 		return fmt.Errorf("hpacml: batched inference in region %q: %w", r.name, err)
 	}
-	if bs.y == nil {
-		if err := r.buildBatchOutput(bs, y, n); err != nil {
-			return err
-		}
-	}
 	r.stats.Invocations += n
 	r.stats.Inferences += n
 	r.stats.Batches++
 	r.stats.BatchedInvocations += n
+	if r.engineRemote {
+		r.stats.RemoteInference += n
+	}
 
 	for i := 0; i < n; i++ {
 		start := time.Now()
@@ -979,57 +1118,48 @@ func (r *Region) requireInference() error {
 	return fmt.Errorf("hpacml: unknown ml mode %v", r.ml.Mode)
 }
 
-func (r *Region) ensureModel() error {
-	if r.model != nil {
-		return nil
-	}
-	if r.modelPath == "" {
-		return fmt.Errorf("hpacml: inference without model() clause in region %q", r.name)
-	}
-	if cached, ok := modelCache.Load(r.modelPath); ok {
-		r.model = cached.(*nn.Network)
-		return nil
-	}
-	m, err := nn.Load(r.modelPath)
-	if err != nil {
-		return err
-	}
-	modelCache.Store(r.modelPath, m)
-	r.model = m
-	return nil
-}
+// Engine returns the region's surrogate-execution engine, or nil when
+// none has been resolved yet (no inference has run and none was
+// injected with WithEngine).
+func (r *Region) Engine() Engine { return r.engine }
 
-// InvalidateModel forces the next inference to reload the model from disk
-// (e.g. after a new training round wrote the file). Cached output buffers
-// are model-dependent and dropped with it.
+// InvalidateModel forces the next inference to re-resolve the model
+// from its source of truth — for the default local engine, re-reading
+// the .gmod from disk (e.g. after a new training round wrote the file).
+// Cached output buffers are model-dependent and dropped with it.
 func (r *Region) InvalidateModel() {
 	r.dropModel()
-	modelCache.Delete(r.modelPath)
+	if inv, ok := r.engine.(invalidator); ok {
+		inv.Invalidate()
+		return
+	}
+	// No engine resolved yet: evict the shared cache entry directly so
+	// the eventual local engine re-reads disk, as before.
+	if r.engine == nil && r.modelPath != "" && !directive.IsRemoteModel(r.modelPath) {
+		modelCache.Delete(r.modelPath)
+	}
 }
 
-// RefreshModel drops the region's model pointer and model-dependent
-// caches so the next inference re-resolves the model from the shared
-// cache. Unlike InvalidateModel it does not evict the cache entry:
-// paired with StoreModel it lets a replica pool swap onto already-loaded
-// validated weights without touching disk — if every replica re-read the
-// file instead, a concurrent retrain could hand different replicas
-// different (or torn) bytes for the same swap.
+// RefreshModel drops the region's resolved model state and
+// model-dependent caches so the next inference re-resolves it through
+// the engine's refresh hook. For the default local engine that means
+// the shared model cache — unlike InvalidateModel it does not evict the
+// cache entry: paired with StoreModel it lets a replica pool swap onto
+// already-loaded validated weights without touching disk — if every
+// replica re-read the file instead, a concurrent retrain could hand
+// different replicas different (or torn) bytes for the same swap.
 func (r *Region) RefreshModel() { r.dropModel() }
 
 func (r *Region) dropModel() {
-	r.model = nil
+	r.warmed = false
+	if rf, ok := r.engine.(refresher); ok {
+		rf.Refresh()
+	}
 	r.singleY, r.singleOutSt = nil, nil
 	for _, bs := range r.batches {
 		bs.y, bs.outViews, bs.outSt = nil, nil, nil
 	}
 }
-
-// StoreModel publishes an already-loaded model under path in the shared
-// model cache, so every region whose model() clause names that path
-// resolves to this exact object on its next (re)load. The serving
-// registry's hot reload validates one loaded network and then publishes
-// it here, making the swap atomic across its replica pool.
-func StoreModel(path string, m *nn.Network) { modelCache.Store(path, m) }
 
 // gatherOutputs composes all from-plans (reading current application
 // memory) into [entries, total features] — used during collection.
@@ -1262,13 +1392,19 @@ func (r *Region) Flush() error {
 	return nil
 }
 
-// Close flushes and releases the region's database writer. The region must
-// not be executed afterwards.
+// Close flushes and releases the region's database writer, and releases
+// the engine the region built for itself (injected engines are the
+// caller's to close). The region must not be executed afterwards.
 func (r *Region) Close() error {
 	if r.closed {
 		return nil
 	}
 	r.closed = true
+	if r.engineOwned {
+		if c, ok := r.engine.(io.Closer); ok {
+			c.Close()
+		}
+	}
 	if r.writer != nil {
 		err := r.writer.Close()
 		r.writer = nil

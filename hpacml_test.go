@@ -429,7 +429,9 @@ ml(infer) inout(x) model(%q)
 	if err := r2.Execute(nil); err != nil {
 		t.Fatal(err)
 	}
-	if r1.model != r2.model {
+	n1 := r1.engine.(*LocalEngine).Network()
+	n2 := r2.engine.(*LocalEngine).Network()
+	if n1 == nil || n1 != n2 {
 		t.Fatal("model cache must share loaded networks across regions")
 	}
 	r1.InvalidateModel()

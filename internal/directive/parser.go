@@ -332,8 +332,14 @@ func (p *parser) parseML() (*MLDecl, error) {
 				return nil, err
 			}
 			if kw == "model" {
+				if err := ValidateModelRef(s.text); err != nil {
+					return nil, err
+				}
 				ml.Model = s.text
 			} else {
+				if err := ValidateDBRef(s.text); err != nil {
+					return nil, err
+				}
 				ml.DB = s.text
 			}
 		case "if":

@@ -1,0 +1,103 @@
+package directive
+
+import (
+	"fmt"
+	"net/url"
+	"strings"
+)
+
+// The model(...) clause of an ml directive names where the surrogate
+// executes, not just a file: a plain path loads the model in-process
+// (the local engine), while an http(s) URI selects remote execution
+// against a running hpacml-serve instance. The grammar is
+//
+//	model-ref  := file-path | model-uri
+//	model-uri  := ("http" | "https") "://" host [":" port] ["/" prefix]* "/" model-name
+//
+// where model-name is the URI's last path segment (the name the server
+// registered the model under) and everything before it is the server
+// base URL. Queries and fragments are rejected — the annotation stays a
+// stable one-line contract, and per-deployment knobs belong to the
+// runtime, not the pragma. The db(...) clause never accepts a URI:
+// collection writes through the local append-only writer.
+
+// refScheme extracts a URI scheme from a model/db reference, or "" when
+// the reference is a plain file path. Only the unambiguous
+// scheme://... form counts; Windows-style drive letters cannot occur in
+// the directive grammar's quoted strings, and relative paths never
+// contain "://".
+func refScheme(ref string) string {
+	i := strings.Index(ref, "://")
+	if i <= 0 {
+		return ""
+	}
+	return ref[:i]
+}
+
+// IsRemoteModel reports whether a model reference selects remote
+// execution (an http or https URI).
+func IsRemoteModel(ref string) bool {
+	s := refScheme(ref)
+	return s == "http" || s == "https"
+}
+
+// SplitRemoteModel decomposes a remote model URI into the server base
+// URL and the registered model name (the last path segment):
+//
+//	http://host:8080/binomial          -> base http://host:8080,       name binomial
+//	https://host/serve/v2/pricer      -> base https://host/serve/v2,  name pricer
+//
+// It rejects unsupported schemes, missing hosts, URIs that name no
+// model, and queries/fragments.
+func SplitRemoteModel(ref string) (base, name string, err error) {
+	scheme := refScheme(ref)
+	if scheme == "" {
+		return "", "", fmt.Errorf("directive: model reference %q is not a URI", ref)
+	}
+	if scheme != "http" && scheme != "https" {
+		return "", "", fmt.Errorf("directive: unsupported model URI scheme %q in %q (want http or https)", scheme, ref)
+	}
+	u, err := url.Parse(ref)
+	if err != nil {
+		return "", "", fmt.Errorf("directive: malformed model URI %q: %v", ref, err)
+	}
+	if u.Host == "" {
+		return "", "", fmt.Errorf("directive: model URI %q has no host", ref)
+	}
+	if u.RawQuery != "" || u.Fragment != "" {
+		return "", "", fmt.Errorf("directive: model URI %q must not carry a query or fragment", ref)
+	}
+	path := strings.Trim(u.Path, "/")
+	if path == "" {
+		return "", "", fmt.Errorf("directive: model URI %q names no model (want %s://host[:port]/model-name)", ref, scheme)
+	}
+	segs := strings.Split(path, "/")
+	name = segs[len(segs)-1]
+	base = scheme + "://" + u.Host
+	if prefix := strings.Join(segs[:len(segs)-1], "/"); prefix != "" {
+		base += "/" + prefix
+	}
+	return base, name, nil
+}
+
+// ValidateModelRef checks a model(...) clause value: empty strings and
+// plain file paths always pass (an empty model() means "no model yet",
+// the collection-phase idiom); anything carrying a scheme must be a
+// well-formed http(s) model URI.
+func ValidateModelRef(ref string) error {
+	if refScheme(ref) == "" {
+		return nil
+	}
+	_, _, err := SplitRemoteModel(ref)
+	return err
+}
+
+// ValidateDBRef checks a db(...) clause value: the collection database
+// is always a local file, so URIs are refused outright. Empty strings
+// pass (no database configured).
+func ValidateDBRef(ref string) error {
+	if s := refScheme(ref); s != "" {
+		return fmt.Errorf("directive: db() takes a file path, not a URI (got scheme %q in %q)", s, ref)
+	}
+	return nil
+}

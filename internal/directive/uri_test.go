@@ -1,0 +1,168 @@
+package directive
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseModelURIForms is the table-driven grammar check for the
+// model(...) reference: plain paths and well-formed http(s) URIs are
+// accepted (with the URI decomposed into server base and model name),
+// everything else is rejected with a diagnosable message.
+func TestParseModelURIForms(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string // full ml directive
+		// For accepted URIs: the expected SplitRemoteModel decomposition
+		// of the parsed Model field ("" base means a plain path).
+		wantModel string
+		wantBase  string
+		wantName  string
+		wantErr   string // substring of the parse error; "" means accept
+	}{
+		{
+			name:      "plain path",
+			src:       `ml(infer) in(x) out(y) model("models/binomial.gmod")`,
+			wantModel: "models/binomial.gmod",
+		},
+		{
+			name:      "http URI",
+			src:       `ml(infer) in(x) out(y) model("http://127.0.0.1:8080/binomial")`,
+			wantModel: "http://127.0.0.1:8080/binomial",
+			wantBase:  "http://127.0.0.1:8080",
+			wantName:  "binomial",
+		},
+		{
+			name:      "https URI with path prefix",
+			src:       `ml(infer) in(x) out(y) model("https://serve.example.com/hpac/v2/pricer")`,
+			wantModel: "https://serve.example.com/hpac/v2/pricer",
+			wantBase:  "https://serve.example.com/hpac/v2",
+			wantName:  "pricer",
+		},
+		{
+			name:      "predicated with remote model",
+			src:       `ml(predicated:useModel) in(x) out(y) model("http://host:9/m") db("d.gh5")`,
+			wantModel: "http://host:9/m",
+			wantBase:  "http://host:9",
+			wantName:  "m",
+		},
+		{
+			name:    "unsupported scheme",
+			src:     `ml(infer) in(x) out(y) model("ftp://host/m")`,
+			wantErr: "unsupported model URI scheme",
+		},
+		{
+			name:    "redis scheme (SmartSim-style, not ours)",
+			src:     `ml(infer) in(x) out(y) model("redis://host:6379/m")`,
+			wantErr: "unsupported model URI scheme",
+		},
+		{
+			name:    "no model name",
+			src:     `ml(infer) in(x) out(y) model("http://host:8080")`,
+			wantErr: "names no model",
+		},
+		{
+			name:    "no model name trailing slash",
+			src:     `ml(infer) in(x) out(y) model("http://host:8080/")`,
+			wantErr: "names no model",
+		},
+		{
+			name:    "no host",
+			src:     `ml(infer) in(x) out(y) model("http:///m")`,
+			wantErr: "no host",
+		},
+		{
+			name:    "query refused",
+			src:     `ml(infer) in(x) out(y) model("http://host/m?replica=2")`,
+			wantErr: "query or fragment",
+		},
+		{
+			name:    "fragment refused",
+			src:     `ml(infer) in(x) out(y) model("http://host/m#frag")`,
+			wantErr: "query or fragment",
+		},
+		{
+			name:    "db URI refused",
+			src:     `ml(collect) in(x) out(y) db("http://host/d.gh5")`,
+			wantErr: "file path, not a URI",
+		},
+		{
+			name:    "db s3 URI refused",
+			src:     `ml(collect) in(x) out(y) db("s3://bucket/d.gh5")`,
+			wantErr: "file path, not a URI",
+		},
+		{
+			name:    "model clause without string",
+			src:     `ml(infer) in(x) out(y) model(http://host/m)`,
+			wantErr: "expected string",
+		},
+		{
+			name:    "db clause without string",
+			src:     `ml(collect) in(x) out(y) db(42)`,
+			wantErr: "expected string",
+		},
+		{
+			name:    "model clause unterminated",
+			src:     `ml(infer) in(x) out(y) model("m.gmod"`,
+			wantErr: "expected ')'",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := Parse(tc.src)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("Parse(%q): want error containing %q, got directive %v", tc.src, tc.wantErr, d)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("Parse(%q): error %q does not contain %q", tc.src, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", tc.src, err)
+			}
+			ml, ok := d.(*MLDecl)
+			if !ok {
+				t.Fatalf("Parse(%q): got %T, want *MLDecl", tc.src, d)
+			}
+			if ml.Model != tc.wantModel {
+				t.Fatalf("Model = %q, want %q", ml.Model, tc.wantModel)
+			}
+			if tc.wantBase == "" {
+				if IsRemoteModel(ml.Model) {
+					t.Fatalf("plain path %q classified remote", ml.Model)
+				}
+				return
+			}
+			if !IsRemoteModel(ml.Model) {
+				t.Fatalf("URI %q not classified remote", ml.Model)
+			}
+			base, name, err := SplitRemoteModel(ml.Model)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if base != tc.wantBase || name != tc.wantName {
+				t.Fatalf("SplitRemoteModel(%q) = (%q, %q), want (%q, %q)",
+					ml.Model, base, name, tc.wantBase, tc.wantName)
+			}
+		})
+	}
+}
+
+// TestValidateRefsDirect covers the validators' edges that cannot be
+// reached through a quoted directive string.
+func TestValidateRefsDirect(t *testing.T) {
+	if err := ValidateModelRef(""); err != nil {
+		t.Fatalf("empty model ref must stay legal (collection-phase idiom): %v", err)
+	}
+	if err := ValidateDBRef(""); err != nil {
+		t.Fatalf("empty db ref must stay legal: %v", err)
+	}
+	if err := ValidateModelRef("dir/with://weird"); err == nil {
+		t.Fatal("embedded scheme separator must be rejected")
+	}
+	if _, _, err := SplitRemoteModel("plain/path.gmod"); err == nil {
+		t.Fatal("SplitRemoteModel must reject non-URIs")
+	}
+}

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/benchmarks/common"
 	"repro/internal/bo"
+	"repro/internal/directive"
 	"repro/internal/h5"
 	"repro/internal/nn"
 )
@@ -64,6 +65,11 @@ type EvalResult struct {
 	// algorithmic approximation where one exists (ParticleFilter's
 	// original filter — the vertical line of Figure 7); 0 otherwise.
 	BaselineError float64
+	// Fallbacks and RemoteInference surface the deployed region's
+	// engine accounting: accurate-path fallbacks taken and invocations
+	// served by a remote engine during the surrogate timing runs.
+	Fallbacks       int
+	RemoteInference int
 }
 
 // CollectStats is one Table III row.
@@ -139,6 +145,22 @@ const (
 	ScaleTest Scale = iota
 	ScaleFull
 )
+
+// modelParams reports the deployed surrogate's scalar parameter count.
+// For a plain path the .gmod is loaded and counted; for a remote model
+// URI the weights live on the server (the serve registry does not
+// expose a parameter count), so 0 is reported and the eval row's
+// RemoteInference counter identifies the deployment instead.
+func modelParams(modelPath string) (int, error) {
+	if directive.IsRemoteModel(modelPath) {
+		return 0, nil
+	}
+	net, err := nn.Load(modelPath)
+	if err != nil {
+		return 0, err
+	}
+	return net.NumParams(), nil
+}
 
 // loadDataset reads the inputs/outputs datasets of one region group.
 func loadDataset(dbPath, group string) (*nn.Dataset, error) {

@@ -328,7 +328,7 @@ func (h *mwHarness) Evaluate(modelPath string, opt Options) (EvalResult, error) 
 	if err != nil {
 		return EvalResult{}, err
 	}
-	net, err := nn.Load(modelPath)
+	params, err := modelParams(modelPath)
 	if err != nil {
 		return EvalResult{}, err
 	}
@@ -338,14 +338,16 @@ func (h *mwHarness) Evaluate(modelPath string, opt Options) (EvalResult, error) 
 		inv = 1
 	}
 	res := EvalResult{
-		Benchmark:     "miniweather",
-		Speedup:       accurate.Seconds() / surrogate.Seconds(),
-		Error:         rmse,
-		Params:        net.NumParams(),
-		LatencySec:    st.Inference.Seconds() / float64(inv),
-		ToTensorSec:   st.ToTensor.Seconds() / float64(inv),
-		InferenceSec:  st.Inference.Seconds() / float64(inv),
-		FromTensorSec: st.FromTensor.Seconds() / float64(inv),
+		Benchmark:       "miniweather",
+		Speedup:         accurate.Seconds() / surrogate.Seconds(),
+		Error:           rmse,
+		Params:          params,
+		LatencySec:      st.Inference.Seconds() / float64(inv),
+		ToTensorSec:     st.ToTensor.Seconds() / float64(inv),
+		InferenceSec:    st.Inference.Seconds() / float64(inv),
+		FromTensorSec:   st.FromTensor.Seconds() / float64(inv),
+		Fallbacks:       st.Fallbacks,
+		RemoteInference: st.RemoteInference,
 	}
 	return res, checkFinite("miniweather", res.Speedup, res.Error)
 }

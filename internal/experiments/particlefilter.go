@@ -270,7 +270,7 @@ func (h *pfHarness) Evaluate(modelPath string, opt Options) (EvalResult, error) 
 	}
 	nnRMSE := h.in.TrackRMSE()
 
-	net, err := nn.Load(modelPath)
+	params, err := modelParams(modelPath)
 	if err != nil {
 		return EvalResult{}, err
 	}
@@ -280,15 +280,17 @@ func (h *pfHarness) Evaluate(modelPath string, opt Options) (EvalResult, error) 
 		inv = 1
 	}
 	res := EvalResult{
-		Benchmark:     "particlefilter",
-		Speedup:       accurate.Seconds() / surrogate.Seconds(),
-		Error:         nnRMSE,
-		Params:        net.NumParams(),
-		LatencySec:    st.Inference.Seconds() / float64(inv),
-		ToTensorSec:   st.ToTensor.Seconds() / float64(inv),
-		InferenceSec:  st.Inference.Seconds() / float64(inv),
-		FromTensorSec: st.FromTensor.Seconds() / float64(inv),
-		BaselineError: baselineRMSE,
+		Benchmark:       "particlefilter",
+		Speedup:         accurate.Seconds() / surrogate.Seconds(),
+		Error:           nnRMSE,
+		Params:          params,
+		LatencySec:      st.Inference.Seconds() / float64(inv),
+		ToTensorSec:     st.ToTensor.Seconds() / float64(inv),
+		InferenceSec:    st.Inference.Seconds() / float64(inv),
+		FromTensorSec:   st.FromTensor.Seconds() / float64(inv),
+		BaselineError:   baselineRMSE,
+		Fallbacks:       st.Fallbacks,
+		RemoteInference: st.RemoteInference,
 	}
 	return res, checkFinite("particlefilter", res.Speedup, res.Error)
 }

@@ -148,7 +148,7 @@ func (h *tabularHarness) Evaluate(modelPath string, opt Options) (EvalResult, er
 	if err != nil {
 		return EvalResult{}, err
 	}
-	net, err := nn.Load(modelPath)
+	params, err := modelParams(modelPath)
 	if err != nil {
 		return EvalResult{}, err
 	}
@@ -158,14 +158,16 @@ func (h *tabularHarness) Evaluate(modelPath string, opt Options) (EvalResult, er
 		inv = 1
 	}
 	res := EvalResult{
-		Benchmark:     h.info.Name,
-		Speedup:       accurate.Seconds() / surrogate.Seconds(),
-		Error:         qoiErr,
-		Params:        net.NumParams(),
-		LatencySec:    st.Inference.Seconds() / float64(inv),
-		ToTensorSec:   st.ToTensor.Seconds() / float64(inv),
-		InferenceSec:  st.Inference.Seconds() / float64(inv),
-		FromTensorSec: st.FromTensor.Seconds() / float64(inv),
+		Benchmark:       h.info.Name,
+		Speedup:         accurate.Seconds() / surrogate.Seconds(),
+		Error:           qoiErr,
+		Params:          params,
+		LatencySec:      st.Inference.Seconds() / float64(inv),
+		ToTensorSec:     st.ToTensor.Seconds() / float64(inv),
+		InferenceSec:    st.Inference.Seconds() / float64(inv),
+		FromTensorSec:   st.FromTensor.Seconds() / float64(inv),
+		Fallbacks:       st.Fallbacks,
+		RemoteInference: st.RemoteInference,
 	}
 	return res, checkFinite(h.info.Name, res.Speedup, res.Error)
 }

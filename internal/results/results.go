@@ -40,6 +40,14 @@ type Eval struct {
 	InferenceSec  float64 `json:"inference_sec"`
 	FromTensorSec float64 `json:"from_tensor_sec"`
 	BaselineError float64 `json:"baseline_error"`
+
+	// Fallbacks counts surrogate invocations that fell back to the
+	// accurate path (engine failure or expired deadline) during the
+	// surrogate timing runs; RemoteInference counts invocations whose
+	// inference ran on a remote engine (an http(s):// model URI). Both
+	// are zero for purely local, healthy deployments.
+	Fallbacks       int `json:"fallbacks"`
+	RemoteInference int `json:"remote_inference"`
 }
 
 // Serving is a load-generator run against a surrogate server: client-side

@@ -6,36 +6,22 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+
+	"repro/internal/serveapi"
 )
 
-// InferRequest is the /v1/infer request body. Input carries one
-// invocation; Inputs carries several, which the handler submits
-// concurrently so they coalesce into batches like independent clients
-// would. Exactly one of the two must be set.
-type InferRequest struct {
-	Model  string      `json:"model"`
-	Input  []float64   `json:"input,omitempty"`
-	Inputs [][]float64 `json:"inputs,omitempty"`
-}
-
-// InferResponse mirrors the request: Output answers Input, Outputs
-// answers Inputs.
-type InferResponse struct {
-	Model   string      `json:"model"`
-	Output  []float64   `json:"output,omitempty"`
-	Outputs [][]float64 `json:"outputs,omitempty"`
-}
-
-// StatsResponse is the /v1/stats payload.
-type StatsResponse struct {
-	UptimeSec float64         `json:"uptime_sec"`
-	Models    []ModelSnapshot `json:"models"`
-}
-
-// errorBody is every non-200 response.
-type errorBody struct {
-	Error string `json:"error"`
-}
+// The wire schema lives in internal/serveapi, shared with the typed
+// client (internal/serveclient) and, through it, the runtime's remote
+// engine. The aliases keep this package's exported API unchanged.
+type (
+	// InferRequest is the /v1/infer request body.
+	InferRequest = serveapi.InferRequest
+	// InferResponse mirrors the request: Output answers Input, Outputs
+	// answers Inputs.
+	InferResponse = serveapi.InferResponse
+	// StatsResponse is the /v1/stats payload.
+	StatsResponse = serveapi.StatsResponse
+)
 
 // NewHandler exposes the server over the HTTP JSON API:
 //
@@ -130,5 +116,5 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func writeErr(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, errorBody{Error: err.Error()})
+	writeJSON(w, code, serveapi.ErrorBody{Error: err.Error()})
 }

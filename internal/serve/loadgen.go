@@ -1,17 +1,15 @@
 package serve
 
 import (
-	"bytes"
-	"encoding/json"
+	"context"
 	"fmt"
-	"io"
 	"math/rand"
-	"net/http"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/results"
+	"repro/internal/serveclient"
 )
 
 // LoadGenConfig drives RunLoadGen against a running server's HTTP API.
@@ -32,10 +30,11 @@ type LoadGenConfig struct {
 	Seed int64
 }
 
-// RunLoadGen fires Concurrency HTTP clients at the target's /v1/infer
-// for the configured duration, then folds the client-side traffic
-// accounting together with the server's own coalescing stats into the
-// shared results schema (the BENCH_serve.json artifact).
+// RunLoadGen fires Concurrency clients at the target's /v1/infer
+// through the typed serve client (internal/serveclient) for the
+// configured duration, then folds the client-side traffic accounting
+// together with the server's own coalescing stats into the shared
+// results schema (the BENCH_serve.json artifact).
 func RunLoadGen(cfg LoadGenConfig) (*results.Record, error) {
 	if cfg.Duration <= 0 {
 		cfg.Duration = 5 * time.Second
@@ -43,10 +42,13 @@ func RunLoadGen(cfg LoadGenConfig) (*results.Record, error) {
 	if cfg.Concurrency <= 0 {
 		cfg.Concurrency = 16
 	}
-	inDim, model, err := targetModel(cfg.Target, cfg.Model)
+	client := serveclient.New(cfg.Target, serveclient.WithTimeout(10*time.Second))
+	defer client.CloseIdleConnections()
+	info, err := client.Model(context.Background(), cfg.Model)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("serve: loadgen: %w", err)
 	}
+	inDim, model := info.InDim, info.Name
 
 	var sent, completed, rejected, errs atomic.Uint64
 	lats := make([][]float64, cfg.Concurrency)
@@ -85,7 +87,6 @@ func RunLoadGen(cfg LoadGenConfig) (*results.Record, error) {
 		}()
 	}
 
-	client := &http.Client{Timeout: 10 * time.Second}
 	deadline := time.Now().Add(cfg.Duration)
 	var wg sync.WaitGroup
 	for c := 0; c < cfg.Concurrency; c++ {
@@ -110,14 +111,12 @@ func RunLoadGen(cfg LoadGenConfig) (*results.Record, error) {
 				}
 				sent.Add(1)
 				start := time.Now()
-				code, err := postInfer(client, cfg.Target, model, in)
+				_, err := client.Infer(context.Background(), model, in)
 				switch {
-				case err != nil:
-					errs.Add(1)
-				case code == http.StatusOK:
+				case err == nil:
 					completed.Add(1)
 					lats[c] = append(lats[c], time.Since(start).Seconds())
-				case code == http.StatusTooManyRequests:
+				case serveclient.Rejected(err):
 					rejected.Add(1)
 				default:
 					errs.Add(1)
@@ -150,7 +149,7 @@ func RunLoadGen(cfg LoadGenConfig) (*results.Record, error) {
 		serving.AchievedRPS = float64(completed.Load()) / elapsed.Seconds()
 	}
 	// Fold in the server's coalescing evidence.
-	if snap, err := fetchStats(client, cfg.Target, model); err == nil {
+	if snap, err := client.ModelStats(context.Background(), model); err == nil {
 		serving.MeanBatch = snap.MeanBatch
 		serving.BatchHist = snap.BatchHist
 	}
@@ -159,64 +158,4 @@ func RunLoadGen(cfg LoadGenConfig) (*results.Record, error) {
 		Model:   model,
 		Serving: serving,
 	}, nil
-}
-
-// targetModel resolves the model to load against and its input width
-// from the server's registry listing.
-func targetModel(target, want string) (inDim int, name string, err error) {
-	resp, err := http.Get(target + "/v1/models")
-	if err != nil {
-		return 0, "", fmt.Errorf("serve: loadgen: %w", err)
-	}
-	defer resp.Body.Close()
-	var infos []ModelInfo
-	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
-		return 0, "", fmt.Errorf("serve: loadgen: bad /v1/models payload: %w", err)
-	}
-	if len(infos) == 0 {
-		return 0, "", fmt.Errorf("serve: loadgen: target hosts no models")
-	}
-	if want == "" {
-		return infos[0].InDim, infos[0].Name, nil
-	}
-	for _, info := range infos {
-		if info.Name == want {
-			return info.InDim, info.Name, nil
-		}
-	}
-	return 0, "", fmt.Errorf("serve: loadgen: target does not host model %q", want)
-}
-
-// postInfer sends one /v1/infer request, returning the HTTP status.
-func postInfer(client *http.Client, target, model string, in []float64) (int, error) {
-	body, err := json.Marshal(InferRequest{Model: model, Input: in})
-	if err != nil {
-		return 0, err
-	}
-	resp, err := client.Post(target+"/v1/infer", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return 0, err
-	}
-	io.Copy(io.Discard, resp.Body)
-	resp.Body.Close()
-	return resp.StatusCode, nil
-}
-
-// fetchStats pulls the named model's snapshot from /v1/stats.
-func fetchStats(client *http.Client, target, model string) (*ModelSnapshot, error) {
-	resp, err := client.Get(target + "/v1/stats")
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	var sr StatsResponse
-	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
-		return nil, err
-	}
-	for i := range sr.Models {
-		if sr.Models[i].Name == model {
-			return &sr.Models[i], nil
-		}
-	}
-	return nil, fmt.Errorf("serve: loadgen: no stats for model %q", model)
 }

@@ -11,6 +11,7 @@ import (
 	hpacml "repro"
 
 	"repro/internal/nn"
+	"repro/internal/serveapi"
 )
 
 // ModelSpec registers one named surrogate: a .gmod file served as a flat
@@ -26,16 +27,8 @@ type ModelSpec struct {
 }
 
 // ModelInfo is the registry view of a hosted model (the /v1/models
-// payload).
-type ModelInfo struct {
-	Name       string `json:"name"`
-	Path       string `json:"path"`
-	InDim      int    `json:"input_dim"`
-	OutDim     int    `json:"output_dim"`
-	Checksum   string `json:"checksum"`
-	Generation uint64 `json:"generation"`
-	Replicas   int    `json:"replicas"`
-}
+// payload), defined in the shared wire schema.
+type ModelInfo = serveapi.ModelInfo
 
 // model is one registry entry: the shared bounded queue, the replica
 // pool draining it, the serving stats, and the hot-reload state.

@@ -7,6 +7,8 @@ import (
 	"time"
 
 	hpacml "repro"
+
+	"repro/internal/serveapi"
 )
 
 // latWindow is the number of most-recent request latencies kept per
@@ -102,34 +104,29 @@ func (st *modelStats) reloadFailed() {
 // ModelSnapshot is one model's serving stats (the /v1/stats payload):
 // traffic totals, throughput, the batch-size histogram, latency
 // quantiles, and the summed Region phase counters of the replica pool.
-type ModelSnapshot struct {
-	ModelInfo
+// The shape is defined in the shared wire schema.
+type ModelSnapshot = serveapi.ModelSnapshot
 
-	Completed uint64 `json:"completed"`
-	Errors    uint64 `json:"errors"`
-	Rejected  uint64 `json:"rejected"`
-	Batches   uint64 `json:"batches"`
-
-	// ThroughputRPS is completed requests per second of serving uptime.
-	ThroughputRPS float64 `json:"throughput_rps"`
-	// MeanBatch is completed+errored invocations per batch — above 1
-	// exactly when the coalescer is doing its job.
-	MeanBatch float64 `json:"mean_batch"`
-	// BatchHist maps batch size (as a string, for JSON) to how many
-	// batches were cut at that size. Zero entries are omitted.
-	BatchHist map[string]uint64 `json:"batch_hist,omitempty"`
-
-	LatencyP50Ms float64 `json:"latency_p50_ms"`
-	LatencyP95Ms float64 `json:"latency_p95_ms"`
-	LatencyP99Ms float64 `json:"latency_p99_ms"`
-
-	Reloads      uint64 `json:"reloads"`
-	ReloadErrors uint64 `json:"reload_errors"`
-
-	// Region is the replica pool's summed runtime accounting — the
-	// to-tensor / inference / from-tensor phase split of the traffic
-	// served so far.
-	Region hpacml.Stats `json:"region"`
+// wireRegionStats converts the runtime's Region accounting to its wire
+// form. The wire struct mirrors hpacml.Stats field-for-field, so this
+// is a plain copy that the compiler checks stays exhaustive.
+func wireRegionStats(s hpacml.Stats) serveapi.RegionStats {
+	return serveapi.RegionStats{
+		Invocations:        s.Invocations,
+		Inferences:         s.Inferences,
+		Collections:        s.Collections,
+		AccurateRuns:       s.AccurateRuns,
+		Batches:            s.Batches,
+		BatchedInvocations: s.BatchedInvocations,
+		Fallbacks:          s.Fallbacks,
+		RemoteInference:    s.RemoteInference,
+		ToTensor:           s.ToTensor,
+		Inference:          s.Inference,
+		FromTensor:         s.FromTensor,
+		Accurate:           s.Accurate,
+		DBWrite:            s.DBWrite,
+		BatchInference:     s.BatchInference,
+	}
 }
 
 // snapshot renders the stats under the model's registry info.
@@ -160,20 +157,24 @@ func (st *modelStats) snapshot(info ModelInfo) ModelSnapshot {
 	snap.LatencyP50Ms = quantileMs(st.lat, 0.50)
 	snap.LatencyP95Ms = quantileMs(st.lat, 0.95)
 	snap.LatencyP99Ms = quantileMs(st.lat, 0.99)
+	var sum hpacml.Stats
 	for _, rs := range st.replicaRegion {
-		snap.Region.Invocations += rs.Invocations
-		snap.Region.Inferences += rs.Inferences
-		snap.Region.Collections += rs.Collections
-		snap.Region.AccurateRuns += rs.AccurateRuns
-		snap.Region.Batches += rs.Batches
-		snap.Region.BatchedInvocations += rs.BatchedInvocations
-		snap.Region.ToTensor += rs.ToTensor
-		snap.Region.Inference += rs.Inference
-		snap.Region.FromTensor += rs.FromTensor
-		snap.Region.Accurate += rs.Accurate
-		snap.Region.DBWrite += rs.DBWrite
-		snap.Region.BatchInference += rs.BatchInference
+		sum.Invocations += rs.Invocations
+		sum.Inferences += rs.Inferences
+		sum.Collections += rs.Collections
+		sum.AccurateRuns += rs.AccurateRuns
+		sum.Batches += rs.Batches
+		sum.BatchedInvocations += rs.BatchedInvocations
+		sum.Fallbacks += rs.Fallbacks
+		sum.RemoteInference += rs.RemoteInference
+		sum.ToTensor += rs.ToTensor
+		sum.Inference += rs.Inference
+		sum.FromTensor += rs.FromTensor
+		sum.Accurate += rs.Accurate
+		sum.DBWrite += rs.DBWrite
+		sum.BatchInference += rs.BatchInference
 	}
+	snap.Region = wireRegionStats(sum)
 	return snap
 }
 

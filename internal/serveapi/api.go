@@ -1,0 +1,112 @@
+// Package serveapi defines the wire schema of the hpacml-serve HTTP
+// JSON API: the request/response bodies of /v1/infer and the payloads
+// of /v1/models and /v1/stats. It is the single source of truth shared
+// by the server (internal/serve), the typed client
+// (internal/serveclient), and — through the client — the runtime's
+// remote inference engine, so the three can never drift apart. The
+// package deliberately has no dependencies beyond the standard library:
+// the server imports the hpacml runtime, the runtime imports the
+// client, and keeping the schema free of both is what breaks that
+// cycle.
+package serveapi
+
+import "time"
+
+// InferRequest is the /v1/infer request body. Input carries one
+// invocation; Inputs carries several, which the handler submits
+// concurrently so they coalesce into batches like independent clients
+// would. Exactly one of the two must be set.
+type InferRequest struct {
+	Model  string      `json:"model"`
+	Input  []float64   `json:"input,omitempty"`
+	Inputs [][]float64 `json:"inputs,omitempty"`
+}
+
+// InferResponse mirrors the request: Output answers Input, Outputs
+// answers Inputs.
+type InferResponse struct {
+	Model   string      `json:"model"`
+	Output  []float64   `json:"output,omitempty"`
+	Outputs [][]float64 `json:"outputs,omitempty"`
+}
+
+// ErrorBody is every non-200 response.
+type ErrorBody struct {
+	Error string `json:"error"`
+}
+
+// ModelInfo is the registry view of a hosted model (the /v1/models
+// payload).
+type ModelInfo struct {
+	Name       string `json:"name"`
+	Path       string `json:"path"`
+	InDim      int    `json:"input_dim"`
+	OutDim     int    `json:"output_dim"`
+	Checksum   string `json:"checksum"`
+	Generation uint64 `json:"generation"`
+	Replicas   int    `json:"replicas"`
+}
+
+// RegionStats is the wire form of the runtime's Region accounting
+// (hpacml.Stats). Field names match hpacml.Stats exactly — the runtime
+// struct has no JSON tags, so matching Go names is what keeps the
+// /v1/stats payload identical to marshalling hpacml.Stats directly.
+type RegionStats struct {
+	Invocations  int
+	Inferences   int
+	Collections  int
+	AccurateRuns int
+
+	Batches            int
+	BatchedInvocations int
+
+	Fallbacks       int
+	RemoteInference int
+
+	ToTensor   time.Duration
+	Inference  time.Duration
+	FromTensor time.Duration
+	Accurate   time.Duration
+	DBWrite    time.Duration
+
+	BatchInference time.Duration
+}
+
+// ModelSnapshot is one model's serving stats (the /v1/stats payload):
+// traffic totals, throughput, the batch-size histogram, latency
+// quantiles, and the summed Region phase counters of the replica pool.
+type ModelSnapshot struct {
+	ModelInfo
+
+	Completed uint64 `json:"completed"`
+	Errors    uint64 `json:"errors"`
+	Rejected  uint64 `json:"rejected"`
+	Batches   uint64 `json:"batches"`
+
+	// ThroughputRPS is completed requests per second of serving uptime.
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// MeanBatch is completed+errored invocations per batch — above 1
+	// exactly when the coalescer is doing its job.
+	MeanBatch float64 `json:"mean_batch"`
+	// BatchHist maps batch size (as a string, for JSON) to how many
+	// batches were cut at that size. Zero entries are omitted.
+	BatchHist map[string]uint64 `json:"batch_hist,omitempty"`
+
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP95Ms float64 `json:"latency_p95_ms"`
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
+
+	Reloads      uint64 `json:"reloads"`
+	ReloadErrors uint64 `json:"reload_errors"`
+
+	// Region is the replica pool's summed runtime accounting — the
+	// to-tensor / inference / from-tensor phase split of the traffic
+	// served so far.
+	Region RegionStats `json:"region"`
+}
+
+// StatsResponse is the /v1/stats payload.
+type StatsResponse struct {
+	UptimeSec float64         `json:"uptime_sec"`
+	Models    []ModelSnapshot `json:"models"`
+}

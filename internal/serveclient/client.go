@@ -1,0 +1,234 @@
+// Package serveclient is the typed Go client for the hpacml-serve HTTP
+// JSON API (internal/serveapi). It owns everything a caller would
+// otherwise hand-roll: request/response marshalling, connection pooling
+// tuned for many small POSTs against one host, context propagation so
+// deadlines and cancellation reach the wire, and the mapping of non-200
+// responses into a structured *APIError callers can classify without
+// string matching.
+//
+// The runtime's remote inference engine (hpacml.RemoteEngine) and the
+// serving load generator are both built on this client.
+package serveclient
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/serveapi"
+)
+
+// APIError is a non-200 answer from the server, carrying the HTTP
+// status and the server's error message. Classify with errors.As plus
+// the Code field (429 is backpressure, 404 an unknown model, 400 a
+// malformed request, 503 shutdown), or with the Rejected helper.
+type APIError struct {
+	Code    int
+	Message string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("serveclient: server answered %d: %s", e.Code, e.Message)
+}
+
+// Rejected reports whether err is the server's queue-full backpressure
+// refusal (HTTP 429) — the one failure a load generator counts
+// separately from real errors.
+func Rejected(err error) bool {
+	var api *APIError
+	return errors.As(err, &api) && api.Code == http.StatusTooManyRequests
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (tests, custom
+// transports, proxies). The caller keeps responsibility for pooling.
+func WithHTTPClient(h *http.Client) Option {
+	return func(c *Client) { c.http = h }
+}
+
+// WithTimeout bounds every request end-to-end. Per-call contexts still
+// apply; whichever expires first wins. Zero leaves requests unbounded
+// except by their context.
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.http.Timeout = d }
+}
+
+// Client talks to one hpacml-serve instance. It is safe for concurrent
+// use; the default transport keeps idle connections to the server warm
+// so steady-state inference traffic never pays connection setup.
+type Client struct {
+	base string
+	http *http.Client
+}
+
+// New builds a client for the server at base (e.g.
+// "http://127.0.0.1:8080"). A trailing slash is tolerated.
+func New(base string, opts ...Option) *Client {
+	c := &Client{
+		base: strings.TrimRight(base, "/"),
+		http: &http.Client{
+			Transport: &http.Transport{
+				MaxIdleConns:        64,
+				MaxIdleConnsPerHost: 64,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Base returns the server base URL the client was built with.
+func (c *Client) Base() string { return c.base }
+
+// CloseIdleConnections drops pooled connections (call when the client
+// is retired; in-flight requests are unaffected).
+func (c *Client) CloseIdleConnections() { c.http.CloseIdleConnections() }
+
+// Infer runs one invocation of the named model.
+func (c *Client) Infer(ctx context.Context, model string, in []float64) ([]float64, error) {
+	var resp serveapi.InferResponse
+	err := c.post(ctx, "/v1/infer", serveapi.InferRequest{Model: model, Input: in}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Output == nil {
+		return nil, fmt.Errorf("serveclient: server answered without an output vector")
+	}
+	return resp.Output, nil
+}
+
+// InferBatch runs several independent invocations in one request; the
+// server submits them concurrently so they coalesce into micro-batches
+// exactly like independent clients would. Outputs are returned in input
+// order, one vector per input.
+func (c *Client) InferBatch(ctx context.Context, model string, ins [][]float64) ([][]float64, error) {
+	if len(ins) == 0 {
+		return nil, nil
+	}
+	var resp serveapi.InferResponse
+	err := c.post(ctx, "/v1/infer", serveapi.InferRequest{Model: model, Inputs: ins}, &resp)
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Outputs) != len(ins) {
+		return nil, fmt.Errorf("serveclient: sent %d inputs, server answered %d outputs", len(ins), len(resp.Outputs))
+	}
+	return resp.Outputs, nil
+}
+
+// Models lists the server's registry.
+func (c *Client) Models(ctx context.Context) ([]serveapi.ModelInfo, error) {
+	var infos []serveapi.ModelInfo
+	if err := c.get(ctx, "/v1/models", &infos); err != nil {
+		return nil, err
+	}
+	return infos, nil
+}
+
+// Model resolves one registry entry by name; an empty name picks the
+// server's first model (the load generator's default).
+func (c *Client) Model(ctx context.Context, name string) (serveapi.ModelInfo, error) {
+	infos, err := c.Models(ctx)
+	if err != nil {
+		return serveapi.ModelInfo{}, err
+	}
+	if len(infos) == 0 {
+		return serveapi.ModelInfo{}, fmt.Errorf("serveclient: %s hosts no models", c.base)
+	}
+	if name == "" {
+		return infos[0], nil
+	}
+	for _, info := range infos {
+		if info.Name == name {
+			return info, nil
+		}
+	}
+	return serveapi.ModelInfo{}, fmt.Errorf("serveclient: %s does not host model %q", c.base, name)
+}
+
+// Stats fetches the per-model serving stats.
+func (c *Client) Stats(ctx context.Context) (serveapi.StatsResponse, error) {
+	var sr serveapi.StatsResponse
+	err := c.get(ctx, "/v1/stats", &sr)
+	return sr, err
+}
+
+// ModelStats fetches one model's serving snapshot by name.
+func (c *Client) ModelStats(ctx context.Context, name string) (serveapi.ModelSnapshot, error) {
+	sr, err := c.Stats(ctx)
+	if err != nil {
+		return serveapi.ModelSnapshot{}, err
+	}
+	for i := range sr.Models {
+		if sr.Models[i].Name == name {
+			return sr.Models[i], nil
+		}
+	}
+	return serveapi.ModelSnapshot{}, fmt.Errorf("serveclient: no stats for model %q", name)
+}
+
+// Health probes the server's liveness endpoint.
+func (c *Client) Health(ctx context.Context) error {
+	return c.get(ctx, "/healthz", &struct {
+		Status string `json:"status"`
+	}{})
+}
+
+// post sends a JSON body and decodes the JSON answer into out.
+func (c *Client) post(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("serveclient: %w", err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+path, bytes.NewReader(body))
+	if err != nil {
+		return fmt.Errorf("serveclient: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	return c.do(req, out)
+}
+
+// get fetches a JSON document into out.
+func (c *Client) get(ctx context.Context, path string, out any) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return fmt.Errorf("serveclient: %w", err)
+	}
+	return c.do(req, out)
+}
+
+// do executes the request, mapping non-200 statuses to *APIError and
+// decoding 200 bodies into out. The body is always drained so the
+// pooled connection stays reusable.
+func (c *Client) do(req *http.Request, out any) error {
+	resp, err := c.http.Do(req)
+	if err != nil {
+		return fmt.Errorf("serveclient: %s %s: %w", req.Method, req.URL.Path, err)
+	}
+	defer func() {
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}()
+	if resp.StatusCode != http.StatusOK {
+		var eb serveapi.ErrorBody
+		if derr := json.NewDecoder(resp.Body).Decode(&eb); derr != nil || eb.Error == "" {
+			eb.Error = resp.Status
+		}
+		return &APIError{Code: resp.StatusCode, Message: eb.Error}
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("serveclient: %s %s: bad payload: %w", req.Method, req.URL.Path, err)
+	}
+	return nil
+}
