@@ -49,7 +49,7 @@ func trainedModel(b *testing.B, name string) (experiments.Harness, string) {
 	dir := b.TempDir()
 	opt := benchOptions()
 	dbPath := filepath.Join(dir, name+".gh5")
-	if err := h.Collect(dbPath, opt); err != nil {
+	if _, err := h.Collect(dbPath, opt); err != nil {
 		b.Fatal(err)
 	}
 	space := h.ArchSpace()

@@ -1,10 +1,22 @@
 // hpacml-collect runs one benchmark with its HPAC-ML region in data
-// collection mode and writes the training database (.gh5) — phase one of
-// the paper's workflow.
+// collection mode and writes the training database — phase one of the
+// paper's workflow, driven through the pluggable capture pipeline:
+// asynchronous sharded local files by default, a remote hpacml-serve
+// ingest endpoint when -db is an http(s):// capture URI, optionally
+// thinned by a sampling policy.
 //
 // Usage:
 //
 //	hpacml-collect -benchmark binomial -db data/binomial.gh5 -runs 10 [-full]
+//	hpacml-collect -benchmark binomial -db data/binomial.gh5 -runs 1000 \
+//	    -shard-records 100 -sample-every 5 -out BENCH_collect.json
+//	hpacml-collect -benchmark binomial -db http://head:8080/binomial -runs 100
+//
+// On exit the capture report is printed (records written, shards,
+// dropped samples, flush failures) and the process exits non-zero when
+// the sink dropped records or failed to persist them — an incomplete
+// training set must fail the collection job, not surface at training
+// time.
 package main
 
 import (
@@ -12,16 +24,27 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
+	"repro/internal/directive"
 	"repro/internal/experiments"
+	"repro/internal/results"
 )
 
 func main() {
 	benchmark := flag.String("benchmark", "", "benchmark name: minibude, binomial, bonds, miniweather, particlefilter")
-	db := flag.String("db", "", "output database path (.gh5)")
+	db := flag.String("db", "", "output database: a .gh5 path, or an http(s)://host/db-name capture URI of a running hpacml-serve")
 	runs := flag.Int("runs", 10, "number of region invocations to record")
 	full := flag.Bool("full", false, "use campaign-scale problem sizes")
 	seed := flag.Int64("seed", 29, "random seed")
+
+	shardRecords := flag.Int("shard-records", 0, "rotate the local database to a fresh shard every N records (0 = single file)")
+	queueCap := flag.Int("queue", 0, "capture queue bound in records (0 = default 256)")
+	drop := flag.Bool("drop", false, "drop records when the capture queue is full instead of blocking the solver")
+	flushEvery := flag.Duration("flush-every", 0, "periodic capture flush interval (0 = default 1s)")
+	sampleEvery := flag.Int("sample-every", 0, "keep every N-th invocation (capture(every:N) policy)")
+	sampleFrac := flag.Float64("sample-frac", 0, "keep each invocation with this probability (capture(frac:F) policy)")
+	out := flag.String("out", "", "write the collection report as shared-schema JSON (internal/results) to this path")
 	flag.Parse()
 
 	if *benchmark == "" || *db == "" {
@@ -29,12 +52,17 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if err := directive.ValidateDBRef(*db); err != nil {
+		fatal(err)
+	}
 	h, err := findHarness(*benchmark, *full)
 	if err != nil {
 		fatal(err)
 	}
-	if err := os.MkdirAll(filepath.Dir(*db), 0o755); err != nil {
-		fatal(err)
+	if !directive.IsRemoteDB(*db) {
+		if err := os.MkdirAll(filepath.Dir(*db), 0o755); err != nil {
+			fatal(err)
+		}
 	}
 	opt := experiments.QuickOptions()
 	if *full {
@@ -42,10 +70,61 @@ func main() {
 	}
 	opt.CollectRuns = *runs
 	opt.Seed = *seed
-	if err := h.Collect(*db, opt); err != nil {
+	opt.Capture.ShardRecords = *shardRecords
+	opt.Capture.QueueCap = *queueCap
+	opt.Capture.DropWhenFull = *drop
+	opt.Capture.FlushEvery = *flushEvery
+	opt.Capture.Every = *sampleEvery
+	opt.Capture.Frac = *sampleFrac
+	opt.Capture.Seed = *seed
+
+	start := time.Now()
+	rep, err := h.Collect(*db, opt)
+	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("collected %d invocations of %s into %s\n", *runs, *benchmark, *db)
+
+	fmt.Printf("collected %d invocations of %s into %s in %.2fs\n",
+		rep.Invocations, *benchmark, *db, time.Since(start).Seconds())
+	fmt.Printf("capture: %d records written", rep.Records)
+	if rep.Sampled > 0 {
+		fmt.Printf(" (%d sampled out)", rep.Sampled)
+	}
+	if rep.Shards > 0 {
+		fmt.Printf(", %d shard(s)", rep.Shards)
+	}
+	if rep.RemoteRecords > 0 {
+		fmt.Printf(", %d ingested remotely", rep.RemoteRecords)
+	}
+	fmt.Printf(", %d dropped, %d flushes (%d failed), %d write errors\n",
+		rep.Dropped, rep.Flushes, rep.FlushErrors, rep.WriteErrors)
+
+	if *out != "" {
+		rec := &results.Record{
+			Tool:      "hpacml-collect",
+			Benchmark: *benchmark,
+			Collect: &results.Collect{
+				Runs:          rep.Invocations,
+				DB:            *db,
+				Records:       rep.Records,
+				Sampled:       rep.Sampled,
+				Shards:        rep.Shards,
+				Dropped:       rep.Dropped,
+				Flushes:       rep.Flushes,
+				FlushErrors:   rep.FlushErrors,
+				WriteErrors:   rep.WriteErrors,
+				RemoteRecords: rep.RemoteRecords,
+			},
+		}
+		if err := rec.WriteFile(*out); err != nil {
+			fatal(err)
+		}
+	}
+	if rep.Failed() {
+		fmt.Fprintf(os.Stderr, "hpacml-collect: capture pipeline lost records (%d dropped, %d flush failures, %d write errors)\n",
+			rep.Dropped, rep.FlushErrors, rep.WriteErrors)
+		os.Exit(1)
+	}
 }
 
 func findHarness(name string, full bool) (experiments.Harness, error) {

@@ -75,6 +75,9 @@ func main() {
 				BaselineError:   res.BaselineError,
 				Fallbacks:       res.Fallbacks,
 				RemoteInference: res.RemoteInference,
+				CaptureDrops:    res.CaptureDrops,
+				CaptureFlushes:  res.CaptureFlushes,
+				RemoteCaptures:  res.RemoteCaptures,
 			},
 		}
 		if err := rec.WriteFile(*outPath); err != nil {
@@ -96,7 +99,7 @@ func main() {
 	defer w.Flush()
 	w.Write([]string{"benchmark", "speedup", "error", "metric", "params",
 		"latency_sec", "to_tensor_sec", "inference_sec", "from_tensor_sec", "baseline_error",
-		"fallbacks", "remote_inference"})
+		"fallbacks", "remote_inference", "capture_drops", "capture_flushes", "remote_captures"})
 	w.Write([]string{
 		res.Benchmark,
 		fmt.Sprintf("%.4f", res.Speedup),
@@ -110,6 +113,9 @@ func main() {
 		fmt.Sprintf("%.6g", res.BaselineError),
 		fmt.Sprintf("%d", res.Fallbacks),
 		fmt.Sprintf("%d", res.RemoteInference),
+		fmt.Sprintf("%d", res.CaptureDrops),
+		fmt.Sprintf("%d", res.CaptureFlushes),
+		fmt.Sprintf("%d", res.RemoteCaptures),
 	})
 }
 

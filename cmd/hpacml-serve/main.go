@@ -20,6 +20,12 @@
 // — which selects the runtime's remote engine (with accurate-path
 // fallback) instead of in-process inference; see examples/remote.
 //
+// The server also hosts capture ingest: -capture name=path registers a
+// server-owned sharded .gh5 database behind POST /v1/capture, and
+// collection regions feed it by writing the matching URI in their db()
+// clause — db("http://host:8080/name") — so many distributed ranks
+// build one training database; see examples/capture.
+//
 // The server exits 0 on SIGINT/SIGTERM after draining queued requests —
 // the clean shutdown the CI smoke step asserts.
 package main
@@ -59,9 +65,26 @@ func (m *modelFlags) Set(v string) error {
 	return nil
 }
 
+// captureFlags collects repeated -capture name=path values.
+type captureFlags []serve.CaptureSpec
+
+func (c *captureFlags) String() string { return fmt.Sprintf("%v", []serve.CaptureSpec(*c)) }
+
+func (c *captureFlags) Set(v string) error {
+	name, path, ok := strings.Cut(v, "=")
+	if !ok || name == "" || path == "" {
+		return fmt.Errorf("want name=path, got %q", v)
+	}
+	*c = append(*c, serve.CaptureSpec{Name: name, Path: path})
+	return nil
+}
+
 func main() {
 	var models modelFlags
 	flag.Var(&models, "model", "model to serve as name=path[:in:out]; repeatable. Dims are inferred from dense-first .gmod files")
+	var captures captureFlags
+	flag.Var(&captures, "capture", "capture database to ingest into as name=path; repeatable. Collection regions reach it with db(\"http://host:port/name\")")
+	captureShard := flag.Int("capture-shard-records", 0, "rotate each capture database to a fresh shard every N ingested records (0 = single file)")
 	addr := flag.String("addr", ":8080", "listen address")
 	maxBatch := flag.Int("max-batch", 32, "max invocations coalesced into one ExecuteBatch call")
 	maxDelay := flag.Duration("max-delay", 2*time.Millisecond, "max wait for a batch to fill before cutting it")
@@ -100,10 +123,13 @@ func main() {
 		return
 	}
 
-	if len(models) == 0 {
-		fmt.Fprintln(os.Stderr, "hpacml-serve: at least one -model name=path is required")
+	if len(models) == 0 && len(captures) == 0 {
+		fmt.Fprintln(os.Stderr, "hpacml-serve: at least one -model name=path (or -capture name=path) is required")
 		flag.Usage()
 		os.Exit(2)
+	}
+	for i := range captures {
+		captures[i].ShardRecords = *captureShard
 	}
 	s, err := serve.NewServer(serve.Config{
 		MaxBatch:       *maxBatch,
@@ -111,6 +137,7 @@ func main() {
 		QueueCap:       *queueCap,
 		Workers:        *workers,
 		ReloadInterval: *reload,
+		CaptureDBs:     captures,
 	}, models...)
 	if err != nil {
 		fatal(err)
@@ -131,6 +158,12 @@ func main() {
 		// for the URI (the runtime's remote engine takes it from there).
 		fmt.Fprintf(os.Stderr, "hpacml-serve:   regions reach it with model(%q)\n",
 			fmt.Sprintf("http://%s/%s", uriHost, info.Name))
+	}
+	for _, cs := range s.CaptureSnapshot() {
+		fmt.Fprintf(os.Stderr, "hpacml-serve: ingesting capture db %q into %s\n", cs.Name, cs.Path)
+		// The db-URI form collection regions use to feed this database.
+		fmt.Fprintf(os.Stderr, "hpacml-serve:   regions reach it with db(%q)\n",
+			fmt.Sprintf("http://%s/%s", uriHost, cs.Name))
 	}
 	fmt.Fprintf(os.Stderr, "hpacml-serve: listening on %s (max batch %d, max delay %v)\n", *addr, *maxBatch, *maxDelay)
 
@@ -156,6 +189,10 @@ func main() {
 	for _, snap := range s.Snapshot() {
 		fmt.Fprintf(os.Stderr, "hpacml-serve: %q served %d requests in %d batches (mean %.1f), %d rejected\n",
 			snap.Name, snap.Completed, snap.Batches, snap.MeanBatch, snap.Rejected)
+	}
+	for _, cs := range s.CaptureSnapshot() {
+		fmt.Fprintf(os.Stderr, "hpacml-serve: capture db %q ingested %d records in %d batches (%d shards, %d errors)\n",
+			cs.Name, cs.Records, cs.Batches, cs.Shards, cs.Errors)
 	}
 }
 

@@ -1,0 +1,185 @@
+// Capture pipeline: the annotation stays fixed while the runtime
+// decides where collected training data lands. A collection-mode
+// Region whose db() clause names a file writes through the
+// asynchronous sharded LocalSink (the solver pays an enqueue, a writer
+// goroutine pays the I/O); a db() clause carrying an http(s):// URI
+// ships capture batches to a hpacml-serve ingest endpoint instead, so
+// many distributed ranks feed one server-owned training database.
+//
+// Self-contained demo (starts an in-process ingest server):
+//
+//	go run ./examples/capture
+//
+// Three legs, each an acceptance check (the program exits non-zero
+// unless all hold):
+//
+//  1. Local async sharded collection: records land across rotated
+//     shard files and merge-read back in order, none lost.
+//  2. Remote ingest: the same region annotation, db() swapped for a
+//     URI, lands the records in the server's sharded database.
+//  3. Graceful degradation: the ingest server dies mid-run; under the
+//     drop policy the solve keeps running, lost records are counted —
+//     never silently — and both databases stay readable (no shard
+//     corruption on either side).
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+
+	hpacml "repro"
+
+	"repro/internal/h5"
+	"repro/internal/serve"
+)
+
+// stencilRegion builds the Figure 2 Jacobi region in collection mode
+// around a small grid, with the given db reference and capture tuning.
+func stencilRegion(grid, gridNew []float64, n, m int, db string, cfg hpacml.CaptureConfig) (*hpacml.Region, error) {
+	return hpacml.NewRegion("stencil",
+		hpacml.Directives(fmt.Sprintf(`
+tensor functor(ifn: [i, j, 0:5] = (([i-1, j], [i+1, j], [i, j-1:j+2])))
+tensor functor(ofn: [i, j, 0:1] = ([i, j]))
+tensor map(to: ifn(t[1:N-1, 1:M-1]))
+tensor map(from: ofn(tnew[1:N-1, 1:M-1]))
+ml(collect) in(t) out(tnew) db(%q)
+`, db)),
+		hpacml.BindInt("N", n), hpacml.BindInt("M", m),
+		hpacml.BindArray("t", grid, n, m),
+		hpacml.BindArray("tnew", gridNew, n, m),
+		hpacml.WithCapture(cfg),
+	)
+}
+
+func jacobiStep(t, tnew []float64, n, m int) {
+	for i := 1; i < n-1; i++ {
+		for j := 1; j < m-1; j++ {
+			tnew[i*m+j] = (t[(i-1)*m+j] + t[(i+1)*m+j] + t[i*m+j-1] + t[i*m+j] + t[i*m+j+1]) / 5
+		}
+	}
+}
+
+// collect runs `steps` collection invocations through region.
+func collect(region *hpacml.Region, grid, gridNew []float64, n, m, steps int) error {
+	for s := 0; s < steps; s++ {
+		if err := region.Execute(func() error { jacobiStep(grid, gridNew, n, m); return nil }); err != nil {
+			return fmt.Errorf("collect step %d: %w", s, err)
+		}
+		copy(grid, gridNew)
+	}
+	return nil
+}
+
+func main() {
+	if err := run(); err != nil {
+		log.SetFlags(0)
+		log.Fatal("examples/capture: FAIL: ", err)
+	}
+	fmt.Println("examples/capture: OK (async shards, remote ingest, graceful degradation)")
+}
+
+func run() error {
+	const n, m, steps = 10, 12, 14
+	dir, err := os.MkdirTemp("", "hpacml-capture")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	grid := make([]float64, n*m)
+	gridNew := make([]float64, n*m)
+	for i := range grid {
+		grid[i] = float64(i%5) * 0.2
+	}
+
+	// --- Leg 1: local async sharded collection.
+	localDB := filepath.Join(dir, "local.gh5")
+	region, err := stencilRegion(grid, gridNew, n, m, localDB,
+		hpacml.CaptureConfig{ShardRecords: 4})
+	if err != nil {
+		return err
+	}
+	if err := collect(region, grid, gridNew, n, m, steps); err != nil {
+		return err
+	}
+	if err := region.Close(); err != nil {
+		return err
+	}
+	ss, _ := region.CaptureStats()
+	if ss.Captured != steps || ss.Dropped != 0 || ss.Shards < 3 {
+		return fmt.Errorf("local leg: unexpected capture stats %+v", ss)
+	}
+	f, err := h5.OpenShards(localDB)
+	if err != nil {
+		return fmt.Errorf("local leg: sharded database unreadable: %w", err)
+	}
+	if got := f.NumRecords("stencil", "inputs"); got != steps {
+		return fmt.Errorf("local leg: %d records in shards, want %d", got, steps)
+	}
+	fmt.Printf("local: %d records across %d shards, 0 dropped\n", ss.Captured, ss.Shards)
+
+	// --- Leg 2: remote ingest into a server-owned database.
+	ingestDB := filepath.Join(dir, "ingest.gh5")
+	srv, err := serve.NewServer(serve.Config{
+		CaptureDBs: []serve.CaptureSpec{{Name: "stencil", Path: ingestDB, ShardRecords: 5}},
+	})
+	if err != nil {
+		return err
+	}
+	httpSrv := httptest.NewServer(serve.NewHandler(srv))
+
+	// Small batches so traffic flows while the server lives; drop
+	// policy so leg 3's dead server cannot stall the solve.
+	remote, err := stencilRegion(grid, gridNew, n, m, httpSrv.URL+"/stencil",
+		hpacml.CaptureConfig{BatchRecords: 2, DropWhenFull: true})
+	if err != nil {
+		return err
+	}
+	if err := collect(remote, grid, gridNew, n, m, steps); err != nil {
+		return err
+	}
+	if err := remote.Flush(); err != nil {
+		return fmt.Errorf("remote leg: flush with live server: %w", err)
+	}
+	snaps := srv.CaptureSnapshot()
+	if len(snaps) != 1 || snaps[0].Records != steps {
+		return fmt.Errorf("remote leg: server ingested %+v, want %d records", snaps, steps)
+	}
+	fmt.Printf("remote: %d records ingested into %d server-side shard(s)\n",
+		snaps[0].Records, snaps[0].Shards)
+
+	// --- Leg 3: the server dies mid-run; collection must degrade
+	// gracefully (drop-and-count), never fail the solve or corrupt data.
+	httpSrv.CloseClientConnections()
+	httpSrv.Close()
+	if err := srv.Close(); err != nil {
+		return fmt.Errorf("server close: %w", err)
+	}
+	const afterDeath = 5
+	if err := collect(remote, grid, gridNew, n, m, afterDeath); err != nil {
+		return fmt.Errorf("leg 3: solve failed after server death (must degrade, not fail): %w", err)
+	}
+	if err := remote.Flush(); err == nil {
+		return fmt.Errorf("leg 3: flush barrier swallowed the ingest failure")
+	}
+	remote.Close() // a second failure report here is fine; losing it is not
+	rs, _ := remote.CaptureStats()
+	if rs.RemoteRecords != steps {
+		return fmt.Errorf("leg 3: acknowledged records changed after death: %d, want %d", rs.RemoteRecords, steps)
+	}
+	if rs.Dropped != afterDeath || rs.FlushErrors == 0 {
+		return fmt.Errorf("leg 3: dead-server records not accounted as drops: %+v", rs)
+	}
+	// Neither database was corrupted by the mid-run death.
+	fIngest, err := h5.OpenShards(ingestDB)
+	if err != nil {
+		return fmt.Errorf("leg 3: ingest database corrupted: %w", err)
+	}
+	if got := fIngest.NumRecords("stencil", "inputs"); got != steps {
+		return fmt.Errorf("leg 3: ingest database holds %d records, want %d", got, steps)
+	}
+	fmt.Printf("degraded: server died mid-run; %d records dropped and counted, databases intact\n", rs.Dropped)
+	return nil
+}

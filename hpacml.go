@@ -39,7 +39,6 @@ import (
 
 	"repro/internal/bridge"
 	"repro/internal/directive"
-	"repro/internal/h5"
 	"repro/internal/tensor"
 )
 
@@ -88,6 +87,16 @@ type Stats struct {
 	// remote engine (an http(s):// model URI) rather than in-process.
 	// Remote invocations are also included in Inferences.
 	RemoteInference int
+
+	// Capture-pipeline counters, folded in from the region's sink:
+	// CaptureDrops counts records lost to backpressure or failed remote
+	// batches, CaptureFlushes counts completed sink flushes, and
+	// RemoteCaptures counts records acknowledged by a remote ingest
+	// endpoint (an http(s):// db URI). All zero for regions that never
+	// collect.
+	CaptureDrops   int
+	CaptureFlushes int
+	RemoteCaptures int
 
 	ToTensor   time.Duration
 	Inference  time.Duration
@@ -156,10 +165,25 @@ type Region struct {
 	engineFallback bool
 	warmed         bool
 
-	writer  *h5.Writer
-	stats   Stats
-	dirSrcs []string // raw directive text, for Table II accounting
-	closed  bool
+	// sink is the pluggable capture backend. It is built lazily from
+	// the db() reference on the first collection (LocalSink for file
+	// paths, RemoteSink for http(s) URIs, either wrapped in a
+	// SamplingSink when a capture(...) policy applies) unless the
+	// caller injected one with WithSink. sinkOwned says whether Close
+	// should close it (injected sinks are only flushed); captureCfg is
+	// the WithCapture tuning merged with the directive's capture
+	// clause.
+	sink       Sink
+	sinkOwned  bool
+	captureCfg CaptureConfig
+
+	stats Stats
+	// sinkBase is the sink-counter snapshot taken at the last
+	// ResetStats, so Stats reports only capture activity since then
+	// while CaptureStats keeps the sink's lifetime totals.
+	sinkBase SinkStats
+	dirSrcs  []string // raw directive text, for Table II accounting
+	closed   bool
 
 	// Inference staging caches, reused across invocations so steady-state
 	// Execute and ExecuteBatch calls stop allocating and re-planning per
@@ -354,6 +378,13 @@ func (r *Region) finalize() error {
 			return err
 		}
 	}
+	// The directive's capture(...) sampling policy applies unless the
+	// caller overrode sampling through WithCapture (runtime tuning wins
+	// over the annotation, same as WithModel/WithDB).
+	if r.ml.Capture != nil && r.captureCfg.Every == 0 && r.captureCfg.Frac == 0 {
+		r.captureCfg.Every = r.ml.Capture.Every
+		r.captureCfg.Frac = r.ml.Capture.Frac
+	}
 
 	// Inline functor applications in the ml clause (fa-exprs) create
 	// implicit tensor maps: in() gathers, out() scatters, inout() both.
@@ -506,11 +537,42 @@ func (r *Region) DirectiveLines() []string {
 // any traffic arrives.
 func (r *Region) InputShape() ([]int, error) { return r.modelInputShape() }
 
-// Stats returns a snapshot of the region's runtime accounting.
-func (r *Region) Stats() Stats { return r.stats }
+// Stats returns a snapshot of the region's runtime accounting, with
+// the capture sink's counters folded in (relative to the last
+// ResetStats, like every other field).
+func (r *Region) Stats() Stats {
+	s := r.stats
+	if ss, ok := r.CaptureStats(); ok {
+		s.CaptureDrops = int(ss.Dropped - r.sinkBase.Dropped)
+		s.CaptureFlushes = int(ss.Flushes - r.sinkBase.Flushes)
+		s.RemoteCaptures = int(ss.RemoteRecords - r.sinkBase.RemoteRecords)
+	}
+	return s
+}
 
-// ResetStats zeroes the accounting.
-func (r *Region) ResetStats() { r.stats = Stats{} }
+// CaptureStats snapshots the capture sink's own accounting (queue
+// drops, flushes, shard count, remote ingest totals). ok is false when
+// no sink has been resolved yet or the sink does not expose stats.
+// The snapshot stays readable after Close — that is when the final
+// flush counts are in.
+func (r *Region) CaptureStats() (SinkStats, bool) {
+	ss, ok := r.sink.(sinkStatser)
+	if !ok {
+		return SinkStats{}, false
+	}
+	return ss.SinkStats(), true
+}
+
+// ResetStats zeroes the accounting, capture counters included: the
+// sink keeps its lifetime totals (readable via CaptureStats), but
+// later Stats snapshots count only activity after the reset.
+func (r *Region) ResetStats() {
+	r.stats = Stats{}
+	r.sinkBase = SinkStats{}
+	if ss, ok := r.CaptureStats(); ok {
+		r.sinkBase = ss
+	}
+}
 
 // Execute runs the region once. Depending on the ml clause it either
 // invokes the accurate path (optionally collecting data) or replaces it
@@ -579,10 +641,18 @@ func (r *Region) runAccurate(accurate func() error) error {
 }
 
 // runCollection executes the accurate path, capturing inputs beforehand
-// and outputs afterwards into the database along with the region runtime.
-// Records are stored in the model's layout, so one region invocation is
-// one training sample: [entries, features] rows for flat regions, one
-// [1, C, H, W] image for image/channel regions.
+// and outputs afterwards, then hands the pair to the capture sink as
+// one atomic record along with the region runtime. Records are stored
+// in the model's layout, so one region invocation is one training
+// sample: [entries, features] rows for flat regions, one [1, C, H, W]
+// image for image/channel regions. With the default asynchronous sink
+// the solver pays only the gather and an enqueue here — serialization
+// and I/O happen on the sink's writer goroutine (Stats.DBWrite now
+// measures the enqueue cost, which is the point).
+//
+// The gathered tensors are freshly allocated (never views of the bound
+// application arrays), so the sink may write them after the solver has
+// already overwritten the application state.
 func (r *Region) runCollection(accurate func() error) error {
 	start := time.Now()
 	inputs, err := r.modelInput()
@@ -609,23 +679,37 @@ func (r *Region) runCollection(accurate func() error) error {
 
 	start = time.Now()
 	defer func() { r.stats.DBWrite += time.Since(start) }()
+	if err := r.ensureSink(); err != nil {
+		return err
+	}
+	return r.sink.Capture(&CaptureRecord{
+		Region:    r.name,
+		Inputs:    inputs,
+		Outputs:   outputs,
+		RuntimeNS: float64(runtime.Nanoseconds()),
+	})
+}
+
+// ensureSink resolves the region's capture sink from its db()
+// reference on first use: a plain path gets the asynchronous sharded
+// LocalSink, an http(s):// URI the RemoteSink against a hpacml-serve
+// ingest endpoint; a sampling policy (capture(...) clause or
+// WithCapture) wraps either in a SamplingSink. Injected sinks
+// (WithSink) short-circuit all of it.
+func (r *Region) ensureSink() error {
+	if r.sink != nil {
+		return nil
+	}
 	if r.dbPath == "" {
 		return fmt.Errorf("hpacml: collection without db() clause in region %q", r.name)
 	}
-	if r.writer == nil {
-		w, err := h5.Append(r.dbPath)
-		if err != nil {
-			return err
-		}
-		r.writer = w
+	s, err := NewSink(r.dbPath, r.captureCfg)
+	if err != nil {
+		return fmt.Errorf("hpacml: region %q: %w", r.name, err)
 	}
-	if err := r.writer.Write(r.name, "inputs", inputs); err != nil {
-		return err
-	}
-	if err := r.writer.Write(r.name, "outputs", outputs); err != nil {
-		return err
-	}
-	return r.writer.WriteScalar(r.name, "runtime_ns", float64(runtime.Nanoseconds()))
+	r.sink = s
+	r.sinkOwned = true
+	return nil
 }
 
 // setEngine installs an engine and derives its policy markers.
@@ -1384,31 +1468,49 @@ func (r *Region) scatterModelOutput(y *tensor.Tensor) error {
 	return fmt.Errorf("hpacml: unknown output layout %d", r.outLayout)
 }
 
-// Flush forces any buffered database records to disk without closing.
+// Flush is a capture barrier: it returns once every record captured so
+// far is durably with the backend (written and flushed for the local
+// sink, acknowledged by the server for the remote one), reporting any
+// asynchronous write failure. A no-op before the first collection.
 func (r *Region) Flush() error {
-	if r.writer != nil {
-		return r.writer.Flush()
+	if r.sink != nil {
+		return r.sink.Flush()
 	}
 	return nil
 }
 
-// Close flushes and releases the region's database writer, and releases
-// the engine the region built for itself (injected engines are the
-// caller's to close). The region must not be executed afterwards.
+// Close drains, flushes, and releases the capture sink the region
+// built for itself (an injected sink is flushed but stays open — it is
+// the caller's, possibly shared across regions), and releases the
+// engine the region built for itself (injected engines likewise stay
+// the caller's). Running Close even on error paths is what guarantees
+// a lazily-opened capture pipeline never silently truncates records:
+// every captured record is either durable or reported here. The region
+// must not be executed afterwards; Close is idempotent and
+// CaptureStats stays readable after it.
 func (r *Region) Close() error {
 	if r.closed {
 		return nil
 	}
 	r.closed = true
-	if r.engineOwned {
-		if c, ok := r.engine.(io.Closer); ok {
-			c.Close()
+	var firstErr error
+	if r.sink != nil {
+		var err error
+		if r.sinkOwned {
+			err = r.sink.Close()
+		} else {
+			err = r.sink.Flush()
+		}
+		if err != nil {
+			firstErr = err
 		}
 	}
-	if r.writer != nil {
-		err := r.writer.Close()
-		r.writer = nil
-		return err
+	if r.engineOwned {
+		if c, ok := r.engine.(io.Closer); ok {
+			if err := c.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
 	}
-	return nil
+	return firstErr
 }

@@ -327,10 +327,34 @@ func (fa FunctorApp) String() string {
 	return fa.Functor + "(" + strings.Join(parts, ", ") + ")"
 }
 
+// CapturePolicy is a parsed capture(...) clause: the sampling policy
+// applied to collection-mode invocations before they reach the capture
+// sink. Exactly one selector is set:
+//
+//	capture(every:N)  — keep every N-th invocation (Every = N >= 1)
+//	capture(frac:F)   — keep each invocation with probability F (0 < F <= 1)
+//
+// Long-running solvers use it to collect without drowning the training
+// database in near-duplicate records.
+type CapturePolicy struct {
+	// Every keeps one invocation in every Every; 0 when frac-selected.
+	Every int
+	// Frac keeps each invocation independently with probability Frac;
+	// 0 when every-selected.
+	Frac float64
+}
+
+func (c CapturePolicy) String() string {
+	if c.Every > 0 {
+		return fmt.Sprintf("capture(every:%d)", c.Every)
+	}
+	return fmt.Sprintf("capture(frac:%g)", c.Frac)
+}
+
 // MLDecl is a parsed approx ml directive:
 //
 //	#pragma approx ml(mode[:cond]) in(a, b) out(c) inout(d) \
-//	        model("m.gmod") db("d.gh5") if(cond)
+//	        model("m.gmod") db("d.gh5") capture(every:N) if(cond)
 //
 // Each of in/out/inout accepts either plain array references (which must
 // be covered by tensor map directives) or inline functor applications
@@ -349,6 +373,7 @@ type MLDecl struct {
 	InOutApps []FunctorApp
 	Model     string
 	DB        string
+	Capture   *CapturePolicy
 	If        string
 }
 
@@ -377,6 +402,9 @@ func (m *MLDecl) String() string {
 	}
 	if m.DB != "" {
 		fmt.Fprintf(&b, " db(%q)", m.DB)
+	}
+	if m.Capture != nil {
+		b.WriteString(" " + m.Capture.String())
 	}
 	if m.If != "" {
 		fmt.Fprintf(&b, " if(%s)", m.If)

@@ -1,0 +1,158 @@
+package directive
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParseCaptureClause is the table-driven grammar check for the
+// capture(...) sampling clause, mirroring the model/db URI tables:
+// both policies parse with their values validated, malformed and
+// out-of-range forms are rejected with a diagnosable message.
+func TestParseCaptureClause(t *testing.T) {
+	cases := []struct {
+		name      string
+		src       string // full ml directive
+		wantEvery int
+		wantFrac  float64
+		wantNil   bool   // accepted, with no capture clause
+		wantErr   string // substring of the parse error; "" means accept
+	}{
+		{
+			name:    "no capture clause",
+			src:     `ml(collect) in(x) out(y) db("d.gh5")`,
+			wantNil: true,
+		},
+		{
+			name:      "every N",
+			src:       `ml(collect) in(x) out(y) db("d.gh5") capture(every:5)`,
+			wantEvery: 5,
+		},
+		{
+			name:      "every 1 (keep all, explicit)",
+			src:       `ml(collect) in(x) out(y) db("d.gh5") capture(every:1)`,
+			wantEvery: 1,
+		},
+		{
+			name:     "frac float",
+			src:      `ml(collect) in(x) out(y) db("d.gh5") capture(frac:0.25)`,
+			wantFrac: 0.25,
+		},
+		{
+			name:     "frac one",
+			src:      `ml(collect) in(x) out(y) db("d.gh5") capture(frac:1)`,
+			wantFrac: 1,
+		},
+		{
+			name:      "capture with remote db and predicated mode",
+			src:       `ml(predicated:useModel) in(x) out(y) model("m.gmod") db("http://host:8080/d") capture(every:10)`,
+			wantEvery: 10,
+		},
+		{
+			name:    "every zero rejected",
+			src:     `ml(collect) in(x) out(y) db("d.gh5") capture(every:0)`,
+			wantErr: "wants N >= 1",
+		},
+		{
+			name:    "negative every rejected",
+			src:     `ml(collect) in(x) out(y) db("d.gh5") capture(every:-3)`,
+			wantErr: "expected integer",
+		},
+		{
+			name:    "frac zero rejected",
+			src:     `ml(collect) in(x) out(y) db("d.gh5") capture(frac:0)`,
+			wantErr: "wants 0 < F <= 1",
+		},
+		{
+			name:    "frac above one rejected",
+			src:     `ml(collect) in(x) out(y) db("d.gh5") capture(frac:1.5)`,
+			wantErr: "wants 0 < F <= 1",
+		},
+		{
+			name:    "unknown policy",
+			src:     `ml(collect) in(x) out(y) db("d.gh5") capture(rate:5)`,
+			wantErr: "unknown capture policy",
+		},
+		{
+			name:    "missing colon",
+			src:     `ml(collect) in(x) out(y) db("d.gh5") capture(every 5)`,
+			wantErr: "expected ':'",
+		},
+		{
+			name:    "missing value",
+			src:     `ml(collect) in(x) out(y) db("d.gh5") capture(every:)`,
+			wantErr: "expected integer",
+		},
+		{
+			name:    "frac wants a number",
+			src:     `ml(collect) in(x) out(y) db("d.gh5") capture(frac:lots)`,
+			wantErr: "wants a number",
+		},
+		{
+			name:    "duplicate capture clause",
+			src:     `ml(collect) in(x) out(y) db("d.gh5") capture(every:2) capture(every:3)`,
+			wantErr: "duplicate clause",
+		},
+		{
+			name:    "float leaks into slice expressions rejected",
+			src:     `ml(collect) in(x) out(y) db("d.gh5") if(p)`,
+			wantNil: true,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := Parse(tc.src)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("Parse(%q): want error containing %q, got directive %v", tc.src, tc.wantErr, d)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("Parse(%q): error %q does not contain %q", tc.src, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", tc.src, err)
+			}
+			ml, ok := d.(*MLDecl)
+			if !ok {
+				t.Fatalf("Parse(%q): got %T, want *MLDecl", tc.src, d)
+			}
+			if tc.wantNil {
+				if ml.Capture != nil {
+					t.Fatalf("unexpected capture policy %v", ml.Capture)
+				}
+				return
+			}
+			if ml.Capture == nil {
+				t.Fatalf("Parse(%q): no capture policy parsed", tc.src)
+			}
+			if ml.Capture.Every != tc.wantEvery || ml.Capture.Frac != tc.wantFrac {
+				t.Fatalf("capture policy = %+v, want every %d frac %g", ml.Capture, tc.wantEvery, tc.wantFrac)
+			}
+			// The clause must round-trip through String back to an equal
+			// parse, like every other directive form.
+			d2, err := Parse(ml.String())
+			if err != nil {
+				t.Fatalf("re-parse of %q: %v", ml.String(), err)
+			}
+			ml2 := d2.(*MLDecl)
+			if ml2.Capture == nil || *ml2.Capture != *ml.Capture {
+				t.Fatalf("capture policy did not round-trip: %v -> %v", ml.Capture, ml2.Capture)
+			}
+		})
+	}
+}
+
+// TestFloatTokensStayOutOfExpressions pins the lexer extension: float
+// literals exist only for capture(frac:F); slice expressions still
+// reject them.
+func TestFloatTokensStayOutOfExpressions(t *testing.T) {
+	_, err := Parse(`tensor map(to: f(x[0:1.5]))`)
+	if err == nil {
+		t.Fatal("float in a slice expression must be rejected")
+	}
+	if !strings.Contains(err.Error(), "expected") {
+		t.Fatalf("unexpected error shape: %v", err)
+	}
+}

@@ -19,6 +19,7 @@ const (
 	tokEOF tokenKind = iota
 	tokIdent
 	tokInt
+	tokFloat
 	tokString
 	tokLParen  // (
 	tokRParen  // )
@@ -43,6 +44,8 @@ func (k tokenKind) String() string {
 		return "identifier"
 	case tokInt:
 		return "integer"
+	case tokFloat:
+		return "float"
 	case tokString:
 		return "string"
 	case tokLParen:
@@ -173,10 +176,22 @@ func (l *lexer) lexIdent() {
 	l.emit(tokIdent, l.src[start:l.pos], start)
 }
 
+// lexInt scans a number: an integer, or — when a '.' with a digit
+// behind it follows the integer part — a float literal (as used by the
+// capture(frac:F) clause; slice expressions stay integer-only and
+// reject floats in the parser).
 func (l *lexer) lexInt() {
 	start := l.pos
 	for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
 		l.pos++
+	}
+	if l.pos+1 < len(l.src) && l.src[l.pos] == '.' && unicode.IsDigit(rune(l.src[l.pos+1])) {
+		l.pos++
+		for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+			l.pos++
+		}
+		l.emit(tokFloat, l.src[start:l.pos], start)
+		return
 	}
 	l.emit(tokInt, l.src[start:l.pos], start)
 }

@@ -342,6 +342,12 @@ func (p *parser) parseML() (*MLDecl, error) {
 				}
 				ml.DB = s.text
 			}
+		case "capture":
+			pol, err := p.parseCapturePolicy()
+			if err != nil {
+				return nil, err
+			}
+			ml.Capture = pol
 		case "if":
 			cond, err := p.parseRawUntilCloseParen()
 			if err != nil {
@@ -360,6 +366,48 @@ func (p *parser) parseML() (*MLDecl, error) {
 		return nil, p.errorf("ml directive needs at least one of in/out/inout")
 	}
 	return ml, nil
+}
+
+// parseCapturePolicy parses the body of a capture(...) clause:
+// "every" ":" int-lit, or "frac" ":" number in (0, 1].
+func (p *parser) parseCapturePolicy() (*CapturePolicy, error) {
+	kind, err := p.expect(tokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tokColon); err != nil {
+		return nil, err
+	}
+	switch kind.text {
+	case "every":
+		t, err := p.expect(tokInt)
+		if err != nil {
+			return nil, err
+		}
+		n, err := strconv.Atoi(t.text)
+		if err != nil {
+			return nil, p.errorf("bad integer %q: %v", t.text, err)
+		}
+		if n < 1 {
+			return nil, p.errorf("capture(every:N) wants N >= 1, got %d", n)
+		}
+		return &CapturePolicy{Every: n}, nil
+	case "frac":
+		if !p.at(tokInt) && !p.at(tokFloat) {
+			return nil, p.errorf("capture(frac:F) wants a number, found %s %q", p.cur().kind, p.cur().text)
+		}
+		t := p.next()
+		f, err := strconv.ParseFloat(t.text, 64)
+		if err != nil {
+			return nil, p.errorf("bad fraction %q: %v", t.text, err)
+		}
+		if f <= 0 || f > 1 {
+			return nil, p.errorf("capture(frac:F) wants 0 < F <= 1, got %g", f)
+		}
+		return &CapturePolicy{Frac: f}, nil
+	default:
+		return nil, p.errorf("unknown capture policy %q (want every or frac)", kind.text)
+	}
 }
 
 // parseMappedMemory parses the mapped-memory production: a comma-separated

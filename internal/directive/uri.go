@@ -6,20 +6,22 @@ import (
 	"strings"
 )
 
-// The model(...) clause of an ml directive names where the surrogate
-// executes, not just a file: a plain path loads the model in-process
-// (the local engine), while an http(s) URI selects remote execution
-// against a running hpacml-serve instance. The grammar is
+// The model(...) and db(...) clauses of an ml directive name where the
+// surrogate executes and where captured training data lands, not just
+// files: a plain path selects the in-process default (local model load,
+// local append-only database), while an http(s) URI selects the
+// distributed deployment (remote inference against a running
+// hpacml-serve instance; remote capture ingest into a server-owned
+// database). Both references share one grammar:
 //
-//	model-ref  := file-path | model-uri
-//	model-uri  := ("http" | "https") "://" host [":" port] ["/" prefix]* "/" model-name
+//	ref  := file-path | uri
+//	uri  := ("http" | "https") "://" host [":" port] ["/" prefix]* "/" name
 //
-// where model-name is the URI's last path segment (the name the server
-// registered the model under) and everything before it is the server
-// base URL. Queries and fragments are rejected — the annotation stays a
-// stable one-line contract, and per-deployment knobs belong to the
-// runtime, not the pragma. The db(...) clause never accepts a URI:
-// collection writes through the local append-only writer.
+// where name is the URI's last path segment (the model or capture
+// database registered on the server) and everything before it is the
+// server base URL. Queries and fragments are rejected — the annotation
+// stays a stable one-line contract, and per-deployment knobs belong to
+// the runtime, not the pragma.
 
 // refScheme extracts a URI scheme from a model/db reference, or "" when
 // the reference is a plain file path. Only the unambiguous
@@ -34,11 +36,53 @@ func refScheme(ref string) string {
 	return ref[:i]
 }
 
-// IsRemoteModel reports whether a model reference selects remote
-// execution (an http or https URI).
-func IsRemoteModel(ref string) bool {
+// isRemoteRef reports whether a reference carries an http(s) scheme.
+func isRemoteRef(ref string) bool {
 	s := refScheme(ref)
 	return s == "http" || s == "https"
+}
+
+// IsRemoteModel reports whether a model reference selects remote
+// execution (an http or https URI).
+func IsRemoteModel(ref string) bool { return isRemoteRef(ref) }
+
+// IsRemoteDB reports whether a db reference selects remote capture
+// ingest (an http or https URI).
+func IsRemoteDB(ref string) bool { return isRemoteRef(ref) }
+
+// splitRemote decomposes a remote reference into the server base URL
+// and the registered name (the last path segment). what names the
+// reference kind in diagnostics ("model" or "db"); thing names what the
+// last segment identifies ("model" or "database").
+func splitRemote(ref, what, thing string) (base, name string, err error) {
+	scheme := refScheme(ref)
+	if scheme == "" {
+		return "", "", fmt.Errorf("directive: %s reference %q is not a URI", what, ref)
+	}
+	if scheme != "http" && scheme != "https" {
+		return "", "", fmt.Errorf("directive: unsupported %s URI scheme %q in %q (want http or https)", what, scheme, ref)
+	}
+	u, err := url.Parse(ref)
+	if err != nil {
+		return "", "", fmt.Errorf("directive: malformed %s URI %q: %v", what, ref, err)
+	}
+	if u.Host == "" {
+		return "", "", fmt.Errorf("directive: %s URI %q has no host", what, ref)
+	}
+	if u.RawQuery != "" || u.Fragment != "" {
+		return "", "", fmt.Errorf("directive: %s URI %q must not carry a query or fragment", what, ref)
+	}
+	path := strings.Trim(u.Path, "/")
+	if path == "" {
+		return "", "", fmt.Errorf("directive: %s URI %q names no %s (want %s://host[:port]/%s-name)", what, ref, thing, scheme, thing)
+	}
+	segs := strings.Split(path, "/")
+	name = segs[len(segs)-1]
+	base = scheme + "://" + u.Host
+	if prefix := strings.Join(segs[:len(segs)-1], "/"); prefix != "" {
+		base += "/" + prefix
+	}
+	return base, name, nil
 }
 
 // SplitRemoteModel decomposes a remote model URI into the server base
@@ -50,34 +94,16 @@ func IsRemoteModel(ref string) bool {
 // It rejects unsupported schemes, missing hosts, URIs that name no
 // model, and queries/fragments.
 func SplitRemoteModel(ref string) (base, name string, err error) {
-	scheme := refScheme(ref)
-	if scheme == "" {
-		return "", "", fmt.Errorf("directive: model reference %q is not a URI", ref)
-	}
-	if scheme != "http" && scheme != "https" {
-		return "", "", fmt.Errorf("directive: unsupported model URI scheme %q in %q (want http or https)", scheme, ref)
-	}
-	u, err := url.Parse(ref)
-	if err != nil {
-		return "", "", fmt.Errorf("directive: malformed model URI %q: %v", ref, err)
-	}
-	if u.Host == "" {
-		return "", "", fmt.Errorf("directive: model URI %q has no host", ref)
-	}
-	if u.RawQuery != "" || u.Fragment != "" {
-		return "", "", fmt.Errorf("directive: model URI %q must not carry a query or fragment", ref)
-	}
-	path := strings.Trim(u.Path, "/")
-	if path == "" {
-		return "", "", fmt.Errorf("directive: model URI %q names no model (want %s://host[:port]/model-name)", ref, scheme)
-	}
-	segs := strings.Split(path, "/")
-	name = segs[len(segs)-1]
-	base = scheme + "://" + u.Host
-	if prefix := strings.Join(segs[:len(segs)-1], "/"); prefix != "" {
-		base += "/" + prefix
-	}
-	return base, name, nil
+	return splitRemote(ref, "model", "model")
+}
+
+// SplitRemoteDB decomposes a remote db URI into the server base URL and
+// the registered capture-database name (the last path segment), under
+// the same grammar and restrictions as SplitRemoteModel:
+//
+//	http://host:8080/binomial -> base http://host:8080, name binomial
+func SplitRemoteDB(ref string) (base, name string, err error) {
+	return splitRemote(ref, "db", "database")
 }
 
 // ValidateModelRef checks a model(...) clause value: empty strings and
@@ -92,12 +118,15 @@ func ValidateModelRef(ref string) error {
 	return err
 }
 
-// ValidateDBRef checks a db(...) clause value: the collection database
-// is always a local file, so URIs are refused outright. Empty strings
-// pass (no database configured).
+// ValidateDBRef checks a db(...) clause value: empty strings and plain
+// file paths pass (local append-only collection, the default); anything
+// carrying a scheme must be a well-formed http(s) db URI naming a
+// capture database on a running hpacml-serve instance. Non-http
+// schemes (s3, redis, ...) stay refused.
 func ValidateDBRef(ref string) error {
-	if s := refScheme(ref); s != "" {
-		return fmt.Errorf("directive: db() takes a file path, not a URI (got scheme %q in %q)", s, ref)
+	if refScheme(ref) == "" {
+		return nil
 	}
-	return nil
+	_, _, err := SplitRemoteDB(ref)
+	return err
 }

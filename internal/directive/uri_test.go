@@ -82,14 +82,9 @@ func TestParseModelURIForms(t *testing.T) {
 			wantErr: "query or fragment",
 		},
 		{
-			name:    "db URI refused",
-			src:     `ml(collect) in(x) out(y) db("http://host/d.gh5")`,
-			wantErr: "file path, not a URI",
-		},
-		{
 			name:    "db s3 URI refused",
 			src:     `ml(collect) in(x) out(y) db("s3://bucket/d.gh5")`,
-			wantErr: "file path, not a URI",
+			wantErr: "unsupported db URI scheme",
 		},
 		{
 			name:    "model clause without string",
@@ -150,6 +145,127 @@ func TestParseModelURIForms(t *testing.T) {
 	}
 }
 
+// TestParseDBURIForms is the table-driven grammar check for the
+// db(...) reference, mirroring the model-URI table: plain paths and
+// well-formed http(s) URIs are accepted (with the URI decomposed into
+// server base and capture-database name), everything else is rejected
+// with a diagnosable message.
+func TestParseDBURIForms(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string // full ml directive
+		// For accepted URIs: the expected SplitRemoteDB decomposition
+		// of the parsed DB field ("" base means a plain path).
+		wantDB   string
+		wantBase string
+		wantName string
+		wantErr  string // substring of the parse error; "" means accept
+	}{
+		{
+			name:   "plain path",
+			src:    `ml(collect) in(x) out(y) db("data/binomial.gh5")`,
+			wantDB: "data/binomial.gh5",
+		},
+		{
+			name:     "http URI",
+			src:      `ml(collect) in(x) out(y) db("http://127.0.0.1:8080/binomial")`,
+			wantDB:   "http://127.0.0.1:8080/binomial",
+			wantBase: "http://127.0.0.1:8080",
+			wantName: "binomial",
+		},
+		{
+			name:     "https URI with path prefix",
+			src:      `ml(collect) in(x) out(y) db("https://head.example.com/hpac/v2/climate")`,
+			wantDB:   "https://head.example.com/hpac/v2/climate",
+			wantBase: "https://head.example.com/hpac/v2",
+			wantName: "climate",
+		},
+		{
+			name:     "predicated with remote db and remote model",
+			src:      `ml(predicated:useModel) in(x) out(y) model("http://host:9/m") db("http://host:9/d")`,
+			wantDB:   "http://host:9/d",
+			wantBase: "http://host:9",
+			wantName: "d",
+		},
+		{
+			name:    "s3 scheme refused",
+			src:     `ml(collect) in(x) out(y) db("s3://bucket/d.gh5")`,
+			wantErr: "unsupported db URI scheme",
+		},
+		{
+			name:    "redis scheme refused",
+			src:     `ml(collect) in(x) out(y) db("redis://host:6379/d")`,
+			wantErr: "unsupported db URI scheme",
+		},
+		{
+			name:    "no database name",
+			src:     `ml(collect) in(x) out(y) db("http://host:8080")`,
+			wantErr: "names no database",
+		},
+		{
+			name:    "no database name trailing slash",
+			src:     `ml(collect) in(x) out(y) db("http://host:8080/")`,
+			wantErr: "names no database",
+		},
+		{
+			name:    "no host",
+			src:     `ml(collect) in(x) out(y) db("http:///d")`,
+			wantErr: "no host",
+		},
+		{
+			name:    "query refused",
+			src:     `ml(collect) in(x) out(y) db("http://host/d?shard=2")`,
+			wantErr: "query or fragment",
+		},
+		{
+			name:    "fragment refused",
+			src:     `ml(collect) in(x) out(y) db("http://host/d#frag")`,
+			wantErr: "query or fragment",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, err := Parse(tc.src)
+			if tc.wantErr != "" {
+				if err == nil {
+					t.Fatalf("Parse(%q): want error containing %q, got directive %v", tc.src, tc.wantErr, d)
+				}
+				if !strings.Contains(err.Error(), tc.wantErr) {
+					t.Fatalf("Parse(%q): error %q does not contain %q", tc.src, err, tc.wantErr)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", tc.src, err)
+			}
+			ml, ok := d.(*MLDecl)
+			if !ok {
+				t.Fatalf("Parse(%q): got %T, want *MLDecl", tc.src, d)
+			}
+			if ml.DB != tc.wantDB {
+				t.Fatalf("DB = %q, want %q", ml.DB, tc.wantDB)
+			}
+			if tc.wantBase == "" {
+				if IsRemoteDB(ml.DB) {
+					t.Fatalf("plain path %q classified remote", ml.DB)
+				}
+				return
+			}
+			if !IsRemoteDB(ml.DB) {
+				t.Fatalf("URI %q not classified remote", ml.DB)
+			}
+			base, name, err := SplitRemoteDB(ml.DB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if base != tc.wantBase || name != tc.wantName {
+				t.Fatalf("SplitRemoteDB(%q) = (%q, %q), want (%q, %q)",
+					ml.DB, base, name, tc.wantBase, tc.wantName)
+			}
+		})
+	}
+}
+
 // TestValidateRefsDirect covers the validators' edges that cannot be
 // reached through a quoted directive string.
 func TestValidateRefsDirect(t *testing.T) {
@@ -162,7 +278,16 @@ func TestValidateRefsDirect(t *testing.T) {
 	if err := ValidateModelRef("dir/with://weird"); err == nil {
 		t.Fatal("embedded scheme separator must be rejected")
 	}
+	if err := ValidateDBRef("dir/with://weird"); err == nil {
+		t.Fatal("embedded scheme separator must be rejected in db refs")
+	}
+	if err := ValidateDBRef("http://host:8080/binomial"); err != nil {
+		t.Fatalf("well-formed db URI must validate: %v", err)
+	}
 	if _, _, err := SplitRemoteModel("plain/path.gmod"); err == nil {
 		t.Fatal("SplitRemoteModel must reject non-URIs")
+	}
+	if _, _, err := SplitRemoteDB("plain/path.gh5"); err == nil {
+		t.Fatal("SplitRemoteDB must reject non-URIs")
 	}
 }

@@ -22,9 +22,9 @@ func (a *binomialApp) Outputs() []float64 { return a.in.Prices }
 func (a *binomialApp) InFeatures() int    { return 3 }
 func (a *binomialApp) OutFeatures() int   { return 1 }
 
-func (a *binomialApp) Region(modelPath, dbPath string) (*hpacml.Region, *bool, error) {
+func (a *binomialApp) Region(modelPath, dbPath string, extra ...hpacml.Option) (*hpacml.Region, *bool, error) {
 	useModel := false
-	r, err := hpacml.NewRegion("binomial",
+	opts := []hpacml.Option{
 		hpacml.Directives(binomial.Directives(modelPath, dbPath)),
 		hpacml.BindInt("NOPT", a.in.Cfg.NumOptions),
 		hpacml.BindArray("S", a.in.S, a.in.Cfg.NumOptions),
@@ -32,7 +32,9 @@ func (a *binomialApp) Region(modelPath, dbPath string) (*hpacml.Region, *bool, e
 		hpacml.BindArray("T", a.in.T, a.in.Cfg.NumOptions),
 		hpacml.BindArray("prices", a.in.Prices, a.in.Cfg.NumOptions),
 		hpacml.BindPredicate("useModel", func() bool { return useModel }),
-	)
+	}
+	opts = append(opts, extra...)
+	r, err := hpacml.NewRegion("binomial", opts...)
 	if err != nil {
 		return nil, nil, err
 	}

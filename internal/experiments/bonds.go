@@ -21,10 +21,10 @@ func (a *bondsApp) Outputs() []float64 { return a.in.Accrued }
 func (a *bondsApp) InFeatures() int    { return 4 }
 func (a *bondsApp) OutFeatures() int   { return 1 }
 
-func (a *bondsApp) Region(modelPath, dbPath string) (*hpacml.Region, *bool, error) {
+func (a *bondsApp) Region(modelPath, dbPath string, extra ...hpacml.Option) (*hpacml.Region, *bool, error) {
 	useModel := false
 	n := a.in.Cfg.NumBonds
-	r, err := hpacml.NewRegion("bonds",
+	opts := []hpacml.Option{
 		hpacml.Directives(bonds.Directives(modelPath, dbPath)),
 		hpacml.BindInt("NB", n),
 		hpacml.BindArray("coupon", a.in.Coupon, n),
@@ -33,7 +33,9 @@ func (a *bondsApp) Region(modelPath, dbPath string) (*hpacml.Region, *bool, erro
 		hpacml.BindArray("settle", a.in.Settle, n),
 		hpacml.BindArray("accrued", a.in.Accrued, n),
 		hpacml.BindPredicate("useModel", func() bool { return useModel }),
-	)
+	}
+	opts = append(opts, extra...)
+	r, err := hpacml.NewRegion("bonds", opts...)
 	if err != nil {
 		return nil, nil, err
 	}

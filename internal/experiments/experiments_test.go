@@ -340,7 +340,7 @@ func TestCollectProducesUsableDatabase(t *testing.T) {
 	h := NewBinomial(ScaleTest)
 	dir := t.TempDir()
 	dbPath := filepath.Join(dir, "b.gh5")
-	if err := h.Collect(dbPath, opt); err != nil {
+	if _, err := h.Collect(dbPath, opt); err != nil {
 		t.Fatal(err)
 	}
 	ds, err := loadDataset(dbPath, "binomial")

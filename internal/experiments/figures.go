@@ -63,7 +63,7 @@ func defaultHyper() map[string]bo.Value {
 func Campaign(h Harness, dir string, opt Options, archs []map[string]bo.Value) ([]EvalResult, error) {
 	name := h.Info().Name
 	dbPath := filepath.Join(dir, name+".gh5")
-	if err := h.Collect(dbPath, opt); err != nil {
+	if _, err := h.Collect(dbPath, opt); err != nil {
 		return nil, fmt.Errorf("campaign %s: collect: %w", name, err)
 	}
 	var out []EvalResult
@@ -289,7 +289,7 @@ type Figure9Result struct {
 func Figure9(dir string, scale Scale, opt Options, spinup, window int) (*Figure9Result, error) {
 	h := NewMiniWeather(scale).(*mwHarness)
 	dbPath := filepath.Join(dir, "miniweather-fig9.gh5")
-	if err := h.Collect(dbPath, opt); err != nil {
+	if _, err := h.Collect(dbPath, opt); err != nil {
 		return nil, err
 	}
 	modelPath := filepath.Join(dir, "miniweather-fig9.gmod")
@@ -480,7 +480,7 @@ func WriteFigure9(w io.Writer, r *Figure9Result) {
 func NestedCampaign(h Harness, dir string, opt Options, cfg bo.NestedConfig) (*bo.NestedResult, error) {
 	name := h.Info().Name
 	dbPath := filepath.Join(dir, name+"-search.gh5")
-	if err := h.Collect(dbPath, opt); err != nil {
+	if _, err := h.Collect(dbPath, opt); err != nil {
 		return nil, err
 	}
 	// The callback must be safe for concurrent calls when

@@ -12,6 +12,8 @@ import (
 	"os"
 	"time"
 
+	hpacml "repro"
+
 	"repro/internal/benchmarks/common"
 	"repro/internal/bo"
 	"repro/internal/directive"
@@ -32,6 +34,10 @@ type Options struct {
 	EvalRuns int
 	// Seed drives every stochastic choice.
 	Seed int64
+	// Capture tunes the collection pipeline (shard rotation, queue
+	// bound, block-or-drop backpressure, flush cadence, sampling); the
+	// zero value is the asynchronous single-shard default.
+	Capture hpacml.CaptureConfig
 }
 
 // QuickOptions is sized for tests and CI.
@@ -70,6 +76,11 @@ type EvalResult struct {
 	// served by a remote engine during the surrogate timing runs.
 	Fallbacks       int
 	RemoteInference int
+	// Capture-pipeline counters of the deployed region (non-zero only
+	// for runs that also collect, e.g. predicated regions).
+	CaptureDrops   int
+	CaptureFlushes int
+	RemoteCaptures int
 }
 
 // CollectStats is one Table III row.
@@ -82,12 +93,70 @@ type CollectStats struct {
 	Invocations int
 }
 
+// CollectReport summarizes one collection run's capture pipeline: what
+// the sink accepted, where it landed, and what (if anything) was lost.
+// A driver should treat Failed() as a failed collection even when
+// every Execute call succeeded — the asynchronous pipeline reports its
+// losses here.
+type CollectReport struct {
+	// Invocations is how many region invocations ran in collection
+	// mode; Records is how many reached the sink (fewer when a
+	// sampling policy thinned the stream, Sampled counts those).
+	Invocations int
+	Records     int
+	Sampled     int
+	// Shards is how many files the local database spans (0 for purely
+	// remote collection).
+	Shards int
+	// Dropped / Flushes / FlushErrors / WriteErrors are the sink's
+	// backpressure and durability accounting.
+	Dropped     int
+	Flushes     int
+	FlushErrors int
+	WriteErrors int
+	// RemoteRecords counts records acknowledged by a remote ingest
+	// endpoint.
+	RemoteRecords int
+}
+
+// Failed reports whether the pipeline lost or failed to persist any
+// record.
+func (r CollectReport) Failed() bool {
+	return r.Dropped > 0 || r.FlushErrors > 0 || r.WriteErrors > 0
+}
+
+// collectReport drains the region's capture pipeline and assembles the
+// report: Close first (the final flush), then read the sink counters.
+// The returned error is any Execute error, else the Close error.
+func collectReport(region *hpacml.Region, runErr error) (CollectReport, error) {
+	st := region.Stats()
+	err := region.Close()
+	if runErr != nil {
+		err = runErr
+	}
+	rep := CollectReport{Invocations: st.Collections}
+	if ss, ok := region.CaptureStats(); ok {
+		rep.Records = int(ss.Captured)
+		rep.Sampled = int(ss.Sampled)
+		rep.Shards = int(ss.Shards)
+		rep.Dropped = int(ss.Dropped)
+		rep.Flushes = int(ss.Flushes)
+		rep.FlushErrors = int(ss.FlushErrors)
+		rep.WriteErrors = int(ss.WriteErrors)
+		rep.RemoteRecords = int(ss.RemoteRecords)
+	}
+	return rep, err
+}
+
 // Harness is one benchmark wired to HPAC-ML.
 type Harness interface {
 	// Info returns the Table I registry entry (QoI, metric, LoC counts).
 	Info() common.Info
-	// Collect records CollectRuns region invocations into dbPath.
-	Collect(dbPath string, opt Options) error
+	// Collect records CollectRuns region invocations into dbPath (a
+	// local .gh5 path or a remote http(s):// capture-db URI), driving
+	// them through the capture pipeline Options.Capture configures, and
+	// reports what the pipeline did with them.
+	Collect(dbPath string, opt Options) (CollectReport, error)
 	// CollectOverhead measures Table III: plain runtime vs collection
 	// runtime plus database size.
 	CollectOverhead(dir string, opt Options) (CollectStats, error)
@@ -162,9 +231,11 @@ func modelParams(modelPath string) (int, error) {
 	return net.NumParams(), nil
 }
 
-// loadDataset reads the inputs/outputs datasets of one region group.
+// loadDataset reads the inputs/outputs datasets of one region group,
+// merging every shard of the database (a single-file database is a
+// one-shard set, so the plain path reads as before).
 func loadDataset(dbPath, group string) (*nn.Dataset, error) {
-	f, err := h5.Open(dbPath)
+	f, err := h5.OpenShards(dbPath)
 	if err != nil {
 		return nil, err
 	}

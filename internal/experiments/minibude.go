@@ -24,15 +24,17 @@ func (a *budeApp) Outputs() []float64 {
 func (a *budeApp) InFeatures() int  { return 6 }
 func (a *budeApp) OutFeatures() int { return 1 }
 
-func (a *budeApp) Region(modelPath, dbPath string) (*hpacml.Region, *bool, error) {
+func (a *budeApp) Region(modelPath, dbPath string, extra ...hpacml.Option) (*hpacml.Region, *bool, error) {
 	useModel := false
-	r, err := hpacml.NewRegion("minibude",
+	opts := []hpacml.Option{
 		hpacml.Directives(minibude.Directives(modelPath, dbPath)),
 		hpacml.BindInt("NPOSES", a.in.Cfg.NumPoses),
 		hpacml.BindArray("poses", a.in.Poses, a.in.Cfg.NumPoses, 6),
 		hpacml.BindArray("energies", a.in.Energies, a.in.Cfg.NumPoses),
 		hpacml.BindPredicate("useModel", func() bool { return useModel }),
-	)
+	}
+	opts = append(opts, extra...)
+	r, err := hpacml.NewRegion("minibude", opts...)
 	if err != nil {
 		return nil, nil, err
 	}

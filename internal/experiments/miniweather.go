@@ -78,10 +78,10 @@ func (h *mwHarness) PaperArchSpace() []string { return h.paper }
 // region builds the 3-directive inout region over the haloed state array.
 // The returned gate controls the if clause (true = HPAC-ML active) and
 // useModel the predicated mode (true = inference, false = collection).
-func (h *mwHarness) region(modelPath, dbPath string) (r *hpacml.Region, gate, useModel *bool, err error) {
+func (h *mwHarness) region(modelPath, dbPath string, extra ...hpacml.Option) (r *hpacml.Region, gate, useModel *bool, err error) {
 	g, u := true, false
 	nv, nzh, nxh := h.in.StateDims()
-	r, err = hpacml.NewRegion("miniweather",
+	opts := []hpacml.Option{
 		hpacml.Directives(miniweather.Directives(modelPath, dbPath)),
 		hpacml.BindInt("NV", nv),
 		hpacml.BindInt("NZH", nzh),
@@ -91,7 +91,9 @@ func (h *mwHarness) region(modelPath, dbPath string) (r *hpacml.Region, gate, us
 		hpacml.BindPredicate("gate", func() bool { return g }),
 		hpacml.InputLayout(hpacml.LayoutChannels),
 		hpacml.OutputLayout(hpacml.LayoutChannels),
-	)
+	}
+	opts = append(opts, extra...)
+	r, err = hpacml.NewRegion("miniweather", opts...)
 	if err != nil {
 		return nil, nil, nil, err
 	}
@@ -100,22 +102,24 @@ func (h *mwHarness) region(modelPath, dbPath string) (r *hpacml.Region, gate, us
 
 // Collect runs the simulation forward, recording (state_t, state_t+1)
 // pairs — the auto-regressive training set.
-func (h *mwHarness) Collect(dbPath string, opt Options) error {
+func (h *mwHarness) Collect(dbPath string, opt Options) (CollectReport, error) {
 	h.in.InitThermalBubble()
-	region, gate, useModel, err := h.region("", dbPath)
+	region, gate, useModel, err := h.region("", dbPath, hpacml.WithCapture(opt.Capture))
 	if err != nil {
-		return err
+		return CollectReport{}, err
 	}
 	defer region.Close()
 	*gate = true
 	*useModel = false
 	steps := opt.CollectRuns * 10
+	var runErr error
 	for s := 0; s < steps; s++ {
 		if err := region.Execute(func() error { h.in.Step(); return nil }); err != nil {
-			return fmt.Errorf("miniweather collect step %d: %w", s, err)
+			runErr = fmt.Errorf("miniweather collect step %d: %w", s, err)
+			break
 		}
 	}
-	return region.Close()
+	return collectReport(region, runErr)
 }
 
 // CollectOverhead measures Table III for MiniWeather.
@@ -348,6 +352,9 @@ func (h *mwHarness) Evaluate(modelPath string, opt Options) (EvalResult, error) 
 		FromTensorSec:   st.FromTensor.Seconds() / float64(inv),
 		Fallbacks:       st.Fallbacks,
 		RemoteInference: st.RemoteInference,
+		CaptureDrops:    st.CaptureDrops,
+		CaptureFlushes:  st.CaptureFlushes,
+		RemoteCaptures:  st.RemoteCaptures,
 	}
 	return res, checkFinite("miniweather", res.Speedup, res.Error)
 }

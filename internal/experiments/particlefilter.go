@@ -81,10 +81,10 @@ func (h *pfHarness) Info() common.Info        { return h.info }
 func (h *pfHarness) ArchSpace() *bo.Space     { return h.arch }
 func (h *pfHarness) PaperArchSpace() []string { return h.paper }
 
-func (h *pfHarness) region(modelPath, dbPath string) (*hpacml.Region, *bool, error) {
+func (h *pfHarness) region(modelPath, dbPath string, extra ...hpacml.Option) (*hpacml.Region, *bool, error) {
 	useModel := false
 	fs := h.in.Cfg.FrameSize
-	r, err := hpacml.NewRegion("particlefilter",
+	opts := []hpacml.Option{
 		hpacml.Directives(particlefilter.Directives(modelPath, dbPath)),
 		hpacml.BindInt("FS", fs),
 		hpacml.BindArray("frame", h.frameBuf, fs, fs),
@@ -92,7 +92,9 @@ func (h *pfHarness) region(modelPath, dbPath string) (*hpacml.Region, *bool, err
 		hpacml.BindPredicate("useModel", func() bool { return useModel }),
 		hpacml.InputLayout(hpacml.LayoutImage2D),
 		hpacml.OutputLayout(hpacml.LayoutFlat),
-	)
+	}
+	opts = append(opts, extra...)
+	r, err := hpacml.NewRegion("particlefilter", opts...)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -102,10 +104,10 @@ func (h *pfHarness) region(modelPath, dbPath string) (*hpacml.Region, *bool, err
 // Collect runs every frame through the region in collection mode. The
 // accurate path runs the filter for the frame but captures the ground
 // truth as the training target, as the paper's PF port does.
-func (h *pfHarness) Collect(dbPath string, opt Options) error {
-	region, useModel, err := h.region("", dbPath)
+func (h *pfHarness) Collect(dbPath string, opt Options) (CollectReport, error) {
+	region, useModel, err := h.region("", dbPath, hpacml.WithCapture(opt.Capture))
 	if err != nil {
-		return err
+		return CollectReport{}, err
 	}
 	defer region.Close()
 	*useModel = false
@@ -114,6 +116,8 @@ func (h *pfHarness) Collect(dbPath string, opt Options) error {
 	if videos < 1 {
 		videos = 1
 	}
+	var runErr error
+videoLoop:
 	for v := 0; v < videos; v++ {
 		h.in.SynthesizeVideo(opt.Seed + int64(v))
 		h.in.ResetFilter()
@@ -126,11 +130,12 @@ func (h *pfHarness) Collect(dbPath string, opt Options) error {
 				h.est[1] = h.in.TruthY[frame]
 				return nil
 			}); err != nil {
-				return err
+				runErr = err
+				break videoLoop
 			}
 		}
 	}
-	return region.Close()
+	return collectReport(region, runErr)
 }
 
 // CollectOverhead measures Table III for ParticleFilter.
@@ -291,6 +296,9 @@ func (h *pfHarness) Evaluate(modelPath string, opt Options) (EvalResult, error) 
 		BaselineError:   baselineRMSE,
 		Fallbacks:       st.Fallbacks,
 		RemoteInference: st.RemoteInference,
+		CaptureDrops:    st.CaptureDrops,
+		CaptureFlushes:  st.CaptureFlushes,
+		RemoteCaptures:  st.RemoteCaptures,
 	}
 	return res, checkFinite("particlefilter", res.Speedup, res.Error)
 }

@@ -19,8 +19,10 @@ type tabularApp interface {
 	// RunAccurate executes the accurate path over the whole batch.
 	RunAccurate()
 	// Region builds the annotated HPAC-ML region around the app's
-	// buffers. The returned predicate pointer toggles inference.
-	Region(modelPath, dbPath string) (*hpacml.Region, *bool, error)
+	// buffers, threading any extra options (capture tuning, injected
+	// sinks/engines) through. The returned predicate pointer toggles
+	// inference.
+	Region(modelPath, dbPath string, extra ...hpacml.Option) (*hpacml.Region, *bool, error)
 	// Outputs returns the QoI buffer (aliased).
 	Outputs() []float64
 	// InFeatures and OutFeatures size the surrogate's I/O.
@@ -43,20 +45,24 @@ func (h *tabularHarness) ArchSpace() *bo.Space     { return h.arch }
 func (h *tabularHarness) PaperArchSpace() []string { return h.paperArch }
 
 // Collect runs the region in collection mode over fresh input batches.
-func (h *tabularHarness) Collect(dbPath string, opt Options) error {
-	region, useModel, err := h.app.Region("", dbPath)
+// Even when a run errors, the region is closed through the report path
+// so already-captured records are flushed, never silently truncated.
+func (h *tabularHarness) Collect(dbPath string, opt Options) (CollectReport, error) {
+	region, useModel, err := h.app.Region("", dbPath, hpacml.WithCapture(opt.Capture))
 	if err != nil {
-		return err
+		return CollectReport{}, err
 	}
 	defer region.Close()
 	*useModel = false
+	var runErr error
 	for run := 0; run < opt.CollectRuns; run++ {
 		h.app.Reset(opt.Seed + int64(run))
 		if err := region.Execute(func() error { h.app.RunAccurate(); return nil }); err != nil {
-			return fmt.Errorf("%s collect run %d: %w", h.info.Name, run, err)
+			runErr = fmt.Errorf("%s collect run %d: %w", h.info.Name, run, err)
+			break
 		}
 	}
-	return region.Close()
+	return collectReport(region, runErr)
 }
 
 // CollectOverhead measures Table III for this benchmark.
@@ -168,6 +174,9 @@ func (h *tabularHarness) Evaluate(modelPath string, opt Options) (EvalResult, er
 		FromTensorSec:   st.FromTensor.Seconds() / float64(inv),
 		Fallbacks:       st.Fallbacks,
 		RemoteInference: st.RemoteInference,
+		CaptureDrops:    st.CaptureDrops,
+		CaptureFlushes:  st.CaptureFlushes,
+		RemoteCaptures:  st.RemoteCaptures,
 	}
 	return res, checkFinite(h.info.Name, res.Speedup, res.Error)
 }

@@ -66,18 +66,27 @@ func Create(path string) (*Writer, error) {
 // partial record left by a crash mid-append is truncated away first, so
 // the new records remain readable after it.
 func Append(path string) (*Writer, error) {
+	w, _, err := AppendCount(path)
+	return w, err
+}
+
+// AppendCount is Append, additionally reporting how many complete
+// records the file already holds — what a sharded writer needs to
+// resume rotation at the right point after a restart.
+func AppendCount(path string) (*Writer, int, error) {
 	st, err := os.Stat(path)
 	if errors.Is(err, os.ErrNotExist) || (err == nil && st.Size() == 0) {
-		return Create(path)
+		w, err := Create(path)
+		return w, 0, err
 	}
 	if err != nil {
-		return nil, fmt.Errorf("h5: append: %w", err)
+		return nil, 0, fmt.Errorf("h5: append: %w", err)
 	}
 	// Validate the header and find the end of the last complete record
 	// before appending blindly.
 	r, err := os.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("h5: append: %w", err)
+		return nil, 0, fmt.Errorf("h5: append: %w", err)
 	}
 	cr := &countingReader{r: bufio.NewReaderSize(r, 1<<16)}
 	magic, err := readU32(cr)
@@ -90,9 +99,10 @@ func Append(path string) (*Writer, error) {
 	}
 	if err != nil {
 		r.Close()
-		return nil, err
+		return nil, 0, err
 	}
 	goodEnd := cr.n
+	count := 0
 	for {
 		if err := skimRecord(cr); err != nil {
 			if err == io.EOF || errors.Is(err, errTruncated) {
@@ -101,21 +111,22 @@ func Append(path string) (*Writer, error) {
 			// A real I/O failure or corruption must not truncate: only a
 			// tail provably cut short by a crash may be dropped.
 			r.Close()
-			return nil, fmt.Errorf("h5: append: %s: %w", path, err)
+			return nil, 0, fmt.Errorf("h5: append: %s: %w", path, err)
 		}
 		goodEnd = cr.n
+		count++
 	}
 	r.Close()
 	if goodEnd < st.Size() {
 		if err := os.Truncate(path, goodEnd); err != nil {
-			return nil, fmt.Errorf("h5: append: dropping partial tail record: %w", err)
+			return nil, 0, fmt.Errorf("h5: append: dropping partial tail record: %w", err)
 		}
 	}
 	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, fmt.Errorf("h5: append: %w", err)
+		return nil, 0, fmt.Errorf("h5: append: %w", err)
 	}
-	return &Writer{f: f, buf: bufio.NewWriterSize(f, 1<<16)}, nil
+	return &Writer{f: f, buf: bufio.NewWriterSize(f, 1<<16)}, count, nil
 }
 
 // countingReader tracks how many bytes have been consumed, so Append can
@@ -213,40 +224,50 @@ var errTruncated = errors.New("h5: truncated tail record")
 // scanning stops at the last complete record, which is the crash
 // tolerance the log-structured format exists to provide.
 func Open(path string) (*File, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, fmt.Errorf("h5: open: %w", err)
+	out := &File{byGroup: make(map[string]map[string][]*record)}
+	if err := out.scan(path); err != nil {
+		return nil, err
 	}
-	defer f.Close()
-	r := bufio.NewReaderSize(f, 1<<16)
+	return out, nil
+}
+
+// scan reads every complete record of one .gh5 file into the
+// hierarchy, appending to whatever earlier scans loaded — the merge
+// step OpenShards uses to present a shard set as one database.
+func (f *File) scan(path string) error {
+	src, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("h5: open: %w", err)
+	}
+	defer src.Close()
+	r := bufio.NewReaderSize(src, 1<<16)
 	magic, err := readU32(r)
 	if err != nil {
-		return nil, fmt.Errorf("h5: %s: missing header: %w", path, err)
+		return fmt.Errorf("h5: %s: missing header: %w", path, err)
 	}
 	version, err := readU32(r)
 	if err != nil {
-		return nil, fmt.Errorf("h5: %s: missing version: %w", path, err)
+		return fmt.Errorf("h5: %s: missing version: %w", path, err)
 	}
 	if magic != fileMagic || version != fileVersion {
-		return nil, fmt.Errorf("h5: %s is not a version-%d .gh5 file", path, fileVersion)
+		return fmt.Errorf("h5: %s is not a version-%d .gh5 file", path, fileVersion)
 	}
-	out := &File{byGroup: make(map[string]map[string][]*record)}
 	for {
 		rec, err := readRecord(r)
 		if err == io.EOF || errors.Is(err, errTruncated) {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("h5: %s: %w", path, err)
+			return fmt.Errorf("h5: %s: %w", path, err)
 		}
-		ds := out.byGroup[rec.group]
+		ds := f.byGroup[rec.group]
 		if ds == nil {
 			ds = make(map[string][]*record)
-			out.byGroup[rec.group] = ds
+			f.byGroup[rec.group] = ds
 		}
 		ds[rec.name] = append(ds[rec.name], rec)
 	}
-	return out, nil
+	return nil
 }
 
 func readRecord(r io.Reader) (*record, error) { return decodeRecord(r, false) }

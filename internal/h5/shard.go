@@ -1,0 +1,204 @@
+package h5
+
+import (
+	"errors"
+	"fmt"
+	"os"
+
+	"repro/internal/tensor"
+)
+
+// AppendSample appends one training sample's dataset set under group —
+// the inputs/outputs/runtime_ns triple every capture producer (the
+// runtime's local sink, the serve ingest registry) writes per region
+// invocation. Keeping the set shape in one place is what lets shard
+// rotation and recovery treat it as atomic.
+func AppendSample(w *Writer, group string, inputs, outputs *tensor.Tensor, runtimeNS float64) error {
+	if err := w.Write(group, "inputs", inputs); err != nil {
+		return err
+	}
+	if err := w.Write(group, "outputs", outputs); err != nil {
+		return err
+	}
+	return w.WriteScalar(group, "runtime_ns", runtimeNS)
+}
+
+// SampleRecords is how many raw .gh5 records one AppendSample writes —
+// the shard writer's set size for capture databases.
+const SampleRecords = 3
+
+// Sharded databases split one logical .gh5 collection across a rotating
+// set of files, so a long-running capture never grows a single
+// unbounded file and concurrent producers (many ranks, one ingest
+// server) can be merged by plain file-level concatenation. The layout
+// is base-path-first:
+//
+//	data.gh5        shard 0 (the base path — a plain single-file
+//	                database IS a one-shard set, so readers need no
+//	                migration)
+//	data.gh5.s0001  shard 1
+//	data.gh5.s0002  shard 2, ...
+//
+// Shards are strictly ordered; OpenShards concatenates their records
+// in shard order, which reproduces the append order of the original
+// writes. Each shard is an ordinary crash-tolerant .gh5 file, so
+// recovery (truncating a partial tail record) applies per shard.
+
+// ShardPath returns the path of shard k of a base database path
+// (k == 0 is the base path itself).
+func ShardPath(base string, k int) string {
+	if k == 0 {
+		return base
+	}
+	return fmt.Sprintf("%s.s%04d", base, k)
+}
+
+// ShardPaths lists the existing shard files of base in shard order:
+// the base path (when present) followed by consecutively numbered
+// .sNNNN files. The scan stops at the first gap, so a deleted middle
+// shard hides later ones rather than silently reordering records.
+func ShardPaths(base string) []string {
+	var out []string
+	for k := 0; ; k++ {
+		p := ShardPath(base, k)
+		if _, err := os.Stat(p); err != nil {
+			if k == 0 {
+				continue
+			}
+			break
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// OpenShards scans every shard of base and returns the merged
+// hierarchy, records concatenated in shard order. A plain single-file
+// database opens identically to Open. It is an error when no shard
+// exists at all.
+func OpenShards(base string) (*File, error) {
+	paths := ShardPaths(base)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("h5: open: no database at %s", base)
+	}
+	out := &File{byGroup: make(map[string]map[string][]*record)}
+	for _, p := range paths {
+		if err := out.scan(p); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ShardWriter appends record sets to a sharded database, rotating to a
+// fresh shard file when the current one reaches its set quota. A "set"
+// is a group of records that must land in the same shard (one region
+// invocation's inputs/outputs/runtime), so rotation never splits a
+// training sample across files and a crash can truncate at most the
+// final record of the final shard.
+//
+// Like Writer, a ShardWriter is not safe for concurrent use; the
+// capture sink serializes all writes on its writer goroutine.
+type ShardWriter struct {
+	base string
+	// maxSets is the rotation quota per shard (0 = never rotate).
+	maxSets int
+	// recsPerSet says how many raw records one set writes — used only
+	// to translate an existing shard's record count back into sets when
+	// resuming after a restart.
+	recsPerSet int
+
+	w      *Writer
+	shard  int // index of the shard w appends to
+	sets   int // sets already in the current shard
+	shards int // shards this writer set spans (existing + created)
+}
+
+// NewShardWriter opens base for sharded appending. Existing shards are
+// discovered and the last one is resumed (with crash recovery): when it
+// still has room the writer continues filling it, otherwise the next
+// rotation quota applies. maxSets <= 0 disables rotation, reproducing
+// the single-file writer. recsPerSet <= 0 defaults to 1.
+func NewShardWriter(base string, maxSets, recsPerSet int) (*ShardWriter, error) {
+	if recsPerSet <= 0 {
+		recsPerSet = 1
+	}
+	// Resume at the highest consecutively-numbered existing shard (the
+	// base path, shard 0, is created on demand when nothing exists yet).
+	last := 0
+	for k := 1; ; k++ {
+		if _, err := os.Stat(ShardPath(base, k)); err != nil {
+			break
+		}
+		last = k
+	}
+	w, recs, err := AppendCount(ShardPath(base, last))
+	if err != nil {
+		return nil, err
+	}
+	return &ShardWriter{
+		base:       base,
+		maxSets:    maxSets,
+		recsPerSet: recsPerSet,
+		w:          w,
+		shard:      last,
+		sets:       (recs + recsPerSet - 1) / recsPerSet,
+		shards:     last + 1,
+	}, nil
+}
+
+// BeginSet returns the Writer the next record set must be written to,
+// rotating to a fresh shard first when the current one has reached its
+// quota. All of the set's records must be written before the next
+// BeginSet call.
+func (sw *ShardWriter) BeginSet() (*Writer, error) {
+	if sw.maxSets > 0 && sw.sets >= sw.maxSets {
+		// Flush-then-rotate: the finished shard must be durable before
+		// records start landing in the next one, or a crash could lose a
+		// middle shard's tail while a later shard survives. Either
+		// rotation failure leaves no open shard — re-closing an
+		// already-closed file on the next set would mask the real cause.
+		if err := sw.w.Close(); err != nil {
+			sw.w = nil
+			return nil, fmt.Errorf("h5: shard %s: %w", ShardPath(sw.base, sw.shard), err)
+		}
+		sw.shard++
+		w, _, err := AppendCount(ShardPath(sw.base, sw.shard))
+		if err != nil {
+			sw.w = nil
+			return nil, err
+		}
+		sw.w = w
+		sw.sets = 0
+		sw.shards++
+	}
+	if sw.w == nil {
+		return nil, errors.New("h5: shard writer has no open shard (previous rotation failed)")
+	}
+	sw.sets++
+	return sw.w, nil
+}
+
+// Shards reports how many shard files the set spans so far.
+func (sw *ShardWriter) Shards() int { return sw.shards }
+
+// Base returns the base database path.
+func (sw *ShardWriter) Base() string { return sw.base }
+
+// Flush forces the current shard's buffered records to the OS.
+func (sw *ShardWriter) Flush() error {
+	if sw.w == nil {
+		return nil
+	}
+	return sw.w.Flush()
+}
+
+// Close flushes and closes the current shard.
+func (sw *ShardWriter) Close() error {
+	if sw.w == nil {
+		return nil
+	}
+	err := sw.w.Close()
+	sw.w = nil
+	return err
+}

@@ -12,19 +12,22 @@ import (
 	"os"
 )
 
-// Record is one tool run. Exactly one of Eval or Serving is set,
-// according to Tool.
+// Record is one tool run. Exactly one of Eval, Serving, or Collect is
+// set, according to Tool.
 type Record struct {
-	// Tool names the producer: "hpacml-eval" or "hpacml-serve-loadgen".
+	// Tool names the producer: "hpacml-eval", "hpacml-serve-loadgen",
+	// or "hpacml-collect".
 	Tool string `json:"tool"`
-	// Benchmark is the benchmark name for eval runs, empty for serving.
+	// Benchmark is the benchmark name for eval/collect runs, empty for
+	// serving.
 	Benchmark string `json:"benchmark,omitempty"`
 	// Model is the surrogate the run exercised: a .gmod path for eval,
-	// a registry model name for serving.
+	// a registry model name for serving; empty for collection.
 	Model string `json:"model,omitempty"`
 
 	Eval    *Eval    `json:"eval,omitempty"`
 	Serving *Serving `json:"serving,omitempty"`
+	Collect *Collect `json:"collect,omitempty"`
 }
 
 // Eval is a deployed-surrogate measurement: end-to-end speedup, QoI
@@ -48,6 +51,37 @@ type Eval struct {
 	// are zero for purely local, healthy deployments.
 	Fallbacks       int `json:"fallbacks"`
 	RemoteInference int `json:"remote_inference"`
+
+	// Capture-pipeline counters of the deployed region (non-zero only
+	// when the run also collected): records dropped by backpressure,
+	// completed sink flushes, records acknowledged by a remote ingest
+	// endpoint.
+	CaptureDrops   int `json:"capture_drops"`
+	CaptureFlushes int `json:"capture_flushes"`
+	RemoteCaptures int `json:"remote_captures"`
+}
+
+// Collect is a data-collection run through the capture pipeline: how
+// many region invocations ran, what the sink accepted, where it
+// landed (local shards and/or a remote ingest database), and what was
+// lost. dropped/flush_errors/write_errors > 0 means the training set
+// is incomplete — hpacml-collect exits non-zero on it.
+type Collect struct {
+	Runs int `json:"runs"`
+	// DB is the db reference the region collected into (a local .gh5
+	// path or a remote capture URI).
+	DB string `json:"db"`
+
+	Records     int `json:"records"`
+	Sampled     int `json:"sampled"`
+	Shards      int `json:"shards"`
+	Dropped     int `json:"dropped"`
+	Flushes     int `json:"flushes"`
+	FlushErrors int `json:"flush_errors"`
+	WriteErrors int `json:"write_errors"`
+	// RemoteRecords counts records acknowledged by the remote ingest
+	// endpoint (0 for local collection).
+	RemoteRecords int `json:"remote_records"`
 }
 
 // Serving is a load-generator run against a surrogate server: client-side

@@ -25,13 +25,15 @@ type (
 
 // NewHandler exposes the server over the HTTP JSON API:
 //
-//	POST /v1/infer   {"model": "m", "input": [...]}  -> {"output": [...]}
-//	GET  /v1/models  registry listing
-//	GET  /v1/stats   per-model serving stats
-//	GET  /healthz    liveness
+//	POST /v1/infer    {"model": "m", "input": [...]}  -> {"output": [...]}
+//	POST /v1/capture  {"db": "d", "records": [...]}   -> {"accepted": N}
+//	GET  /v1/models   registry listing
+//	GET  /v1/stats    per-model serving stats + capture ingest stats
+//	GET  /healthz     liveness
 //
-// Backpressure surfaces as 429, unknown models as 404, malformed bodies
-// and wrong input widths as 400, shutdown as 503.
+// Backpressure surfaces as 429, unknown models/capture DBs as 404,
+// malformed bodies, wrong input widths and bad capture records as 400,
+// shutdown as 503.
 func NewHandler(s *Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/infer", func(w http.ResponseWriter, r *http.Request) {
@@ -75,6 +77,29 @@ func NewHandler(s *Server) http.Handler {
 			writeErr(w, http.StatusBadRequest, errors.New(`set exactly one of "input" or "inputs"`))
 		}
 	})
+	mux.HandleFunc("/v1/capture", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+			return
+		}
+		var req serveapi.CaptureRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
+			return
+		}
+		if len(req.Records) == 0 {
+			writeErr(w, http.StatusBadRequest, errors.New(`"records" must carry at least one capture record`))
+			return
+		}
+		accepted, err := s.Capture(req.DB, req.Records)
+		if err != nil {
+			// Report the durably appended prefix alongside the error so
+			// the client can account for a partial ingest exactly.
+			writeJSON(w, statusFor(err), serveapi.ErrorBody{Error: err.Error(), Accepted: accepted})
+			return
+		}
+		writeJSON(w, http.StatusOK, serveapi.CaptureResponse{DB: req.DB, Accepted: accepted})
+	})
 	mux.HandleFunc("/v1/models", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Models())
 	})
@@ -82,6 +107,7 @@ func NewHandler(s *Server) http.Handler {
 		writeJSON(w, http.StatusOK, StatsResponse{
 			UptimeSec: s.Uptime().Seconds(),
 			Models:    s.Snapshot(),
+			Captures:  s.CaptureSnapshot(),
 		})
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -96,9 +122,9 @@ func NewHandler(s *Server) http.Handler {
 // faults as bad requests.
 func statusFor(err error) int {
 	switch {
-	case errors.Is(err, ErrUnknownModel):
+	case errors.Is(err, ErrUnknownModel), errors.Is(err, ErrUnknownDB):
 		return http.StatusNotFound
-	case errors.Is(err, ErrBadInput):
+	case errors.Is(err, ErrBadInput), errors.Is(err, ErrBadCapture):
 		return http.StatusBadRequest
 	case errors.Is(err, ErrQueueFull):
 		return http.StatusTooManyRequests

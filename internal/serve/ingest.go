@@ -1,0 +1,179 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/h5"
+	"repro/internal/serveapi"
+	"repro/internal/tensor"
+)
+
+// Capture ingest is the server side of distributed data collection:
+// many solver ranks run their regions in collection mode with a remote
+// db() URI, their capture sinks batch records over HTTP, and this
+// registry appends everything into server-owned sharded .gh5 databases
+// — one training database fed by a whole fleet, the capture-side twin
+// of the inference registry.
+
+// Ingest sentinel errors, mapped to HTTP statuses by the handler.
+var (
+	// ErrUnknownDB means the request named an unregistered capture
+	// database.
+	ErrUnknownDB = errors.New("serve: unknown capture db")
+	// ErrBadCapture means a capture record is malformed (shape/data
+	// mismatch, missing region name) — a caller mistake.
+	ErrBadCapture = errors.New("serve: bad capture record")
+)
+
+// CaptureSpec registers one named capture database: ingested records
+// are appended to the sharded .gh5 set rooted at Path, rotating every
+// ShardRecords records (0 = single file).
+type CaptureSpec struct {
+	Name string
+	Path string
+	// ShardRecords is the shard rotation quota in capture records
+	// (region invocations); 0 disables rotation.
+	ShardRecords int
+}
+
+// captureDB is one registry entry: the sharded writer plus ingest
+// accounting, serialized by its own mutex so concurrent POSTs for
+// different databases never contend.
+type captureDB struct {
+	name string
+	path string
+
+	mu      sync.Mutex
+	w       *h5.ShardWriter
+	records uint64
+	batches uint64
+	errors  uint64
+}
+
+// ingest is the capture-database registry.
+type ingest struct {
+	dbs map[string]*captureDB
+}
+
+// newIngest opens (or resumes, with per-shard crash recovery) every
+// registered capture database.
+func newIngest(specs []CaptureSpec) (*ingest, error) {
+	g := &ingest{dbs: make(map[string]*captureDB, len(specs))}
+	for _, spec := range specs {
+		if spec.Name == "" || spec.Path == "" {
+			g.close()
+			return nil, fmt.Errorf("serve: capture spec needs a name and a path, got %+v", spec)
+		}
+		if _, dup := g.dbs[spec.Name]; dup {
+			g.close()
+			return nil, fmt.Errorf("serve: capture db %q registered twice", spec.Name)
+		}
+		w, err := h5.NewShardWriter(spec.Path, spec.ShardRecords, h5.SampleRecords)
+		if err != nil {
+			g.close()
+			return nil, fmt.Errorf("serve: capture db %q: %w", spec.Name, err)
+		}
+		g.dbs[spec.Name] = &captureDB{name: spec.Name, path: spec.Path, w: w}
+	}
+	return g, nil
+}
+
+// capture appends one ingest batch to the named database, flushing at
+// the end so accepted records are durable (and readable by a training
+// job) as soon as the POST is acknowledged.
+func (g *ingest) capture(db string, recs []serveapi.CaptureRecord) (int, error) {
+	d := g.dbs[db]
+	if d == nil {
+		return 0, fmt.Errorf("%w: %q", ErrUnknownDB, db)
+	}
+	// Validate the whole batch before writing any of it: a bad record
+	// must not leave half a batch in the database.
+	tensors := make([][2]*tensor.Tensor, len(recs))
+	for i, rec := range recs {
+		var err error
+		switch {
+		case rec.Region == "":
+			err = fmt.Errorf("%w: record %d has no region name", ErrBadCapture, i)
+		default:
+			if tensors[i][0], err = tensor.FromSlice(rec.Inputs, rec.InputShape...); err != nil {
+				err = fmt.Errorf("%w: record %d inputs: %v", ErrBadCapture, i, err)
+			} else if tensors[i][1], err = tensor.FromSlice(rec.Outputs, rec.OutputShape...); err != nil {
+				err = fmt.Errorf("%w: record %d outputs: %v", ErrBadCapture, i, err)
+			}
+		}
+		if err != nil {
+			d.mu.Lock()
+			d.errors++
+			d.mu.Unlock()
+			return 0, err
+		}
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i, rec := range recs {
+		w, err := d.w.BeginSet()
+		if err == nil {
+			err = h5.AppendSample(w, rec.Region, tensors[i][0], tensors[i][1], rec.RuntimeNS)
+		}
+		if err != nil {
+			d.errors++
+			// Flush the prefix written before the failure: the accepted
+			// count travels back in the error body, and it must mean
+			// "durable" — a buffered-but-lost record would be double
+			// counted (dropped by the client, present after recovery).
+			if ferr := d.w.Flush(); ferr != nil {
+				return 0, fmt.Errorf("serve: capture db %q: %w", db, err)
+			}
+			d.records += uint64(i)
+			return i, fmt.Errorf("serve: capture db %q: %w", db, err)
+		}
+	}
+	if err := d.w.Flush(); err != nil {
+		d.errors++
+		return 0, fmt.Errorf("serve: capture db %q: %w", db, err)
+	}
+	// Batches counts only fully ingested POSTs, matching the snapshot
+	// docs; rejected and failed batches count in Errors instead.
+	d.batches++
+	d.records += uint64(len(recs))
+	return len(recs), nil
+}
+
+// snapshot renders the per-database ingest stats in name order.
+func (g *ingest) snapshot() []serveapi.CaptureSnapshot {
+	names := make([]string, 0, len(g.dbs))
+	for n := range g.dbs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]serveapi.CaptureSnapshot, 0, len(names))
+	for _, n := range names {
+		d := g.dbs[n]
+		d.mu.Lock()
+		out = append(out, serveapi.CaptureSnapshot{
+			CaptureDBInfo: serveapi.CaptureDBInfo{Name: d.name, Path: d.path, Shards: d.w.Shards()},
+			Records:       d.records,
+			Batches:       d.batches,
+			Errors:        d.errors,
+		})
+		d.mu.Unlock()
+	}
+	return out
+}
+
+// close flushes and closes every capture database, returning the first
+// failure.
+func (g *ingest) close() error {
+	var first error
+	for _, d := range g.dbs {
+		d.mu.Lock()
+		if err := d.w.Close(); err != nil && first == nil {
+			first = err
+		}
+		d.mu.Unlock()
+	}
+	return first
+}

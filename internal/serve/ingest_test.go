@@ -1,0 +1,172 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/h5"
+	"repro/internal/serveapi"
+)
+
+func captureRec(region string, v float64) serveapi.CaptureRecord {
+	return serveapi.CaptureRecord{
+		Region:      region,
+		InputShape:  []int{1, 2},
+		Inputs:      []float64{v, v + 1},
+		OutputShape: []int{1, 1},
+		Outputs:     []float64{-v},
+		RuntimeNS:   v * 100,
+	}
+}
+
+// TestCaptureIngest drives the capture-only server shape end to end:
+// batches land in the sharded registry-owned database, shards rotate,
+// stats account for every record, and the database trains-readable
+// records survive server Close.
+func TestCaptureIngest(t *testing.T) {
+	dbPath := filepath.Join(t.TempDir(), "ingest.gh5")
+	s, err := NewServer(Config{CaptureDBs: []CaptureSpec{{Name: "d", Path: dbPath, ShardRecords: 3}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	batch := []serveapi.CaptureRecord{captureRec("r", 0), captureRec("r", 1)}
+	if n, err := s.Capture("d", batch); err != nil || n != 2 {
+		t.Fatalf("capture: n=%d err=%v", n, err)
+	}
+	for i := 2; i < 7; i++ {
+		if _, err := s.Capture("d", []serveapi.CaptureRecord{captureRec("r", float64(i))}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Unknown DB and malformed records are caller errors, and a bad
+	// record must not leave half a batch behind.
+	if _, err := s.Capture("nope", batch); !errors.Is(err, ErrUnknownDB) {
+		t.Fatalf("unknown db: %v", err)
+	}
+	bad := captureRec("r", 9)
+	bad.InputShape = []int{3, 3} // 9 elements, 2 provided
+	if _, err := s.Capture("d", []serveapi.CaptureRecord{captureRec("r", 8), bad}); !errors.Is(err, ErrBadCapture) {
+		t.Fatalf("bad record: %v", err)
+	}
+	noRegion := captureRec("", 10)
+	if _, err := s.Capture("d", []serveapi.CaptureRecord{noRegion}); !errors.Is(err, ErrBadCapture) {
+		t.Fatalf("empty region: %v", err)
+	}
+
+	snaps := s.CaptureSnapshot()
+	// 6 successful POSTs carried 7 records; the 2 validation-rejected
+	// batches count as errors, never as batches.
+	if len(snaps) != 1 || snaps[0].Records != 7 || snaps[0].Batches != 6 || snaps[0].Errors != 2 {
+		t.Fatalf("snapshot: %+v", snaps)
+	}
+	if snaps[0].Shards < 2 {
+		t.Fatalf("expected shard rotation at 3 records/shard, got %d", snaps[0].Shards)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Capture("d", batch); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("capture after close: %v", err)
+	}
+
+	f, err := h5.OpenShards(dbPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := f.NumRecords("r", "inputs"); n != 7 {
+		t.Fatalf("database records = %d, want 7 (rejected batches fully absent)", n)
+	}
+	x, err := f.Read("r", "inputs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 7; i++ {
+		if x.Data()[i*2] != float64(i) {
+			t.Fatalf("record %d out of order: %g", i, x.Data()[i*2])
+		}
+	}
+}
+
+// TestCaptureHTTP exercises the /v1/capture endpoint and its error
+// mapping, plus the capture section of /v1/stats.
+func TestCaptureHTTP(t *testing.T) {
+	dbPath := filepath.Join(t.TempDir(), "ingest.gh5")
+	s, err := NewServer(Config{CaptureDBs: []CaptureSpec{{Name: "d", Path: dbPath}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	h := NewHandler(s)
+
+	post := func(body any) *httptest.ResponseRecorder {
+		b, _ := json.Marshal(body)
+		req := httptest.NewRequest("POST", "/v1/capture", bytes.NewReader(b))
+		w := httptest.NewRecorder()
+		h.ServeHTTP(w, req)
+		return w
+	}
+
+	if w := post(serveapi.CaptureRequest{DB: "d", Records: []serveapi.CaptureRecord{captureRec("r", 1)}}); w.Code != 200 {
+		t.Fatalf("capture POST: %d %s", w.Code, w.Body)
+	}
+	var resp serveapi.CaptureResponse
+	w := post(serveapi.CaptureRequest{DB: "d", Records: []serveapi.CaptureRecord{captureRec("r", 2), captureRec("r", 3)}})
+	if err := json.Unmarshal(w.Body.Bytes(), &resp); err != nil || resp.Accepted != 2 {
+		t.Fatalf("capture response: %s (err %v)", w.Body, err)
+	}
+	if w := post(serveapi.CaptureRequest{DB: "missing", Records: []serveapi.CaptureRecord{captureRec("r", 1)}}); w.Code != 404 {
+		t.Fatalf("unknown db: %d", w.Code)
+	}
+	if w := post(serveapi.CaptureRequest{DB: "d"}); w.Code != 400 {
+		t.Fatalf("empty records: %d", w.Code)
+	}
+	bad := captureRec("r", 4)
+	bad.Inputs = nil
+	if w := post(serveapi.CaptureRequest{DB: "d", Records: []serveapi.CaptureRecord{bad}}); w.Code != 400 {
+		t.Fatalf("bad record: %d", w.Code)
+	}
+	if w := httptest.NewRecorder(); true {
+		h.ServeHTTP(w, httptest.NewRequest("GET", "/v1/capture", nil))
+		if w.Code != 405 {
+			t.Fatalf("GET /v1/capture: %d", w.Code)
+		}
+	}
+
+	// The stats payload carries the ingest section.
+	w2 := httptest.NewRecorder()
+	h.ServeHTTP(w2, httptest.NewRequest("GET", "/v1/stats", nil))
+	var sr serveapi.StatsResponse
+	if err := json.Unmarshal(w2.Body.Bytes(), &sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Captures) != 1 || sr.Captures[0].Records != 3 || sr.Captures[0].Name != "d" {
+		t.Fatalf("stats captures: %+v", sr.Captures)
+	}
+}
+
+// TestCaptureDisabled pins the no-ingest shape: servers without
+// capture DBs refuse /v1/capture cleanly and hide the stats section.
+func TestCaptureDisabled(t *testing.T) {
+	if _, err := NewServer(Config{}); err == nil {
+		t.Fatal("no models and no capture DBs must stay an error")
+	}
+	dir := t.TempDir()
+	path := saveMLP(t, dir, "m.gmod", 3, 4, 2)
+	s, err := NewServer(Config{}, ModelSpec{Name: "m", Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := s.Capture("d", []serveapi.CaptureRecord{captureRec("r", 1)}); !errors.Is(err, ErrUnknownDB) {
+		t.Fatalf("capture on ingest-less server: %v", err)
+	}
+	if snaps := s.CaptureSnapshot(); snaps != nil {
+		t.Fatalf("unexpected capture snapshot: %+v", snaps)
+	}
+}

@@ -28,6 +28,12 @@
 // throughput, the batch-size histogram (the direct evidence coalescing
 // happens), and p50/p95/p99 latency, and aggregates the regions' own
 // bridge/inference phase counters.
+//
+// The server is also the capture-side aggregation point: a registry of
+// server-owned sharded .gh5 databases (Config.CaptureDBs) behind the
+// /v1/capture ingest endpoint, so many distributed collection ranks —
+// regions whose db() clause carries an http(s):// URI — feed one
+// training database with batch-atomic, flush-on-ack appends.
 package serve
 
 import (
@@ -36,6 +42,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/serveapi"
 )
 
 // Sentinel errors returned by Server.Infer.
@@ -73,6 +81,12 @@ type Config struct {
 	// works on demand).
 	ReloadInterval time.Duration
 
+	// CaptureDBs registers server-owned capture databases for the
+	// /v1/capture ingest endpoint: distributed collection ranks POST
+	// their capture batches here and the server appends them to sharded
+	// .gh5 files. Empty leaves ingest disabled.
+	CaptureDBs []CaptureSpec
+
 	// batchHook, when set, runs before each ExecuteBatch call. Test seam
 	// for stalling workers deterministically.
 	batchHook func(model string, n int)
@@ -100,6 +114,7 @@ func (c Config) withDefaults() Config {
 type Server struct {
 	cfg    Config
 	models map[string]*model // immutable after NewServer
+	ingest *ingest           // nil when capture ingest is disabled
 	start  time.Time
 
 	// mu serializes queue sends against Close closing the queues.
@@ -117,7 +132,7 @@ type Server struct {
 // zero-input warmup inference so model-load errors surface here, not on
 // the first request.
 func NewServer(cfg Config, specs ...ModelSpec) (*Server, error) {
-	if len(specs) == 0 {
+	if len(specs) == 0 && len(cfg.CaptureDBs) == 0 {
 		return nil, fmt.Errorf("serve: no models registered")
 	}
 	cfg = cfg.withDefaults()
@@ -132,6 +147,16 @@ func NewServer(cfg Config, specs ...ModelSpec) (*Server, error) {
 		for _, m := range s.models {
 			m.closeReplicas()
 		}
+		if s.ingest != nil {
+			s.ingest.close()
+		}
+	}
+	if len(cfg.CaptureDBs) > 0 {
+		g, err := newIngest(cfg.CaptureDBs)
+		if err != nil {
+			return nil, err
+		}
+		s.ingest = g
 	}
 	for _, spec := range specs {
 		if _, dup := s.models[spec.Name]; dup {
@@ -194,6 +219,35 @@ func (s *Server) Infer(modelName string, in []float64) ([]float64, error) {
 		return nil, err
 	}
 	return req.out, nil
+}
+
+// Capture appends a batch of capture records to the named registered
+// capture database, returning how many records were accepted. A nil
+// error means the whole batch (with a flush behind it) is durable; on
+// error the accepted count says how many leading records landed.
+// Requests during or after shutdown fail with ErrServerClosed so
+// clients never write into a closing database.
+func (s *Server) Capture(db string, recs []serveapi.CaptureRecord) (int, error) {
+	if s.ingest == nil {
+		return 0, fmt.Errorf("%w: capture ingest not enabled", ErrUnknownDB)
+	}
+	// The read lock holds Close's writer teardown off until in-flight
+	// batches finish, mirroring the Infer queue-send guard.
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.closed {
+		return 0, ErrServerClosed
+	}
+	return s.ingest.capture(db, recs)
+}
+
+// CaptureSnapshot returns the per-database ingest stats, nil when
+// capture ingest is disabled.
+func (s *Server) CaptureSnapshot() []serveapi.CaptureSnapshot {
+	if s.ingest == nil {
+		return nil
+	}
+	return s.ingest.snapshot()
 }
 
 // Models lists the registry in name order.
@@ -276,6 +330,9 @@ func (s *Server) Close() error {
 		for _, rep := range m.replicas {
 			rep.region.Close()
 		}
+	}
+	if s.ingest != nil {
+		return s.ingest.close()
 	}
 	return nil
 }

@@ -120,6 +120,9 @@ func wireRegionStats(s hpacml.Stats) serveapi.RegionStats {
 		BatchedInvocations: s.BatchedInvocations,
 		Fallbacks:          s.Fallbacks,
 		RemoteInference:    s.RemoteInference,
+		CaptureDrops:       s.CaptureDrops,
+		CaptureFlushes:     s.CaptureFlushes,
+		RemoteCaptures:     s.RemoteCaptures,
 		ToTensor:           s.ToTensor,
 		Inference:          s.Inference,
 		FromTensor:         s.FromTensor,
@@ -167,6 +170,9 @@ func (st *modelStats) snapshot(info ModelInfo) ModelSnapshot {
 		sum.BatchedInvocations += rs.BatchedInvocations
 		sum.Fallbacks += rs.Fallbacks
 		sum.RemoteInference += rs.RemoteInference
+		sum.CaptureDrops += rs.CaptureDrops
+		sum.CaptureFlushes += rs.CaptureFlushes
+		sum.RemoteCaptures += rs.RemoteCaptures
 		sum.ToTensor += rs.ToTensor
 		sum.Inference += rs.Inference
 		sum.FromTensor += rs.FromTensor

@@ -1,13 +1,13 @@
 // Package serveapi defines the wire schema of the hpacml-serve HTTP
-// JSON API: the request/response bodies of /v1/infer and the payloads
-// of /v1/models and /v1/stats. It is the single source of truth shared
-// by the server (internal/serve), the typed client
-// (internal/serveclient), and — through the client — the runtime's
-// remote inference engine, so the three can never drift apart. The
-// package deliberately has no dependencies beyond the standard library:
-// the server imports the hpacml runtime, the runtime imports the
-// client, and keeping the schema free of both is what breaks that
-// cycle.
+// JSON API: the request/response bodies of /v1/infer and /v1/capture
+// and the payloads of /v1/models and /v1/stats. It is the single
+// source of truth shared by the server (internal/serve), the typed
+// client (internal/serveclient), and — through the client — the
+// runtime's remote inference engine and remote capture sink, so they
+// can never drift apart. The package deliberately has no dependencies
+// beyond the standard library: the server imports the hpacml runtime,
+// the runtime imports the client, and keeping the schema free of both
+// is what breaks that cycle.
 package serveapi
 
 import "time"
@@ -30,9 +30,63 @@ type InferResponse struct {
 	Outputs [][]float64 `json:"outputs,omitempty"`
 }
 
-// ErrorBody is every non-200 response.
+// ErrorBody is every non-200 response. Accepted is set only by
+// /v1/capture failures: how many leading records of the batch were
+// durably appended before the failure, so clients can account for a
+// partial ingest instead of assuming the whole batch was lost.
 type ErrorBody struct {
-	Error string `json:"error"`
+	Error    string `json:"error"`
+	Accepted int    `json:"accepted,omitempty"`
+}
+
+// CaptureRecord is one region invocation's training sample on the
+// wire: the model-layout input and output tensors (shape plus
+// row-major data) and the accurate path's runtime. It mirrors exactly
+// what the local capture sink appends to a .gh5 database, so a remote
+// ingest produces the same training records a local collection would.
+type CaptureRecord struct {
+	Region      string    `json:"region"`
+	InputShape  []int     `json:"input_shape"`
+	Inputs      []float64 `json:"inputs"`
+	OutputShape []int     `json:"output_shape"`
+	Outputs     []float64 `json:"outputs"`
+	RuntimeNS   float64   `json:"runtime_ns"`
+}
+
+// CaptureRequest is the /v1/capture request body: a batch of capture
+// records destined for one registered capture database. Batching is
+// the client's flush unit — many solver invocations travel as one
+// POST.
+type CaptureRequest struct {
+	DB      string          `json:"db"`
+	Records []CaptureRecord `json:"records"`
+}
+
+// CaptureResponse acknowledges an ingest batch.
+type CaptureResponse struct {
+	DB       string `json:"db"`
+	Accepted int    `json:"accepted"`
+}
+
+// CaptureDBInfo is the registry view of a server-owned capture
+// database.
+type CaptureDBInfo struct {
+	Name   string `json:"name"`
+	Path   string `json:"path"`
+	Shards int    `json:"shards"`
+}
+
+// CaptureSnapshot is one capture database's ingest stats (part of the
+// /v1/stats payload).
+type CaptureSnapshot struct {
+	CaptureDBInfo
+
+	// Records and Batches count successfully ingested capture records
+	// and the POSTs that carried them; Errors counts rejected or failed
+	// ingest batches.
+	Records uint64 `json:"records"`
+	Batches uint64 `json:"batches"`
+	Errors  uint64 `json:"errors"`
 }
 
 // ModelInfo is the registry view of a hosted model (the /v1/models
@@ -62,6 +116,10 @@ type RegionStats struct {
 
 	Fallbacks       int
 	RemoteInference int
+
+	CaptureDrops   int
+	CaptureFlushes int
+	RemoteCaptures int
 
 	ToTensor   time.Duration
 	Inference  time.Duration
@@ -109,4 +167,7 @@ type ModelSnapshot struct {
 type StatsResponse struct {
 	UptimeSec float64         `json:"uptime_sec"`
 	Models    []ModelSnapshot `json:"models"`
+	// Captures lists the ingest stats of the server's capture
+	// databases; absent when capture ingest is not enabled.
+	Captures []CaptureSnapshot `json:"captures,omitempty"`
 }

@@ -6,8 +6,9 @@
 // responses into a structured *APIError callers can classify without
 // string matching.
 //
-// The runtime's remote inference engine (hpacml.RemoteEngine) and the
-// serving load generator are both built on this client.
+// The runtime's remote inference engine (hpacml.RemoteEngine), its
+// remote capture sink (hpacml.RemoteSink), and the serving load
+// generator are all built on this client.
 package serveclient
 
 import (
@@ -28,9 +29,12 @@ import (
 // status and the server's error message. Classify with errors.As plus
 // the Code field (429 is backpressure, 404 an unknown model, 400 a
 // malformed request, 503 shutdown), or with the Rejected helper.
+// Accepted is non-zero only for failed capture batches: how many
+// leading records the server durably appended before failing.
 type APIError struct {
-	Code    int
-	Message string
+	Code     int
+	Message  string
+	Accepted int
 }
 
 func (e *APIError) Error() string {
@@ -125,6 +129,28 @@ func (c *Client) InferBatch(ctx context.Context, model string, ins [][]float64) 
 		return nil, fmt.Errorf("serveclient: sent %d inputs, server answered %d outputs", len(ins), len(resp.Outputs))
 	}
 	return resp.Outputs, nil
+}
+
+// Capture ships a batch of capture records to the named capture
+// database on the server's ingest endpoint (/v1/capture), returning
+// how many records the server accepted. On error the count is still
+// meaningful: a mid-batch server write failure reports the durably
+// appended prefix (APIError.Accepted), so callers can count exactly
+// what was lost. The runtime's remote capture sink (hpacml.RemoteSink)
+// is built on this call.
+func (c *Client) Capture(ctx context.Context, db string, recs []serveapi.CaptureRecord) (int, error) {
+	if len(recs) == 0 {
+		return 0, nil
+	}
+	var resp serveapi.CaptureResponse
+	if err := c.post(ctx, "/v1/capture", serveapi.CaptureRequest{DB: db, Records: recs}, &resp); err != nil {
+		var api *APIError
+		if errors.As(err, &api) {
+			return api.Accepted, err
+		}
+		return 0, err
+	}
+	return resp.Accepted, nil
 }
 
 // Models lists the server's registry.
@@ -225,7 +251,7 @@ func (c *Client) do(req *http.Request, out any) error {
 		if derr := json.NewDecoder(resp.Body).Decode(&eb); derr != nil || eb.Error == "" {
 			eb.Error = resp.Status
 		}
-		return &APIError{Code: resp.StatusCode, Message: eb.Error}
+		return &APIError{Code: resp.StatusCode, Message: eb.Error, Accepted: eb.Accepted}
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		return fmt.Errorf("serveclient: %s %s: bad payload: %w", req.Method, req.URL.Path, err)

@@ -56,6 +56,15 @@ func stubServe(t *testing.T) *httptest.Server {
 		}
 		json.NewEncoder(w).Encode(resp)
 	})
+	mux.HandleFunc("/v1/capture", func(w http.ResponseWriter, r *http.Request) {
+		var req serveapi.CaptureRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.DB != "d" {
+			w.WriteHeader(http.StatusNotFound)
+			json.NewEncoder(w).Encode(serveapi.ErrorBody{Error: "unknown capture db"})
+			return
+		}
+		json.NewEncoder(w).Encode(serveapi.CaptureResponse{DB: req.DB, Accepted: len(req.Records)})
+	})
 	mux.HandleFunc("/v1/models", func(w http.ResponseWriter, r *http.Request) {
 		json.NewEncoder(w).Encode([]serveapi.ModelInfo{{Name: "sum", InDim: 2, OutDim: 1}})
 	})
@@ -102,6 +111,20 @@ func TestClientRoundTrips(t *testing.T) {
 	snap, err := c.ModelStats(ctx, "sum")
 	if err != nil || snap.MeanBatch != 3.5 {
 		t.Fatalf("ModelStats = %+v, %v", snap, err)
+	}
+
+	recs := []serveapi.CaptureRecord{
+		{Region: "r", InputShape: []int{1, 2}, Inputs: []float64{1, 2}, OutputShape: []int{1, 1}, Outputs: []float64{3}},
+		{Region: "r", InputShape: []int{1, 2}, Inputs: []float64{4, 5}, OutputShape: []int{1, 1}, Outputs: []float64{9}},
+	}
+	if n, err := c.Capture(ctx, "d", recs); err != nil || n != 2 {
+		t.Fatalf("Capture = %d, %v", n, err)
+	}
+	if n, err := c.Capture(ctx, "d", nil); err != nil || n != 0 {
+		t.Fatalf("empty Capture = %d, %v", n, err)
+	}
+	if _, err := c.Capture(ctx, "ghost", recs); err == nil {
+		t.Fatal("Capture(ghost) should fail")
 	}
 	if err := c.Health(ctx); err != nil {
 		t.Fatalf("Health: %v", err)
