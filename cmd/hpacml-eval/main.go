@@ -75,6 +75,9 @@ func main() {
 				BaselineError:   res.BaselineError,
 				Fallbacks:       res.Fallbacks,
 				RemoteInference: res.RemoteInference,
+				TrustedRows:     res.TrustedRows,
+				UncertainRows:   res.UncertainRows,
+				OutOfDomainRows: res.OutOfDomainRows,
 				CaptureDrops:    res.CaptureDrops,
 				CaptureFlushes:  res.CaptureFlushes,
 				RemoteCaptures:  res.RemoteCaptures,
@@ -99,7 +102,8 @@ func main() {
 	defer w.Flush()
 	w.Write([]string{"benchmark", "speedup", "error", "metric", "params",
 		"latency_sec", "to_tensor_sec", "inference_sec", "from_tensor_sec", "baseline_error",
-		"fallbacks", "remote_inference", "capture_drops", "capture_flushes", "remote_captures"})
+		"fallbacks", "remote_inference", "trusted_rows", "uncertain_rows", "out_of_domain_rows",
+		"capture_drops", "capture_flushes", "remote_captures"})
 	w.Write([]string{
 		res.Benchmark,
 		fmt.Sprintf("%.4f", res.Speedup),
@@ -113,6 +117,9 @@ func main() {
 		fmt.Sprintf("%.6g", res.BaselineError),
 		fmt.Sprintf("%d", res.Fallbacks),
 		fmt.Sprintf("%d", res.RemoteInference),
+		fmt.Sprintf("%d", res.TrustedRows),
+		fmt.Sprintf("%d", res.UncertainRows),
+		fmt.Sprintf("%d", res.OutOfDomainRows),
 		fmt.Sprintf("%d", res.CaptureDrops),
 		fmt.Sprintf("%d", res.CaptureFlushes),
 		fmt.Sprintf("%d", res.RemoteCaptures),

@@ -1,0 +1,72 @@
+// hpacml-guard fits the input-domain guardrail of trust-routed
+// execution from a collected database: the per-feature quantile
+// envelope of everything the surrogate was trained on, saved as a
+// sidecar beside the model so regions annotated with trust(domain:on)
+// find it automatically. Run it after collection (and typically after
+// hpacml-train, on the same database), giving either -model to place
+// the sidecar by the naming convention or -out for an explicit path.
+//
+// Usage:
+//
+//	hpacml-guard -db data/binomial.gh5 -region binomial \
+//	    -model models/binomial.gmod -quantile 0.01 -margin 0.05
+//	hpacml-guard -db data/binomial.gh5 -region binomial -out envelope.guard
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	hpacml "repro"
+)
+
+func main() {
+	db := flag.String("db", "", "input database path (.gh5, all shards merged)")
+	region := flag.String("region", "", "region group to read inputs from (the benchmark/region name)")
+	model := flag.String("model", "", "model path the guardrail gates; the sidecar is written to <model>.guard")
+	out := flag.String("out", "", "explicit sidecar output path (overrides -model's naming convention)")
+	quantile := flag.Float64("quantile", 0.0, "tail fraction trimmed per side (0 = min/max envelope, 0.01 = 1%..99%)")
+	margin := flag.Float64("margin", 0.0, "check-time envelope widening, as a fraction of each feature's span")
+	flag.Parse()
+
+	if *db == "" || *region == "" {
+		fmt.Fprintln(os.Stderr, "hpacml-guard: -db and -region are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	path := *out
+	if path == "" {
+		if *model == "" {
+			fmt.Fprintln(os.Stderr, "hpacml-guard: give -model (sidecar goes to <model>.guard) or -out")
+			flag.Usage()
+			os.Exit(2)
+		}
+		path = hpacml.GuardrailPath(*model)
+	}
+	if *margin < 0 {
+		fatal(fmt.Errorf("negative margin %g", *margin))
+	}
+
+	g, err := hpacml.FitGuardrailFromDB(*db, *region, *quantile)
+	if err != nil {
+		fatal(err)
+	}
+	g.Margin = *margin
+	if err := g.Save(path); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "hpacml-guard: fitted %d-feature envelope (quantile %g, margin %g) from %s -> %s\n",
+		g.Features(), *quantile, *margin, *db, path)
+	for f := 0; f < g.Features() && f < 8; f++ {
+		fmt.Fprintf(os.Stderr, "hpacml-guard:   feature %d: [%g, %g]\n", f, g.Lo[f], g.Hi[f])
+	}
+	if g.Features() > 8 {
+		fmt.Fprintf(os.Stderr, "hpacml-guard:   ... %d more features\n", g.Features()-8)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hpacml-guard:", err)
+	os.Exit(1)
+}

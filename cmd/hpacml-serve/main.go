@@ -44,7 +44,10 @@ import (
 	"repro/internal/serve"
 )
 
-// modelFlags collects repeated -model name=path[:in:out] values.
+// modelFlags collects repeated -model name=path[,path2,...][:in:out]
+// values. A comma-separated path list registers a deep-ensemble model
+// set: the first path is the primary, the rest are ensemble members,
+// and the server responds with the member-mean prediction.
 type modelFlags []serve.ModelSpec
 
 func (m *modelFlags) String() string { return fmt.Sprintf("%v", []serve.ModelSpec(*m)) }
@@ -52,7 +55,7 @@ func (m *modelFlags) String() string { return fmt.Sprintf("%v", []serve.ModelSpe
 func (m *modelFlags) Set(v string) error {
 	name, rest, ok := strings.Cut(v, "=")
 	if !ok || name == "" || rest == "" {
-		return fmt.Errorf("want name=path[:in:out], got %q", v)
+		return fmt.Errorf("want name=path[,path2,...][:in:out], got %q", v)
 	}
 	spec := serve.ModelSpec{Name: name, Path: rest}
 	if parts := strings.Split(rest, ":"); len(parts) == 3 {
@@ -60,6 +63,15 @@ func (m *modelFlags) Set(v string) error {
 		if _, err := fmt.Sscanf(parts[1]+" "+parts[2], "%d %d", &spec.In, &spec.Out); err != nil {
 			return fmt.Errorf("bad dims in %q: %v", v, err)
 		}
+	}
+	if members := strings.Split(spec.Path, ","); len(members) > 1 {
+		for _, p := range members {
+			if p == "" {
+				return fmt.Errorf("empty ensemble member path in %q", v)
+			}
+		}
+		spec.Path = members[0]
+		spec.Ensemble = members[1:]
 	}
 	*m = append(*m, spec)
 	return nil
@@ -81,7 +93,7 @@ func (c *captureFlags) Set(v string) error {
 
 func main() {
 	var models modelFlags
-	flag.Var(&models, "model", "model to serve as name=path[:in:out]; repeatable. Dims are inferred from dense-first .gmod files")
+	flag.Var(&models, "model", "model to serve as name=path[,path2,...][:in:out]; repeatable. Comma-separated paths form a deep-ensemble model set; dims are inferred from dense-first .gmod files")
 	var captures captureFlags
 	flag.Var(&captures, "capture", "capture database to ingest into as name=path; repeatable. Collection regions reach it with db(\"http://host:port/name\")")
 	captureShard := flag.Int("capture-shard-records", 0, "rotate each capture database to a fresh shard every N ingested records (0 = single file)")
@@ -151,8 +163,12 @@ func main() {
 		uriHost = "<this-host>" + uriHost
 	}
 	for _, info := range s.Models() {
-		fmt.Fprintf(os.Stderr, "hpacml-serve: serving %q (%d -> %d features, %d replicas) from %s\n",
-			info.Name, info.InDim, info.OutDim, info.Replicas, info.Path)
+		ens := ""
+		if info.Ensemble > 1 {
+			ens = fmt.Sprintf(", %d-member ensemble", info.Ensemble)
+		}
+		fmt.Fprintf(os.Stderr, "hpacml-serve: serving %q (%d -> %d features, %d replicas%s) from %s\n",
+			info.Name, info.InDim, info.OutDim, info.Replicas, ens, info.Path)
 		// The model-URI form regions use to execute against this server:
 		// the same annotation as the local case, with the path swapped
 		// for the URI (the runtime's remote engine takes it from there).

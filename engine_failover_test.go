@@ -1,0 +1,238 @@
+// Failover test for trust-routed execution against a flapping remote
+// backend: several goroutines drive routed batches while the serve
+// process is killed and restarted under them. The fallback policy must
+// degrade every failed batch to the accurate path — no invocation may
+// ever be lost — and the per-region counters must add up exactly.
+// Run with -race: the point is concurrent regions sharing one backend.
+package hpacml_test
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	hpacml "repro"
+
+	"repro/internal/serve"
+)
+
+// flappingServe hosts a serve handler on a fixed address so it can be
+// killed and rebound mid-test, simulating a surrogate server crash and
+// restart under live traffic.
+type flappingServe struct {
+	t       *testing.T
+	addr    string
+	handler http.Handler
+	mu      sync.Mutex
+	hs      *http.Server
+}
+
+func newFlappingServe(t *testing.T, modelPath string) *flappingServe {
+	t.Helper()
+	srv, err := serve.NewServer(serve.Config{MaxBatch: 8, Workers: 2},
+		serve.ModelSpec{Name: "vec", Path: modelPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := &flappingServe{t: t, addr: ln.Addr().String(), handler: serve.NewHandler(srv)}
+	f.serveOn(ln)
+	t.Cleanup(f.kill)
+	return f
+}
+
+func (f *flappingServe) serveOn(ln net.Listener) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.hs = &http.Server{Handler: f.handler}
+	go f.hs.Serve(ln)
+}
+
+// kill closes the listener and every live connection, so in-flight
+// requests fail the way a crashed process would make them fail.
+func (f *flappingServe) kill() {
+	f.mu.Lock()
+	hs := f.hs
+	f.hs = nil
+	f.mu.Unlock()
+	if hs != nil {
+		hs.Close()
+	}
+}
+
+// restart rebinds the original address. The port can linger briefly
+// after the kill, so binding retries.
+func (f *flappingServe) restart() {
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		ln, err := net.Listen("tcp", f.addr)
+		if err == nil {
+			f.serveOn(ln)
+			return
+		}
+		if time.Now().After(deadline) {
+			f.t.Errorf("restart: cannot rebind %s: %v", f.addr, err)
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestRoutedFailoverFlappingServer kills and restarts the surrogate
+// server while concurrent regions execute routed batches against it.
+// Verified invariants, per region and in aggregate:
+//
+//   - every staged invocation produces exactly one finished result
+//     (surrogate or accurate), even across the crash;
+//   - Invocations == staged, BatchedInvocations + Fallbacks ==
+//     Invocations, AccurateRuns == Fallbacks (no trust gate, so the
+//     only accurate runs are engine-failure degrades);
+//   - TrustedRows == BatchedInvocations (one row per invocation;
+//     ungated surrogate rows count as trusted);
+//   - all three phases actually happened: surrogate service before the
+//     crash, fallbacks during it, surrogate service again after the
+//     restart.
+func TestRoutedFailoverFlappingServer(t *testing.T) {
+	hpacml.ClearModelCache()
+	const (
+		workers  = 4
+		batch    = 4
+		inDim    = 3
+		outDim   = 1
+		maxIters = 5000
+	)
+	dir := t.TempDir()
+	flap := newFlappingServe(t, saveVectorNet(t, dir, 61, inDim, outDim))
+	modelRef := "http://" + flap.addr + "/vec"
+
+	// Progress observed by the flapper; phase 0 = pre-crash, 1 = down,
+	// 2 = restarted. Workers run until stop.
+	var surrogateRows, fallbackRows, stop atomic.Int64
+
+	type workerState struct {
+		region *hpacml.Region
+		x, y   []float64
+		rows   int64 // finished invocations, surrogate or accurate
+		staged int64
+		err    error
+	}
+	states := make([]*workerState, workers)
+	for w := range states {
+		ws := &workerState{x: make([]float64, inDim), y: make([]float64, outDim)}
+		ws.region = vectorRegion(t, fmt.Sprintf("flap-%d", w), modelRef, ws.x, ws.y)
+		defer ws.region.Close()
+		states[w] = ws
+	}
+
+	var wg sync.WaitGroup
+	for w := range states {
+		wg.Add(1)
+		go func(w int, ws *workerState) {
+			defer wg.Done()
+			prev := ws.region.Stats()
+			for iter := 0; iter < maxIters && stop.Load() == 0; iter++ {
+				stage := func(i int) error {
+					ws.staged++
+					for j := range ws.x {
+						ws.x[j] = float64(w) + float64(iter*batch+i)/1e4
+					}
+					ws.y[0] = math.NaN()
+					return nil
+				}
+				accurate := func(i int) error { ws.y[0] = 42; return nil }
+				finish := func(i int) error {
+					if math.IsNaN(ws.y[0]) {
+						return fmt.Errorf("worker %d iter %d invocation %d finished with no result", w, iter, i)
+					}
+					ws.rows++
+					return nil
+				}
+				if err := ws.region.ExecuteBatchRouted(context.Background(), batch, stage, accurate, finish); err != nil {
+					ws.err = err
+					return
+				}
+				st := ws.region.Stats()
+				surrogateRows.Add(int64(st.BatchedInvocations - prev.BatchedInvocations))
+				fallbackRows.Add(int64(st.Fallbacks - prev.Fallbacks))
+				prev = st
+			}
+		}(w, states[w])
+	}
+
+	// The flapper advances on observed worker progress, so every phase
+	// is guaranteed to have really happened before the next begins.
+	waitFor := func(what string, cond func() bool) bool {
+		deadline := time.Now().Add(30 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Errorf("timed out waiting for %s", what)
+				stop.Store(1)
+				return false
+			}
+			time.Sleep(time.Millisecond)
+		}
+		return true
+	}
+	var flapWG sync.WaitGroup
+	flapWG.Add(1)
+	go func() {
+		defer flapWG.Done()
+		defer stop.Store(1)
+		if !waitFor("surrogate service before the crash", func() bool { return surrogateRows.Load() > 0 }) {
+			return
+		}
+		flap.kill()
+		fellBackAt := fallbackRows.Load()
+		if !waitFor("fallbacks while the server is down", func() bool { return fallbackRows.Load() > fellBackAt }) {
+			return
+		}
+		flap.restart()
+		servedAt := surrogateRows.Load()
+		waitFor("surrogate service after the restart", func() bool { return surrogateRows.Load() > servedAt })
+	}()
+	flapWG.Wait()
+	wg.Wait()
+
+	var totalRows, totalStaged int64
+	for w, ws := range states {
+		if ws.err != nil {
+			t.Fatalf("worker %d: routed batch must never fail over a flapping backend: %v", w, ws.err)
+		}
+		st := ws.region.Stats()
+		if st.BatchedInvocations+st.Fallbacks != st.Invocations {
+			t.Errorf("worker %d: %d batched + %d fallbacks != %d invocations", w, st.BatchedInvocations, st.Fallbacks, st.Invocations)
+		}
+		if st.AccurateRuns != st.Fallbacks {
+			t.Errorf("worker %d: %d accurate runs != %d fallbacks (no trust gate is configured)", w, st.AccurateRuns, st.Fallbacks)
+		}
+		if st.TrustedRows != st.BatchedInvocations {
+			t.Errorf("worker %d: %d trusted rows != %d surrogate-served invocations", w, st.TrustedRows, st.BatchedInvocations)
+		}
+		if st.UncertainRows != 0 || st.OutOfDomainRows != 0 {
+			t.Errorf("worker %d: ungated region counted gate rejections: %+v", w, st)
+		}
+		if int64(st.Invocations) != ws.rows {
+			t.Errorf("worker %d: finished %d invocations but stats count %d — a row was lost or double-served", w, ws.rows, st.Invocations)
+		}
+		totalRows += ws.rows
+		totalStaged += ws.staged
+	}
+	if surrogateRows.Load() == 0 || fallbackRows.Load() == 0 {
+		t.Fatalf("flap did not exercise both paths: surrogate=%d fallback=%d", surrogateRows.Load(), fallbackRows.Load())
+	}
+	if totalRows == 0 {
+		t.Fatal("no invocations completed")
+	}
+	t.Logf("finished %d invocations across %d workers: %d surrogate, %d fallback (staged %d)",
+		totalRows, workers, surrogateRows.Load(), fallbackRows.Load(), totalStaged)
+}

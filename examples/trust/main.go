@@ -1,0 +1,296 @@
+// Uncertainty-gated execution: the trust(...) clause routes individual
+// rows between the surrogate and the accurate path. A deep ensemble
+// (three models, same architecture, different training seeds) reports
+// per-row predictive variance, and an input-domain guardrail fitted
+// from the capture envelope rejects inputs the surrogate never saw —
+// together they split every batch three ways:
+//
+//	in-domain, members agree     -> surrogate output kept   (TrustedRows)
+//	in-domain, members disagree  -> accurate + recaptured   (UncertainRows)
+//	outside the fitted envelope  -> accurate + recaptured   (OutOfDomainRows)
+//
+// The rejected rows are recomputed by the accurate path and handed to
+// the capture sink, so the inputs the surrogate handles worst are
+// exactly the ones the next training round sees most.
+//
+//	go run ./examples/trust
+//
+// The program exits non-zero unless all three verdicts occur, the
+// rejected invocations are recaptured into the database, and a serve
+// instance hosting the same ensemble model set reports nonzero
+// TrustedRows — so it doubles as an end-to-end acceptance check.
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"time"
+
+	hpacml "repro"
+
+	"repro/internal/h5"
+	"repro/internal/nn"
+	"repro/internal/serve"
+	"repro/internal/serveclient"
+	"repro/internal/tensor"
+)
+
+const inDim, outDim = 3, 1
+
+// target is the function the surrogates approximate.
+func target(a, b, c float64) float64 { return math.Sin(a+b) + 0.5*c }
+
+// trainMember fits one ensemble member on samples drawn from
+// [0,1]^inDim — deliberately narrower than the guardrail envelope, so
+// inputs near the envelope's edge are in-domain yet extrapolated, and
+// the members disagree there.
+func trainMember(path string, seed int64) error {
+	const samples = 1024
+	rng := rand.New(rand.NewSource(seed))
+	xs := tensor.New(samples, inDim)
+	ys := tensor.New(samples, outDim)
+	for i := 0; i < samples; i++ {
+		a, b, c := rng.Float64(), rng.Float64(), rng.Float64()
+		xs.Data()[i*inDim+0] = a
+		xs.Data()[i*inDim+1] = b
+		xs.Data()[i*inDim+2] = c
+		ys.Data()[i] = target(a, b, c)
+	}
+	ds, err := nn.NewDataset(xs, ys)
+	if err != nil {
+		return err
+	}
+	net := nn.NewNetwork(seed)
+	net.Add(net.NewDense(inDim, 16), nn.NewActivation(nn.ActTanh), net.NewDense(16, outDim))
+	if _, err := net.Fit(ds, nil, nn.TrainConfig{Epochs: 30, BatchSize: 64, LR: 0.01, Seed: seed}); err != nil {
+		return err
+	}
+	return net.Save(path)
+}
+
+// probeVariance measures the ensemble's per-row predictive variance on
+// a probe batch and returns the row variances.
+func probeVariance(ctx context.Context, members []string, rows [][]float64) ([]float64, error) {
+	eng, err := hpacml.NewLocalEnsemble(members...)
+	if err != nil {
+		return nil, err
+	}
+	defer eng.Close()
+	in := tensor.New(len(rows), inDim)
+	for i, row := range rows {
+		copy(in.Data()[i*inDim:(i+1)*inDim], row)
+	}
+	if err := eng.Warmup(ctx, []int{1, inDim}); err != nil {
+		return nil, err
+	}
+	outShape, err := eng.OutputShape(in.Shape())
+	if err != nil {
+		return nil, err
+	}
+	out := tensor.New(outShape...)
+	if err := eng.Infer(ctx, in, out); err != nil {
+		return nil, err
+	}
+	return append([]float64(nil), eng.RowVariance()...), nil
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("trust: ")
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	dir, err := os.MkdirTemp("", "hpacml-trust-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	fmt.Println("phase 0: training a 3-member deep ensemble (same architecture, different seeds)")
+	members := make([]string, 3)
+	for i := range members {
+		members[i] = filepath.Join(dir, fmt.Sprintf("m%d.gmod", i))
+		if err := trainMember(members[i], int64(11+7*i)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// The guardrail envelope spans [0,2] per feature — wider than the
+	// [0,1] training range, as a capture set gathered across a broader
+	// campaign would be. Inputs in (1,2] are in-domain but extrapolated;
+	// inputs beyond 2 are out-of-domain.
+	fmt.Println("phase 1: fitting the input-domain guardrail (envelope [0,2] per feature)")
+	const envelope = 2.0
+	capRNG := rand.New(rand.NewSource(5))
+	capX := tensor.New(512, inDim)
+	for i := 0; i < capX.Len(); i++ {
+		capX.Data()[i] = capRNG.Float64() * envelope
+	}
+	guard, err := hpacml.FitGuardrail(capX, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	guard.Margin = 0.01
+	guardPath := hpacml.GuardrailPath(members[0])
+	if err := guard.Save(guardPath); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  sidecar %s: feature 0 bounds [%.3f, %.3f]\n", filepath.Base(guardPath), guard.Lo[0], guard.Hi[0])
+
+	// Pick the variance threshold between what the ensemble measures on
+	// trained inputs and what it measures on in-domain extrapolation, so
+	// the demo's gate splits deterministically.
+	fmt.Println("phase 2: probing predictive variance to place the trust threshold")
+	inRow := []float64{0.5, 0.5, 0.5}
+	farRow := []float64{1.9, 1.9, 1.9} // inside the envelope, outside the training range
+	vars, err := probeVariance(ctx, members, [][]float64{inRow, farRow})
+	if err != nil {
+		log.Fatal(err)
+	}
+	vLow, vHigh := vars[0], vars[1]
+	fmt.Printf("  variance: trained input %.3g, extrapolated input %.3g\n", vLow, vHigh)
+	if !(vLow < vHigh) {
+		log.Fatalf("ensemble members do not disagree on extrapolated inputs (%.3g >= %.3g)", vLow, vHigh)
+	}
+	thr := math.Sqrt(vLow * vHigh) // geometric mean: between the two regimes
+	if vLow == 0 {
+		thr = vHigh / 10
+	}
+	fmt.Printf("  trust threshold var:%.3g\n", thr)
+
+	fmt.Println("phase 3: trust-routed region — per-row guardrail + variance gate, recapture on rejection")
+	dbPath := filepath.Join(dir, "recaptured.gh5")
+	x := make([]float64, inDim)
+	y := make([]float64, outDim)
+	engine, err := hpacml.NewLocalEnsemble(members...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	region, err := hpacml.NewRegion("trust-demo",
+		hpacml.Directives(fmt.Sprintf(`
+tensor functor(vin: [i, 0:FIN] = ([0:FIN]))
+tensor functor(vout: [i, 0:FOUT] = ([0:FOUT]))
+tensor map(to: vin(x[0:1]))
+tensor map(from: vout(y[0:1]))
+ml(infer) in(x) out(y) model(%q) db(%q) trust(var:%g, domain:on)
+`, members[0], dbPath, thr)),
+		hpacml.BindInt("FIN", inDim),
+		hpacml.BindInt("FOUT", outDim),
+		hpacml.BindArray("x", x, inDim),
+		hpacml.BindArray("y", y, outDim),
+		hpacml.WithEngine(engine),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer engine.Close()
+	defer region.Close()
+
+	// One input per invocation: 8 trusted, 3 uncertain (in-domain
+	// extrapolation), 3 out-of-domain.
+	var inputs [][]float64
+	inRNG := rand.New(rand.NewSource(23))
+	for i := 0; i < 8; i++ {
+		inputs = append(inputs, []float64{inRNG.Float64(), inRNG.Float64(), inRNG.Float64()})
+	}
+	for i := 0; i < 3; i++ {
+		inputs = append(inputs, []float64{1.85 + 0.05*float64(i), 1.9, 1.9})
+	}
+	for i := 0; i < 3; i++ {
+		inputs = append(inputs, []float64{5 + float64(i), 0.5, 0.5})
+	}
+
+	accurateRan := 0
+	stage := func(i int) error { copy(x, inputs[i]); return nil }
+	accurate := func(i int) error {
+		accurateRan++
+		y[0] = target(x[0], x[1], x[2])
+		return nil
+	}
+
+	// Per-invocation routing, first through single Execute calls...
+	for i := range inputs {
+		stage(i)
+		if err := region.Execute(func() error { return accurate(i) }); err != nil {
+			log.Fatalf("invocation %d: %v", i, err)
+		}
+	}
+	single := region.Stats()
+	fmt.Printf("  Execute: trusted=%d uncertain=%d out_of_domain=%d accurate_runs=%d recaptured=%d\n",
+		single.TrustedRows, single.UncertainRows, single.OutOfDomainRows, single.AccurateRuns, single.Collections)
+
+	// ...then through one routed batch over the same inputs.
+	if err := region.ExecuteBatchRouted(ctx, len(inputs), stage, accurate, nil); err != nil {
+		log.Fatal(err)
+	}
+	st := region.Stats()
+	fmt.Printf("  +ExecuteBatchRouted: trusted=%d uncertain=%d out_of_domain=%d accurate_runs=%d recaptured=%d\n",
+		st.TrustedRows, st.UncertainRows, st.OutOfDomainRows, st.AccurateRuns, st.Collections)
+
+	if st.TrustedRows == 0 || st.UncertainRows == 0 || st.OutOfDomainRows == 0 {
+		log.Fatalf("expected all three trust verdicts, got trusted=%d uncertain=%d out_of_domain=%d",
+			st.TrustedRows, st.UncertainRows, st.OutOfDomainRows)
+	}
+	routed := st.UncertainRows + st.OutOfDomainRows
+	if st.AccurateRuns != routed || accurateRan != routed {
+		log.Fatalf("every rejected row must run accurately: routed=%d accurate_runs=%d closure_runs=%d",
+			routed, st.AccurateRuns, accurateRan)
+	}
+	if st.Collections != routed {
+		log.Fatalf("every rejected row must be recaptured: routed=%d collections=%d", routed, st.Collections)
+	}
+	if err := region.Close(); err != nil {
+		log.Fatal(err)
+	}
+	shards, err := h5.OpenShards(dbPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	recap, err := shards.Read("trust-demo", "inputs")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  recapture database holds %d rows of accurate-path samples\n", recap.Dim(0))
+	if recap.Dim(0) != routed {
+		log.Fatalf("recapture database holds %d rows, want %d", recap.Dim(0), routed)
+	}
+
+	fmt.Println("phase 4: serving the same ensemble model set (mean prediction, trusted-row accounting)")
+	srv, err := serve.NewServer(serve.Config{MaxBatch: 16, Workers: 2},
+		serve.ModelSpec{Name: "toy", Path: members[0], Ensemble: members[1:]})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(serve.NewHandler(srv))
+	defer ts.Close()
+	client := serveclient.New(ts.URL)
+	info, err := client.Model(ctx, "toy")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  serving %q: %d-member ensemble, %d -> %d features\n", info.Name, info.Ensemble, info.InDim, info.OutDim)
+	if info.Ensemble != len(members) {
+		log.Fatalf("registry reports %d ensemble members, want %d", info.Ensemble, len(members))
+	}
+	for i := 0; i < 8; i++ {
+		if _, err := client.Infer(ctx, "toy", inRow); err != nil {
+			log.Fatal(err)
+		}
+	}
+	snap, err := client.ModelStats(ctx, "toy")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  served %d requests, region TrustedRows=%d\n", snap.Completed, snap.Region.TrustedRows)
+	if snap.Region.TrustedRows == 0 {
+		log.Fatal("served traffic must count trusted rows")
+	}
+	fmt.Println("trust routing verified: guardrail, variance gate, accurate re-execution, recapture, serving")
+}

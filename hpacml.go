@@ -88,6 +88,22 @@ type Stats struct {
 	// Remote invocations are also included in Inferences.
 	RemoteInference int
 
+	// Trust-routing counters, per model-layout input row (one entry of
+	// one invocation). TrustedRows counts rows whose surrogate
+	// prediction was kept; UncertainRows counts rows rejected by the
+	// predictive-variance gate (trust(var:V)); OutOfDomainRows counts
+	// rows rejected by the input-domain guardrail (trust(domain:on) —
+	// the domain verdict wins when a row trips both gates). With an
+	// accurate path available (Execute with a closure, or
+	// ExecuteBatchRouted) rejected rows are recomputed accurately and
+	// recaptured through the sink; without one the gate is advisory and
+	// the surrogate's output is kept, but the counters still record the
+	// low-trust rows. Ungated regions count every surrogate-served row
+	// in TrustedRows.
+	TrustedRows     int
+	UncertainRows   int
+	OutOfDomainRows int
+
 	// Capture-pipeline counters, folded in from the region's sink:
 	// CaptureDrops counts records lost to backpressure or failed remote
 	// batches, CaptureFlushes counts completed sink flushes, and
@@ -176,6 +192,12 @@ type Region struct {
 	sink       Sink
 	sinkOwned  bool
 	captureCfg CaptureConfig
+
+	// trust is the resolved trust-routing configuration (from the
+	// trust(...) clause unless WithTrust overrode it); trustWired flips
+	// once the engine has been wrapped/configured for it.
+	trust      *TrustConfig
+	trustWired bool
 
 	stats Stats
 	// sinkBase is the sink-counter snapshot taken at the last
@@ -384,6 +406,11 @@ func (r *Region) finalize() error {
 	if r.ml.Capture != nil && r.captureCfg.Every == 0 && r.captureCfg.Frac == 0 {
 		r.captureCfg.Every = r.ml.Capture.Every
 		r.captureCfg.Frac = r.ml.Capture.Frac
+	}
+	// The directive's trust(...) policy applies unless the caller
+	// overrode it through WithTrust (same precedence as capture).
+	if r.ml.Trust != nil && r.trust == nil {
+		r.trust = &TrustConfig{MaxVariance: r.ml.Trust.MaxVariance, Domain: r.ml.Trust.Domain}
 	}
 
 	// Inline functor applications in the ml clause (fa-exprs) create
@@ -791,6 +818,9 @@ func (r *Region) runInference(ctx context.Context, accurate func() error) error 
 	if err := r.ensureEngine(); err != nil {
 		return err
 	}
+	if err := r.ensureTrustEngine(); err != nil {
+		return err
+	}
 	if err := r.warmEngine(ctx); err != nil {
 		return r.fallbackOr(accurate, err)
 	}
@@ -819,6 +849,19 @@ func (r *Region) runInference(ctx context.Context, accurate func() error) error 
 		return r.fallbackOr(accurate, fmt.Errorf("hpacml: inference in region %q: %w", r.name, err))
 	}
 
+	// Per-row trust gate: a gated engine reports which rows it rejects.
+	// With an accurate closure the whole invocation is recomputed and
+	// recaptured when any row is rejected (a single Execute has no
+	// finer granularity than the invocation); without one the gate is
+	// advisory — outputs are kept, counters still record the verdicts.
+	var rep *TrustReport
+	if tr, ok := r.engine.(trustReporter); ok {
+		rep = tr.TrustReport()
+	}
+	if rep != nil && accurate != nil && rep.AnyUntrusted() {
+		return r.routeUntrustedSingle(rep, accurate)
+	}
+
 	start = time.Now()
 	if r.singleOutSt != nil {
 		err = scatterStagers(r.singleOutSt)
@@ -832,6 +875,11 @@ func (r *Region) runInference(ctx context.Context, accurate func() error) error 
 	r.stats.Inferences++
 	if r.engineRemote {
 		r.stats.RemoteInference++
+	}
+	if rep != nil {
+		r.countTrust(rep, true)
+	} else {
+		r.stats.TrustedRows += inputRows(x)
 	}
 	return nil
 }
@@ -1017,6 +1065,9 @@ func (r *Region) ExecuteBatchContext(ctx context.Context, n int, stage func(i in
 	if err := r.ensureEngine(); err != nil {
 		return err
 	}
+	if err := r.ensureTrustEngine(); err != nil {
+		return err
+	}
 	if err := r.warmEngine(ctx); err != nil {
 		return fmt.Errorf("hpacml: batched inference in region %q: %w", r.name, err)
 	}
@@ -1092,6 +1143,15 @@ func (r *Region) ExecuteBatchContext(ctx context.Context, n int, stage func(i in
 	r.stats.BatchedInvocations += n
 	if r.engineRemote {
 		r.stats.RemoteInference += n
+	}
+	// Without an accurate form of the batch the trust gate is advisory:
+	// outputs are kept either way, but a gated engine's per-row
+	// verdicts still land in the counters (ExecuteBatchRouted is the
+	// routed variant).
+	if tr, ok := r.engine.(trustReporter); ok && tr.TrustReport() != nil {
+		r.countTrust(tr.TrustReport(), true)
+	} else {
+		r.stats.TrustedRows += inputRows(bs.x)
 	}
 
 	for i := 0; i < n; i++ {

@@ -351,10 +351,45 @@ func (c CapturePolicy) String() string {
 	return fmt.Sprintf("capture(frac:%g)", c.Frac)
 }
 
+// TrustPolicy is a parsed trust(...) clause: the per-row gating policy
+// that decides which surrogate predictions a region may keep and which
+// must be recomputed by the accurate path. Selectors compose (comma
+// separated); at least one must be present:
+//
+//	trust(var:V)              — reject rows whose ensemble predictive
+//	                            variance exceeds V (V > 0; needs an
+//	                            ensemble engine to measure variance)
+//	trust(domain:on)          — reject rows whose input falls outside
+//	                            the fitted guardrail envelope
+//	trust(var:V, domain:on)   — both gates; the domain gate wins when
+//	                            a row trips both
+//
+// The clause is the annotation form of the runtime's FallbackEngine
+// trust gate; WithTrust overrides it the same way WithModel overrides
+// model().
+type TrustPolicy struct {
+	// MaxVariance is the variance gate's threshold; 0 when the clause
+	// carries no var: selector.
+	MaxVariance float64
+	// Domain says whether the input-domain guardrail gate is on.
+	Domain bool
+}
+
+func (t TrustPolicy) String() string {
+	var parts []string
+	if t.MaxVariance > 0 {
+		parts = append(parts, fmt.Sprintf("var:%g", t.MaxVariance))
+	}
+	if t.Domain {
+		parts = append(parts, "domain:on")
+	}
+	return "trust(" + strings.Join(parts, ", ") + ")"
+}
+
 // MLDecl is a parsed approx ml directive:
 //
 //	#pragma approx ml(mode[:cond]) in(a, b) out(c) inout(d) \
-//	        model("m.gmod") db("d.gh5") capture(every:N) if(cond)
+//	        model("m.gmod") db("d.gh5") capture(every:N) trust(var:V) if(cond)
 //
 // Each of in/out/inout accepts either plain array references (which must
 // be covered by tensor map directives) or inline functor applications
@@ -374,7 +409,28 @@ type MLDecl struct {
 	Model     string
 	DB        string
 	Capture   *CapturePolicy
+	Trust     *TrustPolicy
 	If        string
+}
+
+// quoteClause renders a model/db clause value as a directive string
+// literal using the lexer's own escaping — only '\' and '"' are
+// escaped, every other byte passes verbatim — so String output reparses
+// to the identical value. Go's %q would emit multi-character escapes
+// (\n, \xff) the lexer deliberately does not interpret.
+func quoteClause(s string) string {
+	var b strings.Builder
+	b.WriteByte('"')
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c == '\\' || c == '"' {
+			b.WriteByte('\\')
+			b.WriteByte(c)
+		} else {
+			b.WriteByte(s[i])
+		}
+	}
+	b.WriteByte('"')
+	return b.String()
 }
 
 func (m *MLDecl) String() string {
@@ -398,13 +454,16 @@ func (m *MLDecl) String() string {
 	writeList("out", m.Out, m.OutApps)
 	writeList("inout", m.InOut, m.InOutApps)
 	if m.Model != "" {
-		fmt.Fprintf(&b, " model(%q)", m.Model)
+		fmt.Fprintf(&b, " model(%s)", quoteClause(m.Model))
 	}
 	if m.DB != "" {
-		fmt.Fprintf(&b, " db(%q)", m.DB)
+		fmt.Fprintf(&b, " db(%s)", quoteClause(m.DB))
 	}
 	if m.Capture != nil {
 		b.WriteString(" " + m.Capture.String())
+	}
+	if m.Trust != nil {
+		b.WriteString(" " + m.Trust.String())
 	}
 	if m.If != "" {
 		fmt.Fprintf(&b, " if(%s)", m.If)

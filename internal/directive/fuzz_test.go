@@ -1,0 +1,138 @@
+package directive
+
+import (
+	"strings"
+	"testing"
+)
+
+// fuzzSeeds are the corpus the fuzz targets start from: every directive
+// shape the table tests exercise, the documented error cases, and a few
+// near-miss mutations. The fuzzer mutates from here into the grammar's
+// dark corners.
+var fuzzSeeds = []string{
+	// Valid directives, spanning every declaration kind and clause.
+	"#pragma approx tensor functor(ifnctr: [i, j, 0:5] = ( ([i-1, j], [i+1, j], [i, j-1:j+2])))",
+	"#pragma approx tensor functor(ofnctr: [i, j, 0:1] = ([i, j]))",
+	"#pragma approx tensor map(to: ifnctr(t[1:N-1, 1:M-1]))",
+	"#pragma approx tensor map(from: ofnctr(tnew[1:N-1, 1:M-1]))",
+	`#pragma approx ml(predicated:true) in(t) out(tnew) db("/path/data.h5") model("/path/model.pt")`,
+	`ml(infer) in(x) out(y) model("m")`,
+	`ml(collect) in(x) out(y) db("d")`,
+	`ml(infer) inout(state) model("m.gmod")`,
+	`ml(collect) in(a, b, c) out(d, e) db("x")`,
+	`ml(infer) in(x) out(y) model("m") if(step % 2 == 0)`,
+	`ml(collect) in(x) out(y) database("p")`,
+	`ml(collect) in(x) out(y) db("d") capture(frac:0.25)`,
+	`ml(collect) in(x) out(y) db("d") capture(every:100)`,
+	`ml(infer) in(x) out(y) model("m") trust(var:0.5)`,
+	`ml(infer) in(x) out(y) model("m") trust(domain:on)`,
+	`ml(infer) in(x) out(y) model("m") trust(var:1e-3, domain:on)`,
+	`ml(infer) in(x) out(y) model("http://host:8080/toy") db("http://host:8080/cap")`,
+	"tensor functor(f: [i, 0:6:2] = ([i*2], [i*2+1], [i+N/2]))",
+	"tensor functor(f: [i, 0:1] = ([3*(i+1)-N/2]))",
+	"approx tensor functor(f: [i, 0:1] = ([i]))",
+	// Error cases — the fuzzer needs rejected shapes in the corpus too.
+	`ml(infer)`,
+	`ml(infer) in(x) in(y) out(z)`,
+	`ml(infer) in(x) out(y) bogus("z")`,
+	`ml(infer) in(x) out(y) model(m)`,
+	`ml(infer:cond in(x) out(y)`,
+	`ml(infer) in() out(y)`,
+	`tensor functor(f: [i] = ([i])) junk`,
+	`tensor map(sideways: f(x[0:N]))`,
+	`tensor functor(f: [] = ([i]))`,
+	`tensor functor(f: [i] = ())`,
+	`tensor frobnicate(f)`,
+	`ml(infer) in(x) out(y) model("m") trust()`,
+	`ml(infer) in(x) out(y) model("m") trust(var:0)`,
+	`ml(infer) in(x) out(y) model("m") trust(domain:off)`,
+	"",
+	"#pragma omp parallel",
+	"\\",
+	"tensor functor(f: [i, 0:1] = ([i]))\x00",
+}
+
+// FuzzParseDirective asserts the parser's two safety properties on
+// arbitrary input: it never panics, and accepted directives are stable
+// under the String round trip — String() must reparse, and reparsing
+// must be a fixed point (the second render equals the first). The first
+// render may normalize (drop the pragma prefix, canonicalize spacing),
+// which is why stability is asserted from the first render onward.
+func FuzzParseDirective(f *testing.F) {
+	for _, seed := range fuzzSeeds {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := Parse(src)
+		if err != nil {
+			return
+		}
+		rendered := d.String()
+		d2, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("Parse(%q) accepted, but its render %q does not reparse: %v", src, rendered, err)
+		}
+		if again := d2.String(); again != rendered {
+			t.Fatalf("String round trip is not a fixed point:\n first: %q\nsecond: %q", rendered, again)
+		}
+	})
+}
+
+// FuzzValidateDBRef asserts the reference validators never panic and
+// stay consistent with the splitters: a db ref that validates and is
+// remote must split cleanly into a base and a non-empty name, and a
+// remote ref that fails validation must also fail to split. Model refs
+// share the grammar, so they are checked in the same pass.
+func FuzzValidateDBRef(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"data/binomial.gh5",
+		"/abs/path/data.h5",
+		"http://host:8080/binomial",
+		"https://host/serve/v2/pricer",
+		"http://127.0.0.1:8137/cap",
+		"http://host:8080/",
+		"http://",
+		"https://host/name?x=1",
+		"https://host/name#frag",
+		"s3://bucket/key",
+		"redis://host/0",
+		"http://host:8080//double//slash",
+		"HTTP://HOST/NAME",
+		"ht tp://host/x",
+		"://host/x",
+		"file:///etc/passwd",
+		strings.Repeat("http://h/", 50),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, ref string) {
+		err := ValidateDBRef(ref)
+		switch {
+		case refScheme(ref) == "":
+			// Scheme-less refs are local paths and always pass.
+			if err != nil {
+				t.Fatalf("ValidateDBRef(%q): scheme-less refs must pass, got %v", ref, err)
+			}
+		default:
+			// Any ref carrying a scheme must validate exactly when it
+			// splits into a (base, name) pair; non-http schemes refuse both
+			// ways.
+			base, name, serr := SplitRemoteDB(ref)
+			if (err == nil) != (serr == nil) {
+				t.Fatalf("ValidateDBRef(%q) = %v but SplitRemoteDB error = %v", ref, err, serr)
+			}
+			if serr == nil && (base == "" || name == "") {
+				t.Fatalf("SplitRemoteDB(%q) = (%q, %q) with nil error", ref, base, name)
+			}
+			if !IsRemoteDB(ref) && err == nil {
+				t.Fatalf("ValidateDBRef(%q) passed a non-http scheme", ref)
+			}
+		}
+		// The model-ref validator shares the URI grammar; it must agree
+		// with the db validator on every input.
+		if merr := ValidateModelRef(ref); (merr == nil) != (err == nil) {
+			t.Fatalf("ValidateModelRef(%q) = %v disagrees with ValidateDBRef = %v", ref, merr, err)
+		}
+	})
+}

@@ -176,20 +176,42 @@ func (l *lexer) lexIdent() {
 	l.emit(tokIdent, l.src[start:l.pos], start)
 }
 
-// lexInt scans a number: an integer, or — when a '.' with a digit
-// behind it follows the integer part — a float literal (as used by the
-// capture(frac:F) clause; slice expressions stay integer-only and
-// reject floats in the parser).
+// lexInt scans a number: an integer, or a float literal when a '.'
+// fraction and/or an e/E exponent follows the integer part (as used by
+// the capture(frac:F) and trust(var:V) clauses, whose %g rendering may
+// emit scientific notation; slice expressions stay integer-only and
+// reject floats in the parser). An 'e' not followed by an (optionally
+// signed) digit is left alone as the next identifier.
 func (l *lexer) lexInt() {
 	start := l.pos
 	for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
 		l.pos++
 	}
+	isFloat := false
 	if l.pos+1 < len(l.src) && l.src[l.pos] == '.' && unicode.IsDigit(rune(l.src[l.pos+1])) {
+		isFloat = true
 		l.pos++
 		for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
 			l.pos++
 		}
+	}
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		rest := l.src[l.pos+1:]
+		if len(rest) > 0 && (rest[0] == '+' || rest[0] == '-') {
+			rest = rest[1:]
+		}
+		if len(rest) > 0 && unicode.IsDigit(rune(rest[0])) {
+			isFloat = true
+			l.pos++ // e
+			if l.src[l.pos] == '+' || l.src[l.pos] == '-' {
+				l.pos++
+			}
+			for l.pos < len(l.src) && unicode.IsDigit(rune(l.src[l.pos])) {
+				l.pos++
+			}
+		}
+	}
+	if isFloat {
 		l.emit(tokFloat, l.src[start:l.pos], start)
 		return
 	}

@@ -348,6 +348,12 @@ func (p *parser) parseML() (*MLDecl, error) {
 				return nil, err
 			}
 			ml.Capture = pol
+		case "trust":
+			pol, err := p.parseTrustPolicy()
+			if err != nil {
+				return nil, err
+			}
+			ml.Trust = pol
 		case "if":
 			cond, err := p.parseRawUntilCloseParen()
 			if err != nil {
@@ -410,6 +416,65 @@ func (p *parser) parseCapturePolicy() (*CapturePolicy, error) {
 	}
 }
 
+// parseTrustPolicy parses the body of a trust(...) clause: a comma-
+// separated list of selectors, "var" ":" number > 0 and/or
+// "domain" ":" ("on"|"off"), at least one required.
+func (p *parser) parseTrustPolicy() (*TrustPolicy, error) {
+	pol := &TrustPolicy{}
+	seen := map[string]bool{}
+	for {
+		kind, err := p.expect(tokIdent)
+		if err != nil {
+			return nil, err
+		}
+		if seen[kind.text] {
+			return nil, p.errorf("duplicate trust selector %q", kind.text)
+		}
+		seen[kind.text] = true
+		if _, err := p.expect(tokColon); err != nil {
+			return nil, err
+		}
+		switch kind.text {
+		case "var":
+			if !p.at(tokInt) && !p.at(tokFloat) {
+				return nil, p.errorf("trust(var:V) wants a number, found %s %q", p.cur().kind, p.cur().text)
+			}
+			t := p.next()
+			v, err := strconv.ParseFloat(t.text, 64)
+			if err != nil {
+				return nil, p.errorf("bad variance threshold %q: %v", t.text, err)
+			}
+			if v <= 0 {
+				return nil, p.errorf("trust(var:V) wants V > 0, got %g", v)
+			}
+			pol.MaxVariance = v
+		case "domain":
+			t, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			switch t.text {
+			case "on":
+				pol.Domain = true
+			case "off":
+				pol.Domain = false
+			default:
+				return nil, p.errorf("trust(domain:...) wants on or off, got %q", t.text)
+			}
+		default:
+			return nil, p.errorf("unknown trust selector %q (want var or domain)", kind.text)
+		}
+		if !p.at(tokComma) {
+			break
+		}
+		p.next()
+	}
+	if pol.MaxVariance == 0 && !pol.Domain {
+		return nil, p.errorf("trust(...) selects no gate (want var:V and/or domain:on)")
+	}
+	return pol, nil
+}
+
 // parseMappedMemory parses the mapped-memory production: a comma-separated
 // mixture of plain array references and inline functor applications
 // (fa-exprs, e.g. "ofnctr(tnew[1:N-1, 1:M-1])").
@@ -467,7 +532,10 @@ func (p *parser) parseRawUntilCloseParen() (string, error) {
 			depth--
 		}
 		if t.kind == tokString {
-			parts = append(parts, strconv.Quote(t.text))
+			// Re-render with the lexer's own escaping (not strconv.Quote,
+			// whose \xNN escapes the lexer does not interpret), so the
+			// reconstructed condition reparses to the identical value.
+			parts = append(parts, quoteClause(t.text))
 		} else {
 			parts = append(parts, t.text)
 		}

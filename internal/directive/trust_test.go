@@ -1,0 +1,78 @@
+package directive
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseTrustVariance(t *testing.T) {
+	ml := mustParse(t, `ml(infer) in(x) out(y) model("m") trust(var:0.5)`).(*MLDecl)
+	if ml.Trust == nil || ml.Trust.MaxVariance != 0.5 || ml.Trust.Domain {
+		t.Fatalf("trust = %+v", ml.Trust)
+	}
+}
+
+func TestParseTrustDomain(t *testing.T) {
+	ml := mustParse(t, `ml(infer) in(x) out(y) model("m") trust(domain:on)`).(*MLDecl)
+	if ml.Trust == nil || ml.Trust.MaxVariance != 0 || !ml.Trust.Domain {
+		t.Fatalf("trust = %+v", ml.Trust)
+	}
+}
+
+func TestParseTrustCombined(t *testing.T) {
+	ml := mustParse(t, `ml(infer) in(x) out(y) model("m") trust(var:1e-3, domain:on)`).(*MLDecl)
+	if ml.Trust == nil || ml.Trust.MaxVariance != 1e-3 || !ml.Trust.Domain {
+		t.Fatalf("trust = %+v", ml.Trust)
+	}
+	// Integer thresholds parse too.
+	ml2 := mustParse(t, `ml(infer) in(x) out(y) model("m") trust(var:2)`).(*MLDecl)
+	if ml2.Trust.MaxVariance != 2 {
+		t.Fatalf("integer threshold = %g", ml2.Trust.MaxVariance)
+	}
+}
+
+func TestParseTrustDomainOffWithVariance(t *testing.T) {
+	// domain:off is accepted when the variance gate carries the clause;
+	// the render normalizes the off selector away.
+	ml := mustParse(t, `ml(infer) in(x) out(y) model("m") trust(var:0.5, domain:off)`).(*MLDecl)
+	if ml.Trust.Domain {
+		t.Fatal("domain:off parsed as on")
+	}
+	if s := ml.String(); !strings.Contains(s, "trust(var:0.5)") {
+		t.Fatalf("render = %q, want normalized trust(var:0.5)", s)
+	}
+}
+
+func TestParseTrustRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		`ml(infer) in(x) out(y) model("m") trust(var:0.5)`,
+		`ml(infer) in(x) out(y) model("m") trust(domain:on)`,
+		`ml(infer) in(x) out(y) model("m") trust(var:0.001, domain:on)`,
+	} {
+		first := mustParse(t, src).String()
+		second := mustParse(t, first).String()
+		if first != second {
+			t.Errorf("round trip of %q:\n first: %q\nsecond: %q", src, first, second)
+		}
+	}
+}
+
+func TestParseTrustErrors(t *testing.T) {
+	bad := []string{
+		`ml(infer) in(x) out(y) model("m") trust()`,                     // empty
+		`ml(infer) in(x) out(y) model("m") trust(var:0)`,                // zero threshold
+		`ml(infer) in(x) out(y) model("m") trust(var:-1)`,               // negative threshold
+		`ml(infer) in(x) out(y) model("m") trust(domain:off)`,           // selects no gate
+		`ml(infer) in(x) out(y) model("m") trust(domain:maybe)`,         // bad toggle
+		`ml(infer) in(x) out(y) model("m") trust(var:0.5, var:0.5)`,     // duplicate selector
+		`ml(infer) in(x) out(y) model("m") trust(confidence:0.5)`,       // unknown selector
+		`ml(infer) in(x) out(y) model("m") trust(var)`,                  // missing value
+		`ml(infer) in(x) out(y) model("m") trust(var:high)`,             // non-numeric value
+		`ml(infer) in(x) out(y) model("m") trust(var:0.5) trust(var:1)`, // duplicate clause
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): want error", src)
+		}
+	}
+}

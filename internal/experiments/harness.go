@@ -76,6 +76,13 @@ type EvalResult struct {
 	// served by a remote engine during the surrogate timing runs.
 	Fallbacks       int
 	RemoteInference int
+	// Trust-routing counters of the deployed region (non-zero only for
+	// trust-gated deployments): rows kept from the surrogate, rows the
+	// variance gate routed to the accurate path, rows the input-domain
+	// guardrail routed.
+	TrustedRows     int
+	UncertainRows   int
+	OutOfDomainRows int
 	// Capture-pipeline counters of the deployed region (non-zero only
 	// for runs that also collect, e.g. predicated regions).
 	CaptureDrops   int

@@ -352,6 +352,9 @@ func (h *mwHarness) Evaluate(modelPath string, opt Options) (EvalResult, error) 
 		FromTensorSec:   st.FromTensor.Seconds() / float64(inv),
 		Fallbacks:       st.Fallbacks,
 		RemoteInference: st.RemoteInference,
+		TrustedRows:     st.TrustedRows,
+		UncertainRows:   st.UncertainRows,
+		OutOfDomainRows: st.OutOfDomainRows,
 		CaptureDrops:    st.CaptureDrops,
 		CaptureFlushes:  st.CaptureFlushes,
 		RemoteCaptures:  st.RemoteCaptures,

@@ -296,6 +296,9 @@ func (h *pfHarness) Evaluate(modelPath string, opt Options) (EvalResult, error) 
 		BaselineError:   baselineRMSE,
 		Fallbacks:       st.Fallbacks,
 		RemoteInference: st.RemoteInference,
+		TrustedRows:     st.TrustedRows,
+		UncertainRows:   st.UncertainRows,
+		OutOfDomainRows: st.OutOfDomainRows,
 		CaptureDrops:    st.CaptureDrops,
 		CaptureFlushes:  st.CaptureFlushes,
 		RemoteCaptures:  st.RemoteCaptures,

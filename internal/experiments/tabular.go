@@ -174,6 +174,9 @@ func (h *tabularHarness) Evaluate(modelPath string, opt Options) (EvalResult, er
 		FromTensorSec:   st.FromTensor.Seconds() / float64(inv),
 		Fallbacks:       st.Fallbacks,
 		RemoteInference: st.RemoteInference,
+		TrustedRows:     st.TrustedRows,
+		UncertainRows:   st.UncertainRows,
+		OutOfDomainRows: st.OutOfDomainRows,
 		CaptureDrops:    st.CaptureDrops,
 		CaptureFlushes:  st.CaptureFlushes,
 		RemoteCaptures:  st.RemoteCaptures,

@@ -1,0 +1,100 @@
+package h5
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// TestShardWriterResumesAfterEmptyFinalShard pins the restart edge a
+// crash can leave behind: rotation creates the next shard file before
+// any set lands in it, so a database can end in a valid, zero-record
+// shard. Resuming must continue in that empty shard (not skip it, not
+// re-rotate past it), the rotation quota must apply to it from zero,
+// and the merged read must keep the global append order.
+func TestShardWriterResumesAfterEmptyFinalShard(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "d.gh5")
+
+	// Fill shard 0 to its quota, then crash right after rotation: shard
+	// 1 exists but holds nothing.
+	sw, err := NewShardWriter(base, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeSet(t, sw, "g", 0)
+	writeSet(t, sw, "g", 1)
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	empty, _, err := AppendCount(ShardPath(base, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := empty.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The half-written set count of the empty shard must read as zero:
+	// resuming continues in shard 1 with full quota remaining.
+	sw2, err := NewShardWriter(base, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sw2.Shards() != 2 {
+		t.Fatalf("resume sees %d shards, want 2", sw2.Shards())
+	}
+	writeSet(t, sw2, "g", 2)
+	writeSet(t, sw2, "g", 3) // fills shard 1
+	writeSet(t, sw2, "g", 4) // must rotate to shard 2
+	if err := sw2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ShardPaths(base)); got != 3 {
+		t.Fatalf("shard files after resume = %d, want 3 (base, s0001, s0002)", got)
+	}
+
+	f, err := OpenShards(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := f.Read("g", "inputs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Dim(0) != 5 {
+		t.Fatalf("merged records = %d, want 5", x.Dim(0))
+	}
+	for i := 0; i < 5; i++ {
+		if x.Data()[i*2] != float64(i) {
+			t.Fatalf("row %d = %g: append order lost across the empty-shard resume", i, x.Data()[i*2])
+		}
+	}
+}
+
+// TestOpenShardsToleratesEmptyFinalShard pins the reader half of the
+// same edge: a trailing zero-record shard contributes nothing but must
+// not fail the merged open.
+func TestOpenShardsToleratesEmptyFinalShard(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "d.gh5")
+	sw, err := NewShardWriter(base, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeSet(t, sw, "g", 7)
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	empty, _, err := AppendCount(ShardPath(base, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := empty.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := OpenShards(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := f.NumRecords("g", "inputs"); n != 1 {
+		t.Fatalf("records = %d, want 1", n)
+	}
+}

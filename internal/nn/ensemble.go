@@ -1,0 +1,123 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// This file is the variance-aware batched forward over model slots: the
+// deep-ensemble uncertainty estimate (Lakshminarayanan et al.) that the
+// runtime's EnsembleEngine builds on. Each member network — typically
+// the same architecture trained with a different seed — predicts the
+// whole batch; the ensemble mean is the prediction, and the spread
+// across members is the per-row confidence score the trust gate
+// consumes.
+
+// EnsembleScratch holds the reusable accumulation buffers of
+// ForwardEnsembleInto, so steady-state ensemble inference allocates
+// nothing once the batch shape stabilizes. The zero value is ready to
+// use; a nil scratch makes the call allocate fresh buffers.
+type EnsembleScratch struct {
+	member     *tensor.Tensor
+	memberRows int
+	memberCols int
+	sum, sumSq []float64
+}
+
+// memberFor returns a [rows, cols] member-output tensor, rebuilding it
+// only when the shape changed, and (re)sizes the accumulators.
+func (s *EnsembleScratch) memberFor(rows, cols int) (*tensor.Tensor, []float64, []float64) {
+	n := rows * cols
+	if s.member == nil || s.memberRows != rows || s.memberCols != cols {
+		s.member = tensor.New(rows, cols)
+		s.memberRows, s.memberCols = rows, cols
+	}
+	if cap(s.sum) < n {
+		s.sum = make([]float64, n)
+		s.sumSq = make([]float64, n)
+	}
+	return s.member, s.sum[:n], s.sumSq[:n]
+}
+
+// ForwardEnsembleInto runs every member network over x in inference
+// mode, writes the member-mean prediction into dst (a contiguous
+// [rows, cols] tensor of the shared output shape), and, when rowVar is
+// non-nil, fills rowVar[i] with row i's predictive variance: the
+// population variance across members, averaged over the row's output
+// features. rowVar must then have length rows. A single-member
+// ensemble degenerates to ForwardInto with zero variance.
+func ForwardEnsembleInto(nets []*Network, dst, x *tensor.Tensor, rowVar []float64, scr *EnsembleScratch) error {
+	if len(nets) == 0 {
+		return fmt.Errorf("nn: ensemble forward with no member networks")
+	}
+	if dst == nil || dst.Rank() != 2 || !dst.IsContiguous() {
+		return fmt.Errorf("nn: ensemble forward wants a contiguous rank-2 dst")
+	}
+	rows, cols := dst.Dim(0), dst.Dim(1)
+	if rowVar != nil && len(rowVar) != rows {
+		return fmt.Errorf("nn: ensemble forward rowVar has %d slots for %d rows", len(rowVar), rows)
+	}
+	if len(nets) == 1 {
+		if err := nets[0].ForwardInto(dst, x); err != nil {
+			return err
+		}
+		for i := range rowVar {
+			rowVar[i] = 0
+		}
+		return nil
+	}
+	if scr == nil {
+		scr = &EnsembleScratch{}
+	}
+	member, sum, sumSq := scr.memberFor(rows, cols)
+	for i := range sum {
+		sum[i], sumSq[i] = 0, 0
+	}
+	for mi, net := range nets {
+		if net == nil {
+			return fmt.Errorf("nn: ensemble member %d is nil", mi)
+		}
+		if err := net.ForwardInto(member, x); err != nil {
+			return fmt.Errorf("nn: ensemble member %d: %w", mi, err)
+		}
+		md := member.Data()
+		for i, v := range md {
+			sum[i] += v
+			sumSq[i] += v * v
+		}
+	}
+	m := float64(len(nets))
+	dd := dst.Data()
+	for i := range dd {
+		dd[i] = sum[i] / m
+	}
+	if rowVar == nil {
+		return nil
+	}
+	for r := 0; r < rows; r++ {
+		var acc float64
+		for c := 0; c < cols; c++ {
+			i := r*cols + c
+			mean := sum[i] / m
+			v := sumSq[i]/m - mean*mean
+			// Guard against NaN poisoning the gate: a member that emitted
+			// NaN (or overflowed to Inf) makes the feature variance
+			// non-finite, and the row must read as "maximally uncertain" —
+			// never as "zero variance, below every threshold".
+			if math.IsNaN(v) || math.IsInf(v, 1) {
+				acc = math.Inf(1)
+				break
+			}
+			if v > 0 { // clamp the tiny negative values of catastrophic cancellation
+				acc += v
+			}
+		}
+		rowVar[r] = acc / float64(cols)
+		if math.IsNaN(rowVar[r]) {
+			rowVar[r] = math.Inf(1)
+		}
+	}
+	return nil
+}

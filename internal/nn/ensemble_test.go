@@ -1,0 +1,176 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func ensembleNet(seed int64) *Network {
+	n := NewNetwork(seed)
+	n.Add(n.NewDense(2, 4), NewActivation(ActTanh), n.NewDense(4, 2))
+	return n
+}
+
+func ensembleInput(t *testing.T) *tensor.Tensor {
+	t.Helper()
+	x, err := tensor.FromSlice([]float64{0.1, -0.4, 0.9, 0.2, -1.1, 0.6}, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+// TestForwardEnsembleIntoMeanAndVariance checks the ensemble forward
+// against the definition, computed member by member with the same
+// operation order: mean across members per feature, population
+// variance across members averaged per row.
+func TestForwardEnsembleIntoMeanAndVariance(t *testing.T) {
+	a, b := ensembleNet(101), ensembleNet(202)
+	x := ensembleInput(t)
+	ya, err := a.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	yb, err := b.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dst := tensor.New(3, 2)
+	rowVar := make([]float64, 3)
+	if err := ForwardEnsembleInto([]*Network{a, b}, dst, x, rowVar, &EnsembleScratch{}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst.Data() {
+		if want := (ya.Data()[i] + yb.Data()[i]) / 2; dst.Data()[i] != want {
+			t.Fatalf("mean[%d] = %v, want %v", i, dst.Data()[i], want)
+		}
+	}
+	for r := 0; r < 3; r++ {
+		var acc float64
+		for c := 0; c < 2; c++ {
+			i := r*2 + c
+			va, vb := ya.Data()[i], yb.Data()[i]
+			mean := (va + vb) / 2
+			if v := (va*va+vb*vb)/2 - mean*mean; v > 0 {
+				acc += v
+			}
+		}
+		if want := acc / 2; rowVar[r] != want {
+			t.Fatalf("rowVar[%d] = %v, want %v", r, rowVar[r], want)
+		}
+		if rowVar[r] <= 0 {
+			t.Fatalf("rowVar[%d] = %v: different seeds must disagree somewhere", r, rowVar[r])
+		}
+	}
+}
+
+// TestForwardEnsembleIntoSingleMember pins the degenerate case: one
+// member means its exact output and zero variance.
+func TestForwardEnsembleIntoSingleMember(t *testing.T) {
+	a := ensembleNet(7)
+	x := ensembleInput(t)
+	want, err := a.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := tensor.New(3, 2)
+	rowVar := []float64{-1, -1, -1}
+	if err := ForwardEnsembleInto([]*Network{a}, dst, x, rowVar, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := range dst.Data() {
+		if dst.Data()[i] != want.Data()[i] {
+			t.Fatalf("output %d = %v, want %v", i, dst.Data()[i], want.Data()[i])
+		}
+	}
+	for r, v := range rowVar {
+		if v != 0 {
+			t.Fatalf("single-member rowVar[%d] = %v, want 0", r, v)
+		}
+	}
+}
+
+// TestForwardEnsembleIntoNaNIsMaxUncertainty: a row whose member
+// outputs are NaN (here via NaN input) must report +Inf variance — the
+// NaN-skipping variance clamp must never let a poisoned row read as
+// zero variance.
+func TestForwardEnsembleIntoNaNIsMaxUncertainty(t *testing.T) {
+	a, b := ensembleNet(11), ensembleNet(12)
+	x, err := tensor.FromSlice([]float64{0.1, 0.2, math.NaN(), 0.2, 0.3, 0.4}, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := tensor.New(3, 2)
+	rowVar := make([]float64, 3)
+	if err := ForwardEnsembleInto([]*Network{a, b}, dst, x, rowVar, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(rowVar[1], 1) {
+		t.Fatalf("NaN row variance = %v, want +Inf", rowVar[1])
+	}
+	for _, r := range []int{0, 2} {
+		if math.IsInf(rowVar[r], 0) || math.IsNaN(rowVar[r]) {
+			t.Fatalf("finite row %d variance = %v, poisoned by the NaN row", r, rowVar[r])
+		}
+	}
+}
+
+// TestForwardEnsembleIntoValidation pins the argument errors.
+func TestForwardEnsembleIntoValidation(t *testing.T) {
+	a := ensembleNet(1)
+	x := ensembleInput(t)
+	dst := tensor.New(3, 2)
+	if err := ForwardEnsembleInto(nil, dst, x, nil, nil); err == nil {
+		t.Error("no members must be rejected")
+	}
+	if err := ForwardEnsembleInto([]*Network{a}, nil, x, nil, nil); err == nil {
+		t.Error("nil dst must be rejected")
+	}
+	if err := ForwardEnsembleInto([]*Network{a}, dst, x, make([]float64, 2), nil); err == nil {
+		t.Error("rowVar length mismatch must be rejected")
+	}
+	if err := ForwardEnsembleInto([]*Network{a, nil}, dst, x, nil, nil); err == nil {
+		t.Error("nil member must be rejected")
+	}
+}
+
+// TestForwardEnsembleIntoScratchReuse: the same scratch across calls
+// (including a batch-shape change) must not change results.
+func TestForwardEnsembleIntoScratchReuse(t *testing.T) {
+	nets := []*Network{ensembleNet(21), ensembleNet(22)}
+	x := ensembleInput(t)
+	scr := &EnsembleScratch{}
+
+	fresh := tensor.New(3, 2)
+	freshVar := make([]float64, 3)
+	if err := ForwardEnsembleInto(nets, fresh, x, freshVar, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	// Warm the scratch on a different shape first, then reuse it.
+	small, err := tensor.FromSlice([]float64{1, 2}, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ForwardEnsembleInto(nets, tensor.New(1, 2), small, make([]float64, 1), scr); err != nil {
+		t.Fatal(err)
+	}
+	reused := tensor.New(3, 2)
+	reusedVar := make([]float64, 3)
+	if err := ForwardEnsembleInto(nets, reused, x, reusedVar, scr); err != nil {
+		t.Fatal(err)
+	}
+	for i := range fresh.Data() {
+		if fresh.Data()[i] != reused.Data()[i] {
+			t.Fatalf("output %d differs with a reused scratch: %v != %v", i, reused.Data()[i], fresh.Data()[i])
+		}
+	}
+	for r := range freshVar {
+		if freshVar[r] != reusedVar[r] {
+			t.Fatalf("rowVar %d differs with a reused scratch: %v != %v", r, reusedVar[r], freshVar[r])
+		}
+	}
+}

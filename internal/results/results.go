@@ -52,6 +52,15 @@ type Eval struct {
 	Fallbacks       int `json:"fallbacks"`
 	RemoteInference int `json:"remote_inference"`
 
+	// Trust-routing counters of the deployed region (non-zero only for
+	// gated engines — a trust(...) clause or WithTrust): rows whose
+	// surrogate prediction was kept, rows rejected by the variance
+	// gate, rows rejected by the input-domain guardrail. They match the
+	// TrustedRows/UncertainRows/OutOfDomainRows fields of /v1/stats.
+	TrustedRows     int `json:"trusted_rows"`
+	UncertainRows   int `json:"uncertain_rows"`
+	OutOfDomainRows int `json:"out_of_domain_rows"`
+
 	// Capture-pipeline counters of the deployed region (non-zero only
 	// when the run also collected): records dropped by backpressure,
 	// completed sink flushes, records acknowledged by a remote ingest

@@ -22,8 +22,14 @@ import (
 type ModelSpec struct {
 	Name string
 	Path string
-	In   int
-	Out  int
+	// Ensemble lists additional member model files. When non-empty each
+	// replica serves the deep ensemble {Path, Ensemble...} through an
+	// EnsembleEngine: the response is the member-mean prediction, and
+	// the per-row predictive variance is available to trust gates. All
+	// members must share the primary's I/O widths.
+	Ensemble []string
+	In       int
+	Out      int
 }
 
 // ModelInfo is the registry view of a hosted model (the /v1/models
@@ -35,6 +41,7 @@ type ModelInfo = serveapi.ModelInfo
 type model struct {
 	name    string
 	path    string
+	members []string // every served model file: path first, then the ensemble
 	in, out int
 
 	queue    chan *request
@@ -55,6 +62,11 @@ type model struct {
 type replica struct {
 	idx    int
 	region *hpacml.Region
+	// engine is the replica's injected ensemble engine, nil for
+	// single-model replicas (the region derives and owns a LocalEngine
+	// itself). Injected engines are not owned by the region, so the
+	// replica closes it alongside.
+	engine *hpacml.EnsembleEngine
 	in     []float64
 	out    []float64
 	gen    uint64
@@ -68,10 +80,11 @@ func newModel(spec ModelSpec, cfg Config) (*model, error) {
 	if spec.Name == "" || spec.Path == "" {
 		return nil, fmt.Errorf("serve: model spec needs a name and a path, got %+v", spec)
 	}
+	members := append([]string{spec.Path}, spec.Ensemble...)
 	// Checksum the same bytes being loaded: hash first, then load, so a
 	// concurrent retrain is caught by the next poll rather than pinning a
 	// wrong checksum to the loaded weights.
-	sum, err := fileChecksum(spec.Path)
+	sum, err := filesChecksum(members)
 	if err != nil {
 		return nil, fmt.Errorf("serve: model %q: %w", spec.Name, err)
 	}
@@ -80,17 +93,30 @@ func newModel(spec ModelSpec, cfg Config) (*model, error) {
 		return nil, err
 	}
 	hpacml.StoreModel(spec.Path, net)
+	// Every ensemble member must load and agree on the primary's I/O
+	// widths — a disagreeing member would corrupt the ensemble mean.
+	for _, p := range spec.Ensemble {
+		mnet, err := nn.Load(p)
+		if err != nil {
+			return nil, fmt.Errorf("serve: model %q ensemble member %s: %w", spec.Name, p, err)
+		}
+		if err := validateDims(mnet, in, out); err != nil {
+			return nil, fmt.Errorf("serve: model %q ensemble member %s: %w", spec.Name, p, err)
+		}
+		hpacml.StoreModel(p, mnet)
+	}
 	m := &model{
-		name:  spec.Name,
-		path:  spec.Path,
-		in:    in,
-		out:   out,
-		queue: make(chan *request, cfg.QueueCap),
-		stats: newModelStats(cfg.MaxBatch, cfg.Workers),
-		sum:   sum,
+		name:    spec.Name,
+		path:    spec.Path,
+		members: members,
+		in:      in,
+		out:     out,
+		queue:   make(chan *request, cfg.QueueCap),
+		stats:   newModelStats(cfg.MaxBatch, cfg.Workers),
+		sum:     sum,
 	}
 	for i := 0; i < cfg.Workers; i++ {
-		rep, err := newReplica(spec.Name, spec.Path, i, in, out)
+		rep, err := newReplica(spec.Name, members, i, in, out)
 		if err != nil {
 			m.closeReplicas()
 			return nil, err
@@ -100,10 +126,14 @@ func newModel(spec ModelSpec, cfg Config) (*model, error) {
 	return m, nil
 }
 
-// closeReplicas releases every replica region built so far.
+// closeReplicas releases every replica region (and injected ensemble
+// engine) built so far.
 func (m *model) closeReplicas() {
 	for _, rep := range m.replicas {
 		rep.region.Close()
+		if rep.engine != nil {
+			rep.engine.Close()
+		}
 	}
 }
 
@@ -150,38 +180,58 @@ func validateDims(net *nn.Network, in, out int) error {
 // newReplica builds one generic vector-in/vector-out inference region
 // bound to fresh staging arrays: the bridge gathers the in-array as a
 // [1, FIN] sample and scatters the model's [1, FOUT] output back into
-// the out-array, so ExecuteBatch over n requests stacks to [n, FIN]. A
-// zero-input warmup runs immediately so a bad model file fails replica
-// construction, not the first request.
-func newReplica(name, path string, idx, in, out int) (*replica, error) {
+// the out-array, so ExecuteBatch over n requests stacks to [n, FIN].
+// With more than one member path the replica gets its own injected
+// EnsembleEngine (engine scratch is single-threaded, so replicas never
+// share one). A zero-input warmup runs immediately so a bad model file
+// fails replica construction, not the first request.
+func newReplica(name string, members []string, idx, in, out int) (*replica, error) {
 	x := make([]float64, in)
 	y := make([]float64, out)
+	opts := []hpacml.Option{
+		hpacml.BindInt("FIN", in),
+		hpacml.BindInt("FOUT", out),
+		hpacml.BindArray("x", x, in),
+		hpacml.BindArray("y", y, out),
+	}
+	var engine *hpacml.EnsembleEngine
+	if len(members) > 1 {
+		var err error
+		if engine, err = hpacml.NewLocalEnsemble(members...); err != nil {
+			return nil, fmt.Errorf("serve: model %q replica %d: %w", name, idx, err)
+		}
+		opts = append(opts, hpacml.WithEngine(engine))
+	}
 	region, err := hpacml.NewRegion(fmt.Sprintf("%s/replica%d", name, idx),
-		hpacml.Directives(fmt.Sprintf(`
+		append([]hpacml.Option{hpacml.Directives(fmt.Sprintf(`
 tensor functor(vin: [i, 0:FIN] = ([0:FIN]))
 tensor functor(vout: [i, 0:FOUT] = ([0:FOUT]))
 tensor map(to: vin(x[0:1]))
 tensor map(from: vout(y[0:1]))
 ml(infer) in(x) out(y) model(%q)
-`, path)),
-		hpacml.BindInt("FIN", in),
-		hpacml.BindInt("FOUT", out),
-		hpacml.BindArray("x", x, in),
-		hpacml.BindArray("y", y, out),
+`, members[0]))}, opts...)...,
 	)
 	if err != nil {
+		if engine != nil {
+			engine.Close()
+		}
 		return nil, fmt.Errorf("serve: model %q replica %d: %w", name, idx, err)
 	}
-	if shape, err := region.InputShape(); err != nil || len(shape) != 2 || shape[0] != 1 || shape[1] != in {
+	fail := func(err error) (*replica, error) {
 		region.Close()
-		return nil, fmt.Errorf("serve: model %q replica %d: bridge presents %v (err %v), want [1 %d]", name, idx, shape, err, in)
+		if engine != nil {
+			engine.Close()
+		}
+		return nil, err
+	}
+	if shape, err := region.InputShape(); err != nil || len(shape) != 2 || shape[0] != 1 || shape[1] != in {
+		return fail(fmt.Errorf("serve: model %q replica %d: bridge presents %v (err %v), want [1 %d]", name, idx, shape, err, in))
 	}
 	if err := region.Execute(nil); err != nil {
-		region.Close()
-		return nil, fmt.Errorf("serve: model %q warmup: %w", name, err)
+		return fail(fmt.Errorf("serve: model %q warmup: %w", name, err))
 	}
 	region.ResetStats() // don't count the warmup as served traffic
-	return &replica{idx: idx, region: region, in: x, out: y}, nil
+	return &replica{idx: idx, region: region, engine: engine, in: x, out: y}, nil
 }
 
 // info snapshots the registry view.
@@ -192,6 +242,7 @@ func (m *model) info() ModelInfo {
 	return ModelInfo{
 		Name:       m.name,
 		Path:       m.path,
+		Ensemble:   len(m.members),
 		InDim:      m.in,
 		OutDim:     m.out,
 		Checksum:   hex.EncodeToString(sum[:]),
@@ -200,16 +251,17 @@ func (m *model) info() ModelInfo {
 	}
 }
 
-// checkReload re-checksums the model file. When the bytes changed, the
-// new file is loaded once and validated (loadable, same I/O widths — a
-// width change would break the replicas' bound arrays and is refused),
-// the validated network is published to the shared model cache, and the
-// model generation is bumped; each replica swaps onto the published
-// weights at its next batch boundary via RefreshModel, so in-flight
+// checkReload re-checksums every member file. When any byte changed,
+// each changed file is loaded and validated (loadable, same I/O widths
+// — a width change would break the replicas' bound arrays and is
+// refused), the validated networks are published to the shared model
+// cache, and the model generation is bumped; each replica swaps onto
+// the published weights at its next batch boundary via RefreshModel
+// (which the ensemble engine forwards to every member), so in-flight
 // requests finish on the old ones and every replica sees the same
-// object — never a torn or re-retrained file read of its own.
+// objects — never a torn or re-retrained file read of its own.
 func (m *model) checkReload() error {
-	sum, err := fileChecksum(m.path)
+	sum, err := filesChecksum(m.members)
 	if err != nil {
 		m.stats.reloadFailed()
 		return fmt.Errorf("serve: model %q reload: %w", m.name, err)
@@ -220,16 +272,24 @@ func (m *model) checkReload() error {
 	if same {
 		return nil
 	}
-	net, err := nn.Load(m.path)
-	if err != nil {
-		m.stats.reloadFailed()
-		return fmt.Errorf("serve: model %q reload: %w", m.name, err)
+	nets := make([]*nn.Network, len(m.members))
+	for i, p := range m.members {
+		net, err := nn.Load(p)
+		if err != nil {
+			m.stats.reloadFailed()
+			return fmt.Errorf("serve: model %q reload: %w", m.name, err)
+		}
+		if err := validateDims(net, m.in, m.out); err != nil {
+			m.stats.reloadFailed()
+			return fmt.Errorf("serve: model %q reload refused (%s): %w", m.name, p, err)
+		}
+		nets[i] = net
 	}
-	if err := validateDims(net, m.in, m.out); err != nil {
-		m.stats.reloadFailed()
-		return fmt.Errorf("serve: model %q reload refused: %w", m.name, err)
+	// All members validated — publish atomically from the registry's
+	// point of view (replicas only look after the generation bump).
+	for i, p := range m.members {
+		hpacml.StoreModel(p, nets[i])
 	}
-	hpacml.StoreModel(m.path, net)
 	m.sumMu.Lock()
 	m.sum = sum
 	m.sumMu.Unlock()
@@ -246,4 +306,21 @@ func fileChecksum(path string) ([sha256.Size]byte, error) {
 		return sum, err
 	}
 	return sha256.Sum256(b), nil
+}
+
+// filesChecksum hashes a member set: the concatenation of each file's
+// own hash, so member order matters and any member change changes the
+// set checksum.
+func filesChecksum(paths []string) ([sha256.Size]byte, error) {
+	h := sha256.New()
+	for _, p := range paths {
+		s, err := fileChecksum(p)
+		if err != nil {
+			return [sha256.Size]byte{}, err
+		}
+		h.Write(s[:])
+	}
+	var sum [sha256.Size]byte
+	copy(sum[:], h.Sum(nil))
+	return sum, nil
 }

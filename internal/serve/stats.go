@@ -120,6 +120,9 @@ func wireRegionStats(s hpacml.Stats) serveapi.RegionStats {
 		BatchedInvocations: s.BatchedInvocations,
 		Fallbacks:          s.Fallbacks,
 		RemoteInference:    s.RemoteInference,
+		TrustedRows:        s.TrustedRows,
+		UncertainRows:      s.UncertainRows,
+		OutOfDomainRows:    s.OutOfDomainRows,
 		CaptureDrops:       s.CaptureDrops,
 		CaptureFlushes:     s.CaptureFlushes,
 		RemoteCaptures:     s.RemoteCaptures,
@@ -170,6 +173,9 @@ func (st *modelStats) snapshot(info ModelInfo) ModelSnapshot {
 		sum.BatchedInvocations += rs.BatchedInvocations
 		sum.Fallbacks += rs.Fallbacks
 		sum.RemoteInference += rs.RemoteInference
+		sum.TrustedRows += rs.TrustedRows
+		sum.UncertainRows += rs.UncertainRows
+		sum.OutOfDomainRows += rs.OutOfDomainRows
 		sum.CaptureDrops += rs.CaptureDrops
 		sum.CaptureFlushes += rs.CaptureFlushes
 		sum.RemoteCaptures += rs.RemoteCaptures

@@ -92,8 +92,11 @@ type CaptureSnapshot struct {
 // ModelInfo is the registry view of a hosted model (the /v1/models
 // payload).
 type ModelInfo struct {
-	Name       string `json:"name"`
-	Path       string `json:"path"`
+	Name string `json:"name"`
+	Path string `json:"path"`
+	// Ensemble is the served member count: 1 for a single model, N for
+	// a deep-ensemble model set (the response is then the member mean).
+	Ensemble   int    `json:"ensemble,omitempty"`
 	InDim      int    `json:"input_dim"`
 	OutDim     int    `json:"output_dim"`
 	Checksum   string `json:"checksum"`
@@ -116,6 +119,10 @@ type RegionStats struct {
 
 	Fallbacks       int
 	RemoteInference int
+
+	TrustedRows     int
+	UncertainRows   int
+	OutOfDomainRows int
 
 	CaptureDrops   int
 	CaptureFlushes int

@@ -1,0 +1,106 @@
+package hpacml
+
+import (
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/h5"
+	"repro/internal/tensor"
+)
+
+// recordCounter is a minimal terminal sink that counts what reaches it.
+type recordCounter struct{ captured int }
+
+func (c *recordCounter) Capture(*CaptureRecord) error { c.captured++; return nil }
+func (c *recordCounter) Flush() error                 { return nil }
+func (c *recordCounter) Close() error                 { return nil }
+
+// TestCaptureFracZeroIsRejected pins the clause grammar's lower bound:
+// capture(frac:0) would silently collect nothing, so it must be a
+// region-construction error, not a quietly empty database.
+func TestCaptureFracZeroIsRejected(t *testing.T) {
+	for _, frac := range []string{"0", "0.0"} {
+		src := fmt.Sprintf(`ml(collect) in(x) out(y) db("d.gh5") capture(frac:%s)`, frac)
+		x := make([]float64, 2)
+		y := make([]float64, 1)
+		_, err := NewRegion("frac0",
+			Directives(`
+tensor functor(vin: [i, 0:2] = ([0:2]))
+tensor functor(vout: [i, 0:1] = ([0:1]))
+tensor map(to: vin(x[0:1]))
+tensor map(from: vout(y[0:1]))
+`+src),
+			BindArray("x", x, 2),
+			BindArray("y", y, 1),
+		)
+		if err == nil {
+			t.Errorf("capture(frac:%s) must be rejected at region construction", frac)
+		}
+	}
+}
+
+// TestDegenerateSamplingPoliciesPassThrough pins the keep-everything
+// edge of both policies: capture(frac:1) and capture(every:1) mean "no
+// thinning", so NewSink must not interpose a sampling wrapper at all,
+// and a SamplingSink built directly with either config must forward
+// every record with Sampled = 0.
+func TestDegenerateSamplingPoliciesPassThrough(t *testing.T) {
+	dir := t.TempDir()
+	for name, cfg := range map[string]CaptureConfig{
+		"frac:1":  {Frac: 1},
+		"every:1": {Every: 1},
+		"none":    {},
+	} {
+		t.Run("NewSink/"+name, func(t *testing.T) {
+			s, err := NewSink(filepath.Join(dir, "db-"+name[:4]+".gh5"), cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer s.Close()
+			if _, wrapped := s.(*SamplingSink); wrapped {
+				t.Fatalf("config %+v interposed a SamplingSink; want the bare pipeline", cfg)
+			}
+		})
+		t.Run("SamplingSink/"+name, func(t *testing.T) {
+			counter := &recordCounter{}
+			ss := NewSamplingSink(counter, cfg)
+			const n = 25
+			for i := 0; i < n; i++ {
+				in, _ := tensor.FromSlice([]float64{float64(i)}, 1, 1)
+				out, _ := tensor.FromSlice([]float64{float64(-i)}, 1, 1)
+				if err := ss.Capture(&CaptureRecord{Region: "g", Inputs: in, Outputs: out}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if counter.captured != n {
+				t.Fatalf("pass-through config %+v kept %d of %d", cfg, counter.captured, n)
+			}
+			if st := ss.SinkStats(); st.Sampled != 0 {
+				t.Fatalf("pass-through config %+v counted %d sampled", cfg, st.Sampled)
+			}
+		})
+	}
+}
+
+// TestCaptureEveryOneKeepsEverything drives capture(every:1) through a
+// real region: every invocation must land in the database.
+func TestCaptureEveryOneKeepsEverything(t *testing.T) {
+	db := filepath.Join(t.TempDir(), "all.gh5")
+	const steps = 9
+	r := collectStencil(t, steps, db, WithCapture(CaptureConfig{Every: 1}))
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ss, ok := r.CaptureStats()
+	if !ok || ss.Captured != steps || ss.Sampled != 0 {
+		t.Fatalf("every:1 stats = %+v (ok %v), want %d captured, 0 sampled", ss, ok, steps)
+	}
+	f, err := h5.OpenShards(db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := f.NumRecords("stencil", "inputs"); n != steps {
+		t.Fatalf("database has %d records, want %d", n, steps)
+	}
+}

@@ -1,0 +1,414 @@
+package hpacml
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/directive"
+	"repro/internal/tensor"
+)
+
+// This file is the trust-routing layer: the runtime half of the
+// trust(...) directive clause. A gated FallbackEngine (input-domain
+// guardrail and/or ensemble-variance threshold) reports per-row
+// verdicts after each inference; the Region keeps the surrogate's
+// output only for trusted rows, recomputes the rest with the accurate
+// path, and hands the recomputed samples to the capture sink — so the
+// inputs the surrogate handles worst are exactly the ones the next
+// training round sees most.
+
+// TrustConfig is the runtime form of the trust(...) clause, injectable
+// with WithTrust (which overrides the annotation, the same precedence
+// WithModel has over model()).
+type TrustConfig struct {
+	// MaxVariance engages the predictive-variance gate: rows whose
+	// ensemble variance exceeds it are rejected. It requires an engine
+	// that implements VarianceReporter (e.g. EnsembleEngine); 0
+	// disables the gate.
+	MaxVariance float64
+	// Domain engages the input-domain guardrail gate: rows outside the
+	// fitted envelope are rejected.
+	Domain bool
+	// GuardrailPath overrides where the domain gate loads its fitted
+	// envelope from; empty defaults to GuardrailPath(modelPath), the
+	// sidecar beside the .gmod. Remote model URIs have no local sidecar
+	// and must set it explicitly.
+	GuardrailPath string
+}
+
+// WithTrust configures per-row trust routing, overriding the region's
+// trust(...) clause. At least one gate must be selected.
+func WithTrust(cfg TrustConfig) Option {
+	return func(r *Region) error {
+		if cfg.MaxVariance < 0 {
+			return fmt.Errorf("hpacml: WithTrust: negative variance threshold %g", cfg.MaxVariance)
+		}
+		if cfg.MaxVariance == 0 && !cfg.Domain {
+			return fmt.Errorf("hpacml: WithTrust selects no gate (want MaxVariance > 0 and/or Domain)")
+		}
+		r.trust = &cfg
+		return nil
+	}
+}
+
+// ensureTrustEngine wires the resolved trust configuration into the
+// engine: the engine is wrapped in a FallbackEngine if it is not one
+// already, the variance threshold is set, and the guardrail sidecar is
+// loaded for the domain gate. Runs once, lazily, after ensureEngine —
+// the sidecar is a file read that must not happen at construction.
+func (r *Region) ensureTrustEngine() error {
+	if r.trust == nil || r.trustWired {
+		return nil
+	}
+	fb, ok := r.engine.(*FallbackEngine)
+	if !ok {
+		fb = NewFallbackEngine(r.engine)
+		// The wrapper inherits the wrapped engine's ownership: Close on
+		// an owned chain releases the primary through the wrapper;
+		// injected engines stay the caller's.
+		r.setEngine(fb, r.engineOwned)
+	}
+	if fb.MaxVariance == 0 {
+		fb.MaxVariance = r.trust.MaxVariance
+	}
+	if r.trust.Domain && fb.Guardrail == nil {
+		path := r.trust.GuardrailPath
+		if path == "" {
+			if r.modelPath == "" || directive.IsRemoteModel(r.modelPath) {
+				return fmt.Errorf("hpacml: region %q: trust(domain:on) needs a guardrail sidecar; set TrustConfig.GuardrailPath for remote models", r.name)
+			}
+			path = GuardrailPath(r.modelPath)
+		}
+		g, err := LoadGuardrail(path)
+		if err != nil {
+			return fmt.Errorf("hpacml: region %q: %w", r.name, err)
+		}
+		fb.Guardrail = g
+	}
+	r.trustWired = true
+	return nil
+}
+
+// inputRows is the trust-accounting row count of a model input tensor:
+// its leading (entry/batch) dimension.
+func inputRows(x *tensor.Tensor) int {
+	if x.Rank() >= 1 {
+		return x.Dim(0)
+	}
+	return 1
+}
+
+// countTrust folds one trust report into the stats counters. The
+// domain verdict wins when a row tripped both gates. keptTrusted says
+// whether the trusted rows' surrogate outputs were actually used
+// (false when the whole invocation was routed to the accurate path,
+// which discards them).
+func (r *Region) countTrust(rep *TrustReport, keptTrusted bool) {
+	for i := 0; i < rep.Rows; i++ {
+		switch {
+		case rep.OOD[i]:
+			r.stats.OutOfDomainRows++
+		case rep.Uncertain[i]:
+			r.stats.UncertainRows++
+		default:
+			if keptTrusted {
+				r.stats.TrustedRows++
+			}
+		}
+	}
+}
+
+// blockUntrusted reports whether any row of the half-open row range
+// [at, at+per) was rejected.
+func blockUntrusted(rep *TrustReport, at, per int) bool {
+	for i := at; i < at+per && i < rep.Rows; i++ {
+		if rep.OOD[i] || rep.Uncertain[i] {
+			return true
+		}
+	}
+	return false
+}
+
+// routeUntrustedSingle handles a single invocation whose trust report
+// rejected at least one row: the surrogate's output is discarded, the
+// rejected rows are counted, the accurate closure recomputes the
+// invocation, and the recomputed sample is recaptured through the sink
+// when the region has a capture target.
+func (r *Region) routeUntrustedSingle(rep *TrustReport, accurate func() error) error {
+	r.countTrust(rep, false)
+	start := time.Now()
+	inputs, err := r.modelInput()
+	r.stats.ToTensor += time.Since(start)
+	if err != nil {
+		return err
+	}
+	runStart := time.Now()
+	if err := accurate(); err != nil {
+		return err
+	}
+	runtime := time.Since(runStart)
+	r.stats.Accurate += runtime
+	r.stats.AccurateRuns++
+	return r.recaptureInvocation(inputs, runtime)
+}
+
+// recaptureInvocation hands one accurately recomputed invocation to
+// the capture sink — the retraining loop's feedstock. inputs must have
+// been gathered before the accurate run (inout arrays are overwritten
+// by it). Regions with no capture target (no db() clause, no injected
+// sink) skip the capture but keep the routing.
+func (r *Region) recaptureInvocation(inputs *tensor.Tensor, runtime time.Duration) error {
+	if r.sink == nil && r.dbPath == "" {
+		return nil
+	}
+	start := time.Now()
+	outputs, err := r.modelTarget()
+	r.stats.FromTensor += time.Since(start)
+	if err != nil {
+		return err
+	}
+	start = time.Now()
+	defer func() { r.stats.DBWrite += time.Since(start) }()
+	if err := r.ensureSink(); err != nil {
+		return err
+	}
+	r.stats.Collections++
+	return r.sink.Capture(&CaptureRecord{
+		Region:    r.name,
+		Inputs:    inputs,
+		Outputs:   outputs,
+		RuntimeNS: float64(runtime.Nanoseconds()),
+	})
+}
+
+// ExecuteBatchRouted is ExecuteBatch with per-invocation trust routing
+// and accurate fallback: the surrogate predicts the whole batch once,
+// then each invocation whose rows the trust gates accept is scattered
+// back as usual, while invocations with any rejected row are re-staged
+// (stage(i) must be repeatable), recomputed by accurate(i), and
+// recaptured through the sink. When the engine carries the fallback
+// policy and fails outright — server down mid-run, model unloadable,
+// context expired — the entire batch degrades to the accurate path
+// invocation by invocation (counted in Stats.Fallbacks), so no
+// invocation is ever lost to an engine failure.
+//
+// The callbacks see exactly one ordering guarantee: each invocation's
+// application state is staged/scattered immediately before its
+// finish(i) call, in index order. stage and finish may be nil;
+// accurate must not be.
+func (r *Region) ExecuteBatchRouted(ctx context.Context, n int, stage func(i int) error, accurate func(i int) error, finish func(i int) error) error {
+	if r.closed {
+		return fmt.Errorf("hpacml: region %q used after Close", r.name)
+	}
+	if n <= 0 {
+		return nil
+	}
+	if accurate == nil {
+		return fmt.Errorf("hpacml: ExecuteBatchRouted in region %q needs an accurate callback (use ExecuteBatch otherwise)", r.name)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := r.requireInference(); err != nil {
+		return err
+	}
+	if err := r.ensureEngine(); err != nil {
+		return err
+	}
+	if err := r.ensureTrustEngine(); err != nil {
+		return err
+	}
+	if err := r.warmEngine(ctx); err != nil {
+		if r.engineFallback {
+			return r.degradeBatch(n, stage, accurate, finish)
+		}
+		return fmt.Errorf("hpacml: batched inference in region %q: %w", r.name, err)
+	}
+
+	bs := r.batches[n]
+	if bs == nil {
+		shape, err := r.modelInputShape()
+		if err != nil {
+			return err
+		}
+		if bs, err = r.buildBatchStaging(n, shape); err != nil {
+			return err
+		}
+		if r.batches == nil {
+			r.batches = make(map[int]*batchState)
+		}
+		if len(r.batches) >= maxBatchStates {
+			for k := range r.batches {
+				delete(r.batches, k)
+				break
+			}
+		}
+		r.batches[n] = bs
+	}
+
+	var err error
+	for i := 0; i < n; i++ {
+		if stage != nil {
+			if err := stage(i); err != nil {
+				return fmt.Errorf("hpacml: batch stage %d in region %q: %w", i, r.name, err)
+			}
+		}
+		start := time.Now()
+		if bs.inSt != nil {
+			for _, st := range bs.inSt[i] {
+				if err = st.Gather(); err != nil {
+					break
+				}
+			}
+		} else {
+			err = r.modelInputInto(bs.blocks[i])
+		}
+		r.stats.ToTensor += time.Since(start)
+		if err != nil {
+			return err
+		}
+	}
+
+	start := time.Now()
+	if bs.y == nil {
+		outShape, oerr := r.engine.OutputShape(bs.x.Shape())
+		if oerr != nil {
+			r.stats.BatchInference += time.Since(start)
+			if r.engineFallback {
+				return r.degradeBatch(n, stage, accurate, finish)
+			}
+			return fmt.Errorf("hpacml: batched inference in region %q: %w", r.name, oerr)
+		}
+		if err := r.buildBatchOutput(bs, tensor.New(outShape...), n); err != nil {
+			r.stats.BatchInference += time.Since(start)
+			return err
+		}
+	}
+	err = r.engine.Infer(ctx, bs.x, bs.y)
+	r.stats.BatchInference += time.Since(start)
+	if err != nil {
+		bs.y, bs.outViews, bs.outSt = nil, nil, nil
+		if r.engineFallback {
+			return r.degradeBatch(n, stage, accurate, finish)
+		}
+		return fmt.Errorf("hpacml: batched inference in region %q: %w", r.name, err)
+	}
+
+	var rep *TrustReport
+	if tr, ok := r.engine.(trustReporter); ok {
+		rep = tr.TrustReport()
+	}
+	rows := inputRows(bs.x)
+	per := rows / n
+
+	r.stats.Invocations += n
+	r.stats.Batches++
+	kept := 0
+	for i := 0; i < n; i++ {
+		if rep != nil && blockUntrusted(rep, i*per, per) {
+			for ri := i * per; ri < (i+1)*per && ri < rep.Rows; ri++ {
+				switch {
+				case rep.OOD[ri]:
+					r.stats.OutOfDomainRows++
+				case rep.Uncertain[ri]:
+					r.stats.UncertainRows++
+				}
+			}
+			if err := r.routeInvocationAccurate(i, stage, accurate, finish); err != nil {
+				return err
+			}
+			continue
+		}
+		start := time.Now()
+		if bs.outSt != nil {
+			err = scatterStagers(bs.outSt[i])
+		} else {
+			err = r.scatterModelOutput(bs.outViews[i])
+		}
+		r.stats.FromTensor += time.Since(start)
+		if err != nil {
+			return err
+		}
+		if finish != nil {
+			if err := finish(i); err != nil {
+				return fmt.Errorf("hpacml: batch finish %d in region %q: %w", i, r.name, err)
+			}
+		}
+		kept++
+		if rep != nil {
+			r.stats.TrustedRows += per
+		}
+	}
+	r.stats.Inferences += kept
+	r.stats.BatchedInvocations += kept
+	if r.engineRemote {
+		r.stats.RemoteInference += kept
+	}
+	if rep == nil {
+		r.stats.TrustedRows += rows
+	}
+	return nil
+}
+
+// routeInvocationAccurate recomputes one batched invocation on the
+// accurate path: re-stage its inputs, gather them for the capture
+// record, run accurate(i), recapture, and finish.
+func (r *Region) routeInvocationAccurate(i int, stage, accurate, finish func(int) error) error {
+	if stage != nil {
+		if err := stage(i); err != nil {
+			return fmt.Errorf("hpacml: batch stage %d in region %q: %w", i, r.name, err)
+		}
+	}
+	start := time.Now()
+	inputs, err := r.modelInput()
+	r.stats.ToTensor += time.Since(start)
+	if err != nil {
+		return err
+	}
+	runStart := time.Now()
+	if err := accurate(i); err != nil {
+		return fmt.Errorf("hpacml: batch accurate %d in region %q: %w", i, r.name, err)
+	}
+	runtime := time.Since(runStart)
+	r.stats.Accurate += runtime
+	r.stats.AccurateRuns++
+	if err := r.recaptureInvocation(inputs, runtime); err != nil {
+		return err
+	}
+	if finish != nil {
+		if err := finish(i); err != nil {
+			return fmt.Errorf("hpacml: batch finish %d in region %q: %w", i, r.name, err)
+		}
+	}
+	return nil
+}
+
+// degradeBatch is the routed batch's engine-failure path: every
+// invocation runs accurately, in order, so a flapping or dead backend
+// costs surrogate speedup, never rows. No recapture happens here —
+// these are fallbacks (the engine failed), not trust rejections (the
+// model answered and was overruled).
+func (r *Region) degradeBatch(n int, stage, accurate, finish func(int) error) error {
+	for i := 0; i < n; i++ {
+		if stage != nil {
+			if err := stage(i); err != nil {
+				return fmt.Errorf("hpacml: batch stage %d in region %q: %w", i, r.name, err)
+			}
+		}
+		start := time.Now()
+		if err := accurate(i); err != nil {
+			return fmt.Errorf("hpacml: batch accurate %d in region %q: %w", i, r.name, err)
+		}
+		r.stats.Accurate += time.Since(start)
+		r.stats.AccurateRuns++
+		r.stats.Fallbacks++
+		r.stats.Invocations++
+		if finish != nil {
+			if err := finish(i); err != nil {
+				return fmt.Errorf("hpacml: batch finish %d in region %q: %w", i, r.name, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+// Golden round-trip tests for the files trust-routed deployment ships:
+// the ensemble's .gmod member weights and the .guard input-domain
+// sidecar. Both formats must survive save -> load -> save byte for
+// byte, and the reloaded artifacts must behave bit-identically — a
+// model that drifts across a round trip would silently change every
+// counter this PR adds.
+package hpacml_test
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	hpacml "repro"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+// goldenBatch builds a deterministic [rows, inDim] probe batch.
+func goldenBatch(t *testing.T, rows, inDim int) *tensor.Tensor {
+	t.Helper()
+	data := make([]float64, rows*inDim)
+	for i := range data {
+		data[i] = math.Sin(float64(i)*0.7) * 1.5
+	}
+	x, err := tensor.FromSlice(data, rows, inDim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return x
+}
+
+// TestEnsembleModelFilesGoldenRoundTrip saves three ensemble members,
+// reloads each, re-stores it, and requires (a) the re-stored .gmod be
+// byte-identical to the original and (b) the reloaded network's
+// forward pass match bit for bit — then repeats the equivalence at the
+// ensemble level, where mean and variance must also be unchanged.
+func TestEnsembleModelFilesGoldenRoundTrip(t *testing.T) {
+	const inDim, outDim, rows = 3, 2, 4
+	dir := t.TempDir()
+	x := goldenBatch(t, rows, inDim)
+
+	var origPaths, resavedPaths []string
+	for _, seed := range []int64{71, 72, 73} {
+		path := saveVectorNet(t, dir, seed, inDim, outDim)
+		origPaths = append(origPaths, path)
+		origBytes, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		net, err := nn.Load(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resaved := filepath.Join(dir, fmt.Sprintf("resaved_%d.gmod", seed))
+		resavedPaths = append(resavedPaths, resaved)
+		if err := net.Save(resaved); err != nil {
+			t.Fatal(err)
+		}
+		resavedBytes, err := os.ReadFile(resaved)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(origBytes, resavedBytes) {
+			t.Fatalf("seed %d: re-stored .gmod differs from the original (%d vs %d bytes)", seed, len(origBytes), len(resavedBytes))
+		}
+
+		reloaded, err := nn.Load(resaved)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := net.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := reloaded.Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, w := range want.Data() {
+			if got.Data()[i] != w {
+				t.Fatalf("seed %d output %d: reloaded forward %v != original %v", seed, i, got.Data()[i], w)
+			}
+		}
+	}
+
+	// The whole ensemble, deployed from the re-stored files, must infer
+	// the same mean AND report the same per-row variance — the variance
+	// is what the trust gate routes on.
+	infer := func(paths []string) ([]float64, []float64) {
+		t.Helper()
+		eng, err := hpacml.NewLocalEnsemble(paths...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Close()
+		out := tensor.New(rows, outDim)
+		if err := eng.Infer(t.Context(), x, out); err != nil {
+			t.Fatal(err)
+		}
+		return append([]float64(nil), out.Data()...),
+			append([]float64(nil), eng.RowVariance()...)
+	}
+	wantOut, wantVar := infer(origPaths)
+	gotOut, gotVar := infer(resavedPaths)
+	for i := range wantOut {
+		if gotOut[i] != wantOut[i] {
+			t.Fatalf("ensemble output %d: %v != %v after round trip", i, gotOut[i], wantOut[i])
+		}
+	}
+	for r := range wantVar {
+		if gotVar[r] != wantVar[r] {
+			t.Fatalf("ensemble row %d variance: %v != %v after round trip", r, gotVar[r], wantVar[r])
+		}
+	}
+}
+
+// TestGuardrailSidecarGoldenRoundTrip fits an envelope, saves the
+// .guard sidecar, reloads it, and requires the re-stored file be
+// byte-identical, the fields exact, and the in/out-of-domain verdicts
+// unchanged — including on margin-boundary probes where any bound
+// drift would flip the routing decision.
+func TestGuardrailSidecarGoldenRoundTrip(t *testing.T) {
+	const rows, features = 40, 3
+	data := make([]float64, rows*features)
+	for i := range data {
+		data[i] = float64(i%17)/16 + float64(i%5)*0.01
+	}
+	x, err := tensor.FromSlice(data, rows, features)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := hpacml.FitGuardrail(x, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Margin = 0.015625 // exactly representable, exercises the margin field
+
+	dir := t.TempDir()
+	path := hpacml.GuardrailPath(filepath.Join(dir, "m.gmod"))
+	if err := g.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	origBytes, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	loaded, err := hpacml.LoadGuardrail(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.Margin != g.Margin || loaded.Features() != g.Features() {
+		t.Fatalf("reloaded guardrail margin/features = %g/%d, want %g/%d", loaded.Margin, loaded.Features(), g.Margin, g.Features())
+	}
+	for f := range g.Lo {
+		if loaded.Lo[f] != g.Lo[f] || loaded.Hi[f] != g.Hi[f] {
+			t.Fatalf("feature %d bounds drifted: [%v, %v] != [%v, %v]", f, loaded.Lo[f], loaded.Hi[f], g.Lo[f], g.Hi[f])
+		}
+	}
+
+	resaved := path + ".resaved"
+	if err := loaded.Save(resaved); err != nil {
+		t.Fatal(err)
+	}
+	resavedBytes, err := os.ReadFile(resaved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(origBytes, resavedBytes) {
+		t.Fatalf("re-stored sidecar differs from the original (%d vs %d bytes)", len(origBytes), len(resavedBytes))
+	}
+
+	// Verdicts must agree everywhere, most importantly right at the
+	// margin-widened boundary.
+	span := g.Hi[0] - g.Lo[0]
+	mid := func(f int) float64 { return (g.Lo[f] + g.Hi[f]) / 2 }
+	probes := [][]float64{
+		{mid(0), mid(1), mid(2)},                      // deep inside
+		{g.Lo[0], g.Lo[1], g.Lo[2]},                   // exact lower bound
+		{g.Hi[0] + g.Margin*span*0.5, mid(1), mid(2)}, // inside the margin
+		{g.Hi[0] + g.Margin*span*2, mid(1), mid(2)},   // beyond the margin
+		{g.Lo[0] - span, mid(1), mid(2)},              // far out
+		{math.NaN(), mid(1), mid(2)},                  // non-finite
+		{math.Inf(1), mid(1), mid(2)},                 // non-finite
+		{mid(0), mid(1)},                              // wrong arity
+	}
+	for i, row := range probes {
+		if got, want := loaded.CheckRow(row), g.CheckRow(row); got != want {
+			t.Errorf("probe %d %v: reloaded verdict %v != original %v", i, row, got, want)
+		}
+	}
+	if g.CheckRow(probes[0]) != true || g.CheckRow(probes[3]) != false {
+		t.Fatal("probe set is degenerate: expected one in-domain and one out-of-domain row")
+	}
+}

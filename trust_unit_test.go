@@ -1,0 +1,419 @@
+// Unit tests for the trust-routing building blocks: guardrail fitting
+// and checking, ensemble variance semantics, FallbackEngine gating, and
+// the Region-level routing/advisory behavior of a single Execute.
+package hpacml_test
+
+import (
+	"context"
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	hpacml "repro"
+
+	"repro/internal/tensor"
+)
+
+// constEngine is a stub engine writing one constant everywhere.
+type constEngine struct {
+	val    float64
+	outDim int
+}
+
+func (e *constEngine) Infer(ctx context.Context, in, out *tensor.Tensor) error {
+	d := out.Data()
+	for i := range d {
+		d[i] = e.val
+	}
+	return nil
+}
+func (e *constEngine) OutputShape(in []int) ([]int, error) {
+	return []int{in[0], e.outDim}, nil
+}
+func (e *constEngine) Warmup(ctx context.Context, inShape []int) error { return nil }
+
+// varianceEngine is a constEngine that also reports a preset per-row
+// predictive variance, standing in for an ensemble.
+type varianceEngine struct {
+	constEngine
+	rowVar []float64
+}
+
+func (e *varianceEngine) RowVariance() []float64 { return e.rowVar }
+
+func TestWithTrustValidation(t *testing.T) {
+	x := make([]float64, 2)
+	y := make([]float64, 1)
+	build := func(cfg hpacml.TrustConfig) error {
+		_, err := hpacml.NewRegion("cfg",
+			hpacml.Directives(`
+tensor functor(vin: [i, 0:2] = ([0:2]))
+tensor functor(vout: [i, 0:1] = ([0:1]))
+tensor map(to: vin(x[0:1]))
+tensor map(from: vout(y[0:1]))
+ml(infer) in(x) out(y)
+`),
+			hpacml.BindArray("x", x, 2),
+			hpacml.BindArray("y", y, 1),
+			hpacml.WithEngine(&constEngine{outDim: 1}),
+			hpacml.WithTrust(cfg),
+		)
+		return err
+	}
+	if err := build(hpacml.TrustConfig{MaxVariance: -1}); err == nil {
+		t.Error("negative variance threshold must be rejected")
+	}
+	if err := build(hpacml.TrustConfig{}); err == nil {
+		t.Error("a trust config selecting no gate must be rejected")
+	}
+	if err := build(hpacml.TrustConfig{MaxVariance: 0.5}); err != nil {
+		t.Errorf("valid variance-only config rejected: %v", err)
+	}
+}
+
+// TestVarianceGateNeedsVarianceReporter: trust(var:V) over an engine
+// that measures no predictive variance would silently never fire, so
+// the configuration must fail before traffic.
+func TestVarianceGateNeedsVarianceReporter(t *testing.T) {
+	x := make([]float64, 2)
+	y := make([]float64, 1)
+	r, err := hpacml.NewRegion("novar",
+		hpacml.Directives(`
+tensor functor(vin: [i, 0:2] = ([0:2]))
+tensor functor(vout: [i, 0:1] = ([0:1]))
+tensor map(to: vin(x[0:1]))
+tensor map(from: vout(y[0:1]))
+ml(infer) in(x) out(y)
+`),
+		hpacml.BindArray("x", x, 2),
+		hpacml.BindArray("y", y, 1),
+		hpacml.WithEngine(&constEngine{outDim: 1}),
+		hpacml.WithTrust(hpacml.TrustConfig{MaxVariance: 0.5}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	err = r.Execute(nil)
+	if err == nil || !strings.Contains(err.Error(), "variance") {
+		t.Fatalf("want a variance-reporter config error, got %v", err)
+	}
+}
+
+// TestTrustDomainRemoteModelNeedsExplicitGuardrail: a remote model URI
+// has no local .guard sidecar, so trust(domain:on) without an explicit
+// GuardrailPath must fail loudly instead of silently skipping the gate.
+func TestTrustDomainRemoteModelNeedsExplicitGuardrail(t *testing.T) {
+	x := make([]float64, 2)
+	y := make([]float64, 1)
+	r, err := hpacml.NewRegion("remote-guard",
+		hpacml.Directives(`
+tensor functor(vin: [i, 0:2] = ([0:2]))
+tensor functor(vout: [i, 0:1] = ([0:1]))
+tensor map(to: vin(x[0:1]))
+tensor map(from: vout(y[0:1]))
+ml(infer) in(x) out(y) model("http://127.0.0.1:1/vec") trust(domain:on)
+`),
+		hpacml.BindArray("x", x, 2),
+		hpacml.BindArray("y", y, 1),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	err = r.Execute(nil)
+	if err == nil || !strings.Contains(err.Error(), "guardrail sidecar") {
+		t.Fatalf("want the guardrail-sidecar config error, got %v", err)
+	}
+}
+
+// TestEnsembleVarianceSemantics pins the variance definition on stub
+// members: zero for a single member, the population variance of the
+// member spread otherwise, and maximal uncertainty when a member emits
+// NaN — a non-finite surrogate output must never read as confident.
+func TestEnsembleVarianceSemantics(t *testing.T) {
+	in := goldenBatch(t, 3, 2)
+	infer := func(members ...hpacml.Engine) []float64 {
+		t.Helper()
+		eng, err := hpacml.NewEnsembleEngine(members...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer eng.Close()
+		out := tensor.New(3, 1)
+		if err := eng.Infer(t.Context(), in, out); err != nil {
+			t.Fatal(err)
+		}
+		return append([]float64(nil), eng.RowVariance()...)
+	}
+
+	for r, v := range infer(&constEngine{val: 5, outDim: 1}) {
+		if v != 0 {
+			t.Errorf("single member row %d variance = %v, want 0", r, v)
+		}
+	}
+
+	// Members at 1 and 3: mean 2, population variance 1 per feature.
+	for r, v := range infer(&constEngine{val: 1, outDim: 1}, &constEngine{val: 3, outDim: 1}) {
+		if v != 1 {
+			t.Errorf("disagreeing members row %d variance = %v, want 1", r, v)
+		}
+	}
+
+	// One NaN member poisons every row: variance must read +Inf, never 0.
+	for r, v := range infer(&constEngine{val: 1, outDim: 1}, &constEngine{val: math.NaN(), outDim: 1}) {
+		if !math.IsInf(v, 1) {
+			t.Errorf("NaN member row %d variance = %v, want +Inf", r, v)
+		}
+	}
+}
+
+// TestFallbackEngineGates drives both gates directly: the variance
+// threshold rejects exactly the rows above it, the guardrail rejects
+// exactly the out-of-envelope rows, and an ungated wrapper reports no
+// verdicts at all.
+func TestFallbackEngineGates(t *testing.T) {
+	in, err := tensor.FromSlice([]float64{
+		0.5, 0.5, // in domain, low variance
+		0.5, 0.5, // in domain, high variance
+		9.0, 0.5, // out of domain, low variance
+	}, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := tensor.New(3, 1)
+	g := &hpacml.Guardrail{Lo: []float64{0, 0}, Hi: []float64{1, 1}}
+
+	fb := hpacml.NewFallbackEngine(&varianceEngine{
+		constEngine: constEngine{val: 2, outDim: 1},
+		rowVar:      []float64{0.1, 7.0, 0.1},
+	})
+	fb.MaxVariance = 1
+	fb.Guardrail = g
+	if err := fb.Warmup(t.Context(), in.Shape()); err != nil {
+		t.Fatal(err)
+	}
+	if err := fb.Infer(t.Context(), in, out); err != nil {
+		t.Fatal(err)
+	}
+	rep := fb.TrustReport()
+	if rep == nil || rep.Rows != 3 {
+		t.Fatalf("gated engine must report, got %+v", rep)
+	}
+	wantOOD := []bool{false, false, true}
+	wantUnc := []bool{false, true, false}
+	for i := 0; i < 3; i++ {
+		if rep.OOD[i] != wantOOD[i] || rep.Uncertain[i] != wantUnc[i] {
+			t.Errorf("row %d: ood=%v uncertain=%v, want %v/%v", i, rep.OOD[i], rep.Uncertain[i], wantOOD[i], wantUnc[i])
+		}
+		if rep.Untrusted(i) != (wantOOD[i] || wantUnc[i]) {
+			t.Errorf("row %d Untrusted = %v", i, rep.Untrusted(i))
+		}
+	}
+	if !rep.AnyUntrusted() {
+		t.Error("AnyUntrusted must see the rejections")
+	}
+	if len(rep.Variance) != 3 || rep.Variance[1] != 7.0 {
+		t.Errorf("report variance = %v", rep.Variance)
+	}
+
+	// Ungated, the same wrapper reports nothing.
+	bare := hpacml.NewFallbackEngine(&constEngine{val: 2, outDim: 1})
+	if err := bare.Infer(t.Context(), in, out); err != nil {
+		t.Fatal(err)
+	}
+	if bare.TrustReport() != nil {
+		t.Error("ungated engine must not report trust verdicts")
+	}
+
+	// Warmup rejects a variance gate over a variance-blind primary.
+	blind := hpacml.NewFallbackEngine(&constEngine{outDim: 1})
+	blind.MaxVariance = 1
+	if err := blind.Warmup(t.Context(), in.Shape()); err == nil {
+		t.Error("variance gate over a variance-blind engine must fail Warmup")
+	}
+}
+
+// trustStub builds a 2-in 1-out region around the given gated engine.
+func trustStub(t *testing.T, eng hpacml.Engine, x, y []float64, extra ...hpacml.Option) *hpacml.Region {
+	t.Helper()
+	opts := append([]hpacml.Option{
+		hpacml.Directives(`
+tensor functor(vin: [i, 0:2] = ([0:2]))
+tensor functor(vout: [i, 0:1] = ([0:1]))
+tensor map(to: vin(x[0:1]))
+tensor map(from: vout(y[0:1]))
+ml(infer) in(x) out(y)
+`),
+		hpacml.BindArray("x", x, 2),
+		hpacml.BindArray("y", y, 1),
+		hpacml.WithEngine(eng),
+	}, extra...)
+	r, err := hpacml.NewRegion("stub", opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestExecuteRoutesUntrustedInvocation: a single Execute whose row is
+// rejected discards the surrogate output, runs the accurate closure,
+// and counts the rejection; a trusted row keeps the surrogate output.
+func TestExecuteRoutesUntrustedInvocation(t *testing.T) {
+	x := []float64{0.5, 0.5}
+	y := []float64{0}
+	eng := &varianceEngine{constEngine: constEngine{val: 7, outDim: 1}, rowVar: []float64{0.1}}
+	r := trustStub(t, eng, x, y, hpacml.WithTrust(hpacml.TrustConfig{MaxVariance: 1}))
+	defer r.Close()
+	accurate := func() error { y[0] = 42; return nil }
+
+	// Low variance: surrogate kept.
+	if err := r.Execute(accurate); err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 7 {
+		t.Fatalf("trusted invocation y = %v, want surrogate 7", y[0])
+	}
+
+	// High variance: routed to the accurate path.
+	eng.rowVar[0] = 9
+	if err := r.Execute(accurate); err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 42 {
+		t.Fatalf("untrusted invocation y = %v, want accurate 42", y[0])
+	}
+
+	st := r.Stats()
+	if st.TrustedRows != 1 || st.UncertainRows != 1 || st.OutOfDomainRows != 0 {
+		t.Fatalf("counters = %+v", st)
+	}
+	if st.AccurateRuns != 1 || st.Inferences != 1 {
+		t.Fatalf("routing accounting = %+v", st)
+	}
+}
+
+// TestExecuteAdvisoryGateWithoutAccurate: with no accurate path the
+// gate cannot route, so the surrogate output is kept — but the
+// counters still record the low-trust row.
+func TestExecuteAdvisoryGateWithoutAccurate(t *testing.T) {
+	x := []float64{0.5, 0.5}
+	y := []float64{0}
+	eng := &varianceEngine{constEngine: constEngine{val: 7, outDim: 1}, rowVar: []float64{9}}
+	r := trustStub(t, eng, x, y, hpacml.WithTrust(hpacml.TrustConfig{MaxVariance: 1}))
+	defer r.Close()
+	if err := r.Execute(nil); err != nil {
+		t.Fatal(err)
+	}
+	if y[0] != 7 {
+		t.Fatalf("advisory gate y = %v, want surrogate 7 kept", y[0])
+	}
+	st := r.Stats()
+	if st.UncertainRows != 1 || st.TrustedRows != 0 || st.AccurateRuns != 0 {
+		t.Fatalf("advisory counters = %+v", st)
+	}
+}
+
+// TestDomainVerdictWins: a row rejected by both gates counts once, as
+// out-of-domain — the stronger verdict.
+func TestDomainVerdictWins(t *testing.T) {
+	x := []float64{9, 9} // outside the envelope below
+	y := []float64{0}
+	fb := hpacml.NewFallbackEngine(&varianceEngine{
+		constEngine: constEngine{val: 7, outDim: 1},
+		rowVar:      []float64{9}, // also above the threshold
+	})
+	fb.MaxVariance = 1
+	fb.Guardrail = &hpacml.Guardrail{Lo: []float64{0, 0}, Hi: []float64{1, 1}}
+	r := trustStub(t, fb, x, y)
+	defer r.Close()
+	if err := r.Execute(func() error { y[0] = 42; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	st := r.Stats()
+	if st.OutOfDomainRows != 1 || st.UncertainRows != 0 {
+		t.Fatalf("both-gates row must count once as out-of-domain: %+v", st)
+	}
+	if y[0] != 42 {
+		t.Fatalf("both-gates invocation y = %v, want accurate 42", y[0])
+	}
+}
+
+// TestGuardrailFitValidation pins the fit-time error cases and the
+// quantile envelope itself.
+func TestGuardrailFitValidation(t *testing.T) {
+	if _, err := hpacml.FitGuardrail(nil, 0); err == nil {
+		t.Error("nil tensor must be rejected")
+	}
+	x, _ := tensor.FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	if _, err := hpacml.FitGuardrail(x, 0.5); err == nil {
+		t.Error("quantile 0.5 must be rejected")
+	}
+	if _, err := hpacml.FitGuardrail(x, -0.1); err == nil {
+		t.Error("negative quantile must be rejected")
+	}
+	nan, _ := tensor.FromSlice([]float64{math.NaN(), 1, math.NaN(), 2}, 2, 2)
+	if _, err := hpacml.FitGuardrail(nan, 0); err == nil {
+		t.Error("an all-NaN feature must be rejected")
+	}
+
+	// q=0 fits the min/max envelope; NaNs in a feature are skipped, not
+	// propagated into the bounds.
+	mixed, _ := tensor.FromSlice([]float64{0, 5, 1, 6, math.NaN(), 7}, 3, 2)
+	g, err := hpacml.FitGuardrail(mixed, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Lo[0] != 0 || g.Hi[0] != 1 || g.Lo[1] != 5 || g.Hi[1] != 7 {
+		t.Fatalf("min/max envelope = [%v %v] [%v %v]", g.Lo[0], g.Hi[0], g.Lo[1], g.Hi[1])
+	}
+	if g.CheckRow([]float64{0.5, 6}) != true || g.CheckRow([]float64{2, 6}) != false {
+		t.Fatal("envelope verdicts wrong")
+	}
+}
+
+// TestGuardrailCheckValidation pins the batch Check error cases.
+func TestGuardrailCheckValidation(t *testing.T) {
+	g := &hpacml.Guardrail{Lo: []float64{0}, Hi: []float64{1}}
+	x, _ := tensor.FromSlice([]float64{0.5, 2}, 2, 1)
+	if _, err := g.Check(x, make([]bool, 1)); err == nil {
+		t.Error("verdict-slot mismatch must be rejected")
+	}
+	wide, _ := tensor.FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	if _, err := g.Check(wide, make([]bool, 2)); err == nil {
+		t.Error("feature-count mismatch must be rejected")
+	}
+	ood := make([]bool, 2)
+	n, err := g.Check(x, ood)
+	if err != nil || n != 1 || ood[0] || !ood[1] {
+		t.Fatalf("check = %d, %v, verdicts %v", n, err, ood)
+	}
+}
+
+// TestGuardrailSidecarDecodeErrors pins the sidecar's corruption
+// handling: wrong magic, wrong version, and inverted bounds all fail.
+func TestGuardrailSidecarDecodeErrors(t *testing.T) {
+	dir := t.TempDir()
+	good := &hpacml.Guardrail{Lo: []float64{0}, Hi: []float64{1}}
+	path := filepath.Join(dir, "g.guard")
+	if err := good.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hpacml.LoadGuardrail(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := hpacml.LoadGuardrail(filepath.Join(dir, "missing.guard")); err == nil {
+		t.Error("missing sidecar must fail")
+	}
+	bad := &hpacml.Guardrail{Lo: []float64{2}, Hi: []float64{1}}
+	if err := bad.Save(filepath.Join(dir, "bad.guard")); err == nil {
+		if _, err := hpacml.LoadGuardrail(filepath.Join(dir, "bad.guard")); err == nil {
+			t.Error("inverted bounds must fail decode")
+		}
+	}
+	empty := &hpacml.Guardrail{}
+	if err := empty.Save(filepath.Join(dir, "empty.guard")); err == nil {
+		t.Error("encoding an empty guardrail must fail")
+	}
+}
