@@ -13,7 +13,13 @@
 //
 //	hpacml-serve -loadgen -target http://127.0.0.1:8080 \
 //	    -loadgen-model binomial -rps 0 -duration 5s -concurrency 32 \
-//	    -out BENCH_serve.json
+//	    -wire both -out BENCH_serve.json
+//
+// -wire selects the client protocol: json (default), binary (the
+// length-prefixed frame wire), or both — a JSON baseline run followed
+// by a binary run, published as one record with before/after p50/p99
+// and records/sec. Servers started with -f32 run inference in single
+// precision (see the f32(on) directive clause).
 //
 // Applications reach a hosted model from their own annotated regions by
 // swapping the model path for a model URI — model("http://host:8080/binomial")
@@ -103,6 +109,7 @@ func main() {
 	queueCap := flag.Int("queue", 0, "bounded queue capacity per model (0 = 8*max-batch); overflow rejects with 429")
 	workers := flag.Int("workers", 2, "replica regions per model")
 	reload := flag.Duration("reload", 2*time.Second, "model-file checksum poll interval for hot reload (0 disables)")
+	f32 := flag.Bool("f32", false, "run inference in single precision: model weights convert to float32 once at load and batches skip the float64 round trip (unsupported models stay float64)")
 
 	loadgen := flag.Bool("loadgen", false, "run as load generator instead of server")
 	target := flag.String("target", "http://127.0.0.1:8080", "loadgen: server base URL")
@@ -112,6 +119,7 @@ func main() {
 	concurrency := flag.Int("concurrency", 16, "loadgen: concurrent clients")
 	out := flag.String("out", "", "loadgen: result JSON path (default stdout)")
 	seed := flag.Int64("seed", 29, "loadgen: input-vector seed")
+	wire := flag.String("wire", "json", "loadgen: client protocol — json, binary (length-prefixed frames), or both (JSON baseline then binary, one record)")
 	flag.Parse()
 
 	if *loadgen {
@@ -122,6 +130,7 @@ func main() {
 			Duration:    *duration,
 			Concurrency: *concurrency,
 			Seed:        *seed,
+			Wire:        *wire,
 		})
 		if err != nil {
 			fatal(err)
@@ -129,9 +138,13 @@ func main() {
 		if err := rec.WriteFile(*out); err != nil {
 			fatal(err)
 		}
+		if base := rec.Serving.Baseline; base != nil {
+			fmt.Fprintf(os.Stderr, "loadgen[%s]: %d completed (%.0f rec/s), p50 %.2fms, p99 %.2fms\n",
+				base.Wire, base.Completed, base.RecordsPerSec, base.LatencyP50Ms, base.LatencyP99Ms)
+		}
 		sv := rec.Serving
-		fmt.Fprintf(os.Stderr, "loadgen: %d completed (%.0f req/s), %d rejected, %d errors, mean batch %.1f, p95 %.2fms\n",
-			sv.Completed, sv.AchievedRPS, sv.Rejected, sv.Errors, sv.MeanBatch, sv.LatencyP95Ms)
+		fmt.Fprintf(os.Stderr, "loadgen[%s]: %d completed (%.0f rec/s), %d rejected, %d errors, mean batch %.1f, p50 %.2fms, p99 %.2fms\n",
+			sv.Wire, sv.Completed, sv.RecordsPerSec, sv.Rejected, sv.Errors, sv.MeanBatch, sv.LatencyP50Ms, sv.LatencyP99Ms)
 		return
 	}
 
@@ -142,6 +155,11 @@ func main() {
 	}
 	for i := range captures {
 		captures[i].ShardRecords = *captureShard
+	}
+	if *f32 {
+		for i := range models {
+			models[i].F32 = true
+		}
 	}
 	s, err := serve.NewServer(serve.Config{
 		MaxBatch:       *maxBatch,

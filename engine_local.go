@@ -35,13 +35,38 @@ func StoreModel(path string, m *nn.Network) { modelCache.Store(path, m) }
 // evicting the cache entry — is exactly the model handling Region
 // itself used to hard-wire.
 type LocalEngine struct {
-	path string
-	net  *nn.Network
+	path  string
+	net   *nn.Network
+	f32   bool
+	fwd32 *nn.Forward32
+}
+
+// LocalOption configures a LocalEngine at construction.
+type LocalOption func(*LocalEngine)
+
+// WithFloat32Inference makes the engine run batched inference in
+// single precision: the network's weights are converted to float32
+// once at load, and rank-2 batches then run through the flat f32
+// kernels (nn.Forward32) instead of the float64 tensor path. Models
+// the f32 compiler does not support (convolutions) silently keep the
+// float64 path, as do non-contiguous or higher-rank inputs.
+func WithFloat32Inference() LocalOption {
+	return func(e *LocalEngine) { e.f32 = true }
 }
 
 // NewLocalEngine builds a local engine for a .gmod path. The file is
 // not touched until Warmup (or the first inference).
-func NewLocalEngine(path string) *LocalEngine { return &LocalEngine{path: path} }
+func NewLocalEngine(path string, opts ...LocalOption) *LocalEngine {
+	e := &LocalEngine{path: path}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+// Float32 reports whether the engine was built with
+// WithFloat32Inference.
+func (e *LocalEngine) Float32() bool { return e.f32 }
 
 // Path returns the model path the engine loads from.
 func (e *LocalEngine) Path() string { return e.path }
@@ -61,6 +86,7 @@ func (e *LocalEngine) ensure() error {
 	}
 	if cached, ok := modelCache.Load(e.path); ok {
 		e.net = cached.(*nn.Network)
+		e.compile32()
 		return nil
 	}
 	m, err := nn.Load(e.path)
@@ -69,7 +95,21 @@ func (e *LocalEngine) ensure() error {
 	}
 	modelCache.Store(e.path, m)
 	e.net = m
+	e.compile32()
 	return nil
+}
+
+// compile32 snapshots the freshly resolved network into a float32
+// program when the engine opted in. Compilation failure (unsupported
+// layers) is not an error: the engine keeps the float64 path.
+func (e *LocalEngine) compile32() {
+	e.fwd32 = nil
+	if !e.f32 {
+		return
+	}
+	if f, err := nn.NewForward32(e.net); err == nil {
+		e.fwd32 = f
+	}
 }
 
 // Warmup loads the model (via the shared cache) so load errors surface
@@ -107,6 +147,11 @@ func (e *LocalEngine) Infer(ctx context.Context, in, out *tensor.Tensor) error {
 	if err := e.ensure(); err != nil {
 		return err
 	}
+	if f := e.fwd32; f != nil &&
+		in.Rank() == 2 && out.Rank() == 2 && in.IsContiguous() && out.IsContiguous() &&
+		in.Dim(1) == f.InDim() && out.Dim(0) == in.Dim(0) && out.Dim(1) == f.OutDim() {
+		return f.ForwardFloat64(out.Data(), in.Data(), in.Dim(0))
+	}
 	return e.net.ForwardInto(out, in)
 }
 
@@ -114,13 +159,13 @@ func (e *LocalEngine) Infer(ctx context.Context, in, out *tensor.Tensor) error {
 // re-resolves from the shared cache — the replica-pool hot-reload swap,
 // which must not re-read disk (a concurrent retrain could hand
 // different replicas different or torn bytes for the same swap).
-func (e *LocalEngine) Refresh() { e.net = nil }
+func (e *LocalEngine) Refresh() { e.net, e.fwd32 = nil, nil }
 
 // Invalidate additionally evicts the shared cache entry, forcing the
 // next load to re-read the file (e.g. after a new training round wrote
 // it).
 func (e *LocalEngine) Invalidate() {
-	e.net = nil
+	e.net, e.fwd32 = nil, nil
 	if e.path != "" {
 		modelCache.Delete(e.path)
 	}

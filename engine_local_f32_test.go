@@ -1,0 +1,162 @@
+package hpacml
+
+import (
+	"context"
+	"math"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/nn"
+	"repro/internal/tensor"
+)
+
+func saveF32TestModel(t *testing.T, path string) {
+	t.Helper()
+	net := nn.NewNetwork(7)
+	net.Add(net.NewDense(5, 16), nn.NewActivation(nn.ActTanh), net.NewDense(16, 2))
+	if err := net.Save(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLocalEngineFloat32 checks the engine-level f32 contract: opted-in
+// engines compile the float32 program at load, batched inference stays
+// within single-precision tolerance of the float64 engine, and
+// Refresh/Invalidate drop the compiled program with the network.
+func TestLocalEngineFloat32(t *testing.T) {
+	ClearModelCache()
+	path := filepath.Join(t.TempDir(), "m.gmod")
+	saveF32TestModel(t, path)
+
+	e32 := NewLocalEngine(path, WithFloat32Inference())
+	e64 := NewLocalEngine(path)
+	if !e32.Float32() || e64.Float32() {
+		t.Fatal("Float32() must reflect the option")
+	}
+	ctx := context.Background()
+	if err := e32.Warmup(ctx, []int{4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	if e32.fwd32 == nil {
+		t.Fatal("f32 engine must compile the float32 program at load")
+	}
+
+	const rows = 9
+	in := tensor.New(rows, 5)
+	for i, d := 0, in.Data(); i < len(d); i++ {
+		d[i] = float64((i*7)%13)/13 - 0.5
+	}
+	out32 := tensor.New(rows, 2)
+	out64 := tensor.New(rows, 2)
+	if err := e32.Infer(ctx, in, out32); err != nil {
+		t.Fatal(err)
+	}
+	if err := e64.Infer(ctx, in, out64); err != nil {
+		t.Fatal(err)
+	}
+	want := out64.Data()
+	for i, got := range out32.Data() {
+		if diff := math.Abs(got - want[i]); diff > 1e-5*math.Abs(want[i])+1e-6 {
+			t.Fatalf("element %d: f32 %g vs f64 %g", i, got, want[i])
+		}
+	}
+
+	// Refresh drops the compiled program alongside the network and the
+	// next inference rebuilds both from the shared cache.
+	e32.Refresh()
+	if e32.fwd32 != nil {
+		t.Fatal("Refresh must drop the f32 program")
+	}
+	if err := e32.Infer(ctx, in, out32); err != nil {
+		t.Fatal(err)
+	}
+	if e32.fwd32 == nil {
+		t.Fatal("inference after Refresh must recompile the f32 program")
+	}
+	e32.Invalidate()
+	if e32.fwd32 != nil {
+		t.Fatal("Invalidate must drop the f32 program")
+	}
+}
+
+// TestLocalEngineFloat32Fallback: a model the f32 compiler rejects
+// (convolutional) still serves through the float64 path.
+func TestLocalEngineFloat32Fallback(t *testing.T) {
+	ClearModelCache()
+	path := filepath.Join(t.TempDir(), "cnn.gmod")
+	net := nn.NewNetwork(3)
+	net.Add(net.NewConv1D(1, 2, 3, 1), nn.NewFlatten(), net.NewDense(12, 2))
+	if err := net.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	e := NewLocalEngine(path, WithFloat32Inference())
+	ctx := context.Background()
+	if err := e.Warmup(ctx, []int{2, 1, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if e.fwd32 != nil {
+		t.Fatal("conv model must not compile to f32")
+	}
+	in := tensor.New(2, 1, 8)
+	out := tensor.New(2, 2)
+	if err := e.Infer(ctx, in, out); err != nil {
+		t.Fatalf("float64 fallback inference: %v", err)
+	}
+}
+
+// TestRegionF32Precedence: the f32(on|off) clause configures the
+// region's own engine, and WithFloat32 overrides the clause — the same
+// option-beats-directive rule capture and trust follow.
+func TestRegionF32Precedence(t *testing.T) {
+	ClearModelCache()
+	path := filepath.Join(t.TempDir(), "m.gmod")
+	saveF32TestModel(t, path)
+
+	mk := func(clause string, opts ...Option) *Region {
+		t.Helper()
+		in := make([]float64, 5)
+		out := make([]float64, 2)
+		all := append([]Option{
+			Directives(`
+tensor functor(ifn: [i, 0:5] = ([i*5:i*5+5]))
+tensor functor(ofn: [i, 0:2] = ([i*2:i*2+2]))
+tensor map(to: ifn(x[0:1]))
+tensor map(from: ofn(y[0:1]))
+ml(infer) in(x) out(y) model("` + path + `")` + clause),
+			BindArray("x", in, 5),
+			BindArray("y", out, 2),
+		}, opts...)
+		r, err := NewRegion("r", all...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { r.Close() })
+		return r
+	}
+
+	cases := []struct {
+		name   string
+		clause string
+		opts   []Option
+		want   bool
+	}{
+		{"default-off", "", nil, false},
+		{"clause-on", " f32(on)", nil, true},
+		{"clause-off", " f32(off)", nil, false},
+		{"option-beats-clause", " f32(on)", []Option{WithFloat32(false)}, false},
+		{"option-on", "", []Option{WithFloat32(true)}, true},
+	}
+	for _, tc := range cases {
+		r := mk(tc.clause, tc.opts...)
+		if err := r.ensureEngine(); err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		le, ok := r.Engine().(*LocalEngine)
+		if !ok {
+			t.Fatalf("%s: engine %T", tc.name, r.Engine())
+		}
+		if le.Float32() != tc.want {
+			t.Fatalf("%s: Float32() = %v, want %v", tc.name, le.Float32(), tc.want)
+		}
+	}
+}

@@ -11,9 +11,12 @@ import (
 )
 
 // RemoteEngine executes a region's inference against a running
-// hpacml-serve instance over its HTTP JSON API, through the typed
-// pooled client (internal/serveclient). A region selects it by writing
-// an http(s):// URI in its model() clause —
+// hpacml-serve instance over its HTTP API, through the typed pooled
+// client (internal/serveclient). Engines that build their own client
+// speak the binary frame wire — one length-prefixed request per batch,
+// raw float payloads — and downgrade to JSON automatically against
+// servers that predate it. A region selects the engine by writing an
+// http(s):// URI in its model() clause —
 //
 //	ml(infer) in(x) out(y) model("http://127.0.0.1:8080/binomial")
 //
@@ -37,8 +40,6 @@ type RemoteEngine struct {
 	resolved bool
 	inDim    int
 	outDim   int
-
-	rows [][]float64 // request scratch, reused across batches
 }
 
 // DefaultRemoteTimeout bounds each request of a region-built remote
@@ -81,7 +82,7 @@ func NewRemoteEngine(uri string, opts ...RemoteOption) (*RemoteEngine, error) {
 	}
 	client := cfg.client
 	if client == nil {
-		var copts []serveclient.Option
+		copts := []serveclient.Option{serveclient.WithWire(serveclient.WireBinary)}
 		if cfg.timeout > 0 {
 			copts = append(copts, serveclient.WithTimeout(cfg.timeout))
 		}
@@ -129,10 +130,12 @@ func (e *RemoteEngine) OutputShape(in []int) ([]int, error) {
 	return []int{in[0], e.outDim}, nil
 }
 
-// Infer ships the staged rows to the server — one request whether the
-// region ran single or batched — and copies the answers into out. Row
-// slices alias the staging tensor's storage, so building the request
-// allocates only the JSON encoding.
+// Infer ships the staged rows to the server as one flat [rows, inDim]
+// matrix — a single request whether the region ran single or batched —
+// and decodes the answers straight into out's storage. On the binary
+// wire the round trip is two raw float slabs behind fixed headers; the
+// client's transparent fallback keeps old JSON-only servers working at
+// the old cost.
 func (e *RemoteEngine) Infer(ctx context.Context, in, out *tensor.Tensor) error {
 	if in.Rank() != 2 || out.Rank() != 2 {
 		return fmt.Errorf("hpacml: remote engine wants 2-D staging, got %v -> %v", in.Shape(), out.Shape())
@@ -141,37 +144,16 @@ func (e *RemoteEngine) Infer(ctx context.Context, in, out *tensor.Tensor) error 
 	outF := out.Dim(1)
 	inData, outData := in.Contiguous().Data(), out.Data()
 
-	if rows == 1 {
-		got, err := e.client.Infer(ctx, e.model, inData)
-		if err != nil {
-			return err
-		}
-		if len(got) != outF {
-			return fmt.Errorf("hpacml: remote model %q answered %d features, want %d", e.model, len(got), outF)
-		}
-		copy(outData, got)
-		return nil
-	}
-
-	if cap(e.rows) < rows {
-		e.rows = make([][]float64, rows)
-	}
-	ins := e.rows[:rows]
-	for i := range ins {
-		ins[i] = inData[i*inF : (i+1)*inF]
-	}
-	outs, err := e.client.InferBatch(ctx, e.model, ins)
+	data, gotCols, err := e.client.InferMatrix(ctx, e.model, rows, inF, inData, outData)
 	if err != nil {
 		return err
 	}
-	if len(outs) != rows {
-		return fmt.Errorf("hpacml: remote model %q answered %d rows, want %d", e.model, len(outs), rows)
+	if gotCols != outF || len(data) != rows*outF {
+		return fmt.Errorf("hpacml: remote model %q answered %d floats x %d features, want [%d, %d]",
+			e.model, len(data), gotCols, rows, outF)
 	}
-	for i, o := range outs {
-		if len(o) != outF {
-			return fmt.Errorf("hpacml: remote model %q row %d has %d features, want %d", e.model, i, len(o), outF)
-		}
-		copy(outData[i*outF:(i+1)*outF], o)
+	if len(data) > 0 && &data[0] != &outData[0] {
+		copy(outData, data)
 	}
 	return nil
 }

@@ -199,6 +199,12 @@ type Region struct {
 	trust      *TrustConfig
 	trustWired bool
 
+	// f32 is the resolved single-precision-inference setting (from the
+	// f32(on|off) clause unless WithFloat32 overrode it; nil means the
+	// float64 default). It only affects engines the region builds
+	// itself — an injected engine's precision is the injector's call.
+	f32 *bool
+
 	stats Stats
 	// sinkBase is the sink-counter snapshot taken at the last
 	// ResetStats, so Stats reports only capture activity since then
@@ -313,6 +319,16 @@ func BindPredicate(name string, fn func() bool) Option {
 	}
 }
 
+// WithFloat32 overrides the directive's f32(on|off) clause: on=true
+// asks the region's own LocalEngine to run batched inference in single
+// precision (converting the model's weights once at load). Models and
+// input shapes the f32 path cannot compile silently keep float64, so
+// enabling it never changes which calls succeed — only their precision
+// and speed. It has no effect on engines injected with WithEngine.
+func WithFloat32(on bool) Option {
+	return func(r *Region) error { r.f32 = &on; return nil }
+}
+
 // WithModel overrides the model path from the ml clause.
 func WithModel(path string) Option {
 	return func(r *Region) error { r.modelPath = path; return nil }
@@ -411,6 +427,11 @@ func (r *Region) finalize() error {
 	// overrode it through WithTrust (same precedence as capture).
 	if r.ml.Trust != nil && r.trust == nil {
 		r.trust = &TrustConfig{MaxVariance: r.ml.Trust.MaxVariance, Domain: r.ml.Trust.Domain}
+	}
+	// The directive's f32(...) precision choice applies unless the
+	// caller overrode it through WithFloat32 (same precedence again).
+	if r.ml.F32 != nil && r.f32 == nil {
+		r.f32 = r.ml.F32
 	}
 
 	// Inline functor applications in the ml clause (fa-exprs) create
@@ -774,7 +795,11 @@ func (r *Region) ensureEngine() error {
 		r.setEngine(NewFallbackEngine(remote), true)
 		return nil
 	}
-	r.setEngine(NewLocalEngine(r.modelPath), true)
+	var opts []LocalOption
+	if r.f32 != nil && *r.f32 {
+		opts = append(opts, WithFloat32Inference())
+	}
+	r.setEngine(NewLocalEngine(r.modelPath, opts...), true)
 	return nil
 }
 

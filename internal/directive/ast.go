@@ -389,7 +389,8 @@ func (t TrustPolicy) String() string {
 // MLDecl is a parsed approx ml directive:
 //
 //	#pragma approx ml(mode[:cond]) in(a, b) out(c) inout(d) \
-//	        model("m.gmod") db("d.gh5") capture(every:N) trust(var:V) if(cond)
+//	        model("m.gmod") db("d.gh5") capture(every:N) trust(var:V) \
+//	        f32(on|off) if(cond)
 //
 // Each of in/out/inout accepts either plain array references (which must
 // be covered by tensor map directives) or inline functor applications
@@ -410,6 +411,7 @@ type MLDecl struct {
 	DB        string
 	Capture   *CapturePolicy
 	Trust     *TrustPolicy
+	F32       *bool // f32(on|off): single-precision inference; nil = runtime default
 	If        string
 }
 
@@ -464,6 +466,13 @@ func (m *MLDecl) String() string {
 	}
 	if m.Trust != nil {
 		b.WriteString(" " + m.Trust.String())
+	}
+	if m.F32 != nil {
+		if *m.F32 {
+			b.WriteString(" f32(on)")
+		} else {
+			b.WriteString(" f32(off)")
+		}
 	}
 	if m.If != "" {
 		fmt.Fprintf(&b, " if(%s)", m.If)

@@ -354,6 +354,21 @@ func (p *parser) parseML() (*MLDecl, error) {
 				return nil, err
 			}
 			ml.Trust = pol
+		case "f32":
+			t, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			switch t.text {
+			case "on":
+				on := true
+				ml.F32 = &on
+			case "off":
+				off := false
+				ml.F32 = &off
+			default:
+				return nil, p.errorf("f32 wants on or off, got %q", t.text)
+			}
 		case "if":
 			cond, err := p.parseRawUntilCloseParen()
 			if err != nil {

@@ -122,12 +122,34 @@ func TestParseMLDatabaseAlias(t *testing.T) {
 	}
 }
 
+func TestParseMLF32Clause(t *testing.T) {
+	if ml := mustParse(t, `ml(infer) in(x) out(y) model("m")`).(*MLDecl); ml.F32 != nil {
+		t.Fatalf("no f32 clause must leave F32 nil, got %v", *ml.F32)
+	}
+	on := mustParse(t, `ml(infer) in(x) out(y) model("m") f32(on)`).(*MLDecl)
+	if on.F32 == nil || !*on.F32 {
+		t.Fatalf("f32(on) = %v", on.F32)
+	}
+	off := mustParse(t, `ml(infer) in(x) out(y) model("m") f32(off)`).(*MLDecl)
+	if off.F32 == nil || *off.F32 {
+		t.Fatalf("f32(off) = %v", off.F32)
+	}
+	// String must render the clause so reparse round-trips (the
+	// fuzz fixed-point property).
+	reparsed := mustParse(t, on.String()).(*MLDecl)
+	if reparsed.F32 == nil || !*reparsed.F32 {
+		t.Fatalf("String() dropped f32: %q", on.String())
+	}
+}
+
 func TestParseMLErrors(t *testing.T) {
 	bad := []string{
 		`ml(infer)`,                            // no in/out/inout
 		`ml(infer) in(x) in(y) out(z)`,         // duplicate clause
 		`ml(infer) in(x) out(y) bogus("z")`,    // unknown clause
 		`ml(infer) in(x) out(y) model(m)`,      // model wants a string
+		`ml(infer) in(x) out(y) f32(fast)`,     // f32 wants on|off
+		`ml(infer) in(x) out(y) f32("on")`,     // ...as an ident, not a string
 		`ml(infer:cond in(x) out(y)`,           // unterminated
 		`ml(infer) in() out(y)`,                // empty ident list
 		`tensor functor(f: [i] = ([i])) junk`,  // trailing input

@@ -1,0 +1,262 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/parallel"
+	"repro/internal/tensor"
+)
+
+// Forward32 is a single-precision inference program compiled from a
+// Network once: dense weights and biases are converted to flat float32
+// slabs at construction, and batches then run start-to-finish in
+// float32 — half the memory traffic and twice the SIMD lanes of the
+// float64 path, with no per-batch conversion of the model. It exists
+// for the serving hot path (hpacml.LocalEngine's f32 option); training
+// and the default inference path stay float64.
+//
+// The compiled program snapshots the network's weights: after a
+// parameter update or hot reload, build a new Forward32. Only vector
+// models are compilable — the layer set the registry's MLP surrogates
+// use (Dense, activations, Affine, ChannelAffine, and the
+// inference-identity Dropout and Flatten); anything else (convolutions,
+// residual blocks) fails NewForward32 and the caller keeps the float64
+// path. A Forward32 is safe for concurrent use; per-call state lives in
+// pooled scratch.
+type Forward32 struct {
+	inDim, outDim int
+	ops           []op32
+	scratch       sync.Pool // *f32Scratch
+	conv          sync.Pool // *convScratch32
+}
+
+// op32 kinds.
+const (
+	op32Dense = iota
+	op32Act
+	op32Affine
+	op32ChanAffine
+)
+
+type op32 struct {
+	kind           int
+	inCols         int
+	outCols        int
+	w, b           []float32 // dense: [in, out] weights, [out] bias
+	fn             string    // activation kind
+	scale, shift   float32   // affine
+	blockLen       int       // channel affine
+	scales, shifts []float32
+}
+
+type f32Scratch struct {
+	bufs [2][]float32
+}
+
+type convScratch32 struct {
+	in, out []float32
+}
+
+// NewForward32 compiles net into a float32 inference program,
+// converting its weights once. It fails on networks the float32 path
+// does not support; callers treat that as "stay on float64", not as a
+// hard error.
+func NewForward32(net *Network) (*Forward32, error) {
+	in, out, err := net.VectorIO()
+	if err != nil {
+		return nil, fmt.Errorf("nn: f32 path: %w", err)
+	}
+	f := &Forward32{inDim: in, outDim: out}
+	f.scratch.New = func() any { return new(f32Scratch) }
+	f.conv.New = func() any { return new(convScratch32) }
+	cols := in
+	for i, e := range net.Layers {
+		switch l := e.Layer.(type) {
+		case *Dense:
+			if l.In != cols {
+				return nil, fmt.Errorf("nn: f32 path: layer %d (%s) wants width %d, have %d", i, l.Kind(), l.In, cols)
+			}
+			f.ops = append(f.ops, op32{kind: op32Dense, inCols: cols, outCols: l.Out,
+				w: toF32(l.Weight.W.Contiguous().Data()), b: toF32(l.Bias.W.Contiguous().Data())})
+			cols = l.Out
+		case *Activation:
+			if !validActivation(l.Fn) {
+				return nil, fmt.Errorf("nn: f32 path: layer %d: unknown activation %q", i, l.Fn)
+			}
+			f.ops = append(f.ops, op32{kind: op32Act, inCols: cols, outCols: cols, fn: l.Fn})
+		case *Affine:
+			f.ops = append(f.ops, op32{kind: op32Affine, inCols: cols, outCols: cols,
+				scale: float32(l.Scale), shift: float32(l.Shift)})
+		case *ChannelAffine:
+			if l.BlockLen <= 0 || len(l.Scales) != len(l.Shifts) || cols != l.BlockLen*len(l.Scales) {
+				return nil, fmt.Errorf("nn: f32 path: layer %d (%s) does not fit width %d", i, l.Kind(), cols)
+			}
+			f.ops = append(f.ops, op32{kind: op32ChanAffine, inCols: cols, outCols: cols,
+				blockLen: l.BlockLen, scales: toF32(l.Scales), shifts: toF32(l.Shifts)})
+		case *Dropout, *Flatten:
+			// Identity at inference on [rows, cols] vectors.
+		default:
+			return nil, fmt.Errorf("nn: f32 path does not support layer %d (%s)", i, e.Layer.Kind())
+		}
+	}
+	if cols != out {
+		return nil, fmt.Errorf("nn: f32 path: compiled width %d, VectorIO says %d", cols, out)
+	}
+	if len(f.ops) == 0 {
+		return nil, fmt.Errorf("nn: f32 path: network has no compilable ops")
+	}
+	return f, nil
+}
+
+// InDim returns the per-sample input width.
+func (f *Forward32) InDim() int { return f.inDim }
+
+// OutDim returns the per-sample output width.
+func (f *Forward32) OutDim() int { return f.outDim }
+
+// Forward runs the compiled program on a row-major [rows, InDim] f32
+// slab, writing the [rows, OutDim] result into dst. Intermediates live
+// in pooled ping-pong buffers; steady state allocates nothing.
+func (f *Forward32) Forward(dst, x []float32, rows int) error {
+	if rows < 0 || len(x) != rows*f.inDim {
+		return fmt.Errorf("nn: f32 forward input %d floats, want [%d, %d]", len(x), rows, f.inDim)
+	}
+	if len(dst) != rows*f.outDim {
+		return fmt.Errorf("nn: f32 forward dst %d floats, want [%d, %d]", len(dst), rows, f.outDim)
+	}
+	s := f.scratch.Get().(*f32Scratch)
+	defer f.scratch.Put(s)
+	cur := x
+	slot := 0
+	for i := range f.ops {
+		op := &f.ops[i]
+		out := dst
+		if i < len(f.ops)-1 {
+			need := rows * op.outCols
+			if cap(s.bufs[slot]) < need {
+				s.bufs[slot] = make([]float32, need)
+			}
+			out = s.bufs[slot][:need]
+			slot ^= 1
+		}
+		if err := op.run(out, cur, rows); err != nil {
+			return err
+		}
+		cur = out
+	}
+	return nil
+}
+
+// ForwardFloat64 is Forward with float64 staging on both ends: the
+// input slab is converted to f32 once, the batch runs in single
+// precision, and the result is widened into dst. This is the seam the
+// engine layer uses — region staging tensors stay float64, the compute
+// does not.
+func (f *Forward32) ForwardFloat64(dst, x []float64, rows int) error {
+	if rows < 0 || len(x) != rows*f.inDim || len(dst) != rows*f.outDim {
+		return fmt.Errorf("nn: f32 forward input %d -> dst %d floats, want [%d, %d] -> [%d, %d]",
+			len(x), len(dst), rows, f.inDim, rows, f.outDim)
+	}
+	cs := f.conv.Get().(*convScratch32)
+	defer f.conv.Put(cs)
+	if cap(cs.in) < len(x) {
+		cs.in = make([]float32, len(x))
+	}
+	cs.in = cs.in[:len(x)]
+	for i, v := range x {
+		cs.in[i] = float32(v)
+	}
+	if cap(cs.out) < len(dst) {
+		cs.out = make([]float32, len(dst))
+	}
+	cs.out = cs.out[:len(dst)]
+	if err := f.Forward(cs.out, cs.in, rows); err != nil {
+		return err
+	}
+	for i, v := range cs.out {
+		dst[i] = float64(v)
+	}
+	return nil
+}
+
+func (op *op32) run(dst, x []float32, rows int) error {
+	switch op.kind {
+	case op32Dense:
+		if err := tensor.MatMulInto32(dst, x, op.w, rows, op.inCols, op.outCols); err != nil {
+			return err
+		}
+		addBias32(dst, op.b, rows, op.outCols)
+	case op32Act:
+		applyElemwise32(dst, x, op.fn)
+	case op32Affine:
+		for i, v := range x {
+			dst[i] = op.scale*v + op.shift
+		}
+	case op32ChanAffine:
+		per := op.inCols
+		for i, v := range x {
+			b := (i % per) / op.blockLen
+			dst[i] = op.scales[b]*v + op.shifts[b]
+		}
+	}
+	return nil
+}
+
+func addBias32(dst, bias []float32, rows, cols int) {
+	for r := 0; r < rows; r++ {
+		row := dst[r*cols : (r+1)*cols]
+		for j := range row {
+			row[j] += bias[j]
+		}
+	}
+}
+
+// applyElemwise32 maps the activation over x into dst (which may alias
+// x), mirroring applyElemwise's serial/parallel split. relu and
+// leakyrelu stay in f32; tanh and sigmoid route through the float64
+// stdlib transcendentals per element — still a win, the surrounding
+// traffic is all f32.
+func applyElemwise32(dst, x []float32, fn string) {
+	f := act32(fn)
+	if len(dst) < elemwiseParMin {
+		for i := range dst {
+			dst[i] = f(x[i])
+		}
+		return
+	}
+	parallel.ForChunked(len(dst), elemwiseParMin, func(i int) { dst[i] = f(x[i]) })
+}
+
+func act32(fn string) func(float32) float32 {
+	switch fn {
+	case ActReLU:
+		return func(v float32) float32 {
+			if v > 0 {
+				return v
+			}
+			return 0
+		}
+	case ActTanh:
+		return func(v float32) float32 { return float32(math.Tanh(float64(v))) }
+	case ActSigmoid:
+		return func(v float32) float32 { return float32(1 / (1 + math.Exp(float64(-v)))) }
+	case ActLeakyReLU:
+		return func(v float32) float32 {
+			if v > 0 {
+				return v
+			}
+			return 0.01 * v
+		}
+	}
+	return func(v float32) float32 { return v }
+}
+
+func toF32(src []float64) []float32 {
+	out := make([]float32, len(src))
+	for i, v := range src {
+		out[i] = float32(v)
+	}
+	return out
+}

@@ -116,6 +116,17 @@ type Serving struct {
 	// form for the micro-batching claim to hold.
 	MeanBatch float64           `json:"mean_batch"`
 	BatchHist map[string]uint64 `json:"batch_hist,omitempty"`
+
+	// Wire names the client protocol the run used ("json" or
+	// "binary"); empty in records that predate the binary wire.
+	Wire string `json:"wire,omitempty"`
+	// RecordsPerSec is the completed-inference throughput (same value
+	// AchievedRPS holds for single-row requests; kept separate so the
+	// CI gate has a stable name).
+	RecordsPerSec float64 `json:"records_per_sec,omitempty"`
+	// Baseline holds the JSON-wire run a wire=both loadgen performed
+	// before the binary run, so one artifact carries the comparison.
+	Baseline *Serving `json:"baseline,omitempty"`
 }
 
 // WriteJSON writes the record as indented JSON to w.

@@ -4,7 +4,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"mime"
 	"net/http"
+	"strconv"
 	"sync"
 
 	"repro/internal/serveapi"
@@ -34,11 +37,23 @@ type (
 // Backpressure surfaces as 429, unknown models/capture DBs as 404,
 // malformed bodies, wrong input widths and bad capture records as 400,
 // shutdown as 503.
+//
+// Both POST endpoints also speak the binary frame protocol: a request
+// with Content-Type application/x-hpacml-frame is decoded as a frame
+// (serveapi.AppendInferRequest / AppendCaptureRequest layouts), and
+// /v1/infer answers in kind — a response frame of the request's dtype.
+// The capture ack and every error body stay JSON. A frame of an
+// unsupported version is refused with 415 so newer clients downgrade
+// to JSON; a malformed frame is a plain 400.
 func NewHandler(s *Server) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/v1/infer", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+			return
+		}
+		if isFrameRequest(r) {
+			serveInferFrame(s, w, r)
 			return
 		}
 		var req InferRequest
@@ -80,6 +95,10 @@ func NewHandler(s *Server) http.Handler {
 	mux.HandleFunc("/v1/capture", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
+			return
+		}
+		if isFrameRequest(r) {
+			serveCaptureFrame(s, w, r)
 			return
 		}
 		var req serveapi.CaptureRequest
@@ -143,4 +162,153 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeErr(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, serveapi.ErrorBody{Error: err.Error()})
+}
+
+// --- binary frame protocol -------------------------------------------
+
+// isFrameRequest reports whether the request negotiated the binary
+// frame protocol via its Content-Type (parameters like charset are
+// tolerated and ignored).
+func isFrameRequest(r *http.Request) bool {
+	ct := r.Header.Get("Content-Type")
+	if ct == serveapi.ContentTypeFrame {
+		return true
+	}
+	mt, _, err := mime.ParseMediaType(ct)
+	return err == nil && mt == serveapi.ContentTypeFrame
+}
+
+// frameStatus maps a frame decode failure: unsupported versions are
+// 415 (the signal the client's JSON fallback keys on), everything else
+// — bad magic, truncation, forged dims, dtype mismatch — is a plain
+// malformed-request 400.
+func frameStatus(err error) int {
+	if errors.Is(err, serveapi.ErrFrameVersion) {
+		return http.StatusUnsupportedMediaType
+	}
+	return http.StatusBadRequest
+}
+
+// frameScratch holds one frame request's reusable buffers: the raw
+// request body, the decoded input slab, the flattened output slab, and
+// the encoded response frame.
+type frameScratch struct {
+	body []byte
+	in   []float64
+	out  []float64
+	enc  []byte
+}
+
+var framePool = sync.Pool{New: func() any { return new(frameScratch) }}
+
+// readFrameBody reads the whole request body into buf's storage (grown
+// as needed), so pooled buffers absorb the read.
+func readFrameBody(r *http.Request, buf []byte) ([]byte, error) {
+	buf = buf[:0]
+	if n := r.ContentLength; n > 0 && int64(cap(buf)) < n {
+		buf = make([]byte, 0, n)
+	}
+	for {
+		if len(buf) == cap(buf) {
+			buf = append(buf, 0)[:len(buf)]
+		}
+		n, err := r.Body.Read(buf[len(buf):cap(buf)])
+		buf = buf[:len(buf)+n]
+		if err == io.EOF {
+			return buf, nil
+		}
+		if err != nil {
+			return buf, err
+		}
+	}
+}
+
+// serveInferFrame is the binary hot path of /v1/infer: decode the
+// request slab into pooled buffers, submit every row to the coalescer
+// concurrently (rows from one frame batch exactly like independent
+// clients would), and answer a response frame of the request's dtype.
+func serveInferFrame(s *Server, w http.ResponseWriter, r *http.Request) {
+	fs := framePool.Get().(*frameScratch)
+	defer framePool.Put(fs)
+	var err error
+	if fs.body, err = readFrameBody(r, fs.body); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("reading frame: %w", err))
+		return
+	}
+	req, err := serveapi.DecodeInferRequest(fs.body, fs.in)
+	if err != nil {
+		writeErr(w, frameStatus(err), err)
+		return
+	}
+	fs.in = req.Data
+	if req.Rows == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("frame must carry at least one row"))
+		return
+	}
+	outs := make([][]float64, req.Rows)
+	errs := make([]error, req.Rows)
+	if req.Rows == 1 {
+		outs[0], errs[0] = s.Infer(req.Model, req.Data)
+	} else {
+		var wg sync.WaitGroup
+		for i := 0; i < req.Rows; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				outs[i], errs[i] = s.Infer(req.Model, req.Data[i*req.Cols:(i+1)*req.Cols])
+			}(i)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			writeErr(w, statusFor(err), err)
+			return
+		}
+	}
+	outCols := len(outs[0])
+	if cap(fs.out) < req.Rows*outCols {
+		fs.out = make([]float64, 0, req.Rows*outCols)
+	}
+	fs.out = fs.out[:0]
+	for _, row := range outs {
+		fs.out = append(fs.out, row...)
+	}
+	if fs.enc, err = serveapi.AppendInferResponse(fs.enc[:0], req.Dtype, req.Model, req.Rows, outCols, fs.out); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", serveapi.ContentTypeFrame)
+	w.Header().Set("Content-Length", strconv.Itoa(len(fs.enc)))
+	w.WriteHeader(http.StatusOK)
+	w.Write(fs.enc)
+}
+
+// serveCaptureFrame is the binary path of /v1/capture. The decoded
+// records are freshly allocated (ingest hands them to the database
+// writer, which outlives the request); only the body read is pooled.
+// The ack is JSON, like the JSON path's.
+func serveCaptureFrame(s *Server, w http.ResponseWriter, r *http.Request) {
+	fs := framePool.Get().(*frameScratch)
+	defer framePool.Put(fs)
+	var err error
+	if fs.body, err = readFrameBody(r, fs.body); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("reading frame: %w", err))
+		return
+	}
+	db, recs, err := serveapi.DecodeCaptureRequest(fs.body)
+	if err != nil {
+		writeErr(w, frameStatus(err), err)
+		return
+	}
+	if len(recs) == 0 {
+		writeErr(w, http.StatusBadRequest, errors.New("frame must carry at least one capture record"))
+		return
+	}
+	accepted, err := s.Capture(db, recs)
+	if err != nil {
+		writeJSON(w, statusFor(err), serveapi.ErrorBody{Error: err.Error(), Accepted: accepted})
+		return
+	}
+	writeJSON(w, http.StatusOK, serveapi.CaptureResponse{DB: db, Accepted: accepted})
 }

@@ -28,21 +28,52 @@ type LoadGenConfig struct {
 	Concurrency int
 	// Seed makes the random input vectors reproducible.
 	Seed int64
+	// Wire selects the client protocol: "json" (default), "binary"
+	// (length-prefixed frames with raw float payloads), or "both" — a
+	// JSON baseline run followed by a binary run, published as one
+	// record with the baseline attached, so a single artifact carries
+	// the before/after comparison.
+	Wire string
 }
 
 // RunLoadGen fires Concurrency clients at the target's /v1/infer
 // through the typed serve client (internal/serveclient) for the
 // configured duration, then folds the client-side traffic accounting
 // together with the server's own coalescing stats into the shared
-// results schema (the BENCH_serve.json artifact).
+// results schema (the BENCH_serve.json artifact). Wire picks the
+// protocol; "both" runs the JSON baseline first and attaches it to the
+// binary run's record.
 func RunLoadGen(cfg LoadGenConfig) (*results.Record, error) {
+	switch cfg.Wire {
+	case "", "json":
+		return runLoadGen(cfg, serveclient.WireJSON)
+	case "binary":
+		return runLoadGen(cfg, serveclient.WireBinary)
+	case "both":
+		base, err := runLoadGen(cfg, serveclient.WireJSON)
+		if err != nil {
+			return nil, err
+		}
+		rec, err := runLoadGen(cfg, serveclient.WireBinary)
+		if err != nil {
+			return nil, err
+		}
+		rec.Serving.Baseline = base.Serving
+		return rec, nil
+	default:
+		return nil, fmt.Errorf("serve: loadgen: unknown wire %q (want json, binary, or both)", cfg.Wire)
+	}
+}
+
+func runLoadGen(cfg LoadGenConfig, wire serveclient.Wire) (*results.Record, error) {
 	if cfg.Duration <= 0 {
 		cfg.Duration = 5 * time.Second
 	}
 	if cfg.Concurrency <= 0 {
 		cfg.Concurrency = 16
 	}
-	client := serveclient.New(cfg.Target, serveclient.WithTimeout(10*time.Second))
+	client := serveclient.New(cfg.Target, serveclient.WithTimeout(10*time.Second),
+		serveclient.WithWire(wire))
 	defer client.CloseIdleConnections()
 	info, err := client.Model(context.Background(), cfg.Model)
 	if err != nil {
@@ -95,6 +126,7 @@ func RunLoadGen(cfg LoadGenConfig) (*results.Record, error) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(c)*7919))
 			in := make([]float64, inDim)
+			var out []float64 // binary-wire response scratch, reused across requests
 			for time.Now().Before(deadline) {
 				if tick != nil {
 					select {
@@ -111,7 +143,12 @@ func RunLoadGen(cfg LoadGenConfig) (*results.Record, error) {
 				}
 				sent.Add(1)
 				start := time.Now()
-				_, err := client.Infer(context.Background(), model, in)
+				var err error
+				if wire == serveclient.WireBinary {
+					out, _, err = client.InferMatrix(context.Background(), model, 1, inDim, in, out)
+				} else {
+					_, err = client.Infer(context.Background(), model, in)
+				}
 				switch {
 				case err == nil:
 					completed.Add(1)
@@ -144,9 +181,13 @@ func RunLoadGen(cfg LoadGenConfig) (*results.Record, error) {
 		LatencyP50Ms: quantileMs(all, 0.50),
 		LatencyP95Ms: quantileMs(all, 0.95),
 		LatencyP99Ms: quantileMs(all, 0.99),
+		Wire:         wire.String(),
 	}
 	if elapsed > 0 {
 		serving.AchievedRPS = float64(completed.Load()) / elapsed.Seconds()
+		// One inference record per request here, so throughput in
+		// records/sec is the achieved request rate.
+		serving.RecordsPerSec = serving.AchievedRPS
 	}
 	// Fold in the server's coalescing evidence.
 	if snap, err := client.ModelStats(context.Background(), model); err == nil {

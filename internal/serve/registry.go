@@ -30,6 +30,13 @@ type ModelSpec struct {
 	Ensemble []string
 	In       int
 	Out      int
+	// F32 serves the model through the single-precision inference path:
+	// each replica's directive gains f32(on), so its LocalEngine
+	// converts the weights to float32 once at load and runs batches in
+	// single precision. Ensembles ignore it (their injected engine owns
+	// precision), as do models the f32 compiler cannot handle — those
+	// silently stay float64.
+	F32 bool
 }
 
 // ModelInfo is the registry view of a hosted model (the /v1/models
@@ -116,7 +123,7 @@ func newModel(spec ModelSpec, cfg Config) (*model, error) {
 		sum:     sum,
 	}
 	for i := 0; i < cfg.Workers; i++ {
-		rep, err := newReplica(spec.Name, members, i, in, out)
+		rep, err := newReplica(spec.Name, members, i, in, out, spec.F32)
 		if err != nil {
 			m.closeReplicas()
 			return nil, err
@@ -185,9 +192,13 @@ func validateDims(net *nn.Network, in, out int) error {
 // EnsembleEngine (engine scratch is single-threaded, so replicas never
 // share one). A zero-input warmup runs immediately so a bad model file
 // fails replica construction, not the first request.
-func newReplica(name string, members []string, idx, in, out int) (*replica, error) {
+func newReplica(name string, members []string, idx, in, out int, f32 bool) (*replica, error) {
 	x := make([]float64, in)
 	y := make([]float64, out)
+	f32Clause := ""
+	if f32 {
+		f32Clause = " f32(on)"
+	}
 	opts := []hpacml.Option{
 		hpacml.BindInt("FIN", in),
 		hpacml.BindInt("FOUT", out),
@@ -208,8 +219,8 @@ tensor functor(vin: [i, 0:FIN] = ([0:FIN]))
 tensor functor(vout: [i, 0:FOUT] = ([0:FOUT]))
 tensor map(to: vin(x[0:1]))
 tensor map(from: vout(y[0:1]))
-ml(infer) in(x) out(y) model(%q)
-`, members[0]))}, opts...)...,
+ml(infer) in(x) out(y) model(%q)%s
+`, members[0], f32Clause))}, opts...)...,
 	)
 	if err != nil {
 		if engine != nil {

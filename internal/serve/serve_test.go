@@ -498,6 +498,46 @@ func TestLoadGen(t *testing.T) {
 	}
 }
 
+// TestLoadGenWireBoth: wire "both" publishes the binary run with the
+// JSON baseline attached, each with records/sec — the shape the CI
+// gate jq-asserts on the BENCH_serve artifact.
+func TestLoadGenWireBoth(t *testing.T) {
+	hpacml.ClearModelCache()
+	dir := t.TempDir()
+	path := saveMLP(t, dir, "m.gmod", 6, 3, 8, 2)
+	s, err := NewServer(Config{MaxBatch: 8, MaxDelay: 500 * time.Microsecond}, ModelSpec{Name: "m", Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(NewHandler(s))
+	defer ts.Close()
+
+	rec, err := RunLoadGen(LoadGenConfig{
+		Target:      ts.URL,
+		Duration:    200 * time.Millisecond,
+		Concurrency: 4,
+		Seed:        3,
+		Wire:        "both",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := rec.Serving
+	if sv.Wire != "binary" || sv.Completed == 0 || sv.RecordsPerSec <= 0 {
+		t.Fatalf("binary run: %+v", sv)
+	}
+	if sv.Baseline == nil || sv.Baseline.Wire != "json" || sv.Baseline.RecordsPerSec <= 0 {
+		t.Fatalf("json baseline: %+v", sv.Baseline)
+	}
+	if sv.Baseline.Baseline != nil {
+		t.Fatal("baseline must not nest")
+	}
+	if _, err := RunLoadGen(LoadGenConfig{Target: ts.URL, Wire: "telepathy"}); err == nil {
+		t.Fatal("unknown wire must fail")
+	}
+}
+
 // waitFor polls cond for up to ~2s.
 func waitFor(t *testing.T, cond func() bool) {
 	t.Helper()

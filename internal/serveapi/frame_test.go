@@ -1,0 +1,191 @@
+package serveapi
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+func sampleSlab(rows, cols int) []float64 {
+	data := make([]float64, rows*cols)
+	for i := range data {
+		data[i] = math.Sin(float64(i)) * 1e3
+	}
+	return data
+}
+
+func TestInferFrameRoundTrip(t *testing.T) {
+	for _, dtype := range []Dtype{DtypeF64, DtypeF32} {
+		rows, cols := 7, 5
+		data := sampleSlab(rows, cols)
+		frame, err := AppendInferRequest(nil, dtype, "binomial", rows, cols, data)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", dtype, err)
+		}
+		scratch := make([]float64, 1) // deliberately too small: decode must grow it
+		got, err := DecodeInferRequest(frame, scratch)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", dtype, err)
+		}
+		if got.Model != "binomial" || got.Rows != rows || got.Cols != cols || got.Dtype != dtype {
+			t.Fatalf("%s: decoded %+v", dtype, got)
+		}
+		for i, v := range got.Data {
+			want := data[i]
+			if dtype == DtypeF32 {
+				want = float64(float32(want))
+			}
+			if v != want {
+				t.Fatalf("%s: element %d = %g, want %g", dtype, i, v, want)
+			}
+		}
+		// Response kind must not decode as a request.
+		resp, err := AppendInferResponse(nil, dtype, "binomial", rows, cols, data)
+		if err != nil {
+			t.Fatalf("%s: encode response: %v", dtype, err)
+		}
+		if _, err := DecodeInferRequest(resp, nil); err == nil {
+			t.Fatalf("%s: response frame decoded as request", dtype)
+		}
+		if _, err := DecodeInferResponse(resp, nil); err != nil {
+			t.Fatalf("%s: decode response: %v", dtype, err)
+		}
+	}
+}
+
+func TestInferFrameDecodeReusesBuffer(t *testing.T) {
+	rows, cols := 4, 8
+	frame, err := AppendInferRequest(nil, DtypeF64, "m", rows, cols, sampleSlab(rows, cols))
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, rows*cols)
+	got, err := DecodeInferRequest(frame, buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got.Data[0] != &buf[0] {
+		t.Fatal("decode did not reuse the caller's buffer")
+	}
+}
+
+func TestCaptureFrameRoundTrip(t *testing.T) {
+	recs := []CaptureRecord{
+		{Region: "stencil", InputShape: []int{1, 5}, Inputs: sampleSlab(1, 5),
+			OutputShape: []int{1, 1}, Outputs: []float64{42}, RuntimeNS: 123.5},
+		{Region: "stencil", InputShape: []int{2, 3}, Inputs: sampleSlab(2, 3),
+			OutputShape: []int{2, 1}, Outputs: []float64{-1, 9}, RuntimeNS: 7},
+	}
+	frame, err := AppendCaptureRequest(nil, DtypeF64, "traindb", recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db, got, err := DecodeCaptureRequest(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db != "traindb" || len(got) != len(recs) {
+		t.Fatalf("decoded db %q, %d records", db, len(got))
+	}
+	a, _ := json.Marshal(recs)
+	b, _ := json.Marshal(got)
+	if !bytes.Equal(a, b) {
+		t.Fatalf("capture records did not round-trip:\n%s\n%s", a, b)
+	}
+}
+
+func TestFrameDecodeRejectsMalformed(t *testing.T) {
+	rows, cols := 2, 3
+	good, err := AppendInferRequest(nil, DtypeF64, "m", rows, cols, sampleSlab(rows, cols))
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(mut func(b []byte)) []byte {
+		b := append([]byte(nil), good...)
+		mut(b)
+		return b
+	}
+	cases := map[string][]byte{
+		"empty":            nil,
+		"truncated header": good[:FrameHeaderLen-3],
+		"truncated body":   good[:len(good)-5],
+		"trailing bytes":   append(append([]byte(nil), good...), 0xAB),
+		"bad magic":        corrupt(func(b []byte) { b[0] ^= 0xFF }),
+		"bad version":      corrupt(func(b []byte) { b[4] = 99 }),
+		"bad dtype":        corrupt(func(b []byte) { b[6] = 7 }),
+		"forged rows":      corrupt(func(b []byte) { b[FrameHeaderLen+3] = 0xFF; b[FrameHeaderLen+4] = 0xFF; b[FrameHeaderLen+5] = 0xFF; b[FrameHeaderLen+6] = 0xFF }),
+	}
+	for name, frame := range cases {
+		if _, err := DecodeInferRequest(frame, nil); err == nil {
+			t.Errorf("%s: decode accepted a malformed frame", name)
+		}
+	}
+}
+
+// BenchmarkFrameCodec measures the codec-level cost of one /v1/infer
+// round trip (encode request + decode request + encode response +
+// decode response) for the binary frame against encoding/json over the
+// same payload, with every buffer reused across iterations. The
+// client-level BenchmarkWireJSONvsBinary in internal/serveclient
+// measures the same comparison over live HTTP.
+func BenchmarkFrameCodec(b *testing.B) {
+	rows, inCols, outCols := 64, 16, 4
+	in := sampleSlab(rows, inCols)
+	out := sampleSlab(rows, outCols)
+
+	b.Run("binary", func(b *testing.B) {
+		var reqBuf, respBuf []byte
+		var reqF, respF []float64
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var err error
+			if reqBuf, err = AppendInferRequest(reqBuf[:0], DtypeF64, "m", rows, inCols, in); err != nil {
+				b.Fatal(err)
+			}
+			req, err := DecodeInferRequest(reqBuf, reqF)
+			if err != nil {
+				b.Fatal(err)
+			}
+			reqF = req.Data
+			if respBuf, err = AppendInferResponse(respBuf[:0], DtypeF64, "m", rows, outCols, out); err != nil {
+				b.Fatal(err)
+			}
+			resp, err := DecodeInferResponse(respBuf, respF)
+			if err != nil {
+				b.Fatal(err)
+			}
+			respF = resp.Data
+		}
+	})
+
+	b.Run("json", func(b *testing.B) {
+		ins := make([][]float64, rows)
+		for i := range ins {
+			ins[i] = in[i*inCols : (i+1)*inCols]
+		}
+		outs := make([][]float64, rows)
+		for i := range outs {
+			outs[i] = out[i*outCols : (i+1)*outCols]
+		}
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			reqBody, err := json.Marshal(InferRequest{Model: "m", Inputs: ins})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var req InferRequest
+			if err := json.Unmarshal(reqBody, &req); err != nil {
+				b.Fatal(err)
+			}
+			respBody, err := json.Marshal(InferResponse{Model: "m", Outputs: outs})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var resp InferResponse
+			if err := json.Unmarshal(respBody, &resp); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

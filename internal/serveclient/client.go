@@ -1,10 +1,12 @@
 // Package serveclient is the typed Go client for the hpacml-serve HTTP
-// JSON API (internal/serveapi). It owns everything a caller would
-// otherwise hand-roll: request/response marshalling, connection pooling
-// tuned for many small POSTs against one host, context propagation so
-// deadlines and cancellation reach the wire, and the mapping of non-200
-// responses into a structured *APIError callers can classify without
-// string matching.
+// API (internal/serveapi). It owns everything a caller would
+// otherwise hand-roll: request/response marshalling on either wire
+// (JSON by default, the binary frame protocol under
+// WithWire(WireBinary), with automatic JSON fallback against older
+// servers), connection pooling tuned for many small POSTs against one
+// host, context propagation so deadlines and cancellation reach the
+// wire, and the mapping of non-200 responses into a structured
+// *APIError callers can classify without string matching.
 //
 // The runtime's remote inference engine (hpacml.RemoteEngine), its
 // remote capture sink (hpacml.RemoteSink), and the serving load
@@ -20,6 +22,7 @@ import (
 	"io"
 	"net/http"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/serveapi"
@@ -71,6 +74,13 @@ func WithTimeout(d time.Duration) Option {
 type Client struct {
 	base string
 	http *http.Client
+	wire Wire
+
+	// Wire negotiation state (see frameRejected): binaryOK latches once
+	// a frame round-trip has succeeded, jsonOnly latches when the server
+	// turns out not to speak frames.
+	binaryOK atomic.Bool
+	jsonOnly atomic.Bool
 }
 
 // New builds a client for the server at base (e.g.
@@ -101,6 +111,10 @@ func (c *Client) CloseIdleConnections() { c.http.CloseIdleConnections() }
 
 // Infer runs one invocation of the named model.
 func (c *Client) Infer(ctx context.Context, model string, in []float64) ([]float64, error) {
+	if c.useBinary() {
+		data, _, err := c.InferMatrix(ctx, model, 1, len(in), in, nil)
+		return data, err
+	}
 	var resp serveapi.InferResponse
 	err := c.post(ctx, "/v1/infer", serveapi.InferRequest{Model: model, Input: in}, &resp)
 	if err != nil {
@@ -137,11 +151,28 @@ func (c *Client) InferBatch(ctx context.Context, model string, ins [][]float64) 
 // meaningful: a mid-batch server write failure reports the durably
 // appended prefix (APIError.Accepted), so callers can count exactly
 // what was lost. The runtime's remote capture sink (hpacml.RemoteSink)
-// is built on this call.
+// is built on this call. Under WithWire(WireBinary) the batch travels
+// as a binary frame (the ack stays JSON), with the same fallback rules
+// as InferMatrix.
 func (c *Client) Capture(ctx context.Context, db string, recs []serveapi.CaptureRecord) (int, error) {
 	if len(recs) == 0 {
 		return 0, nil
 	}
+	if c.useBinary() {
+		n, err := c.captureFrame(ctx, db, recs)
+		if err == nil || !c.frameRejected(err) {
+			return n, err
+		}
+		n, jerr := c.captureJSON(ctx, db, recs)
+		if jerr == nil {
+			c.jsonOnly.Store(true)
+		}
+		return n, jerr
+	}
+	return c.captureJSON(ctx, db, recs)
+}
+
+func (c *Client) captureJSON(ctx context.Context, db string, recs []serveapi.CaptureRecord) (int, error) {
 	var resp serveapi.CaptureResponse
 	if err := c.post(ctx, "/v1/capture", serveapi.CaptureRequest{DB: db, Records: recs}, &resp); err != nil {
 		var api *APIError
@@ -242,19 +273,43 @@ func (c *Client) do(req *http.Request, out any) error {
 	if err != nil {
 		return fmt.Errorf("serveclient: %s %s: %w", req.Method, req.URL.Path, err)
 	}
-	defer func() {
-		io.Copy(io.Discard, resp.Body)
-		resp.Body.Close()
-	}()
+	defer drainClose(resp.Body)
 	if resp.StatusCode != http.StatusOK {
-		var eb serveapi.ErrorBody
-		if derr := json.NewDecoder(resp.Body).Decode(&eb); derr != nil || eb.Error == "" {
-			eb.Error = resp.Status
-		}
-		return &APIError{Code: resp.StatusCode, Message: eb.Error, Accepted: eb.Accepted}
+		return apiError(resp)
 	}
 	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
 		return fmt.Errorf("serveclient: %s %s: bad payload: %w", req.Method, req.URL.Path, err)
 	}
 	return nil
+}
+
+// Bounds for reading non-200 answers. An error body larger than
+// maxErrorBytes is truncated at decode; a leftover body larger than
+// maxDrainBytes is abandoned (closing mid-body retires the connection
+// instead of stalling to keep it — the right trade for a response that
+// large).
+const (
+	maxErrorBytes = 64 << 10
+	maxDrainBytes = 1 << 20
+)
+
+// drainClose empties and closes a response body. Every response path —
+// success, server error, and bad-payload alike — must run it, or the
+// transport cannot return the connection to the idle pool and the next
+// request pays a fresh TCP (and TLS) setup.
+func drainClose(body io.ReadCloser) {
+	io.Copy(io.Discard, io.LimitReader(body, maxDrainBytes))
+	body.Close()
+}
+
+// apiError decodes a non-200 response's JSON error body into *APIError.
+// Error bodies are JSON on every wire, including the binary frame
+// protocol. The read is bounded and the remainder is left for
+// drainClose.
+func apiError(resp *http.Response) error {
+	var eb serveapi.ErrorBody
+	if derr := json.NewDecoder(io.LimitReader(resp.Body, maxErrorBytes)).Decode(&eb); derr != nil || eb.Error == "" {
+		eb.Error = resp.Status
+	}
+	return &APIError{Code: resp.StatusCode, Message: eb.Error, Accepted: eb.Accepted}
 }

@@ -56,7 +56,8 @@ func NewRemoteSink(uri string, cfg CaptureConfig) (*RemoteSink, error) {
 	}
 	cfg = cfg.withDefaults()
 	s := &RemoteSink{
-		client: serveclient.New(base, serveclient.WithTimeout(DefaultCaptureTimeout)),
+		client: serveclient.New(base, serveclient.WithTimeout(DefaultCaptureTimeout),
+			serveclient.WithWire(serveclient.WireBinary)),
 		db:     name,
 		batch:  cfg.BatchRecords,
 	}
