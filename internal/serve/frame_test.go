@@ -3,12 +3,14 @@ package serve
 import (
 	"bytes"
 	"context"
+	"encoding/binary"
 	"errors"
 	"io"
 	"math"
 	"net/http"
 	"net/http/httptest"
 	"path/filepath"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -151,6 +153,105 @@ func TestFrameNegotiation(t *testing.T) {
 	empty, _ := serveapi.AppendInferRequest(nil, serveapi.DtypeF64, "m", 0, 0, nil)
 	if resp, body := post(empty); resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("zero-row frame: %d %s", resp.StatusCode, body)
+	}
+}
+
+// zeroReader yields zero bytes forever; wrapped in io.LimitReader it
+// stands in for an attacker streaming an arbitrarily long frame body.
+type zeroReader struct{}
+
+func (zeroReader) Read(p []byte) (int, error) {
+	for i := range p {
+		p[i] = 0
+	}
+	return len(p), nil
+}
+
+// TestFrameRequestLimits pins the request-size armor on the frame
+// endpoints: a forged Content-Length is refused before any allocation
+// or read (413), a body that actually overruns serveapi.MaxFrameLen
+// dies mid-read (413), a frame claiming more rows than the per-request
+// fan-out cap is a 400, and a forged zero-cols geometry never reaches
+// the row fan-out (400 from the decoder).
+func TestFrameRequestLimits(t *testing.T) {
+	hpacml.ClearModelCache()
+	dir := t.TempDir()
+	path := saveMLP(t, dir, "m.gmod", 11, 4, 8, 1)
+	s, err := NewServer(Config{MaxBatch: 4, MaxDelay: time.Millisecond, Workers: 1},
+		ModelSpec{Name: "m", Path: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	h := NewHandler(s)
+
+	do := func(target string, body io.Reader, contentLength int64) *httptest.ResponseRecorder {
+		req := httptest.NewRequest(http.MethodPost, target, body)
+		req.Header.Set("Content-Type", serveapi.ContentTypeFrame)
+		req.ContentLength = contentLength
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		return rec
+	}
+
+	// Forged Content-Length with no body: rejected up front.
+	if rec := do("/v1/infer", http.NoBody, serveapi.MaxFrameLen+1); rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("forged Content-Length: %d %s", rec.Code, rec.Body)
+	}
+	// Unknown length (chunked), body really too long: killed mid-read.
+	long := io.LimitReader(zeroReader{}, serveapi.MaxFrameLen+1)
+	if rec := do("/v1/capture", long, -1); rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("overlong chunked body: %d %s", rec.Code, rec.Body)
+	}
+	// A well-formed frame with more rows than one request may fan out.
+	rows := maxInferRows + 1
+	frame, err := serveapi.AppendInferRequest(nil, serveapi.DtypeF32, "m", rows, 1, make([]float64, rows))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := do("/v1/infer", bytes.NewReader(frame), int64(len(frame)))
+	if rec.Code != http.StatusBadRequest || !bytes.Contains(rec.Body.Bytes(), []byte("limit")) {
+		t.Fatalf("row-cap frame: %d %s", rec.Code, rec.Body)
+	}
+	// Forged geometry: cols=0 with rows=0xFFFFFFFF (hand-assembled, the
+	// encoder refuses to build it). Must be a decoder 400, not an OOM.
+	body := binary.LittleEndian.AppendUint16(nil, 1)
+	body = append(body, 'm')
+	body = binary.LittleEndian.AppendUint32(body, math.MaxUint32) // rows
+	body = binary.LittleEndian.AppendUint32(body, 0)              // cols
+	forged := binary.LittleEndian.AppendUint32(nil, serveapi.FrameMagic)
+	forged = append(forged, serveapi.FrameVersion, serveapi.FrameInferRequest, byte(serveapi.DtypeF64), 0)
+	forged = binary.LittleEndian.AppendUint32(forged, uint32(len(body)))
+	forged = append(forged, body...)
+	if rec := do("/v1/infer", bytes.NewReader(forged), int64(len(forged))); rec.Code != http.StatusBadRequest {
+		t.Fatalf("forged zero-cols frame: %d %s", rec.Code, rec.Body)
+	}
+}
+
+// TestForEachRowBoundedFanout: every row index runs exactly once, and
+// concurrency never exceeds maxInferFanout no matter the batch size.
+func TestForEachRowBoundedFanout(t *testing.T) {
+	const rows = 5000
+	hits := make([]atomic.Int32, rows)
+	var cur, peak atomic.Int32
+	forEachRow(rows, func(i int) {
+		c := cur.Add(1)
+		for {
+			p := peak.Load()
+			if c <= p || peak.CompareAndSwap(p, c) {
+				break
+			}
+		}
+		hits[i].Add(1)
+		cur.Add(-1)
+	})
+	for i := range hits {
+		if n := hits[i].Load(); n != 1 {
+			t.Fatalf("row %d ran %d times", i, n)
+		}
+	}
+	if p := peak.Load(); p > maxInferFanout {
+		t.Fatalf("fan-out peaked at %d goroutines, cap %d", p, maxInferFanout)
 	}
 }
 

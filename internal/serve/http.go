@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/serveapi"
 )
@@ -72,15 +73,9 @@ func NewHandler(s *Server) http.Handler {
 		case req.Inputs != nil && req.Input == nil:
 			outs := make([][]float64, len(req.Inputs))
 			errs := make([]error, len(req.Inputs))
-			var wg sync.WaitGroup
-			for i := range req.Inputs {
-				wg.Add(1)
-				go func(i int) {
-					defer wg.Done()
-					outs[i], errs[i] = s.Infer(req.Model, req.Inputs[i])
-				}(i)
-			}
-			wg.Wait()
+			forEachRow(len(req.Inputs), func(i int) {
+				outs[i], errs[i] = s.Infer(req.Model, req.Inputs[i])
+			})
 			for _, err := range errs {
 				if err != nil {
 					writeErr(w, statusFor(err), err)
@@ -201,18 +196,42 @@ type frameScratch struct {
 
 var framePool = sync.Pool{New: func() any { return new(frameScratch) }}
 
+// errFrameTooLarge reports a request whose declared Content-Length
+// already exceeds the frame size limit, before any byte is read.
+var errFrameTooLarge = fmt.Errorf("frame exceeds %d bytes", serveapi.MaxFrameLen)
+
+// readFrameStatus maps a frame body-read failure: an oversized frame —
+// declared up front or discovered mid-read — is 413, anything else
+// (client disconnects, chunked-encoding garbage) a plain 400.
+func readFrameStatus(err error) int {
+	var mbe *http.MaxBytesError
+	if errors.Is(err, errFrameTooLarge) || errors.As(err, &mbe) {
+		return http.StatusRequestEntityTooLarge
+	}
+	return http.StatusBadRequest
+}
+
 // readFrameBody reads the whole request body into buf's storage (grown
-// as needed), so pooled buffers absorb the read.
-func readFrameBody(r *http.Request, buf []byte) ([]byte, error) {
+// as needed), so pooled buffers absorb the read. The read is bounded by
+// serveapi.MaxFrameLen on both the declared Content-Length and the
+// actual byte count, and the attacker-controlled Content-Length only
+// sizes the pre-allocation up to a modest cap — a forged header costs
+// the sender real bytes, never a large allocation on this side.
+func readFrameBody(w http.ResponseWriter, r *http.Request, buf []byte) ([]byte, error) {
+	if r.ContentLength > serveapi.MaxFrameLen {
+		return buf[:0], fmt.Errorf("%w (declared %d)", errFrameTooLarge, r.ContentLength)
+	}
+	body := http.MaxBytesReader(w, r.Body, serveapi.MaxFrameLen)
 	buf = buf[:0]
-	if n := r.ContentLength; n > 0 && int64(cap(buf)) < n {
+	const maxPrealloc = 1 << 20
+	if n := r.ContentLength; n > 0 && n <= maxPrealloc && int64(cap(buf)) < n {
 		buf = make([]byte, 0, n)
 	}
 	for {
 		if len(buf) == cap(buf) {
 			buf = append(buf, 0)[:len(buf)]
 		}
-		n, err := r.Body.Read(buf[len(buf):cap(buf)])
+		n, err := body.Read(buf[len(buf):cap(buf)])
 		buf = buf[:len(buf)+n]
 		if err == io.EOF {
 			return buf, nil
@@ -223,16 +242,54 @@ func readFrameBody(r *http.Request, buf []byte) ([]byte, error) {
 	}
 }
 
+// Per-request batch fan-out bounds: one request may carry at most
+// maxInferRows rows, served by at most maxInferFanout goroutines. The
+// rows still reach the coalescer concurrently, like independent
+// clients, but a single huge (or forged) batch cannot spawn a
+// goroutine per row or size multi-GB bookkeeping slices.
+const (
+	maxInferRows   = 1 << 20
+	maxInferFanout = 64
+)
+
+// forEachRow runs fn(i) for every i in [0, rows) across at most
+// maxInferFanout goroutines.
+func forEachRow(rows int, fn func(i int)) {
+	if rows == 1 {
+		fn(0)
+		return
+	}
+	workers := rows
+	if workers > maxInferFanout {
+		workers = maxInferFanout
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= rows {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
 // serveInferFrame is the binary hot path of /v1/infer: decode the
 // request slab into pooled buffers, submit every row to the coalescer
-// concurrently (rows from one frame batch exactly like independent
-// clients would), and answer a response frame of the request's dtype.
+// concurrently, and answer a response frame of the request's dtype.
 func serveInferFrame(s *Server, w http.ResponseWriter, r *http.Request) {
 	fs := framePool.Get().(*frameScratch)
 	defer framePool.Put(fs)
 	var err error
-	if fs.body, err = readFrameBody(r, fs.body); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("reading frame: %w", err))
+	if fs.body, err = readFrameBody(w, r, fs.body); err != nil {
+		writeErr(w, readFrameStatus(err), fmt.Errorf("reading frame: %w", err))
 		return
 	}
 	req, err := serveapi.DecodeInferRequest(fs.body, fs.in)
@@ -245,21 +302,15 @@ func serveInferFrame(s *Server, w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, errors.New("frame must carry at least one row"))
 		return
 	}
+	if req.Rows > maxInferRows {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("frame carries %d rows, limit %d", req.Rows, maxInferRows))
+		return
+	}
 	outs := make([][]float64, req.Rows)
 	errs := make([]error, req.Rows)
-	if req.Rows == 1 {
-		outs[0], errs[0] = s.Infer(req.Model, req.Data)
-	} else {
-		var wg sync.WaitGroup
-		for i := 0; i < req.Rows; i++ {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				outs[i], errs[i] = s.Infer(req.Model, req.Data[i*req.Cols:(i+1)*req.Cols])
-			}(i)
-		}
-		wg.Wait()
-	}
+	forEachRow(req.Rows, func(i int) {
+		outs[i], errs[i] = s.Infer(req.Model, req.Data[i*req.Cols:(i+1)*req.Cols])
+	})
 	for _, err := range errs {
 		if err != nil {
 			writeErr(w, statusFor(err), err)
@@ -292,8 +343,8 @@ func serveCaptureFrame(s *Server, w http.ResponseWriter, r *http.Request) {
 	fs := framePool.Get().(*frameScratch)
 	defer framePool.Put(fs)
 	var err error
-	if fs.body, err = readFrameBody(r, fs.body); err != nil {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("reading frame: %w", err))
+	if fs.body, err = readFrameBody(w, r, fs.body); err != nil {
+		writeErr(w, readFrameStatus(err), fmt.Errorf("reading frame: %w", err))
 		return
 	}
 	db, recs, err := serveapi.DecodeCaptureRequest(fs.body)

@@ -89,6 +89,18 @@ const (
 	maxFrameRank = 8       // capture record tensor rank
 )
 
+// MaxFrameLen caps a whole frame (header + body) on both ends of the
+// wire: encoders refuse to build anything larger (which also keeps the
+// u32 length prefix from silently truncating a >4 GiB body), decoders
+// refuse to parse anything larger, and the HTTP server bounds frame
+// request bodies with it (an oversized body is 413). A conforming peer
+// splits bigger workloads across frames; a forged Content-Length or
+// dimension field can never size an allocation past this.
+const MaxFrameLen = 1 << 26 // 64 MiB
+
+// maxFrameBody is the largest body the u32 length prefix may declare.
+const maxFrameBody = MaxFrameLen - FrameHeaderLen
+
 // --- encoding ---------------------------------------------------------
 
 func appendHeader(dst []byte, kind byte, dtype Dtype, bodyLen int) []byte {
@@ -132,7 +144,17 @@ func appendInferFrame(dst []byte, kind byte, dtype Dtype, name string, rows, col
 	if rows < 0 || cols < 0 || len(data) != rows*cols {
 		return dst, fmt.Errorf("serveapi: frame payload %d floats, want %d x %d", len(data), rows, cols)
 	}
-	dst = appendHeader(dst, kind, dtype, inferBodyLen(name, rows, cols, dtype))
+	// A [0, n] or [n, 0] slab carries no data but forges a geometry the
+	// decoder cannot trust (a huge rows with cols=0 still passes the
+	// payload-size check); only [0, 0] expresses "empty".
+	if (rows == 0) != (cols == 0) {
+		return dst, fmt.Errorf("serveapi: degenerate frame geometry %d x %d", rows, cols)
+	}
+	bodyLen := inferBodyLen(name, rows, cols, dtype)
+	if bodyLen > maxFrameBody {
+		return dst, fmt.Errorf("serveapi: frame body %d bytes exceeds %d", bodyLen, maxFrameBody)
+	}
+	dst = appendHeader(dst, kind, dtype, bodyLen)
 	dst = appendString(dst, name)
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(rows))
 	dst = binary.LittleEndian.AppendUint32(dst, uint32(cols))
@@ -179,6 +201,9 @@ func AppendCaptureRequest(dst []byte, dtype Dtype, db string, recs []CaptureReco
 		body += 2 + len(r.Region) +
 			1 + 4*len(r.InputShape) + 1 + 4*len(r.OutputShape) + 8 +
 			(len(r.Inputs)+len(r.Outputs))*dtype.Size()
+	}
+	if body > maxFrameBody {
+		return dst, fmt.Errorf("serveapi: frame body %d bytes exceeds %d", body, maxFrameBody)
 	}
 	dst = appendHeader(dst, FrameCaptureRequest, dtype, body)
 	dst = appendString(dst, db)
@@ -316,6 +341,9 @@ func decodeHeader(frame []byte) (byte, Dtype, *frameReader, error) {
 	if len(frame) < FrameHeaderLen {
 		return 0, 0, nil, fmt.Errorf("serveapi: frame truncated: %d-byte header, want %d", len(frame), FrameHeaderLen)
 	}
+	if len(frame) > MaxFrameLen {
+		return 0, 0, nil, fmt.Errorf("serveapi: %d-byte frame exceeds %d", len(frame), MaxFrameLen)
+	}
 	if binary.LittleEndian.Uint32(frame) != FrameMagic {
 		return 0, 0, nil, ErrNotAFrame
 	}
@@ -367,10 +395,20 @@ func decodeInferFrame(frame []byte, wantKind byte, into []float64) (InferFrame, 
 	if err != nil {
 		return InferFrame{}, err
 	}
+	// A zero dim paired with a nonzero one is forged geometry: it
+	// carries no payload bytes, so the size check below cannot bound the
+	// nonzero dim (rows=2^32-1 x cols=0 matches an empty body).
+	if (rows == 0) != (cols == 0) {
+		return InferFrame{}, fmt.Errorf("serveapi: degenerate frame geometry %d x %d", rows, cols)
+	}
 	// Validate the element count against the actual body before any
-	// multiplication can overflow or oversize an allocation.
+	// multiplication can overflow or oversize an allocation. The
+	// division form must come first: elems*size itself can wrap uint64
+	// (2^31 x 2^30 x 8 ≡ 0), so equality is only meaningful once elems
+	// is known to fit the body.
 	elems := uint64(rows) * uint64(cols)
-	if elems*uint64(dtype.Size()) != uint64(r.remain()) {
+	size := uint64(dtype.Size())
+	if elems > uint64(r.remain())/size || elems*size != uint64(r.remain()) {
 		return InferFrame{}, fmt.Errorf("serveapi: frame claims %d x %d %s payload, body holds %d bytes",
 			rows, cols, dtype, r.remain())
 	}
@@ -470,8 +508,10 @@ func decodeShape(r *frameReader) ([]int, error) {
 		}
 		elems *= uint64(d)
 		// Shapes beyond the body's capacity are forged: even the 4-byte
-		// dtype cannot fit that many elements in what remains.
-		if elems*4 > uint64(len(r.b)) {
+		// dtype cannot fit that many elements in what remains. Division,
+		// not elems*4, which could wrap; checking every dim also keeps
+		// the running product itself far from uint64 overflow.
+		if elems > uint64(len(r.b))/4 {
 			return nil, fmt.Errorf("serveapi: frame tensor shape overflows the frame body")
 		}
 		shape[i] = int(d)

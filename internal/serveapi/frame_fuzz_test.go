@@ -37,6 +37,10 @@ func FuzzDecodeFrame(f *testing.F) {
 	forged[FrameHeaderLen+3], forged[FrameHeaderLen+4] = 0xFF, 0xFF
 	forged[FrameHeaderLen+5], forged[FrameHeaderLen+6] = 0xFF, 0xFF
 	f.Add(forged)
+	// Forged geometry the payload-size equality alone can't catch: a
+	// zero dim hiding a huge one, and dims whose elems*size wraps uint64.
+	f.Add(rawInferFrame(DtypeF64, "m", math.MaxUint32, 0, nil))
+	f.Add(rawInferFrame(DtypeF64, "m", 1<<31, 1<<30, nil))
 	// Dtype and kind mismatches.
 	badDtype := append([]byte(nil), good...)
 	badDtype[6] = 9

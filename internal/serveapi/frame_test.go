@@ -2,10 +2,26 @@ package serveapi
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/json"
 	"math"
 	"testing"
 )
+
+// rawInferFrame hand-assembles an infer-request frame with arbitrary
+// dimension fields — the encoder refuses to build forged geometries, so
+// decoder tests for them must craft the bytes directly.
+func rawInferFrame(dtype Dtype, model string, rows, cols uint32, payload []byte) []byte {
+	body := binary.LittleEndian.AppendUint16(nil, uint16(len(model)))
+	body = append(body, model...)
+	body = binary.LittleEndian.AppendUint32(body, rows)
+	body = binary.LittleEndian.AppendUint32(body, cols)
+	body = append(body, payload...)
+	frame := binary.LittleEndian.AppendUint32(nil, FrameMagic)
+	frame = append(frame, FrameVersion, FrameInferRequest, byte(dtype), 0)
+	frame = binary.LittleEndian.AppendUint32(frame, uint32(len(body)))
+	return append(frame, body...)
+}
 
 func sampleSlab(rows, cols int) []float64 {
 	data := make([]float64, rows*cols)
@@ -120,6 +136,59 @@ func TestFrameDecodeRejectsMalformed(t *testing.T) {
 		if _, err := DecodeInferRequest(frame, nil); err == nil {
 			t.Errorf("%s: decode accepted a malformed frame", name)
 		}
+	}
+}
+
+// TestFrameDecodeRejectsForgedGeometry pins the two dimension forgeries
+// the payload-size equality alone cannot catch: a zero dim paired with
+// a huge one (0 elements matches an empty body regardless of the other
+// dim), and dims whose elems*size product wraps uint64 back to the body
+// size (2^31 x 2^30 x 8 ≡ 0). Either used to reach the allocator.
+func TestFrameDecodeRejectsForgedGeometry(t *testing.T) {
+	cases := map[string][2]uint32{
+		"zero cols, max rows":      {math.MaxUint32, 0},
+		"zero rows, max cols":      {0, math.MaxUint32},
+		"elems*size wraps uint64":  {1 << 31, 1 << 30},
+		"elems*4 wraps uint64 f32": {1 << 31, 1 << 31},
+	}
+	for name, dims := range cases {
+		dtype := DtypeF64
+		if dims[0] == dims[1] {
+			dtype = DtypeF32
+		}
+		if _, err := DecodeInferRequest(rawInferFrame(dtype, "m", dims[0], dims[1], nil), nil); err == nil {
+			t.Errorf("%s: decode accepted forged dims", name)
+		}
+	}
+	// [0, 0] is the one legal empty geometry; it must keep decoding so
+	// servers can answer it with their own "no rows" error.
+	empty, err := AppendInferRequest(nil, DtypeF64, "m", 0, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeInferRequest(empty, nil); err != nil {
+		t.Fatalf("empty [0,0] frame no longer decodes: %v", err)
+	}
+}
+
+// TestFrameSizeCaps: frames are bounded by MaxFrameLen end to end — the
+// encoders error out instead of letting the u32 length prefix truncate,
+// and the decoder refuses oversized byte streams outright.
+func TestFrameSizeCaps(t *testing.T) {
+	huge := make([]float64, maxFrameBody/8+1)
+	if _, err := AppendInferRequest(nil, DtypeF64, "m", 1, len(huge), huge); err == nil {
+		t.Error("infer encoder accepted a body beyond MaxFrameLen")
+	}
+	rec := CaptureRecord{Region: "r", InputShape: []int{len(huge)}, Inputs: huge,
+		OutputShape: []int{1}, Outputs: []float64{1}}
+	if _, err := AppendCaptureRequest(nil, DtypeF64, "db", []CaptureRecord{rec}); err == nil {
+		t.Error("capture encoder accepted a body beyond MaxFrameLen")
+	}
+	if _, err := AppendInferRequest(nil, DtypeF64, "m", 3, 0, nil); err == nil {
+		t.Error("infer encoder accepted degenerate [3, 0] geometry")
+	}
+	if _, err := DecodeInferRequest(make([]byte, MaxFrameLen+1), nil); err == nil {
+		t.Error("decoder accepted a frame beyond MaxFrameLen")
 	}
 }
 

@@ -204,10 +204,13 @@ func (c *Client) captureFrame(ctx context.Context, db string, recs []serveapi.Ca
 
 // readBody reads the whole response body into buf's storage (grown as
 // needed), so pooled frame buffers absorb the read instead of a fresh
-// io.ReadAll allocation per response.
+// io.ReadAll allocation per response. The Content-Length header sizes
+// the pre-allocation only up to the frame cap — no valid response frame
+// is bigger, and a buggy or hostile server shouldn't get to pick an
+// arbitrary allocation size.
 func readBody(resp *http.Response, buf []byte) ([]byte, error) {
 	buf = buf[:0]
-	if n := resp.ContentLength; n > 0 && int64(cap(buf)) < n {
+	if n := resp.ContentLength; n > 0 && n <= serveapi.MaxFrameLen && int64(cap(buf)) < n {
 		buf = make([]byte, 0, n)
 	}
 	for {
