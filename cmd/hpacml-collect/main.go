@@ -29,6 +29,7 @@ import (
 	"repro/internal/directive"
 	"repro/internal/experiments"
 	"repro/internal/results"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -45,7 +46,12 @@ func main() {
 	sampleEvery := flag.Int("sample-every", 0, "keep every N-th invocation (capture(every:N) policy)")
 	sampleFrac := flag.Float64("sample-frac", 0, "keep each invocation with this probability (capture(frac:F) policy)")
 	out := flag.String("out", "", "write the collection report as shared-schema JSON (internal/results) to this path")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(telemetry.VersionString("hpacml-collect"))
+		return
+	}
 
 	if *benchmark == "" || *db == "" {
 		fmt.Fprintln(os.Stderr, "hpacml-collect: -benchmark and -db are required")

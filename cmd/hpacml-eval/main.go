@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/experiments"
 	"repro/internal/results"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -30,7 +31,12 @@ func main() {
 	csvOut := flag.String("csv", "", "optional CSV output path (default stdout)")
 	jsonOut := flag.Bool("json", false, "emit the shared results schema (internal/results) instead of CSV")
 	outPath := flag.String("out", "", "with -json: output path (default stdout)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(telemetry.VersionString("hpacml-eval"))
+		return
+	}
 
 	if *benchmark == "" || *model == "" {
 		fmt.Fprintln(os.Stderr, "hpacml-eval: -benchmark and -model are required")

@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -23,7 +24,12 @@ func main() {
 	full := flag.Bool("full", false, "use campaign-scale problem sizes")
 	seed := flag.Int64("seed", 29, "random seed")
 	work := flag.String("work", "", "working directory (default: temp dir)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(telemetry.VersionString("hpacml-experiments"))
+		return
+	}
 
 	scale := experiments.ScaleTest
 	opt := experiments.QuickOptions()

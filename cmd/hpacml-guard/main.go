@@ -19,6 +19,8 @@ import (
 	"os"
 
 	hpacml "repro"
+
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -28,7 +30,12 @@ func main() {
 	out := flag.String("out", "", "explicit sidecar output path (overrides -model's naming convention)")
 	quantile := flag.Float64("quantile", 0.0, "tail fraction trimmed per side (0 = min/max envelope, 0.01 = 1%..99%)")
 	margin := flag.Float64("margin", 0.0, "check-time envelope widening, as a fraction of each feature's span")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(telemetry.VersionString("hpacml-guard"))
+		return
+	}
 
 	if *db == "" || *region == "" {
 		fmt.Fprintln(os.Stderr, "hpacml-guard: -db and -region are required")

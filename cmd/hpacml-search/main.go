@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/bo"
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 	"repro/internal/workflow"
 )
 
@@ -31,7 +32,12 @@ func main() {
 	seed := flag.Int64("seed", 29, "random seed")
 	parallelism := flag.Int("parallel", 1, "benchmarks searched in parallel when -benchmark all")
 	innerWorkers := flag.Int("inner-workers", 1, "concurrent training runs during each inner search's random-initialization phase (>1 adds contention noise to measured latencies)")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(telemetry.VersionString("hpacml-search"))
+		return
+	}
 
 	if *benchmark == "" {
 		fmt.Fprintln(os.Stderr, "hpacml-search: -benchmark is required")

@@ -32,6 +32,16 @@
 // clause — db("http://host:8080/name") — so many distributed ranks
 // build one training database; see examples/capture.
 //
+// Observability: GET /metrics serves the Prometheus text exposition of
+// the serving pipeline (request/batch/queue/latency/reload/capture and
+// trust-router series plus build info), /healthz reports build and
+// uptime, and every request carries an X-Request-ID (honored from the
+// client or minted) that shows up in structured logs and error bodies.
+// -log-level debug logs every request with its per-stage timings;
+// -slow-request bounds the warn threshold; -pprof-addr opens a
+// localhost-only admin listener with net/http/pprof and a second
+// /metrics. -version prints build metadata and exits.
+//
 // The server exits 0 on SIGINT/SIGTERM after draining queued requests —
 // the clean shutdown the CI smoke step asserts.
 package main
@@ -40,7 +50,9 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -48,6 +60,7 @@ import (
 	"time"
 
 	"repro/internal/serve"
+	"repro/internal/telemetry"
 )
 
 // modelFlags collects repeated -model name=path[,path2,...][:in:out]
@@ -110,6 +123,10 @@ func main() {
 	workers := flag.Int("workers", 2, "replica regions per model")
 	reload := flag.Duration("reload", 2*time.Second, "model-file checksum poll interval for hot reload (0 disables)")
 	f32 := flag.Bool("f32", false, "run inference in single precision: model weights convert to float32 once at load and batches skip the float64 round trip (unsupported models stay float64)")
+	logLevel := flag.String("log-level", "info", "log verbosity: debug (per-request lines), info, warn, or error")
+	slowReq := flag.Duration("slow-request", 0, "log requests slower than this at warn even below -log-level debug (0 = the handler default, 250ms)")
+	pprofAddr := flag.String("pprof-addr", "", "admin listen address for net/http/pprof profiling and a second /metrics endpoint (empty disables; bind it to localhost)")
+	version := flag.Bool("version", false, "print version and exit")
 
 	loadgen := flag.Bool("loadgen", false, "run as load generator instead of server")
 	target := flag.String("target", "http://127.0.0.1:8080", "loadgen: server base URL")
@@ -121,6 +138,16 @@ func main() {
 	seed := flag.Int64("seed", 29, "loadgen: input-vector seed")
 	wire := flag.String("wire", "json", "loadgen: client protocol — json, binary (length-prefixed frames), or both (JSON baseline then binary, one record)")
 	flag.Parse()
+
+	if *version {
+		fmt.Println(telemetry.VersionString("hpacml-serve"))
+		return
+	}
+	var level slog.Level
+	if err := level.UnmarshalText([]byte(*logLevel)); err != nil {
+		fatal(fmt.Errorf("bad -log-level %q: %w", *logLevel, err))
+	}
+	log := slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: level}))
 
 	if *loadgen {
 		rec, err := serve.RunLoadGen(serve.LoadGenConfig{
@@ -153,6 +180,8 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	build := telemetry.Build()
+	log.Info("hpacml-serve starting", "version", build.Version, "revision", build.Revision, "go", build.GoVersion)
 	for i := range captures {
 		captures[i].ShardRecords = *captureShard
 	}
@@ -173,33 +202,55 @@ func main() {
 		fatal(err)
 	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: serve.NewHandler(s)}
+	handlerOpts := []serve.HandlerOption{serve.WithLogger(log)}
+	if *slowReq > 0 {
+		handlerOpts = append(handlerOpts, serve.WithSlowRequest(*slowReq))
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: serve.NewHandler(s, handlerOpts...)}
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
+	if *pprofAddr != "" {
+		// The admin mux is separate from the serving mux on purpose:
+		// pprof exposes heap contents and must never ride a port that is
+		// reachable by inference clients. Explicit registrations, not
+		// http.DefaultServeMux, so nothing else leaks onto the port.
+		admin := http.NewServeMux()
+		admin.HandleFunc("/debug/pprof/", pprof.Index)
+		admin.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		admin.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		admin.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		admin.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		admin.Handle("/metrics", telemetry.Handler(s.Metrics()))
+		go func() {
+			log.Info("admin endpoint listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, admin); err != nil {
+				log.Error("admin endpoint failed", "addr", *pprofAddr, "err", err)
+			}
+		}()
+	}
 	uriHost := *addr
 	if strings.HasPrefix(uriHost, ":") {
 		uriHost = "<this-host>" + uriHost
 	}
 	for _, info := range s.Models() {
-		ens := ""
-		if info.Ensemble > 1 {
-			ens = fmt.Sprintf(", %d-member ensemble", info.Ensemble)
-		}
-		fmt.Fprintf(os.Stderr, "hpacml-serve: serving %q (%d -> %d features, %d replicas%s) from %s\n",
-			info.Name, info.InDim, info.OutDim, info.Replicas, ens, info.Path)
-		// The model-URI form regions use to execute against this server:
-		// the same annotation as the local case, with the path swapped
-		// for the URI (the runtime's remote engine takes it from there).
-		fmt.Fprintf(os.Stderr, "hpacml-serve:   regions reach it with model(%q)\n",
-			fmt.Sprintf("http://%s/%s", uriHost, info.Name))
+		// The model-URI attribute is the annotation form regions use to
+		// execute against this server: the same clause as the local
+		// case, with the path swapped for the URI (the runtime's remote
+		// engine takes it from there).
+		log.Info("serving model",
+			"model", info.Name, "path", info.Path,
+			"in", info.InDim, "out", info.OutDim,
+			"replicas", info.Replicas, "ensemble", info.Ensemble,
+			"model_uri", fmt.Sprintf("http://%s/%s", uriHost, info.Name))
 	}
 	for _, cs := range s.CaptureSnapshot() {
-		fmt.Fprintf(os.Stderr, "hpacml-serve: ingesting capture db %q into %s\n", cs.Name, cs.Path)
-		// The db-URI form collection regions use to feed this database.
-		fmt.Fprintf(os.Stderr, "hpacml-serve:   regions reach it with db(%q)\n",
-			fmt.Sprintf("http://%s/%s", uriHost, cs.Name))
+		// The db-URI attribute is what collection regions write in their
+		// db() clause to feed this database.
+		log.Info("ingesting capture db",
+			"db", cs.Name, "path", cs.Path,
+			"db_uri", fmt.Sprintf("http://%s/%s", uriHost, cs.Name))
 	}
-	fmt.Fprintf(os.Stderr, "hpacml-serve: listening on %s (max batch %d, max delay %v)\n", *addr, *maxBatch, *maxDelay)
+	log.Info("listening", "addr", *addr, "max_batch", *maxBatch, "max_delay", *maxDelay)
 
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
@@ -207,7 +258,7 @@ func main() {
 	case err := <-errc:
 		fatal(err)
 	case sig := <-sigc:
-		fmt.Fprintf(os.Stderr, "hpacml-serve: %v, draining\n", sig)
+		log.Info("draining", "signal", sig.String())
 	}
 	// Shutdown (not Close) lets handlers blocked in Infer write their
 	// responses as the workers drain — no accepted request loses its
@@ -215,18 +266,21 @@ func main() {
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(ctx); err != nil {
-		fmt.Fprintf(os.Stderr, "hpacml-serve: shutdown: %v\n", err)
+		log.Error("shutdown", "err", err)
 	}
 	if err := s.Close(); err != nil {
 		fatal(err)
 	}
 	for _, snap := range s.Snapshot() {
-		fmt.Fprintf(os.Stderr, "hpacml-serve: %q served %d requests in %d batches (mean %.1f), %d rejected\n",
-			snap.Name, snap.Completed, snap.Batches, snap.MeanBatch, snap.Rejected)
+		log.Info("model served",
+			"model", snap.Name, "completed", snap.Completed,
+			"batches", snap.Batches, "mean_batch", snap.MeanBatch,
+			"rejected", snap.Rejected)
 	}
 	for _, cs := range s.CaptureSnapshot() {
-		fmt.Fprintf(os.Stderr, "hpacml-serve: capture db %q ingested %d records in %d batches (%d shards, %d errors)\n",
-			cs.Name, cs.Records, cs.Batches, cs.Shards, cs.Errors)
+		log.Info("capture db ingested",
+			"db", cs.Name, "records", cs.Records, "batches", cs.Batches,
+			"shards", cs.Shards, "errors", cs.Errors)
 	}
 }
 

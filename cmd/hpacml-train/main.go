@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/bo"
 	"repro/internal/experiments"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -33,7 +34,12 @@ func main() {
 	epochs := flag.Int("epochs", 100, "training epochs")
 	full := flag.Bool("full", false, "use campaign-scale problem sizes")
 	seed := flag.Int64("seed", 29, "random seed")
+	version := flag.Bool("version", false, "print version and exit")
 	flag.Parse()
+	if *version {
+		fmt.Println(telemetry.VersionString("hpacml-train"))
+		return
+	}
 
 	if *benchmark == "" || *db == "" || *model == "" {
 		fmt.Fprintln(os.Stderr, "hpacml-train: -benchmark, -db, and -model are required")

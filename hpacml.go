@@ -126,6 +126,34 @@ type Stats struct {
 	BatchInference time.Duration
 }
 
+// Accumulate adds o's counters and phase timings into s — the bridge
+// aggregators use to fold a replica pool's per-Region accounting into
+// one view (the serving /v1/stats snapshot and the /metrics region
+// series both sum replicas through it). Field-for-field, so a new
+// Stats counter only needs wiring here to reach every aggregate.
+func (s *Stats) Accumulate(o Stats) {
+	s.Invocations += o.Invocations
+	s.Inferences += o.Inferences
+	s.Collections += o.Collections
+	s.AccurateRuns += o.AccurateRuns
+	s.Batches += o.Batches
+	s.BatchedInvocations += o.BatchedInvocations
+	s.Fallbacks += o.Fallbacks
+	s.RemoteInference += o.RemoteInference
+	s.TrustedRows += o.TrustedRows
+	s.UncertainRows += o.UncertainRows
+	s.OutOfDomainRows += o.OutOfDomainRows
+	s.CaptureDrops += o.CaptureDrops
+	s.CaptureFlushes += o.CaptureFlushes
+	s.RemoteCaptures += o.RemoteCaptures
+	s.ToTensor += o.ToTensor
+	s.Inference += o.Inference
+	s.FromTensor += o.FromTensor
+	s.Accurate += o.Accurate
+	s.DBWrite += o.DBWrite
+	s.BatchInference += o.BatchInference
+}
+
 // BridgeOverhead returns (to-tensor + from-tensor) time as a fraction of
 // total inference-engine time (single and batched).
 func (s Stats) BridgeOverhead() float64 {

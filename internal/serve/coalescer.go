@@ -7,12 +7,17 @@ import (
 // request is one queued invocation: the caller's input features, the
 // output slot the worker fills, and the completion channel the caller
 // blocks on. in is read and out written only between enqueue and the
-// done send, so no locking is needed on either.
+// done send, so no locking is needed on either; queued and forward are
+// written by the worker before the done send and read by the caller
+// after the receive (the channel provides the happens-before), so the
+// HTTP span can report the request's stage breakdown.
 type request struct {
-	in   []float64
-	out  []float64
-	enq  time.Time
-	done chan error
+	in      []float64
+	out     []float64
+	enq     time.Time
+	queued  time.Duration // enqueue -> batch cut
+	forward time.Duration // the batch's ExecuteBatch duration
+	done    chan error
 }
 
 // worker is one replica's serving loop: block for a batch's first
@@ -73,11 +78,18 @@ func (s *Server) runBatch(m *model, rep *replica, batch []*request) {
 	if s.cfg.batchHook != nil {
 		s.cfg.batchHook(m.name, len(batch))
 	}
+	cut := time.Now()
 	err := rep.region.ExecuteBatch(len(batch),
 		func(i int) error { copy(rep.in, batch[i].in); return nil },
 		func(i int) error { copy(batch[i].out, rep.out); return nil },
 	)
-	m.stats.observe(rep.idx, rep.region.Stats(), batch, time.Now(), err)
+	end := time.Now()
+	forward := end.Sub(cut)
+	for _, req := range batch {
+		req.queued = cut.Sub(req.enq)
+		req.forward = forward
+	}
+	m.stats.observe(rep.idx, rep.region.Stats(), batch, cut, end, err)
 	for _, req := range batch {
 		req.done <- err
 	}

@@ -5,13 +5,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"mime"
 	"net/http"
 	"strconv"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/serveapi"
+	"repro/internal/telemetry"
 )
 
 // The wire schema lives in internal/serveapi, shared with the typed
@@ -27,13 +30,64 @@ type (
 	StatsResponse = serveapi.StatsResponse
 )
 
-// NewHandler exposes the server over the HTTP JSON API:
+// HandlerOption configures NewHandler.
+type HandlerOption func(*handler)
+
+// WithLogger sets the structured request logger. Per-request lines log
+// at Debug, slow requests at Warn, and 5xx responses at Error, so the
+// production default (Info) stays quiet while anything worth waking up
+// for still lands in the log. Default slog.Default().
+func WithLogger(l *slog.Logger) HandlerOption {
+	return func(h *handler) { h.log = l }
+}
+
+// WithSlowRequest sets the slow-request threshold: requests that take
+// at least d log at Warn with their full stage breakdown and count in
+// hpacml_slow_requests_total. Zero disables slow classification.
+// Default 250ms.
+func WithSlowRequest(d time.Duration) HandlerOption {
+	return func(h *handler) { h.slow = d }
+}
+
+// defaultSlowRequest classifies a request as slow when no
+// WithSlowRequest override is given: generous against a micro-batching
+// target of single-digit milliseconds, tight enough to flag real
+// stalls.
+const defaultSlowRequest = 250 * time.Millisecond
+
+// handler is the HTTP layer: the route mux wrapped in the
+// tracing/logging middleware, plus the pre-resolved telemetry handles
+// the per-request path records into (resolved once here so the
+// request path never pays a label lookup).
+type handler struct {
+	s    *Server
+	mux  *http.ServeMux
+	log  *slog.Logger
+	slow time.Duration
+
+	okRequests  map[string]*telemetry.Counter // route -> 200 counter
+	stageDecode *telemetry.Histogram
+	stageEncode *telemetry.Histogram
+
+	wireInfer   [3]*telemetry.Counter // json, frame-f64, frame-f32
+	wireCapture [3]*telemetry.Counter
+}
+
+// wire-counter slots, indexed by how the request body arrived.
+const (
+	wireSlotJSON = iota
+	wireSlotF64
+	wireSlotF32
+)
+
+// NewHandler exposes the server over the HTTP API:
 //
 //	POST /v1/infer    {"model": "m", "input": [...]}  -> {"output": [...]}
 //	POST /v1/capture  {"db": "d", "records": [...]}   -> {"accepted": N}
 //	GET  /v1/models   registry listing
 //	GET  /v1/stats    per-model serving stats + capture ingest stats
-//	GET  /healthz     liveness
+//	GET  /metrics     Prometheus text-format exposition
+//	GET  /healthz     liveness + build/version info
 //
 // Backpressure surfaces as 429, unknown models/capture DBs as 404,
 // malformed bodies, wrong input widths and bad capture records as 400,
@@ -46,88 +100,260 @@ type (
 // The capture ack and every error body stay JSON. A frame of an
 // unsupported version is refused with 415 so newer clients downgrade
 // to JSON; a malformed frame is a plain 400.
-func NewHandler(s *Server) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/v1/infer", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
-			return
-		}
-		if isFrameRequest(r) {
-			serveInferFrame(s, w, r)
-			return
-		}
-		var req InferRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
-			return
-		}
-		switch {
-		case req.Input != nil && req.Inputs == nil:
-			out, err := s.Infer(req.Model, req.Input)
-			if err != nil {
-				writeErr(w, statusFor(err), err)
-				return
-			}
-			writeJSON(w, http.StatusOK, InferResponse{Model: req.Model, Output: out})
-		case req.Inputs != nil && req.Input == nil:
-			outs := make([][]float64, len(req.Inputs))
-			errs := make([]error, len(req.Inputs))
-			forEachRow(len(req.Inputs), func(i int) {
-				outs[i], errs[i] = s.Infer(req.Model, req.Inputs[i])
-			})
-			for _, err := range errs {
-				if err != nil {
-					writeErr(w, statusFor(err), err)
-					return
-				}
-			}
-			writeJSON(w, http.StatusOK, InferResponse{Model: req.Model, Outputs: outs})
-		default:
-			writeErr(w, http.StatusBadRequest, errors.New(`set exactly one of "input" or "inputs"`))
-		}
-	})
-	mux.HandleFunc("/v1/capture", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			writeErr(w, http.StatusMethodNotAllowed, errors.New("POST only"))
-			return
-		}
-		if isFrameRequest(r) {
-			serveCaptureFrame(s, w, r)
-			return
-		}
-		var req serveapi.CaptureRequest
-		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
-			writeErr(w, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
-			return
-		}
-		if len(req.Records) == 0 {
-			writeErr(w, http.StatusBadRequest, errors.New(`"records" must carry at least one capture record`))
-			return
-		}
-		accepted, err := s.Capture(req.DB, req.Records)
-		if err != nil {
-			// Report the durably appended prefix alongside the error so
-			// the client can account for a partial ingest exactly.
-			writeJSON(w, statusFor(err), serveapi.ErrorBody{Error: err.Error(), Accepted: accepted})
-			return
-		}
-		writeJSON(w, http.StatusOK, serveapi.CaptureResponse{DB: req.DB, Accepted: accepted})
-	})
-	mux.HandleFunc("/v1/models", func(w http.ResponseWriter, r *http.Request) {
+//
+// Every request is traced: an incoming X-Request-ID is honored (a
+// fresh ID is minted otherwise), echoed on the response header and in
+// error bodies, and logged — with per-stage decode/queue/forward/
+// encode timings — through the structured request logger (see
+// WithLogger / WithSlowRequest).
+func NewHandler(s *Server, opts ...HandlerOption) http.Handler {
+	h := &handler{
+		s:    s,
+		mux:  http.NewServeMux(),
+		log:  slog.Default(),
+		slow: defaultSlowRequest,
+
+		okRequests:  make(map[string]*telemetry.Counter),
+		stageDecode: s.met.httpStage.With("decode"),
+		stageEncode: s.met.httpStage.With("encode"),
+		wireInfer: [3]*telemetry.Counter{
+			s.met.wireRequests.With("infer", "json", "f64"),
+			s.met.wireRequests.With("infer", "binary", "f64"),
+			s.met.wireRequests.With("infer", "binary", "f32"),
+		},
+		wireCapture: [3]*telemetry.Counter{
+			s.met.wireRequests.With("capture", "json", "f64"),
+			s.met.wireRequests.With("capture", "binary", "f64"),
+			s.met.wireRequests.With("capture", "binary", "f32"),
+		},
+	}
+	for _, opt := range opts {
+		opt(h)
+	}
+	for _, route := range []string{"/v1/infer", "/v1/capture", "/v1/models", "/v1/stats", "/metrics", "/healthz", "other"} {
+		h.okRequests[route] = s.met.httpRequests.With(route, "200")
+	}
+
+	h.mux.HandleFunc("/v1/infer", h.serveInfer)
+	h.mux.HandleFunc("/v1/capture", h.serveCapture)
+	h.mux.HandleFunc("/v1/models", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Models())
 	})
-	mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
+	h.mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, StatsResponse{
 			UptimeSec: s.Uptime().Seconds(),
 			Models:    s.Snapshot(),
 			Captures:  s.CaptureSnapshot(),
 		})
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	h.mux.Handle("/metrics", telemetry.Handler(s.met.reg))
+	h.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		b := telemetry.Build()
+		writeJSON(w, http.StatusOK, serveapi.HealthResponse{
+			Status:    "ok",
+			Version:   b.Version,
+			Revision:  b.Revision,
+			GoVersion: b.GoVersion,
+			UptimeSec: s.Uptime().Seconds(),
+		})
 	})
-	return mux
+	return h
+}
+
+// statusWriter captures the response status code for accounting.
+type statusWriter struct {
+	http.ResponseWriter
+	code  int
+	wrote bool
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if !w.wrote {
+		w.code, w.wrote = code, true
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
+}
+
+// routeLabel collapses request paths onto the fixed route set so a
+// path-scanning client cannot mint unbounded label cardinality.
+func routeLabel(path string) string {
+	switch path {
+	case "/v1/infer", "/v1/capture", "/v1/models", "/v1/stats", "/metrics", "/healthz":
+		return path
+	}
+	return "other"
+}
+
+// ServeHTTP is the tracing/logging middleware around the route mux:
+// resolve the request ID, serve, account the status, and emit one
+// structured log line with the span's stage breakdown.
+func (h *handler) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	rid := r.Header.Get(serveapi.HeaderRequestID)
+	if rid == "" {
+		rid = serveapi.NewRequestID()
+	}
+	sp := &span{id: rid, start: start}
+	w.Header().Set(serveapi.HeaderRequestID, rid)
+	sw := &statusWriter{ResponseWriter: w, code: http.StatusOK}
+	h.mux.ServeHTTP(sw, r.WithContext(withSpan(r.Context(), sp)))
+	dur := time.Since(start)
+
+	route := routeLabel(r.URL.Path)
+	if sw.code == http.StatusOK {
+		h.okRequests[route].Inc()
+	} else {
+		h.s.met.httpRequests.With(route, strconv.Itoa(sw.code)).Inc()
+	}
+
+	slow := h.slow > 0 && dur >= h.slow
+	if slow {
+		h.s.met.slowRequests.Inc()
+	}
+	level := slog.LevelDebug
+	switch {
+	case sw.code >= http.StatusInternalServerError:
+		level = slog.LevelError
+	case slow:
+		level = slog.LevelWarn
+	}
+	if !h.log.Enabled(r.Context(), level) {
+		return
+	}
+	queue, forward := sp.stageDurations()
+	attrs := make([]slog.Attr, 0, 13)
+	attrs = append(attrs,
+		slog.String("rid", rid),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.Int("status", sw.code),
+		slog.Duration("dur", dur),
+	)
+	if sp.model != "" {
+		attrs = append(attrs, slog.String("model", sp.model))
+	}
+	if sp.db != "" {
+		attrs = append(attrs, slog.String("db", sp.db))
+	}
+	if sp.wire != "" {
+		attrs = append(attrs,
+			slog.String("wire", sp.wire),
+			slog.String("dtype", sp.dtype),
+			slog.Int("rows", sp.rows),
+			slog.Duration("decode", sp.decode),
+			slog.Duration("queue", queue),
+			slog.Duration("forward", forward),
+			slog.Duration("encode", sp.encode),
+		)
+	}
+	if slow {
+		attrs = append(attrs, slog.Bool("slow", true))
+	}
+	h.log.LogAttrs(r.Context(), level, "request", attrs...)
+}
+
+// serveInfer handles POST /v1/infer on either wire.
+func (h *handler) serveInfer(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, r, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	if isFrameRequest(r) {
+		h.serveInferFrame(w, r)
+		return
+	}
+	s, sp := h.s, spanFrom(r.Context())
+	sp.wire, sp.dtype = "json", "f64"
+	h.wireInfer[wireSlotJSON].Inc()
+	decodeStart := time.Now()
+	var req InferRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
+		return
+	}
+	h.observeDecode(sp, time.Since(decodeStart))
+	sp.model = req.Model
+	switch {
+	case req.Input != nil && req.Inputs == nil:
+		sp.rows = 1
+		out, err := s.infer(req.Model, req.Input, sp)
+		if err != nil {
+			writeErr(w, r, statusFor(err), err)
+			return
+		}
+		h.encodeJSON(w, sp, InferResponse{Model: req.Model, Output: out})
+	case req.Inputs != nil && req.Input == nil:
+		sp.rows = len(req.Inputs)
+		outs := make([][]float64, len(req.Inputs))
+		errs := make([]error, len(req.Inputs))
+		forEachRow(len(req.Inputs), func(i int) {
+			outs[i], errs[i] = s.infer(req.Model, req.Inputs[i], sp)
+		})
+		for _, err := range errs {
+			if err != nil {
+				writeErr(w, r, statusFor(err), err)
+				return
+			}
+		}
+		h.encodeJSON(w, sp, InferResponse{Model: req.Model, Outputs: outs})
+	default:
+		writeErr(w, r, http.StatusBadRequest, errors.New(`set exactly one of "input" or "inputs"`))
+	}
+}
+
+// serveCapture handles POST /v1/capture on either wire.
+func (h *handler) serveCapture(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, r, http.StatusMethodNotAllowed, errors.New("POST only"))
+		return
+	}
+	if isFrameRequest(r) {
+		h.serveCaptureFrame(w, r)
+		return
+	}
+	s, sp := h.s, spanFrom(r.Context())
+	sp.wire, sp.dtype = "json", "f64"
+	h.wireCapture[wireSlotJSON].Inc()
+	decodeStart := time.Now()
+	var req serveapi.CaptureRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("bad JSON: %w", err))
+		return
+	}
+	h.observeDecode(sp, time.Since(decodeStart))
+	sp.db, sp.rows = req.DB, len(req.Records)
+	if len(req.Records) == 0 {
+		writeErr(w, r, http.StatusBadRequest, errors.New(`"records" must carry at least one capture record`))
+		return
+	}
+	accepted, err := s.Capture(req.DB, req.Records)
+	if err != nil {
+		// Report the durably appended prefix alongside the error so
+		// the client can account for a partial ingest exactly.
+		writeJSON(w, statusFor(err), serveapi.ErrorBody{Error: err.Error(), Accepted: accepted, RequestID: requestIDFrom(r.Context())})
+		return
+	}
+	h.encodeJSON(w, sp, serveapi.CaptureResponse{DB: req.DB, Accepted: accepted})
+}
+
+// observeDecode records a request's body-decode duration in both the
+// span (for its log line) and the stage histogram.
+func (h *handler) observeDecode(sp *span, d time.Duration) {
+	sp.decode = d
+	h.stageDecode.Observe(d.Seconds())
+}
+
+// encodeJSON writes a 200 JSON response, timing the encode stage.
+func (h *handler) encodeJSON(w http.ResponseWriter, sp *span, v any) {
+	encStart := time.Now()
+	writeJSON(w, http.StatusOK, v)
+	sp.encode = time.Since(encStart)
+	h.stageEncode.Observe(sp.encode.Seconds())
 }
 
 // statusFor maps serving errors to HTTP codes. Anything that is not a
@@ -155,8 +381,11 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	json.NewEncoder(w).Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, serveapi.ErrorBody{Error: err.Error()})
+// writeErr writes a JSON error body stamped with the request's trace
+// ID, so the failure a client reports is joinable to this server's
+// log line for the same request.
+func writeErr(w http.ResponseWriter, r *http.Request, code int, err error) {
+	writeJSON(w, code, serveapi.ErrorBody{Error: err.Error(), RequestID: requestIDFrom(r.Context())})
 }
 
 // --- binary frame protocol -------------------------------------------
@@ -281,42 +510,59 @@ func forEachRow(rows int, fn func(i int)) {
 	wg.Wait()
 }
 
+// dtypeLabel maps a frame dtype to its metric slot and label.
+func dtypeSlot(dt serveapi.Dtype) (slot int, label string) {
+	if dt == serveapi.DtypeF32 {
+		return wireSlotF32, "f32"
+	}
+	return wireSlotF64, "f64"
+}
+
 // serveInferFrame is the binary hot path of /v1/infer: decode the
 // request slab into pooled buffers, submit every row to the coalescer
 // concurrently, and answer a response frame of the request's dtype.
-func serveInferFrame(s *Server, w http.ResponseWriter, r *http.Request) {
+func (h *handler) serveInferFrame(w http.ResponseWriter, r *http.Request) {
+	s, sp := h.s, spanFrom(r.Context())
+	sp.wire = "binary"
 	fs := framePool.Get().(*frameScratch)
 	defer framePool.Put(fs)
+	decodeStart := time.Now()
 	var err error
 	if fs.body, err = readFrameBody(w, r, fs.body); err != nil {
-		writeErr(w, readFrameStatus(err), fmt.Errorf("reading frame: %w", err))
+		writeErr(w, r, readFrameStatus(err), fmt.Errorf("reading frame: %w", err))
 		return
 	}
 	req, err := serveapi.DecodeInferRequest(fs.body, fs.in)
 	if err != nil {
-		writeErr(w, frameStatus(err), err)
+		writeErr(w, r, frameStatus(err), err)
 		return
 	}
+	h.observeDecode(sp, time.Since(decodeStart))
 	fs.in = req.Data
+	slot, dlabel := dtypeSlot(req.Dtype)
+	sp.dtype = dlabel
+	sp.model, sp.rows = req.Model, req.Rows
+	h.wireInfer[slot].Inc()
 	if req.Rows == 0 {
-		writeErr(w, http.StatusBadRequest, errors.New("frame must carry at least one row"))
+		writeErr(w, r, http.StatusBadRequest, errors.New("frame must carry at least one row"))
 		return
 	}
 	if req.Rows > maxInferRows {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("frame carries %d rows, limit %d", req.Rows, maxInferRows))
+		writeErr(w, r, http.StatusBadRequest, fmt.Errorf("frame carries %d rows, limit %d", req.Rows, maxInferRows))
 		return
 	}
 	outs := make([][]float64, req.Rows)
 	errs := make([]error, req.Rows)
 	forEachRow(req.Rows, func(i int) {
-		outs[i], errs[i] = s.Infer(req.Model, req.Data[i*req.Cols:(i+1)*req.Cols])
+		outs[i], errs[i] = s.infer(req.Model, req.Data[i*req.Cols:(i+1)*req.Cols], sp)
 	})
 	for _, err := range errs {
 		if err != nil {
-			writeErr(w, statusFor(err), err)
+			writeErr(w, r, statusFor(err), err)
 			return
 		}
 	}
+	encStart := time.Now()
 	outCols := len(outs[0])
 	if cap(fs.out) < req.Rows*outCols {
 		fs.out = make([]float64, 0, req.Rows*outCols)
@@ -326,40 +572,50 @@ func serveInferFrame(s *Server, w http.ResponseWriter, r *http.Request) {
 		fs.out = append(fs.out, row...)
 	}
 	if fs.enc, err = serveapi.AppendInferResponse(fs.enc[:0], req.Dtype, req.Model, req.Rows, outCols, fs.out); err != nil {
-		writeErr(w, http.StatusInternalServerError, err)
+		writeErr(w, r, http.StatusInternalServerError, err)
 		return
 	}
 	w.Header().Set("Content-Type", serveapi.ContentTypeFrame)
 	w.Header().Set("Content-Length", strconv.Itoa(len(fs.enc)))
 	w.WriteHeader(http.StatusOK)
 	w.Write(fs.enc)
+	sp.encode = time.Since(encStart)
+	h.stageEncode.Observe(sp.encode.Seconds())
 }
 
 // serveCaptureFrame is the binary path of /v1/capture. The decoded
 // records are freshly allocated (ingest hands them to the database
 // writer, which outlives the request); only the body read is pooled.
 // The ack is JSON, like the JSON path's.
-func serveCaptureFrame(s *Server, w http.ResponseWriter, r *http.Request) {
+func (h *handler) serveCaptureFrame(w http.ResponseWriter, r *http.Request) {
+	s, sp := h.s, spanFrom(r.Context())
+	sp.wire = "binary"
 	fs := framePool.Get().(*frameScratch)
 	defer framePool.Put(fs)
+	decodeStart := time.Now()
 	var err error
 	if fs.body, err = readFrameBody(w, r, fs.body); err != nil {
-		writeErr(w, readFrameStatus(err), fmt.Errorf("reading frame: %w", err))
+		writeErr(w, r, readFrameStatus(err), fmt.Errorf("reading frame: %w", err))
 		return
 	}
 	db, recs, err := serveapi.DecodeCaptureRequest(fs.body)
 	if err != nil {
-		writeErr(w, frameStatus(err), err)
+		writeErr(w, r, frameStatus(err), err)
 		return
 	}
+	h.observeDecode(sp, time.Since(decodeStart))
+	slot, dlabel := dtypeSlot(serveapi.DtypeF64)
+	sp.dtype = dlabel
+	sp.db, sp.rows = db, len(recs)
+	h.wireCapture[slot].Inc()
 	if len(recs) == 0 {
-		writeErr(w, http.StatusBadRequest, errors.New("frame must carry at least one capture record"))
+		writeErr(w, r, http.StatusBadRequest, errors.New("frame must carry at least one capture record"))
 		return
 	}
 	accepted, err := s.Capture(db, recs)
 	if err != nil {
-		writeJSON(w, statusFor(err), serveapi.ErrorBody{Error: err.Error(), Accepted: accepted})
+		writeJSON(w, statusFor(err), serveapi.ErrorBody{Error: err.Error(), Accepted: accepted, RequestID: requestIDFrom(r.Context())})
 		return
 	}
-	writeJSON(w, http.StatusOK, serveapi.CaptureResponse{DB: db, Accepted: accepted})
+	h.encodeJSON(w, sp, serveapi.CaptureResponse{DB: db, Accepted: accepted})
 }

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/h5"
 	"repro/internal/serveapi"
+	"repro/internal/telemetry"
 	"repro/internal/tensor"
 )
 
@@ -39,18 +40,20 @@ type CaptureSpec struct {
 	ShardRecords int
 }
 
-// captureDB is one registry entry: the sharded writer plus ingest
-// accounting, serialized by its own mutex so concurrent POSTs for
-// different databases never contend.
+// captureDB is one registry entry: the sharded writer serialized by
+// its own mutex (so concurrent POSTs for different databases never
+// contend) plus the ingest accounting — telemetry counters shared
+// with /metrics, the single source of truth /v1/stats reads too.
 type captureDB struct {
 	name string
 	path string
 
-	mu      sync.Mutex
-	w       *h5.ShardWriter
-	records uint64
-	batches uint64
-	errors  uint64
+	records  *telemetry.Counter // durably ingested capture records
+	batchOK  *telemetry.Counter // fully ingested POSTs
+	batchErr *telemetry.Counter // rejected or failed ingest batches
+
+	mu sync.Mutex
+	w  *h5.ShardWriter
 }
 
 // ingest is the capture-database registry.
@@ -59,8 +62,9 @@ type ingest struct {
 }
 
 // newIngest opens (or resumes, with per-shard crash recovery) every
-// registered capture database.
-func newIngest(specs []CaptureSpec) (*ingest, error) {
+// registered capture database, resolving each database's metric
+// children once.
+func newIngest(specs []CaptureSpec, met *metrics) (*ingest, error) {
 	g := &ingest{dbs: make(map[string]*captureDB, len(specs))}
 	for _, spec := range specs {
 		if spec.Name == "" || spec.Path == "" {
@@ -76,7 +80,14 @@ func newIngest(specs []CaptureSpec) (*ingest, error) {
 			g.close()
 			return nil, fmt.Errorf("serve: capture db %q: %w", spec.Name, err)
 		}
-		g.dbs[spec.Name] = &captureDB{name: spec.Name, path: spec.Path, w: w}
+		g.dbs[spec.Name] = &captureDB{
+			name:     spec.Name,
+			path:     spec.Path,
+			w:        w,
+			records:  met.captureRecords.With(spec.Name),
+			batchOK:  met.captureBatches.With(spec.Name, "ok"),
+			batchErr: met.captureBatches.With(spec.Name, "error"),
+		}
 	}
 	return g, nil
 }
@@ -105,9 +116,7 @@ func (g *ingest) capture(db string, recs []serveapi.CaptureRecord) (int, error) 
 			}
 		}
 		if err != nil {
-			d.mu.Lock()
-			d.errors++
-			d.mu.Unlock()
+			d.batchErr.Inc()
 			return 0, err
 		}
 	}
@@ -119,7 +128,7 @@ func (g *ingest) capture(db string, recs []serveapi.CaptureRecord) (int, error) 
 			err = h5.AppendSample(w, rec.Region, tensors[i][0], tensors[i][1], rec.RuntimeNS)
 		}
 		if err != nil {
-			d.errors++
+			d.batchErr.Inc()
 			// Flush the prefix written before the failure: the accepted
 			// count travels back in the error body, and it must mean
 			// "durable" — a buffered-but-lost record would be double
@@ -127,18 +136,18 @@ func (g *ingest) capture(db string, recs []serveapi.CaptureRecord) (int, error) 
 			if ferr := d.w.Flush(); ferr != nil {
 				return 0, fmt.Errorf("serve: capture db %q: %w", db, err)
 			}
-			d.records += uint64(i)
+			d.records.Add(uint64(i))
 			return i, fmt.Errorf("serve: capture db %q: %w", db, err)
 		}
 	}
 	if err := d.w.Flush(); err != nil {
-		d.errors++
+		d.batchErr.Inc()
 		return 0, fmt.Errorf("serve: capture db %q: %w", db, err)
 	}
 	// Batches counts only fully ingested POSTs, matching the snapshot
 	// docs; rejected and failed batches count in Errors instead.
-	d.batches++
-	d.records += uint64(len(recs))
+	d.batchOK.Inc()
+	d.records.Add(uint64(len(recs)))
 	return len(recs), nil
 }
 
@@ -153,13 +162,14 @@ func (g *ingest) snapshot() []serveapi.CaptureSnapshot {
 	for _, n := range names {
 		d := g.dbs[n]
 		d.mu.Lock()
-		out = append(out, serveapi.CaptureSnapshot{
-			CaptureDBInfo: serveapi.CaptureDBInfo{Name: d.name, Path: d.path, Shards: d.w.Shards()},
-			Records:       d.records,
-			Batches:       d.batches,
-			Errors:        d.errors,
-		})
+		shards := d.w.Shards()
 		d.mu.Unlock()
+		out = append(out, serveapi.CaptureSnapshot{
+			CaptureDBInfo: serveapi.CaptureDBInfo{Name: d.name, Path: d.path, Shards: shards},
+			Records:       d.records.Value(),
+			Batches:       d.batchOK.Value(),
+			Errors:        d.batchErr.Value(),
+		})
 	}
 	return out
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -169,6 +170,7 @@ func runLoadGen(cfg LoadGenConfig, wire serveclient.Wire) (*results.Record, erro
 	for _, l := range lats {
 		all = append(all, l...)
 	}
+	sort.Float64s(all) // one sort feeds all three quantiles
 
 	serving := &results.Serving{
 		TargetRPS:    cfg.RPS,
@@ -178,9 +180,9 @@ func runLoadGen(cfg LoadGenConfig, wire serveclient.Wire) (*results.Record, erro
 		Completed:    completed.Load(),
 		Rejected:     rejected.Load(),
 		Errors:       errs.Load(),
-		LatencyP50Ms: quantileMs(all, 0.50),
-		LatencyP95Ms: quantileMs(all, 0.95),
-		LatencyP99Ms: quantileMs(all, 0.99),
+		LatencyP50Ms: quantileSortedMs(all, 0.50),
+		LatencyP95Ms: quantileSortedMs(all, 0.95),
+		LatencyP99Ms: quantileSortedMs(all, 0.99),
 		Wire:         wire.String(),
 	}
 	if elapsed > 0 {

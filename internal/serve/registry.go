@@ -83,7 +83,7 @@ type replica struct {
 // dimensions), checksums the file, publishes the loaded network to the
 // shared model cache, and builds the replica pool. On failure every
 // already-built replica is closed.
-func newModel(spec ModelSpec, cfg Config) (*model, error) {
+func newModel(spec ModelSpec, cfg Config, met *metrics) (*model, error) {
 	if spec.Name == "" || spec.Path == "" {
 		return nil, fmt.Errorf("serve: model spec needs a name and a path, got %+v", spec)
 	}
@@ -119,7 +119,7 @@ func newModel(spec ModelSpec, cfg Config) (*model, error) {
 		in:      in,
 		out:     out,
 		queue:   make(chan *request, cfg.QueueCap),
-		stats:   newModelStats(cfg.MaxBatch, cfg.Workers),
+		stats:   newModelStats(cfg.MaxBatch, cfg.Workers, met.forModel(spec.Name)),
 		sum:     sum,
 	}
 	for i := 0; i < cfg.Workers; i++ {

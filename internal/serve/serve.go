@@ -44,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/serveapi"
+	"repro/internal/telemetry"
 )
 
 // Sentinel errors returned by Server.Infer.
@@ -87,6 +88,12 @@ type Config struct {
 	// .gh5 files. Empty leaves ingest disabled.
 	CaptureDBs []CaptureSpec
 
+	// Metrics, when set, is the telemetry registry the server
+	// registers its metric families on; the HTTP handler exposes it at
+	// GET /metrics. Families are registered once, so give each server
+	// its own registry. Nil gets a fresh private one.
+	Metrics *telemetry.Registry
+
 	// batchHook, when set, runs before each ExecuteBatch call. Test seam
 	// for stalling workers deterministically.
 	batchHook func(model string, n int)
@@ -115,6 +122,7 @@ type Server struct {
 	cfg    Config
 	models map[string]*model // immutable after NewServer
 	ingest *ingest           // nil when capture ingest is disabled
+	met    *metrics
 	start  time.Time
 
 	// mu serializes queue sends against Close closing the queues.
@@ -139,6 +147,7 @@ func NewServer(cfg Config, specs ...ModelSpec) (*Server, error) {
 	s := &Server{
 		cfg:      cfg,
 		models:   make(map[string]*model, len(specs)),
+		met:      newMetrics(cfg.Metrics),
 		start:    time.Now(),
 		stopPoll: make(chan struct{}),
 		pollDone: make(chan struct{}),
@@ -152,7 +161,7 @@ func NewServer(cfg Config, specs ...ModelSpec) (*Server, error) {
 		}
 	}
 	if len(cfg.CaptureDBs) > 0 {
-		g, err := newIngest(cfg.CaptureDBs)
+		g, err := newIngest(cfg.CaptureDBs, s.met)
 		if err != nil {
 			return nil, err
 		}
@@ -163,13 +172,14 @@ func NewServer(cfg Config, specs ...ModelSpec) (*Server, error) {
 			closeAll()
 			return nil, fmt.Errorf("serve: model %q registered twice", spec.Name)
 		}
-		m, err := newModel(spec, cfg)
+		m, err := newModel(spec, cfg, s.met)
 		if err != nil {
 			closeAll()
 			return nil, err
 		}
 		s.models[m.name] = m
 	}
+	s.registerServerFuncs()
 	for _, m := range s.models {
 		for _, rep := range m.replicas {
 			s.wg.Add(1)
@@ -189,6 +199,13 @@ func NewServer(cfg Config, specs ...ModelSpec) (*Server, error) {
 // The call blocks until a worker has served the request as part of a
 // coalesced batch; it fails fast with ErrQueueFull under backpressure.
 func (s *Server) Infer(modelName string, in []float64) ([]float64, error) {
+	return s.infer(modelName, in, nil)
+}
+
+// infer is Infer plus trace plumbing: when sp is non-nil, the served
+// request's queue-wait and forward durations fold into the HTTP span
+// so the request's log line carries its stage breakdown.
+func (s *Server) infer(modelName string, in []float64, sp *span) ([]float64, error) {
 	m := s.models[modelName]
 	if m == nil {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownModel, modelName)
@@ -215,11 +232,20 @@ func (s *Server) Infer(modelName string, in []float64) ([]float64, error) {
 		m.stats.reject()
 		return nil, fmt.Errorf("%w: model %q at capacity %d", ErrQueueFull, modelName, cap(m.queue))
 	}
-	if err := <-req.done; err != nil {
+	err := <-req.done
+	if sp != nil {
+		sp.addRow(req.queued, req.forward)
+	}
+	if err != nil {
 		return nil, err
 	}
 	return req.out, nil
 }
+
+// Metrics returns the server's telemetry registry — the one the
+// handler serves at GET /metrics — so embedders (an admin mux, tests)
+// can scrape or extend it.
+func (s *Server) Metrics() *telemetry.Registry { return s.met.reg }
 
 // Capture appends a batch of capture records to the named registered
 // capture database, returning how many records were accepted. A nil

@@ -15,20 +15,22 @@ import (
 // model for quantile estimation.
 const latWindow = 4096
 
-// modelStats is the serving-side accounting for one model. All mutation
-// happens under mu: workers record a batch at a time, Infer records
-// rejections, and snapshot reads everything.
+// modelStats is the serving-side accounting for one model. The traffic
+// totals (completed/errors/rejected/batches, reload counts) live in
+// the model's telemetry counters (modelMetrics) — atomics shared with
+// the /metrics exposition, so the JSON snapshot and a Prometheus
+// scrape read the same source of truth. Under mu live only the things
+// a lock genuinely serializes: the exact batch-size array, the latency
+// ring, and the replicas' latest Region.Stats copies.
 type modelStats struct {
+	tm modelMetrics
+
 	mu    sync.Mutex
 	start time.Time
 
-	completed uint64
-	errors    uint64
-	rejected  uint64
-	batches   uint64
-
 	// hist[n] counts batches that served exactly n invocations
-	// (1 <= n <= MaxBatch) — the coalescing evidence.
+	// (1 <= n <= MaxBatch) — the exact per-size map /v1/stats reports
+	// (the telemetry histogram buckets the same sizes for scrapers).
 	hist []uint64
 
 	// lat is a ring of the last latWindow request latencies in seconds.
@@ -39,13 +41,11 @@ type modelStats struct {
 	// the aggregate bridges/inference phase split stays readable while
 	// the replicas keep running.
 	replicaRegion []hpacml.Stats
-
-	reloads      uint64
-	reloadErrors uint64
 }
 
-func newModelStats(maxBatch, workers int) *modelStats {
+func newModelStats(maxBatch, workers int, tm modelMetrics) *modelStats {
 	return &modelStats{
+		tm:            tm,
 		start:         time.Now(),
 		hist:          make([]uint64, maxBatch+1),
 		lat:           make([]float64, 0, latWindow),
@@ -53,27 +53,41 @@ func newModelStats(maxBatch, workers int) *modelStats {
 	}
 }
 
-// observe records one served batch: its size, outcome, each request's
-// queue-to-completion latency, and the owning replica's region counters.
-func (st *modelStats) observe(replicaIdx int, region hpacml.Stats, batch []*request, now time.Time, err error) {
+// observe records one served batch: its size, outcome, the forward
+// (ExecuteBatch) duration, each request's queue wait and
+// queue-to-completion latency, and the owning replica's region
+// counters. cut is when the batch was cut (forward started), end when
+// the forward call returned.
+func (st *modelStats) observe(replicaIdx int, region hpacml.Stats, batch []*request, cut, end time.Time, err error) {
+	n := len(batch)
+	st.tm.batches.Inc()
+	st.tm.batchSize.Observe(float64(n))
+	st.tm.forward.Observe(end.Sub(cut).Seconds())
+	if err != nil {
+		st.tm.errors.Add(uint64(n))
+	} else {
+		st.tm.ok.Add(uint64(n))
+		for _, req := range batch {
+			st.tm.queueWait.Observe(cut.Sub(req.enq).Seconds())
+			st.tm.latency.Observe(end.Sub(req.enq).Seconds())
+		}
+	}
+
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	st.batches++
-	n := len(batch)
-	if n >= len(st.hist) {
-		n = len(st.hist) - 1
+	h := n
+	if h >= len(st.hist) {
+		h = len(st.hist) - 1
 	}
-	st.hist[n]++
+	st.hist[h]++
 	if replicaIdx < len(st.replicaRegion) {
 		st.replicaRegion[replicaIdx] = region
 	}
 	if err != nil {
-		st.errors += uint64(len(batch))
 		return
 	}
-	st.completed += uint64(len(batch))
 	for _, req := range batch {
-		sec := now.Sub(req.enq).Seconds()
+		sec := end.Sub(req.enq).Seconds()
 		if len(st.lat) < cap(st.lat) {
 			st.lat = append(st.lat, sec)
 		} else {
@@ -83,22 +97,20 @@ func (st *modelStats) observe(replicaIdx int, region hpacml.Stats, batch []*requ
 	}
 }
 
-func (st *modelStats) reject() {
-	st.mu.Lock()
-	st.rejected++
-	st.mu.Unlock()
-}
+func (st *modelStats) reject()       { st.tm.rejected.Inc() }
+func (st *modelStats) reloaded()     { st.tm.reloadOK.Inc() }
+func (st *modelStats) reloadFailed() { st.tm.reloadErr.Inc() }
 
-func (st *modelStats) reloaded() {
+// regionSum returns the replica pool's summed Region accounting — the
+// source the JSON snapshot and the /metrics region bridge both read.
+func (st *modelStats) regionSum() hpacml.Stats {
 	st.mu.Lock()
-	st.reloads++
-	st.mu.Unlock()
-}
-
-func (st *modelStats) reloadFailed() {
-	st.mu.Lock()
-	st.reloadErrors++
-	st.mu.Unlock()
+	defer st.mu.Unlock()
+	var sum hpacml.Stats
+	for _, rs := range st.replicaRegion {
+		sum.Accumulate(rs)
+	}
+	return sum
 }
 
 // ModelSnapshot is one model's serving stats (the /v1/stats payload):
@@ -135,69 +147,60 @@ func wireRegionStats(s hpacml.Stats) serveapi.RegionStats {
 	}
 }
 
-// snapshot renders the stats under the model's registry info.
+// snapshot renders the stats under the model's registry info. The
+// mutex guards only the copies: the latency ring is snapshotted under
+// lock and sorted outside it, so a monitoring scrape sorting 4096
+// floats can never stall the workers' observe calls — the serving hot
+// path — behind it.
 func (st *modelStats) snapshot(info ModelInfo) ModelSnapshot {
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	completed := st.tm.ok.Value()
+	errors := st.tm.errors.Value()
 	snap := ModelSnapshot{
 		ModelInfo:    info,
-		Completed:    st.completed,
-		Errors:       st.errors,
-		Rejected:     st.rejected,
-		Batches:      st.batches,
-		Reloads:      st.reloads,
-		ReloadErrors: st.reloadErrors,
+		Completed:    completed,
+		Errors:       errors,
+		Rejected:     st.tm.rejected.Value(),
+		Batches:      st.tm.batches.Value(),
+		Reloads:      st.tm.reloadOK.Value(),
+		ReloadErrors: st.tm.reloadErr.Value(),
 		BatchHist:    make(map[string]uint64),
 	}
-	if up := time.Since(st.start).Seconds(); up > 0 {
-		snap.ThroughputRPS = float64(st.completed) / up
-	}
-	if st.batches > 0 {
-		snap.MeanBatch = float64(st.completed+st.errors) / float64(st.batches)
-	}
+
+	st.mu.Lock()
+	start := st.start
 	for n, c := range st.hist {
 		if c > 0 {
 			snap.BatchHist[strconv.Itoa(n)] = c
 		}
 	}
-	snap.LatencyP50Ms = quantileMs(st.lat, 0.50)
-	snap.LatencyP95Ms = quantileMs(st.lat, 0.95)
-	snap.LatencyP99Ms = quantileMs(st.lat, 0.99)
+	latCopy := append(make([]float64, 0, len(st.lat)), st.lat...)
 	var sum hpacml.Stats
 	for _, rs := range st.replicaRegion {
-		sum.Invocations += rs.Invocations
-		sum.Inferences += rs.Inferences
-		sum.Collections += rs.Collections
-		sum.AccurateRuns += rs.AccurateRuns
-		sum.Batches += rs.Batches
-		sum.BatchedInvocations += rs.BatchedInvocations
-		sum.Fallbacks += rs.Fallbacks
-		sum.RemoteInference += rs.RemoteInference
-		sum.TrustedRows += rs.TrustedRows
-		sum.UncertainRows += rs.UncertainRows
-		sum.OutOfDomainRows += rs.OutOfDomainRows
-		sum.CaptureDrops += rs.CaptureDrops
-		sum.CaptureFlushes += rs.CaptureFlushes
-		sum.RemoteCaptures += rs.RemoteCaptures
-		sum.ToTensor += rs.ToTensor
-		sum.Inference += rs.Inference
-		sum.FromTensor += rs.FromTensor
-		sum.Accurate += rs.Accurate
-		sum.DBWrite += rs.DBWrite
-		sum.BatchInference += rs.BatchInference
+		sum.Accumulate(rs)
 	}
+	st.mu.Unlock()
+
+	if up := time.Since(start).Seconds(); up > 0 {
+		snap.ThroughputRPS = float64(completed) / up
+	}
+	if snap.Batches > 0 {
+		snap.MeanBatch = float64(completed+errors) / float64(snap.Batches)
+	}
+	sort.Float64s(latCopy)
+	snap.LatencyP50Ms = quantileSortedMs(latCopy, 0.50)
+	snap.LatencyP95Ms = quantileSortedMs(latCopy, 0.95)
+	snap.LatencyP99Ms = quantileSortedMs(latCopy, 0.99)
 	snap.Region = wireRegionStats(sum)
 	return snap
 }
 
-// quantileMs returns the p-quantile of the latency window in
-// milliseconds (nearest-rank on a sorted copy; 0 when empty).
-func quantileMs(lat []float64, p float64) float64 {
-	if len(lat) == 0 {
+// quantileSortedMs returns the p-quantile of already-sorted latency
+// samples in milliseconds (nearest-rank; 0 when empty). Callers sort
+// once — outside any lock — and read several quantiles from it.
+func quantileSortedMs(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
 		return 0
 	}
-	sorted := append([]float64(nil), lat...)
-	sort.Float64s(sorted)
 	idx := int(p * float64(len(sorted)-1))
 	return sorted[idx] * 1e3
 }

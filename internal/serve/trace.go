@@ -1,0 +1,78 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// span is one HTTP request's trace record: the request ID (honored
+// from the X-Request-ID header or minted at entry), what the request
+// addressed, and per-stage timings — decode (request body to typed
+// request), queue (enqueue to batch cut), forward (ExecuteBatch), and
+// encode (typed response to response body). The logging middleware
+// renders it as one structured log line per request, which is what
+// makes a client-reported request ID greppable into the exact server-
+// side stage breakdown of that request.
+type span struct {
+	id    string
+	start time.Time
+
+	model string // infer requests
+	db    string // capture requests
+	wire  string // json | binary
+	dtype string // f64 | f32
+	rows  int
+
+	decode time.Duration
+	encode time.Duration
+
+	// Queue and forward are filled per row as coalesced batches
+	// complete; concurrent rows of one request keep the maximum (the
+	// stage as the caller experienced it). Guarded by mu because a
+	// multi-row request's rows finish on different workers.
+	mu      sync.Mutex
+	queue   time.Duration
+	forward time.Duration
+}
+
+// addRow folds one served row's queue/forward durations into the span.
+func (sp *span) addRow(queued, forward time.Duration) {
+	sp.mu.Lock()
+	if queued > sp.queue {
+		sp.queue = queued
+	}
+	if forward > sp.forward {
+		sp.forward = forward
+	}
+	sp.mu.Unlock()
+}
+
+// stageDurations returns the queue/forward pair race-free.
+func (sp *span) stageDurations() (queue, forward time.Duration) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return sp.queue, sp.forward
+}
+
+type spanKey struct{}
+
+// withSpan attaches the request's span to its context.
+func withSpan(ctx context.Context, sp *span) context.Context {
+	return context.WithValue(ctx, spanKey{}, sp)
+}
+
+// spanFrom returns the request's span, nil outside the handler chain.
+func spanFrom(ctx context.Context) *span {
+	sp, _ := ctx.Value(spanKey{}).(*span)
+	return sp
+}
+
+// requestIDFrom returns the request's trace ID, "" outside the
+// handler chain — the hook writeErr uses to stamp error bodies.
+func requestIDFrom(ctx context.Context) string {
+	if sp := spanFrom(ctx); sp != nil {
+		return sp.id
+	}
+	return ""
+}

@@ -34,9 +34,24 @@ type InferResponse struct {
 // /v1/capture failures: how many leading records of the batch were
 // durably appended before the failure, so clients can account for a
 // partial ingest instead of assuming the whole batch was lost.
+// RequestID echoes the request's trace ID (see HeaderRequestID), so a
+// failure reported client-side is joinable to the server's log line
+// for the same request.
 type ErrorBody struct {
-	Error    string `json:"error"`
-	Accepted int    `json:"accepted,omitempty"`
+	Error     string `json:"error"`
+	Accepted  int    `json:"accepted,omitempty"`
+	RequestID string `json:"request_id,omitempty"`
+}
+
+// HealthResponse is the /healthz payload: liveness plus the build
+// identity of the serving binary, so a fleet operator can tell at a
+// glance which version every server runs.
+type HealthResponse struct {
+	Status    string  `json:"status"`
+	Version   string  `json:"version,omitempty"`
+	Revision  string  `json:"revision,omitempty"`
+	GoVersion string  `json:"go_version,omitempty"`
+	UptimeSec float64 `json:"uptime_sec,omitempty"`
 }
 
 // CaptureRecord is one region invocation's training sample on the

@@ -1,0 +1,45 @@
+package serveapi
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"strconv"
+	"sync/atomic"
+)
+
+// Request tracing rides on one header: every request into the server
+// carries an ID, minted by whichever side sees the request first. The
+// client stamps outgoing calls so a failed call is joinable to the
+// matching server log line; the server honors an incoming ID (so an
+// application-level trace spans client and server) and mints one for
+// bare requests (curl, old clients). The ID travels back on the
+// response header and inside every error body, which is what makes a
+// client-side failure report greppable in the server's logs.
+
+// HeaderRequestID is the request-tracing header, honored on requests
+// and echoed on responses.
+const HeaderRequestID = "X-Request-ID"
+
+// ridPrefix is a per-process random tag so IDs from different
+// processes (many clients, restarted servers) never collide; ridSeq
+// makes IDs unique and ordered within the process.
+var (
+	ridPrefix = func() string {
+		var b [6]byte
+		if _, err := rand.Read(b[:]); err != nil {
+			// Entropy exhaustion is effectively unreachable; degrade to a
+			// fixed prefix rather than making ID minting fallible.
+			return "00ff00ff00ff"
+		}
+		return hex.EncodeToString(b[:])
+	}()
+	ridSeq atomic.Uint64
+)
+
+// NewRequestID mints a process-unique request ID: a random per-process
+// prefix plus a sequence number, e.g. "d1fe0a82c44b-000042". Cheap
+// enough to mint per request (one atomic add and one small
+// allocation), unique across restarts and across concurrent clients.
+func NewRequestID() string {
+	return ridPrefix + "-" + strconv.FormatUint(ridSeq.Add(1), 36)
+}

@@ -34,13 +34,21 @@ import (
 // malformed request, 503 shutdown), or with the Rejected helper.
 // Accepted is non-zero only for failed capture batches: how many
 // leading records the server durably appended before failing.
+// RequestID is the X-Request-ID the failed call carried (from the
+// server's error body, or the echoed response header): quote it when
+// reporting the failure and the matching server log line is one grep
+// away.
 type APIError struct {
-	Code     int
-	Message  string
-	Accepted int
+	Code      int
+	Message   string
+	Accepted  int
+	RequestID string
 }
 
 func (e *APIError) Error() string {
+	if e.RequestID != "" {
+		return fmt.Sprintf("serveclient: server answered %d: %s (request %s)", e.Code, e.Message, e.RequestID)
+	}
 	return fmt.Sprintf("serveclient: server answered %d: %s", e.Code, e.Message)
 }
 
@@ -253,6 +261,7 @@ func (c *Client) post(ctx context.Context, path string, in, out any) error {
 		return fmt.Errorf("serveclient: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	stampRequestID(req)
 	return c.do(req, out)
 }
 
@@ -262,6 +271,7 @@ func (c *Client) get(ctx context.Context, path string, out any) error {
 	if err != nil {
 		return fmt.Errorf("serveclient: %w", err)
 	}
+	stampRequestID(req)
 	return c.do(req, out)
 }
 
@@ -305,11 +315,16 @@ func drainClose(body io.ReadCloser) {
 // apiError decodes a non-200 response's JSON error body into *APIError.
 // Error bodies are JSON on every wire, including the binary frame
 // protocol. The read is bounded and the remainder is left for
-// drainClose.
+// drainClose. The request ID comes from the error body when the server
+// stamped one, the echoed response header otherwise.
 func apiError(resp *http.Response) error {
 	var eb serveapi.ErrorBody
 	if derr := json.NewDecoder(io.LimitReader(resp.Body, maxErrorBytes)).Decode(&eb); derr != nil || eb.Error == "" {
 		eb.Error = resp.Status
 	}
-	return &APIError{Code: resp.StatusCode, Message: eb.Error, Accepted: eb.Accepted}
+	rid := eb.RequestID
+	if rid == "" {
+		rid = resp.Header.Get(serveapi.HeaderRequestID)
+	}
+	return &APIError{Code: resp.StatusCode, Message: eb.Error, Accepted: eb.Accepted, RequestID: rid}
 }

@@ -1,0 +1,44 @@
+package serveclient
+
+import (
+	"context"
+	"net/http"
+
+	"repro/internal/serveapi"
+)
+
+// Request tracing: every request the client sends carries an
+// X-Request-ID header. Callers that want to correlate a call with the
+// server's structured logs (or with an error report of their own) put
+// an ID in the context with WithRequestID; otherwise the client mints
+// one, so the server side is always traceable. The server echoes the
+// ID on the response and stamps it into error bodies, where it comes
+// back as APIError.RequestID.
+
+// ridKey is the context key for a caller-chosen request ID.
+type ridKey struct{}
+
+// WithRequestID returns a context whose client calls carry id as their
+// X-Request-ID header instead of a minted one.
+func WithRequestID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, ridKey{}, id)
+}
+
+// RequestIDFrom extracts a request ID previously attached with
+// WithRequestID.
+func RequestIDFrom(ctx context.Context) (string, bool) {
+	id, ok := ctx.Value(ridKey{}).(string)
+	return id, ok && id != ""
+}
+
+// stampRequestID sets the request's X-Request-ID header — the
+// context-attached ID when there is one, a freshly minted one
+// otherwise — and returns the ID used.
+func stampRequestID(req *http.Request) string {
+	id, ok := RequestIDFrom(req.Context())
+	if !ok {
+		id = serveapi.NewRequestID()
+	}
+	req.Header.Set(serveapi.HeaderRequestID, id)
+	return id
+}

@@ -121,6 +121,7 @@ func (c *Client) inferMatrixFrame(ctx context.Context, model string, rows, cols 
 		return nil, 0, fmt.Errorf("serveclient: %w", err)
 	}
 	req.Header.Set("Content-Type", serveapi.ContentTypeFrame)
+	stampRequestID(req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return nil, 0, fmt.Errorf("serveclient: POST /v1/infer: %w", err)
@@ -183,6 +184,7 @@ func (c *Client) captureFrame(ctx context.Context, db string, recs []serveapi.Ca
 		return 0, fmt.Errorf("serveclient: %w", err)
 	}
 	req.Header.Set("Content-Type", serveapi.ContentTypeFrame)
+	stampRequestID(req)
 	resp, err := c.http.Do(req)
 	if err != nil {
 		return 0, fmt.Errorf("serveclient: POST /v1/capture: %w", err)

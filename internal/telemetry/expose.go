@@ -1,0 +1,196 @@
+package telemetry
+
+import (
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+)
+
+// Prometheus text exposition (format version 0.0.4): one # HELP and
+// # TYPE line per family, then every series, families and label sets
+// in sorted order so scrapes are diffable and the golden test is
+// stable. Values render with strconv appends into the caller's buffer
+// — the scrape path builds no intermediate strings.
+
+// ContentTypePrometheus is the scrape response Content-Type.
+const ContentTypePrometheus = "text/plain; version=0.0.4; charset=utf-8"
+
+// AppendPrometheus renders the registry into buf and returns it, in
+// the Prometheus text format. Func-backed families run their collect
+// callbacks here; everything else reads atomics. Concurrent recording
+// skews a series by at most the events that landed mid-scrape.
+func (r *Registry) AppendPrometheus(buf []byte) []byte {
+	r.mu.RLock()
+	names := append([]string(nil), r.order...)
+	fams := make([]*family, len(names))
+	for i, n := range names {
+		fams[i] = r.families[n]
+	}
+	r.mu.RUnlock()
+
+	var cum []uint64 // histogram snapshot scratch, reused across children
+	for _, f := range fams {
+		buf = append(buf, "# HELP "...)
+		buf = append(buf, f.name...)
+		buf = append(buf, ' ')
+		buf = appendEscapedHelp(buf, f.help)
+		buf = append(buf, "\n# TYPE "...)
+		buf = append(buf, f.name...)
+		buf = append(buf, ' ')
+		buf = append(buf, f.kind.String()...)
+		buf = append(buf, '\n')
+
+		if f.collect != nil {
+			buf = f.appendFuncSamples(buf)
+			continue
+		}
+
+		f.mu.RLock()
+		order := append([]string(nil), f.order...)
+		children := make([]any, len(order))
+		vals := make([][]string, len(order))
+		for i, k := range order {
+			children[i] = f.children[k]
+			vals[i] = f.keyVals[k]
+		}
+		f.mu.RUnlock()
+
+		for i, c := range children {
+			switch m := c.(type) {
+			case *Counter:
+				buf = appendSeries(buf, f.name, "", f.labels, vals[i], "", 0)
+				buf = strconv.AppendUint(buf, m.Value(), 10)
+				buf = append(buf, '\n')
+			case *Gauge:
+				buf = appendSeries(buf, f.name, "", f.labels, vals[i], "", 0)
+				buf = appendFloat(buf, m.Value())
+				buf = append(buf, '\n')
+			case *Histogram:
+				cum = m.snapshotInto(cum[:0])
+				for bi, bound := range m.bounds {
+					buf = appendSeries(buf, f.name, "_bucket", f.labels, vals[i], "le", bound)
+					buf = strconv.AppendUint(buf, cum[bi], 10)
+					buf = append(buf, '\n')
+				}
+				buf = appendSeries(buf, f.name, "_bucket", f.labels, vals[i], "le", math.Inf(1))
+				buf = strconv.AppendUint(buf, cum[len(cum)-1], 10)
+				buf = append(buf, '\n')
+				buf = appendSeries(buf, f.name, "_sum", f.labels, vals[i], "", 0)
+				buf = appendFloat(buf, m.Sum())
+				buf = append(buf, '\n')
+				buf = appendSeries(buf, f.name, "_count", f.labels, vals[i], "", 0)
+				buf = strconv.AppendUint(buf, m.Count(), 10)
+				buf = append(buf, '\n')
+			}
+		}
+	}
+	return buf
+}
+
+// appendFuncSamples renders a func-backed family by running its
+// collect callback with an emitter that formats each sample in place.
+func (f *family) appendFuncSamples(buf []byte) []byte {
+	f.collect(func(v float64, labelValues ...string) {
+		if len(labelValues) != len(f.labels) {
+			panic("telemetry: func metric " + f.name + " emitted wrong label count")
+		}
+		buf = appendSeries(buf, f.name, "", f.labels, labelValues, "", 0)
+		buf = appendFloat(buf, v)
+		buf = append(buf, '\n')
+	})
+	return buf
+}
+
+// appendSeries writes `name[suffix]{l1="v1",...[,extra="bound"]} ` up
+// to and including the separating space. extra carries the histogram
+// "le" label; its bound formats like any other float except +Inf.
+func appendSeries(buf []byte, name, suffix string, labels, vals []string, extra string, bound float64) []byte {
+	buf = append(buf, name...)
+	buf = append(buf, suffix...)
+	if len(labels) > 0 || extra != "" {
+		buf = append(buf, '{')
+		for i, l := range labels {
+			if i > 0 {
+				buf = append(buf, ',')
+			}
+			buf = append(buf, l...)
+			buf = append(buf, '=', '"')
+			buf = appendEscapedValue(buf, vals[i])
+			buf = append(buf, '"')
+		}
+		if extra != "" {
+			if len(labels) > 0 {
+				buf = append(buf, ',')
+			}
+			buf = append(buf, extra...)
+			buf = append(buf, '=', '"')
+			if math.IsInf(bound, 1) {
+				buf = append(buf, "+Inf"...)
+			} else {
+				buf = appendFloat(buf, bound)
+			}
+			buf = append(buf, '"')
+		}
+		buf = append(buf, '}')
+	}
+	return append(buf, ' ')
+}
+
+// appendFloat renders v the way Prometheus clients conventionally do:
+// shortest representation that round-trips.
+func appendFloat(buf []byte, v float64) []byte {
+	return strconv.AppendFloat(buf, v, 'g', -1, 64)
+}
+
+// appendEscapedValue escapes a label value: backslash, double quote,
+// and newline, per the text-format rules.
+func appendEscapedValue(buf []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			buf = append(buf, '\\', '\\')
+		case '"':
+			buf = append(buf, '\\', '"')
+		case '\n':
+			buf = append(buf, '\\', 'n')
+		default:
+			buf = append(buf, s[i])
+		}
+	}
+	return buf
+}
+
+// appendEscapedHelp escapes a help string: backslash and newline (help
+// text is not quoted, so quotes pass through).
+func appendEscapedHelp(buf []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			buf = append(buf, '\\', '\\')
+		case '\n':
+			buf = append(buf, '\\', 'n')
+		default:
+			buf = append(buf, s[i])
+		}
+	}
+	return buf
+}
+
+// scrapeBufs pools exposition buffers so steady scrape traffic (a
+// monitoring system every few seconds) reuses one slab instead of
+// reallocating the rendered world per scrape.
+var scrapeBufs = sync.Pool{New: func() any { b := make([]byte, 0, 16<<10); return &b }}
+
+// Handler serves the registry as a Prometheus scrape endpoint
+// (GET /metrics).
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		bp := scrapeBufs.Get().(*[]byte)
+		defer scrapeBufs.Put(bp)
+		*bp = r.AppendPrometheus((*bp)[:0])
+		w.Header().Set("Content-Type", ContentTypePrometheus)
+		w.Header().Set("Content-Length", strconv.Itoa(len(*bp)))
+		w.Write(*bp)
+	})
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package telemetry
+
+// raceEnabled reports whether the race detector is active; see the race
+// build-tagged twin.
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package telemetry
+
+// raceEnabled reports that the race detector is active: its
+// instrumentation allocates, so zero-allocation assertions must be
+// skipped (the -race CI job checks synchronization, not allocs).
+const raceEnabled = true
