@@ -32,6 +32,19 @@
 // clause — db("http://host:8080/name") — so many distributed ranks
 // build one training database; see examples/capture.
 //
+// With -retrain-every N (or -retrain-max-age) the server closes the
+// loop: a continuous-learning controller (internal/learner) watches
+// each capture database, and once N new records have been ingested it
+// snapshots them, retrains a candidate from the published weights in
+// the background, shadow-gates it on held-out captures (reject unless
+// candidate error <= published error + -retrain-rtol), and publishes
+// only passing candidates through the checksum hot-reload — recording
+// every attempt in a .lineage.json sidecar served by /v1/models.
+// -learn model=db pairs a model with its capture feed (auto-paired
+// when exactly one of each is registered); POST
+// /v1/models/{name}/rollback restores the parent generation. The
+// loadgen's -capture-db flag feeds the same loop from served traffic.
+//
 // Observability: GET /metrics serves the Prometheus text exposition of
 // the serving pipeline (request/batch/queue/latency/reload/capture and
 // trust-router series plus build info), /healthz reports build and
@@ -59,6 +72,9 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/h5"
+	"repro/internal/learner"
+	"repro/internal/nn"
 	"repro/internal/serve"
 	"repro/internal/telemetry"
 )
@@ -96,6 +112,23 @@ func (m *modelFlags) Set(v string) error {
 	return nil
 }
 
+// learnFlags collects repeated -learn model=db values pairing a served
+// model with the capture database that retrains it.
+type learnFlags []learnPair
+
+type learnPair struct{ model, db string }
+
+func (l *learnFlags) String() string { return fmt.Sprintf("%v", []learnPair(*l)) }
+
+func (l *learnFlags) Set(v string) error {
+	model, db, ok := strings.Cut(v, "=")
+	if !ok || model == "" || db == "" {
+		return fmt.Errorf("want model=db, got %q", v)
+	}
+	*l = append(*l, learnPair{model: model, db: db})
+	return nil
+}
+
 // captureFlags collects repeated -capture name=path values.
 type captureFlags []serve.CaptureSpec
 
@@ -128,6 +161,16 @@ func main() {
 	pprofAddr := flag.String("pprof-addr", "", "admin listen address for net/http/pprof profiling and a second /metrics endpoint (empty disables; bind it to localhost)")
 	version := flag.Bool("version", false, "print version and exit")
 
+	var learns learnFlags
+	flag.Var(&learns, "learn", "pair a model with its capture feed as model=db for continuous learning; repeatable (default: auto-pair when exactly one -model and one -capture are given)")
+	retrainEvery := flag.Int("retrain-every", 0, "retrain a candidate once this many new capture records have been ingested since the last attempt (0 disables the count trigger)")
+	retrainMaxAge := flag.Duration("retrain-max-age", 0, "retrain once any pending capture record is this old, regardless of count (0 disables the age trigger)")
+	retrainMin := flag.Int("retrain-min", 0, "minimum total captured records before any retrain (0 = learner default, 8)")
+	retrainInterval := flag.Duration("retrain-interval", 5*time.Second, "continuous-learning trigger poll interval")
+	retrainRtol := flag.Float64("retrain-rtol", 0.05, "shadow gate slack: publish a candidate iff its held-out relative error <= the published model's + this")
+	retrainHoldout := flag.Float64("retrain-holdout", 0.25, "fraction of the capture snapshot held out for the shadow gate (never trained on)")
+	retrainEpochs := flag.Int("retrain-epochs", 20, "training epochs per retrain (warm-started from the published weights)")
+
 	loadgen := flag.Bool("loadgen", false, "run as load generator instead of server")
 	target := flag.String("target", "http://127.0.0.1:8080", "loadgen: server base URL")
 	lgModel := flag.String("loadgen-model", "", "loadgen: model to exercise (default: the server's first)")
@@ -137,6 +180,7 @@ func main() {
 	out := flag.String("out", "", "loadgen: result JSON path (default stdout)")
 	seed := flag.Int64("seed", 29, "loadgen: input-vector seed")
 	wire := flag.String("wire", "json", "loadgen: client protocol — json, binary (length-prefixed frames), or both (JSON baseline then binary, one record)")
+	lgCapture := flag.String("capture-db", "", "loadgen: ship every completed inference back to this server-side capture database (the closed-loop retraining feed; empty disables)")
 	flag.Parse()
 
 	if *version {
@@ -158,6 +202,7 @@ func main() {
 			Concurrency: *concurrency,
 			Seed:        *seed,
 			Wire:        *wire,
+			CaptureDB:   *lgCapture,
 		})
 		if err != nil {
 			fatal(err)
@@ -172,6 +217,9 @@ func main() {
 		sv := rec.Serving
 		fmt.Fprintf(os.Stderr, "loadgen[%s]: %d completed (%.0f rec/s), %d rejected, %d errors, mean batch %.1f, p50 %.2fms, p99 %.2fms\n",
 			sv.Wire, sv.Completed, sv.RecordsPerSec, sv.Rejected, sv.Errors, sv.MeanBatch, sv.LatencyP50Ms, sv.LatencyP99Ms)
+		if sv.CapturedRecords > 0 {
+			fmt.Fprintf(os.Stderr, "loadgen: captured %d records into %q\n", sv.CapturedRecords, *lgCapture)
+		}
 		return
 	}
 
@@ -205,6 +253,65 @@ func main() {
 	handlerOpts := []serve.HandlerOption{serve.WithLogger(log)}
 	if *slowReq > 0 {
 		handlerOpts = append(handlerOpts, serve.WithSlowRequest(*slowReq))
+	}
+
+	// Continuous learning: pair each model with its capture feed and
+	// hand the controller the server's snapshot/reload hooks. The
+	// controller owns the background retrain goroutine; the handler gets
+	// it for /v1/models lineage, /v1/stats learners, and rollback.
+	var ctl *learner.Controller
+	if *retrainEvery > 0 || *retrainMaxAge > 0 {
+		pairs := learns
+		if len(pairs) == 0 {
+			if len(models) == 1 && len(captures) == 1 {
+				pairs = learnFlags{{model: models[0].Name, db: captures[0].Name}}
+			} else {
+				fatal(fmt.Errorf("-retrain-every/-retrain-max-age need explicit -learn model=db pairs unless exactly one -model and one -capture are registered"))
+			}
+		}
+		specByName := make(map[string]serve.ModelSpec, len(models))
+		for _, spec := range models {
+			specByName[spec.Name] = spec
+		}
+		dbByName := make(map[string]bool, len(captures))
+		for _, cs := range captures {
+			dbByName[cs.Name] = true
+		}
+		var pols []learner.Policy
+		for _, pr := range pairs {
+			spec, ok := specByName[pr.model]
+			if !ok {
+				fatal(fmt.Errorf("-learn %s=%s names an unregistered model", pr.model, pr.db))
+			}
+			if !dbByName[pr.db] {
+				fatal(fmt.Errorf("-learn %s=%s names an unregistered capture db", pr.model, pr.db))
+			}
+			model, db := pr.model, pr.db
+			pols = append(pols, learner.Policy{
+				Model:        model,
+				Paths:        append([]string{spec.Path}, spec.Ensemble...),
+				RetrainEvery: *retrainEvery,
+				MaxAge:       *retrainMaxAge,
+				MinRecords:   *retrainMin,
+				HoldoutFrac:  *retrainHoldout,
+				Rtol:         *retrainRtol,
+				Train:        nn.TrainConfig{Epochs: *retrainEpochs},
+				Snapshot:     func() (*h5.File, error) { return s.SnapshotCaptureDB(db) },
+				Reload:       func() error { return s.ReloadModel(model) },
+			})
+			log.Info("continuous learning enabled", "model", model, "capture_db", db,
+				"retrain_every", *retrainEvery, "max_age", *retrainMaxAge, "rtol", *retrainRtol)
+		}
+		var lerr error
+		ctl, lerr = learner.New(learner.Config{
+			Interval: *retrainInterval,
+			Logger:   log,
+			Metrics:  s.Metrics(),
+		}, pols...)
+		if lerr != nil {
+			fatal(lerr)
+		}
+		handlerOpts = append(handlerOpts, serve.WithLearner(ctl))
 	}
 	httpSrv := &http.Server{Addr: *addr, Handler: serve.NewHandler(s, handlerOpts...)}
 	errc := make(chan error, 1)
@@ -259,6 +366,13 @@ func main() {
 		fatal(err)
 	case sig := <-sigc:
 		log.Info("draining", "signal", sig.String())
+	}
+	// The learner stops first: its Stop hook cancels any in-flight
+	// training at the next minibatch, and a candidate interrupted here
+	// is never gated or published — SIGTERM cannot ship a half-vetted
+	// model.
+	if ctl != nil {
+		ctl.Close()
 	}
 	// Shutdown (not Close) lets handlers blocked in Infer write their
 	// responses as the workers drain — no accepted request loses its

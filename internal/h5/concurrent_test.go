@@ -1,0 +1,133 @@
+package h5
+
+import (
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestOpenShardsDuringAppend is the retrain-snapshot contract: a reader
+// calling OpenShards while a ShardWriter keeps appending must never see
+// an error or a torn record — only a clean prefix of complete records.
+// Record payloads are large enough (wider than the writer's 64 KiB
+// buffer per few records) that bufio flush boundaries routinely land
+// mid-record on disk, exercising the truncated-tail tolerance, and the
+// rotation quota is small so reads also race shard creation (where a
+// freshly created shard may hold only its header). Run under -race this
+// doubles as the data-race check for the snapshot path.
+func TestOpenShardsDuringAppend(t *testing.T) {
+	const (
+		dim     = 1200 // 9.6 KiB per record: buffer boundaries fall mid-record
+		sets    = 40
+		maxSets = 4 // rotate often so reads race fresh shards
+	)
+	base := filepath.Join(t.TempDir(), "live.gh5")
+	sw, err := NewShardWriter(base, maxSets, SampleRecords)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	row := func(v float64) *tensor.Tensor {
+		tt := tensor.New(1, dim)
+		d := tt.Data()
+		for i := range d {
+			d[i] = v
+		}
+		return tt
+	}
+
+	var wg sync.WaitGroup
+	done := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(done)
+		for s := 0; s < sets; s++ {
+			w, err := sw.BeginSet()
+			if err != nil {
+				t.Errorf("BeginSet: %v", err)
+				return
+			}
+			if err := AppendSample(w, "g", row(float64(s)), row(float64(s)+0.5), float64(s)); err != nil {
+				t.Errorf("AppendSample: %v", err)
+				return
+			}
+			// Flush at set boundaries like the capture sink does — but the
+			// bufio buffer also spills mid-record on its own, so on-disk
+			// state is NOT always set-aligned.
+			if err := sw.Flush(); err != nil {
+				t.Errorf("Flush: %v", err)
+				return
+			}
+		}
+	}()
+
+	// Hammer snapshots until the writer finishes: every read must parse
+	// cleanly and every visible row must hold exactly its set's value.
+	check := func(f *File) {
+		if len(f.Groups()) == 0 {
+			return // nothing durable yet
+		}
+		nIn := f.NumRecords("g", "inputs")
+		nOut := f.NumRecords("g", "outputs")
+		// Inputs are written before outputs within a set, so a snapshot
+		// may be at most one set ahead on inputs — never behind, never
+		// more than one.
+		if nOut > nIn || nIn-nOut > 1 {
+			t.Fatalf("torn set: %d input records vs %d output records", nIn, nOut)
+		}
+		for name, off := range map[string]float64{"inputs": 0, "outputs": 0.5} {
+			if f.NumRecords("g", name) == 0 {
+				continue
+			}
+			tt, err := f.Read("g", name)
+			if err != nil {
+				t.Fatalf("Read %s: %v", name, err)
+			}
+			d := tt.Data()
+			rows := tt.Shape()[0]
+			for r := 0; r < rows; r++ {
+				want := float64(r) + off
+				for c := 0; c < dim; c++ {
+					if got := d[r*dim+c]; got != want {
+						t.Fatalf("%s row %d col %d: got %v want %v (torn record)", name, r, c, got, want)
+					}
+				}
+			}
+		}
+	}
+	for reading := true; reading; {
+		select {
+		case <-done:
+			reading = false
+		default:
+		}
+		f, err := OpenShards(base)
+		if err != nil {
+			t.Fatalf("OpenShards during append: %v", err)
+		}
+		check(f)
+	}
+	wg.Wait()
+	if err := sw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The final snapshot sees every set, across every rotated shard.
+	f, err := OpenShards(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check(f)
+	if got := f.NumRecords("g", "inputs"); got != sets {
+		t.Fatalf("final inputs records = %d, want %d", got, sets)
+	}
+	if got := f.NumRecords("g", "outputs"); got != sets {
+		t.Fatalf("final outputs records = %d, want %d", got, sets)
+	}
+	if sw.Shards() < sets/maxSets {
+		t.Fatalf("expected rotation: %d shards for %d sets (quota %d)", sw.Shards(), sets, maxSets)
+	}
+}

@@ -43,7 +43,11 @@ type Writer struct {
 	buf *bufio.Writer
 }
 
-// Create truncates (or creates) path and writes a fresh header.
+// Create truncates (or creates) path and writes a fresh header. The
+// header is flushed immediately — not left in the write buffer — so a
+// concurrent reader (a retrain snapshotting a database mid-ingest)
+// that opens a freshly rotated shard sees a valid empty .gh5 file, not
+// zero bytes.
 func Create(path string) (*Writer, error) {
 	f, err := os.Create(path)
 	if err != nil {
@@ -55,6 +59,10 @@ func Create(path string) (*Writer, error) {
 		return nil, err
 	}
 	if err := writeU32(w.buf, fileVersion); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if err := w.buf.Flush(); err != nil {
 		f.Close()
 		return nil, err
 	}
@@ -243,13 +251,28 @@ func (f *File) scan(path string) error {
 	r := bufio.NewReaderSize(src, 1<<16)
 	magic, err := readU32(r)
 	if err != nil {
+		// A zero-byte (or header-truncated) file is what a writer that
+		// just created the shard — or crashed mid-header — leaves behind.
+		// Treat it as an empty shard, not corruption, so snapshot reads
+		// taken while a ShardWriter is appending never fail on a file
+		// whose header hasn't reached the OS yet. Real corruption (a full
+		// header with the wrong magic) still errors below.
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil
+		}
 		return fmt.Errorf("h5: %s: missing header: %w", path, err)
+	}
+	if magic != fileMagic {
+		return fmt.Errorf("h5: %s is not a version-%d .gh5 file", path, fileVersion)
 	}
 	version, err := readU32(r)
 	if err != nil {
+		if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil
+		}
 		return fmt.Errorf("h5: %s: missing version: %w", path, err)
 	}
-	if magic != fileMagic || version != fileVersion {
+	if version != fileVersion {
 		return fmt.Errorf("h5: %s is not a version-%d .gh5 file", path, fileVersion)
 	}
 	for {

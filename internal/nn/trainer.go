@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -8,6 +9,14 @@ import (
 	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
+
+// ErrTrainingStopped is returned by Fit when TrainConfig.Stop requested
+// an abort. The network holds whatever weights the last completed
+// optimizer step left behind — callers that need an intact model must
+// discard it (the continuous-learning controller does exactly that on
+// shutdown, so a partially-trained candidate is never gated or
+// published).
+var ErrTrainingStopped = errors.New("nn: training stopped")
 
 // Dataset pairs model inputs with regression targets. X and Y share their
 // leading (sample) dimension.
@@ -202,6 +211,12 @@ type TrainConfig struct {
 	// either way, so default-config callers are unaffected.)
 	ValFrac float64
 	Verbose func(epoch int, trainLoss, valLoss float64)
+	// Stop, when set, is polled before every minibatch; returning true
+	// aborts training promptly with ErrTrainingStopped. This is the
+	// cancellation hook for background retrains: a shutdown signal
+	// reaches a long Fit at the next batch boundary instead of waiting
+	// out the remaining epochs.
+	Stop func() bool
 }
 
 // History records per-epoch losses.
@@ -279,6 +294,9 @@ func (n *Network) Fit(train, val *Dataset, cfg TrainConfig) (*History, error) {
 		var epochLoss float64
 		var batches int
 		for lo := 0; lo < nSamples; lo += cfg.BatchSize {
+			if cfg.Stop != nil && cfg.Stop() {
+				return h, ErrTrainingStopped
+			}
 			hi := lo + cfg.BatchSize
 			if hi > nSamples {
 				hi = nSamples

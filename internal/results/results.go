@@ -124,6 +124,10 @@ type Serving struct {
 	// AchievedRPS holds for single-row requests; kept separate so the
 	// CI gate has a stable name).
 	RecordsPerSec float64 `json:"records_per_sec,omitempty"`
+	// CapturedRecords counts capture records the loadgen shipped to the
+	// server's ingest endpoint alongside the inference traffic (the
+	// closed-loop smoke's retraining feed); 0 when capture was off.
+	CapturedRecords uint64 `json:"captured_records,omitempty"`
 	// Baseline holds the JSON-wire run a wire=both loadgen performed
 	// before the binary run, so one artifact carries the comparison.
 	Baseline *Serving `json:"baseline,omitempty"`

@@ -9,10 +9,12 @@ import (
 	"mime"
 	"net/http"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/learner"
 	"repro/internal/serveapi"
 	"repro/internal/telemetry"
 )
@@ -49,6 +51,15 @@ func WithSlowRequest(d time.Duration) HandlerOption {
 	return func(h *handler) { h.slow = d }
 }
 
+// WithLearner attaches a continuous-learning controller to the API:
+// /v1/models entries gain their learner generation and lineage,
+// /v1/stats gains the Learners section, and POST
+// /v1/models/{model}/rollback restores a model's parent generation.
+// Without it the rollback endpoint answers 404.
+func WithLearner(l *learner.Controller) HandlerOption {
+	return func(h *handler) { h.learner = l }
+}
+
 // defaultSlowRequest classifies a request as slow when no
 // WithSlowRequest override is given: generous against a micro-batching
 // target of single-digit milliseconds, tight enough to flag real
@@ -60,10 +71,11 @@ const defaultSlowRequest = 250 * time.Millisecond
 // the per-request path records into (resolved once here so the
 // request path never pays a label lookup).
 type handler struct {
-	s    *Server
-	mux  *http.ServeMux
-	log  *slog.Logger
-	slow time.Duration
+	s       *Server
+	mux     *http.ServeMux
+	log     *slog.Logger
+	slow    time.Duration
+	learner *learner.Controller // nil = continuous learning disabled
 
 	okRequests  map[string]*telemetry.Counter // route -> 200 counter
 	stageDecode *telemetry.Histogram
@@ -84,8 +96,11 @@ const (
 //
 //	POST /v1/infer    {"model": "m", "input": [...]}  -> {"output": [...]}
 //	POST /v1/capture  {"db": "d", "records": [...]}   -> {"accepted": N}
-//	GET  /v1/models   registry listing
+//	GET  /v1/models   registry listing (checksum/load-time/path provenance,
+//	                  plus learner generation and lineage under WithLearner)
 //	GET  /v1/stats    per-model serving stats + capture ingest stats
+//	                  (+ the Learners section under WithLearner)
+//	POST /v1/models/{model}/rollback   restore the parent generation
 //	GET  /metrics     Prometheus text-format exposition
 //	GET  /healthz     liveness + build/version info
 //
@@ -130,21 +145,30 @@ func NewHandler(s *Server, opts ...HandlerOption) http.Handler {
 	for _, opt := range opts {
 		opt(h)
 	}
-	for _, route := range []string{"/v1/infer", "/v1/capture", "/v1/models", "/v1/stats", "/metrics", "/healthz", "other"} {
+	for _, route := range []string{"/v1/infer", "/v1/capture", "/v1/models", "/v1/stats", routeRollback, "/metrics", "/healthz", "other"} {
 		h.okRequests[route] = s.met.httpRequests.With(route, "200")
 	}
 
 	h.mux.HandleFunc("/v1/infer", h.serveInfer)
 	h.mux.HandleFunc("/v1/capture", h.serveCapture)
 	h.mux.HandleFunc("/v1/models", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.Models())
+		infos := s.Models()
+		if h.learner != nil {
+			h.learner.Annotate(infos)
+		}
+		writeJSON(w, http.StatusOK, infos)
 	})
+	h.mux.HandleFunc("POST /v1/models/{model}/rollback", h.serveRollback)
 	h.mux.HandleFunc("/v1/stats", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, StatsResponse{
+		resp := StatsResponse{
 			UptimeSec: s.Uptime().Seconds(),
 			Models:    s.Snapshot(),
 			Captures:  s.CaptureSnapshot(),
-		})
+		}
+		if h.learner != nil {
+			resp.Learners = h.learner.Snapshot()
+		}
+		writeJSON(w, http.StatusOK, resp)
 	})
 	h.mux.Handle("/metrics", telemetry.Handler(s.met.reg))
 	h.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -179,6 +203,11 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	return w.ResponseWriter.Write(b)
 }
 
+// routeRollback is the metric label of the admin rollback route — the
+// model name in the path is collapsed away so label cardinality stays
+// fixed.
+const routeRollback = "/v1/models/{model}/rollback"
+
 // routeLabel collapses request paths onto the fixed route set so a
 // path-scanning client cannot mint unbounded label cardinality.
 func routeLabel(path string) string {
@@ -186,7 +215,32 @@ func routeLabel(path string) string {
 	case "/v1/infer", "/v1/capture", "/v1/models", "/v1/stats", "/metrics", "/healthz":
 		return path
 	}
+	if strings.HasPrefix(path, "/v1/models/") && strings.HasSuffix(path, "/rollback") {
+		return routeRollback
+	}
 	return "other"
+}
+
+// serveRollback handles POST /v1/models/{model}/rollback: restore the
+// model's parent generation from its lineage archive and hot-reload
+// it. 404 without a learner (or for an unmanaged model), 409 when the
+// live generation has no parent to return to.
+func (h *handler) serveRollback(w http.ResponseWriter, r *http.Request) {
+	if h.learner == nil {
+		writeErr(w, r, http.StatusNotFound, errors.New("no continuous-learning controller attached"))
+		return
+	}
+	resp, err := h.learner.Rollback(r.PathValue("model"))
+	switch {
+	case err == nil:
+		writeJSON(w, http.StatusOK, resp)
+	case errors.Is(err, learner.ErrUnknownModel):
+		writeErr(w, r, http.StatusNotFound, err)
+	case errors.Is(err, learner.ErrNoParent):
+		writeErr(w, r, http.StatusConflict, err)
+	default:
+		writeErr(w, r, http.StatusInternalServerError, err)
+	}
 }
 
 // ServeHTTP is the tracing/logging middleware around the route mux:

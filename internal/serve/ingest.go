@@ -151,6 +151,26 @@ func (g *ingest) capture(db string, recs []serveapi.CaptureRecord) (int, error) 
 	return len(recs), nil
 }
 
+// snapshotDB flushes the named database and scans its shard set under
+// the writer mutex, so the snapshot is set-atomic: ingest appends a
+// whole inputs/outputs/runtime set per record under the same mutex,
+// and the flush pushes every buffered byte to the OS before the scan.
+// A retrain reading the snapshot therefore sees only complete training
+// samples, while concurrent POSTs keep appending the moment the scan
+// finishes.
+func (g *ingest) snapshotDB(db string) (*h5.File, error) {
+	d := g.dbs[db]
+	if d == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownDB, db)
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.w.Flush(); err != nil {
+		return nil, fmt.Errorf("serve: capture db %q: %w", db, err)
+	}
+	return h5.OpenShards(d.path)
+}
+
 // snapshot renders the per-database ingest stats in name order.
 func (g *ingest) snapshot() []serveapi.CaptureSnapshot {
 	names := make([]string, 0, len(g.dbs))

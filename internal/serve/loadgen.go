@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/results"
+	"repro/internal/serveapi"
 	"repro/internal/serveclient"
 )
 
@@ -35,6 +36,13 @@ type LoadGenConfig struct {
 	// record with the baseline attached, so a single artifact carries
 	// the before/after comparison.
 	Wire string
+	// CaptureDB, when set, ships every completed inference back to the
+	// server as a capture record (POST /v1/capture against this
+	// database name) — the closed-loop drive: served traffic becomes
+	// training data, which the server's learner retrains on. Records
+	// use the model name as their region group and the served output as
+	// the label.
+	CaptureDB string
 }
 
 // RunLoadGen fires Concurrency clients at the target's /v1/infer
@@ -82,7 +90,7 @@ func runLoadGen(cfg LoadGenConfig, wire serveclient.Wire) (*results.Record, erro
 	}
 	inDim, model := info.InDim, info.Name
 
-	var sent, completed, rejected, errs atomic.Uint64
+	var sent, completed, rejected, errs, captured atomic.Uint64
 	lats := make([][]float64, cfg.Concurrency)
 
 	// done closes at the deadline so rate-limited clients parked on the
@@ -128,6 +136,21 @@ func runLoadGen(cfg LoadGenConfig, wire serveclient.Wire) (*results.Record, erro
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(c)*7919))
 			in := make([]float64, inDim)
 			var out []float64 // binary-wire response scratch, reused across requests
+			// Capture batching: completed inferences accumulate per
+			// client and ship as /v1/capture POSTs — the closed-loop
+			// feed. Row-shaped records ([1, k]) so the server's .gh5
+			// concatenation yields a [n, k] training matrix.
+			var capBatch []serveapi.CaptureRecord
+			flushCapture := func() {
+				if len(capBatch) == 0 {
+					return
+				}
+				if n, err := client.Capture(context.Background(), cfg.CaptureDB, capBatch); err == nil {
+					captured.Add(uint64(n))
+				}
+				capBatch = capBatch[:0]
+			}
+			defer flushCapture()
 			for time.Now().Before(deadline) {
 				if tick != nil {
 					select {
@@ -148,12 +171,28 @@ func runLoadGen(cfg LoadGenConfig, wire serveclient.Wire) (*results.Record, erro
 				if wire == serveclient.WireBinary {
 					out, _, err = client.InferMatrix(context.Background(), model, 1, inDim, in, out)
 				} else {
-					_, err = client.Infer(context.Background(), model, in)
+					out, err = client.Infer(context.Background(), model, in)
 				}
+				elapsed := time.Since(start)
 				switch {
 				case err == nil:
 					completed.Add(1)
-					lats[c] = append(lats[c], time.Since(start).Seconds())
+					lats[c] = append(lats[c], elapsed.Seconds())
+					if cfg.CaptureDB != "" && len(out) > 0 {
+						// Copy both vectors: in and (on the binary wire)
+						// out are reused across iterations.
+						capBatch = append(capBatch, serveapi.CaptureRecord{
+							Region:      model,
+							InputShape:  []int{1, inDim},
+							Inputs:      append([]float64(nil), in...),
+							OutputShape: []int{1, len(out)},
+							Outputs:     append([]float64(nil), out...),
+							RuntimeNS:   float64(elapsed.Nanoseconds()),
+						})
+						if len(capBatch) >= 16 {
+							flushCapture()
+						}
+					}
 				case serveclient.Rejected(err):
 					rejected.Add(1)
 				default:
@@ -184,6 +223,8 @@ func runLoadGen(cfg LoadGenConfig, wire serveclient.Wire) (*results.Record, erro
 		LatencyP95Ms: quantileSortedMs(all, 0.95),
 		LatencyP99Ms: quantileSortedMs(all, 0.99),
 		Wire:         wire.String(),
+
+		CapturedRecords: captured.Load(),
 	}
 	if elapsed > 0 {
 		serving.AchievedRPS = float64(completed.Load()) / elapsed.Seconds()

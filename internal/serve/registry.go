@@ -7,6 +7,7 @@ import (
 	"os"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	hpacml "repro"
 
@@ -61,6 +62,9 @@ type model struct {
 	gen   atomic.Uint64
 	sumMu sync.Mutex
 	sum   [sha256.Size]byte
+	// loadedAt is when the served weights were (re)loaded — provenance
+	// for /v1/models, guarded by sumMu like the checksum it travels with.
+	loadedAt time.Time
 }
 
 // replica is one worker's single-threaded execution context: a Region
@@ -113,14 +117,15 @@ func newModel(spec ModelSpec, cfg Config, met *metrics) (*model, error) {
 		hpacml.StoreModel(p, mnet)
 	}
 	m := &model{
-		name:    spec.Name,
-		path:    spec.Path,
-		members: members,
-		in:      in,
-		out:     out,
-		queue:   make(chan *request, cfg.QueueCap),
-		stats:   newModelStats(cfg.MaxBatch, cfg.Workers, met.forModel(spec.Name)),
-		sum:     sum,
+		name:     spec.Name,
+		path:     spec.Path,
+		members:  members,
+		in:       in,
+		out:      out,
+		queue:    make(chan *request, cfg.QueueCap),
+		stats:    newModelStats(cfg.MaxBatch, cfg.Workers, met.forModel(spec.Name)),
+		sum:      sum,
+		loadedAt: time.Now(),
 	}
 	for i := 0; i < cfg.Workers; i++ {
 		rep, err := newReplica(spec.Name, members, i, in, out, spec.F32)
@@ -249,6 +254,7 @@ ml(infer) in(x) out(y) model(%q)%s
 func (m *model) info() ModelInfo {
 	m.sumMu.Lock()
 	sum := m.sum
+	loadedAt := m.loadedAt
 	m.sumMu.Unlock()
 	return ModelInfo{
 		Name:       m.name,
@@ -259,6 +265,7 @@ func (m *model) info() ModelInfo {
 		Checksum:   hex.EncodeToString(sum[:]),
 		Generation: m.gen.Load(),
 		Replicas:   len(m.replicas),
+		LoadedAt:   loadedAt,
 	}
 }
 
@@ -303,6 +310,7 @@ func (m *model) checkReload() error {
 	}
 	m.sumMu.Lock()
 	m.sum = sum
+	m.loadedAt = time.Now()
 	m.sumMu.Unlock()
 	m.gen.Add(1)
 	m.stats.reloaded()

@@ -43,6 +43,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/h5"
 	"repro/internal/serveapi"
 	"repro/internal/telemetry"
 )
@@ -317,6 +318,30 @@ func (s *Server) CheckReload() error {
 		}
 	}
 	return first
+}
+
+// ReloadModel re-checksums one model's files now, arming replica swaps
+// when they changed — the publish hook the continuous-learning
+// controller calls after installing a gated candidate, so the new
+// generation goes live at the next batch boundary instead of waiting
+// for the poll.
+func (s *Server) ReloadModel(name string) error {
+	m := s.models[name]
+	if m == nil {
+		return fmt.Errorf("%w: %q", ErrUnknownModel, name)
+	}
+	return m.checkReload()
+}
+
+// SnapshotCaptureDB takes a set-atomic read snapshot of the named
+// capture database — the learner's retrain input. The snapshot is
+// taken under the database's writer mutex with a flush first, so it
+// always lands on a record-set boundary: never half a training sample.
+func (s *Server) SnapshotCaptureDB(db string) (*h5.File, error) {
+	if s.ingest == nil {
+		return nil, fmt.Errorf("%w: capture ingest not enabled", ErrUnknownDB)
+	}
+	return s.ingest.snapshotDB(db)
 }
 
 // pollReload is the background hot-reload loop.

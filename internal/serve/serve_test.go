@@ -2,10 +2,13 @@ package serve
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"net/http"
 	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"testing"
 	"time"
@@ -13,6 +16,7 @@ import (
 	hpacml "repro"
 
 	"repro/internal/nn"
+	"repro/internal/serveapi"
 	"repro/internal/tensor"
 )
 
@@ -436,6 +440,39 @@ func TestHTTPAPI(t *testing.T) {
 	}
 	if len(sr.Models) != 1 || sr.Models[0].Completed < 3 {
 		t.Fatalf("stats payload: %+v", sr)
+	}
+
+	// Provenance: /v1/models reports where the served weights came from
+	// (path), what they hash to (the member-set checksum: sha256 of the
+	// concatenated per-file sha256s), and when they were loaded.
+	respM, err := http.Get(ts.URL + "/v1/models")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer respM.Body.Close()
+	var infos []serveapi.ModelInfo
+	if err := json.NewDecoder(respM.Body).Decode(&infos); err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 1 {
+		t.Fatalf("models payload: %+v", infos)
+	}
+	info := infos[0]
+	if info.Path != path {
+		t.Fatalf("model path %q, want %q", info.Path, path)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	leaf := sha256.Sum256(raw)
+	agg := sha256.New()
+	agg.Write(leaf[:])
+	if want := hex.EncodeToString(agg.Sum(nil)); info.Checksum != want {
+		t.Fatalf("model checksum %q, want %q", info.Checksum, want)
+	}
+	if info.LoadedAt.IsZero() || time.Since(info.LoadedAt) > time.Hour {
+		t.Fatalf("model loaded_at %v is not a fresh load time", info.LoadedAt)
 	}
 }
 

@@ -117,6 +117,105 @@ type ModelInfo struct {
 	Checksum   string `json:"checksum"`
 	Generation uint64 `json:"generation"`
 	Replicas   int    `json:"replicas"`
+	// LoadedAt is when the currently served weights were (re)loaded —
+	// provenance for the hot-reload path alongside Path and Checksum.
+	LoadedAt time.Time `json:"loaded_at,omitzero"`
+
+	// The continuous-learning annotation, present only when a learner
+	// manages this model: the published learner generation (distinct
+	// from Generation, which counts every registry hot reload) and the
+	// recorded lineage of retrain attempts.
+	LearnerGeneration uint64         `json:"learner_generation,omitempty"`
+	Lineage           []LineageEntry `json:"lineage,omitempty"`
+}
+
+// Lineage verdicts (LineageEntry.Verdict).
+const (
+	// VerdictSeed marks the initial generation: the weights the model
+	// was first registered with.
+	VerdictSeed = "seed"
+	// VerdictPublished marks a candidate that passed the shadow gate
+	// and was hot-reloaded into the replica pools.
+	VerdictPublished = "published"
+	// VerdictRejected marks a candidate the gate refused (worse than
+	// the published model, NaN-poisoned, or failed to train); the
+	// entry's Reason says why.
+	VerdictRejected = "rejected"
+	// VerdictRollback marks an operator rollback to the parent
+	// generation.
+	VerdictRollback = "rollback"
+)
+
+// LineageEntry is one entry of a model's continuous-learning lineage:
+// every retrain attempt (published or not), the seed generation, and
+// every rollback, in order. The same schema is persisted in the
+// model's .lineage.json sidecar and served inside /v1/models, so the
+// on-disk provenance and the wire view can never drift.
+type LineageEntry struct {
+	// Gen is the lineage generation this entry created (monotonic;
+	// rejected candidates consume a generation number too, so the
+	// sidecar records every attempt).
+	Gen  uint64    `json:"gen"`
+	Time time.Time `json:"time,omitzero"`
+	// Verdict is one of "seed" (initial load), "published",
+	// "rejected", or "rollback".
+	Verdict string `json:"verdict"`
+	// Reason says why a candidate was rejected (gate failure, NaN
+	// poisoning, training error) or what a rollback restored.
+	Reason string `json:"reason,omitempty"`
+	// ParentGen/ParentChecksum identify the published model this entry
+	// derives from.
+	ParentGen      uint64 `json:"parent_gen"`
+	ParentChecksum string `json:"parent_checksum,omitempty"`
+	// Checksum is the candidate's weight checksum (the registry
+	// checksum after publication).
+	Checksum string `json:"checksum,omitempty"`
+	// TrainRecords/HoldoutRecords count the snapshot split the
+	// candidate was trained and gated on.
+	TrainRecords   int `json:"train_records,omitempty"`
+	HoldoutRecords int `json:"holdout_records,omitempty"`
+	// CandidateErr and PublishedErr are the shadow-gate relative
+	// errors of the candidate and the then-published model on the
+	// held-out captures. A NaN-poisoned candidate is recorded as -1
+	// (JSON cannot carry NaN) with the reason naming the poisoning.
+	CandidateErr float64 `json:"candidate_err,omitempty"`
+	PublishedErr float64 `json:"published_err,omitempty"`
+}
+
+// LearnerSnapshot is one model's continuous-learning stats (the
+// /v1/stats payload): the published generation, retrain outcome
+// counters, and the last gate verdict.
+type LearnerSnapshot struct {
+	Model      string `json:"model"`
+	Generation uint64 `json:"generation"`
+
+	Retrains  uint64 `json:"retrains"`
+	Published uint64 `json:"published"`
+	Rejected  uint64 `json:"rejected"`
+	Errors    uint64 `json:"errors"`
+	Rollbacks uint64 `json:"rollbacks"`
+
+	// PendingRecords is how many captured records have arrived since
+	// the last retrain — the progress toward the next trigger.
+	PendingRecords int `json:"pending_records"`
+
+	LastVerdict      string  `json:"last_verdict,omitempty"`
+	LastCandidateErr float64 `json:"last_candidate_err,omitempty"`
+	LastPublishedErr float64 `json:"last_published_err,omitempty"`
+}
+
+// RollbackResponse answers POST /v1/models/{model}/rollback: the
+// lineage generation the rollback itself created, and which ancestor
+// generation's weights are now live again.
+type RollbackResponse struct {
+	Model string `json:"model"`
+	// Generation is the new current lineage generation (the rollback
+	// entry).
+	Generation uint64 `json:"generation"`
+	// RestoredGen is the ancestor generation whose weights were
+	// restored.
+	RestoredGen uint64 `json:"restored_gen"`
+	Checksum    string `json:"checksum,omitempty"`
 }
 
 // RegionStats is the wire form of the runtime's Region accounting
@@ -192,4 +291,7 @@ type StatsResponse struct {
 	// Captures lists the ingest stats of the server's capture
 	// databases; absent when capture ingest is not enabled.
 	Captures []CaptureSnapshot `json:"captures,omitempty"`
+	// Learners lists the continuous-learning stats per managed model;
+	// absent when no learner is attached.
+	Learners []LearnerSnapshot `json:"learners,omitempty"`
 }

@@ -222,6 +222,18 @@ func (c *Client) Model(ctx context.Context, name string) (serveapi.ModelInfo, er
 	return serveapi.ModelInfo{}, fmt.Errorf("serveclient: %s does not host model %q", c.base, name)
 }
 
+// Rollback asks the server's continuous-learning controller to
+// restore the named model's parent generation (POST
+// /v1/models/{model}/rollback). The response says which lineage
+// generation the rollback created and which ancestor generation's
+// weights are live again. 404 means the model has no learner, 409 that
+// the live generation has no parent to return to.
+func (c *Client) Rollback(ctx context.Context, model string) (serveapi.RollbackResponse, error) {
+	var resp serveapi.RollbackResponse
+	err := c.post(ctx, "/v1/models/"+model+"/rollback", struct{}{}, &resp)
+	return resp, err
+}
+
 // Stats fetches the per-model serving stats.
 func (c *Client) Stats(ctx context.Context) (serveapi.StatsResponse, error) {
 	var sr serveapi.StatsResponse
