@@ -1,0 +1,77 @@
+// hpacml-quant fits the int8 post-training calibration of a trained
+// surrogate from its collected database: per-segment activation ranges
+// observed on captured inputs, gated against the float64 reference on a
+// held-out split, and saved as a ".quant" sidecar beside the model so
+// engines running with int8 inference (quant(int8) directives,
+// hpacml-serve -int8) find it automatically. The gate is mandatory —
+// when the quantized model cannot reproduce the float64 outputs within
+// -rtol on the holdout, no sidecar is written and the serving path
+// stays in wide precision. Run it after hpacml-train, on the same
+// database.
+//
+// Usage:
+//
+//	hpacml-quant -db data/binomial.gh5 -region binomial \
+//	    -model models/binomial.gmod -mode percentile -quantile 0.001
+//	hpacml-quant -db data/binomial.gh5 -region binomial \
+//	    -model models/binomial.gmod -rtol 0.02 -out ranges.quant
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	hpacml "repro"
+
+	"repro/internal/nn"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	db := flag.String("db", "", "input database path (.gh5, all shards merged)")
+	region := flag.String("region", "", "region group to read inputs from (the benchmark/region name)")
+	model := flag.String("model", "", "model to quantize; the sidecar is written to <model>.quant")
+	out := flag.String("out", "", "explicit sidecar output path (overrides -model's naming convention)")
+	mode := flag.String("mode", nn.QuantMaxAbs, "activation range mode: maxabs or percentile")
+	quantile := flag.Float64("quantile", 0.001, "tail fraction trimmed per side in percentile mode")
+	rtol := flag.Float64("rtol", 0.05, "accuracy gate: max mean relative L2 of int8 vs float64 on held-out captures")
+	holdout := flag.Float64("holdout", 0.2, "trailing fraction of capture rows held out for the gate")
+	version := flag.Bool("version", false, "print version and exit")
+	flag.Parse()
+	if *version {
+		fmt.Println(telemetry.VersionString("hpacml-quant"))
+		return
+	}
+
+	if *db == "" || *region == "" || *model == "" {
+		fmt.Fprintln(os.Stderr, "hpacml-quant: -db, -region, and -model are required")
+		flag.Usage()
+		os.Exit(2)
+	}
+	path := *out
+	if path == "" {
+		path = nn.QuantPath(*model)
+	}
+
+	calib, err := hpacml.FitQuantFromDB(*db, *region, *model, hpacml.QuantFitConfig{
+		Mode: *mode, Q: *quantile, RTol: *rtol, Holdout: *holdout,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := calib.SaveQuant(path); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "hpacml-quant: calibrated %d segments (%d -> %d, mode %s), gate %.4g <= rtol %g, %s -> %s\n",
+		calib.Segments(), calib.InDim, calib.OutDim, *mode, calib.GateErr, calib.GateRTol, *db, path)
+	for s, r := range calib.Preacts {
+		fmt.Fprintf(os.Stderr, "hpacml-quant:   segment %d: input [%g, %g], pre-activation [%g, %g]\n",
+			s, calib.Bounds[s].Lo, calib.Bounds[s].Hi, r.Lo, r.Hi)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hpacml-quant:", err)
+	os.Exit(1)
+}

@@ -156,6 +156,7 @@ func main() {
 	workers := flag.Int("workers", 2, "replica regions per model")
 	reload := flag.Duration("reload", 2*time.Second, "model-file checksum poll interval for hot reload (0 disables)")
 	f32 := flag.Bool("f32", false, "run inference in single precision: model weights convert to float32 once at load and batches skip the float64 round trip (unsupported models stay float64)")
+	int8Flag := flag.Bool("int8", false, "run inference through the quantized int8 path: each model's .quant calibration sidecar (written by hpacml-quant) is loaded beside its .gmod; models without a gate-passing sidecar stay in wide precision")
 	logLevel := flag.String("log-level", "info", "log verbosity: debug (per-request lines), info, warn, or error")
 	slowReq := flag.Duration("slow-request", 0, "log requests slower than this at warn even below -log-level debug (0 = the handler default, 250ms)")
 	pprofAddr := flag.String("pprof-addr", "", "admin listen address for net/http/pprof profiling and a second /metrics endpoint (empty disables; bind it to localhost)")
@@ -180,6 +181,7 @@ func main() {
 	out := flag.String("out", "", "loadgen: result JSON path (default stdout)")
 	seed := flag.Int64("seed", 29, "loadgen: input-vector seed")
 	wire := flag.String("wire", "json", "loadgen: client protocol — json, binary (length-prefixed frames), or both (JSON baseline then binary, one record)")
+	lgDtype := flag.String("dtype", "f64", "loadgen: binary-wire frame element encoding — f64, f32, or int8 (int8 sends integer-valued inputs; ignored under -wire json)")
 	lgCapture := flag.String("capture-db", "", "loadgen: ship every completed inference back to this server-side capture database (the closed-loop retraining feed; empty disables)")
 	flag.Parse()
 
@@ -202,6 +204,7 @@ func main() {
 			Concurrency: *concurrency,
 			Seed:        *seed,
 			Wire:        *wire,
+			Dtype:       *lgDtype,
 			CaptureDB:   *lgCapture,
 		})
 		if err != nil {
@@ -236,6 +239,11 @@ func main() {
 	if *f32 {
 		for i := range models {
 			models[i].F32 = true
+		}
+	}
+	if *int8Flag {
+		for i := range models {
+			models[i].I8 = true
 		}
 	}
 	s, err := serve.NewServer(serve.Config{

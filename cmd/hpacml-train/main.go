@@ -32,6 +32,7 @@ func main() {
 	dropout := flag.Float64("dropout", 0, "dropout probability (Table V)")
 	batch := flag.Int("batch", 64, "batch size (Table V)")
 	epochs := flag.Int("epochs", 100, "training epochs")
+	normalize := flag.Bool("normalize", false, "standardize features inside the model (recommended before int8 quantization)")
 	full := flag.Bool("full", false, "use campaign-scale problem sizes")
 	seed := flag.Int64("seed", 29, "random seed")
 	version := flag.Bool("version", false, "print version and exit")
@@ -73,6 +74,7 @@ func main() {
 	opt := experiments.QuickOptions()
 	opt.TrainEpochs = *epochs
 	opt.Seed = *seed
+	opt.Normalize = *normalize
 	if err := os.MkdirAll(filepath.Dir(*model), 0o755); err != nil {
 		fatal(err)
 	}

@@ -39,6 +39,16 @@ type LocalEngine struct {
 	net   *nn.Network
 	f32   bool
 	fwd32 *nn.Forward32
+	i8    bool
+	fwdI8 *nn.ForwardI8
+
+	// Shaped f32 program for conv models, compiled lazily on the first
+	// higher-rank batch (the sample shape is not known at load time).
+	// shapedSample remembers which shape the program — or the cached
+	// compile failure — belongs to.
+	fwdShaped    *nn.Forward32
+	shapedSample []int
+	shapedFailed bool
 }
 
 // LocalOption configures a LocalEngine at construction.
@@ -47,11 +57,26 @@ type LocalOption func(*LocalEngine)
 // WithFloat32Inference makes the engine run batched inference in
 // single precision: the network's weights are converted to float32
 // once at load, and rank-2 batches then run through the flat f32
-// kernels (nn.Forward32) instead of the float64 tensor path. Models
-// the f32 compiler does not support (convolutions) silently keep the
-// float64 path, as do non-contiguous or higher-rank inputs.
+// kernels (nn.Forward32) instead of the float64 tensor path. Conv
+// models compile lazily on the first higher-rank contiguous batch via
+// nn.NewForward32Shaped (the per-sample shape is only known then);
+// models neither compiler supports silently keep the float64 path, as
+// do non-contiguous inputs.
 func WithFloat32Inference() LocalOption {
 	return func(e *LocalEngine) { e.f32 = true }
+}
+
+// WithInt8Inference makes the engine run batched inference through the
+// quantized int8 program compiled from the model's ".quant" sidecar
+// (written by hpacml-quant after a gated calibration fit). The sidecar
+// is resolved beside the model file at load, exactly like the
+// guardrail's ".guard" convention. The path only activates when the
+// sidecar exists, decodes, carries a passing accuracy-gate verdict, and
+// compiles against the loaded network; any failure silently keeps the
+// wider path (f32 if also enabled, else float64), so enabling int8
+// never changes which calls succeed — only their precision and speed.
+func WithInt8Inference() LocalOption {
+	return func(e *LocalEngine) { e.i8 = true }
 }
 
 // NewLocalEngine builds a local engine for a .gmod path. The file is
@@ -67,6 +92,11 @@ func NewLocalEngine(path string, opts ...LocalOption) *LocalEngine {
 // Float32 reports whether the engine was built with
 // WithFloat32Inference.
 func (e *LocalEngine) Float32() bool { return e.f32 }
+
+// Int8 reports whether the engine was built with WithInt8Inference.
+// Note this is the request, not the outcome: a missing or gate-failed
+// sidecar leaves the engine serving in wide precision regardless.
+func (e *LocalEngine) Int8() bool { return e.i8 }
 
 // Path returns the model path the engine loads from.
 func (e *LocalEngine) Path() string { return e.path }
@@ -87,6 +117,7 @@ func (e *LocalEngine) ensure() error {
 	if cached, ok := modelCache.Load(e.path); ok {
 		e.net = cached.(*nn.Network)
 		e.compile32()
+		e.compileI8()
 		return nil
 	}
 	m, err := nn.Load(e.path)
@@ -96,6 +127,7 @@ func (e *LocalEngine) ensure() error {
 	modelCache.Store(e.path, m)
 	e.net = m
 	e.compile32()
+	e.compileI8()
 	return nil
 }
 
@@ -104,11 +136,34 @@ func (e *LocalEngine) ensure() error {
 // layers) is not an error: the engine keeps the float64 path.
 func (e *LocalEngine) compile32() {
 	e.fwd32 = nil
+	e.fwdShaped, e.shapedSample, e.shapedFailed = nil, nil, false
 	if !e.f32 {
 		return
 	}
 	if f, err := nn.NewForward32(e.net); err == nil {
 		e.fwd32 = f
+	}
+}
+
+// compileI8 compiles the freshly resolved network into an int8 program
+// from its ".quant" sidecar when the engine opted in. Every failure —
+// no sidecar on disk, a corrupt sidecar, a stamped-but-failed accuracy
+// gate, a calibration that does not match the network's geometry — is
+// deliberately not an error: the engine keeps the wider path. The gate
+// re-check here is the load-time half of the accuracy contract: the fit
+// step refuses to write a failing sidecar, and the engine refuses to
+// serve one even if it somehow appears.
+func (e *LocalEngine) compileI8() {
+	e.fwdI8 = nil
+	if !e.i8 || e.path == "" {
+		return
+	}
+	calib, err := nn.LoadQuant(nn.QuantPath(e.path))
+	if err != nil || !calib.GatePassed() {
+		return
+	}
+	if f, err := nn.NewForwardI8(e.net, calib); err == nil {
+		e.fwdI8 = f
 	}
 }
 
@@ -147,25 +202,75 @@ func (e *LocalEngine) Infer(ctx context.Context, in, out *tensor.Tensor) error {
 	if err := e.ensure(); err != nil {
 		return err
 	}
+	if f := e.fwdI8; f != nil &&
+		in.Rank() == 2 && out.Rank() == 2 && in.IsContiguous() && out.IsContiguous() &&
+		in.Dim(1) == f.InDim() && out.Dim(0) == in.Dim(0) && out.Dim(1) == f.OutDim() {
+		return f.Forward(out.Data(), in.Data(), in.Dim(0))
+	}
 	if f := e.fwd32; f != nil &&
 		in.Rank() == 2 && out.Rank() == 2 && in.IsContiguous() && out.IsContiguous() &&
 		in.Dim(1) == f.InDim() && out.Dim(0) == in.Dim(0) && out.Dim(1) == f.OutDim() {
 		return f.ForwardFloat64(out.Data(), in.Data(), in.Dim(0))
 	}
+	if e.f32 && e.fwd32 == nil && in.Rank() >= 2 && out.Rank() >= 2 &&
+		in.IsContiguous() && out.IsContiguous() && out.Dim(0) == in.Dim(0) {
+		if f := e.shaped(in.Shape()[1:]); f != nil &&
+			in.Len() == in.Dim(0)*f.InDim() && out.Len() == in.Dim(0)*f.OutDim() {
+			return f.ForwardFloat64(out.Data(), in.Data(), in.Dim(0))
+		}
+	}
 	return e.net.ForwardInto(out, in)
+}
+
+// shaped returns the f32 program compiled for the given per-sample
+// shape, compiling on first use and caching one program (and one
+// failure verdict) per shape — batches with a new sample shape
+// recompile, repeated shapes pay nothing. A nil return means "use the
+// float64 path for this batch".
+func (e *LocalEngine) shaped(sample []int) *nn.Forward32 {
+	if sameInts(e.shapedSample, sample) {
+		if e.shapedFailed {
+			return nil
+		}
+		return e.fwdShaped
+	}
+	e.shapedSample = append([]int(nil), sample...)
+	f, err := nn.NewForward32Shaped(e.net, sample)
+	if err != nil {
+		e.fwdShaped, e.shapedFailed = nil, true
+		return nil
+	}
+	e.fwdShaped, e.shapedFailed = f, false
+	return f
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Refresh drops the engine's network pointer so the next use
 // re-resolves from the shared cache — the replica-pool hot-reload swap,
 // which must not re-read disk (a concurrent retrain could hand
 // different replicas different or torn bytes for the same swap).
-func (e *LocalEngine) Refresh() { e.net, e.fwd32 = nil, nil }
+func (e *LocalEngine) Refresh() {
+	e.net, e.fwd32, e.fwdI8 = nil, nil, nil
+	e.fwdShaped, e.shapedSample, e.shapedFailed = nil, nil, false
+}
 
 // Invalidate additionally evicts the shared cache entry, forcing the
 // next load to re-read the file (e.g. after a new training round wrote
 // it).
 func (e *LocalEngine) Invalidate() {
-	e.net, e.fwd32 = nil, nil
+	e.net, e.fwd32, e.fwdI8 = nil, nil, nil
+	e.fwdShaped, e.shapedSample, e.shapedFailed = nil, nil, false
 	if e.path != "" {
 		modelCache.Delete(e.path)
 	}

@@ -79,9 +79,12 @@ func TestLocalEngineFloat32(t *testing.T) {
 	}
 }
 
-// TestLocalEngineFloat32Fallback: a model the f32 compiler rejects
-// (convolutional) still serves through the float64 path.
-func TestLocalEngineFloat32Fallback(t *testing.T) {
+// TestLocalEngineFloat32ShapedConv: conv models compile to f32 lazily —
+// the vector program stays nil at load (the sample shape is unknown),
+// the first higher-rank batch compiles the shaped program, results stay
+// within single-precision tolerance of the float64 engine, and
+// Refresh drops the program with the network.
+func TestLocalEngineFloat32ShapedConv(t *testing.T) {
 	ClearModelCache()
 	path := filepath.Join(t.TempDir(), "cnn.gmod")
 	net := nn.NewNetwork(3)
@@ -90,17 +93,83 @@ func TestLocalEngineFloat32Fallback(t *testing.T) {
 		t.Fatal(err)
 	}
 	e := NewLocalEngine(path, WithFloat32Inference())
+	e64 := NewLocalEngine(path)
 	ctx := context.Background()
 	if err := e.Warmup(ctx, []int{2, 1, 8}); err != nil {
 		t.Fatal(err)
 	}
 	if e.fwd32 != nil {
-		t.Fatal("conv model must not compile to f32")
+		t.Fatal("conv model must not compile to the vector f32 program")
+	}
+	if e.fwdShaped != nil {
+		t.Fatal("shaped program must not compile before the first batch")
 	}
 	in := tensor.New(2, 1, 8)
+	for i, d := 0, in.Data(); i < len(d); i++ {
+		d[i] = float64((i*5)%11)/11 - 0.5
+	}
+	out := tensor.New(2, 2)
+	out64 := tensor.New(2, 2)
+	if err := e.Infer(ctx, in, out); err != nil {
+		t.Fatal(err)
+	}
+	if e.fwdShaped == nil {
+		t.Fatal("first conv batch must compile the shaped f32 program")
+	}
+	first := e.fwdShaped
+	if err := e64.Infer(ctx, in, out64); err != nil {
+		t.Fatal(err)
+	}
+	want := out64.Data()
+	for i, got := range out.Data() {
+		if diff := math.Abs(got - want[i]); diff > 1e-5*math.Abs(want[i])+1e-6 {
+			t.Fatalf("element %d: shaped f32 %g vs f64 %g", i, got, want[i])
+		}
+	}
+	// A repeat batch with the same sample shape reuses the program.
+	if err := e.Infer(ctx, in, out); err != nil {
+		t.Fatal(err)
+	}
+	if e.fwdShaped != first {
+		t.Fatal("same-shape batch must reuse the compiled shaped program")
+	}
+	e.Refresh()
+	if e.fwdShaped != nil {
+		t.Fatal("Refresh must drop the shaped program")
+	}
+}
+
+// TestLocalEngineFloat32Fallback: a model neither f32 compiler supports
+// (a residual block) still serves through the float64 path, and the
+// compile failure is latched instead of retried per batch.
+func TestLocalEngineFloat32Fallback(t *testing.T) {
+	ClearModelCache()
+	path := filepath.Join(t.TempDir(), "res.gmod")
+	body := nn.NewNetwork(5)
+	body.Add(nn.NewActivation(nn.ActTanh))
+	net := nn.NewNetwork(3)
+	net.Add(nn.NewResidual(body), nn.NewFlatten(), net.NewDense(12, 2))
+	if err := net.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	e := NewLocalEngine(path, WithFloat32Inference())
+	ctx := context.Background()
+	if err := e.Warmup(ctx, []int{2, 2, 6}); err != nil {
+		t.Fatal(err)
+	}
+	if e.fwd32 != nil {
+		t.Fatal("residual model must not compile to f32")
+	}
+	in := tensor.New(2, 2, 6)
 	out := tensor.New(2, 2)
 	if err := e.Infer(ctx, in, out); err != nil {
 		t.Fatalf("float64 fallback inference: %v", err)
+	}
+	if e.fwdShaped != nil || !e.shapedFailed {
+		t.Fatal("shaped compile failure must be latched")
+	}
+	if err := e.Infer(ctx, in, out); err != nil {
+		t.Fatalf("float64 fallback inference after latch: %v", err)
 	}
 }
 

@@ -233,6 +233,13 @@ type Region struct {
 	// itself — an injected engine's precision is the injector's call.
 	f32 *bool
 
+	// i8 is the resolved int8-inference setting (from the
+	// quant(int8|off) clause unless WithInt8 overrode it; nil means
+	// off). Like f32 it only affects engines the region builds itself,
+	// and it is a request, not a guarantee: without a gate-passing
+	// ".quant" sidecar beside the model the engine keeps wide precision.
+	i8 *bool
+
 	stats Stats
 	// sinkBase is the sink-counter snapshot taken at the last
 	// ResetStats, so Stats reports only capture activity since then
@@ -357,6 +364,17 @@ func WithFloat32(on bool) Option {
 	return func(r *Region) error { r.f32 = &on; return nil }
 }
 
+// WithInt8 overrides the directive's quant(int8|off) clause: on=true
+// asks the region's own LocalEngine to serve through the int8 program
+// compiled from the model's ".quant" sidecar (fit by hpacml-quant,
+// accuracy-gated against the float64 reference). When the sidecar is
+// missing, corrupt, or carries a failing gate verdict, the engine
+// silently keeps the wider path — enabling int8 never changes which
+// calls succeed. It has no effect on engines injected with WithEngine.
+func WithInt8(on bool) Option {
+	return func(r *Region) error { r.i8 = &on; return nil }
+}
+
 // WithModel overrides the model path from the ml clause.
 func WithModel(path string) Option {
 	return func(r *Region) error { r.modelPath = path; return nil }
@@ -460,6 +478,11 @@ func (r *Region) finalize() error {
 	// caller overrode it through WithFloat32 (same precedence again).
 	if r.ml.F32 != nil && r.f32 == nil {
 		r.f32 = r.ml.F32
+	}
+	// Same rule for the quant(int8|off) clause and WithInt8.
+	if r.ml.Quant != "" && r.i8 == nil {
+		on := r.ml.Quant == "int8"
+		r.i8 = &on
 	}
 
 	// Inline functor applications in the ml clause (fa-exprs) create
@@ -826,6 +849,9 @@ func (r *Region) ensureEngine() error {
 	var opts []LocalOption
 	if r.f32 != nil && *r.f32 {
 		opts = append(opts, WithFloat32Inference())
+	}
+	if r.i8 != nil && *r.i8 {
+		opts = append(opts, WithInt8Inference())
 	}
 	r.setEngine(NewLocalEngine(r.modelPath, opts...), true)
 	return nil

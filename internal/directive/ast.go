@@ -411,7 +411,8 @@ type MLDecl struct {
 	DB        string
 	Capture   *CapturePolicy
 	Trust     *TrustPolicy
-	F32       *bool // f32(on|off): single-precision inference; nil = runtime default
+	F32       *bool  // f32(on|off): single-precision inference; nil = runtime default
+	Quant     string // quant(int8|off): quantized inference; "" = runtime default
 	If        string
 }
 
@@ -473,6 +474,9 @@ func (m *MLDecl) String() string {
 		} else {
 			b.WriteString(" f32(off)")
 		}
+	}
+	if m.Quant != "" {
+		fmt.Fprintf(&b, " quant(%s)", m.Quant)
 	}
 	if m.If != "" {
 		fmt.Fprintf(&b, " if(%s)", m.If)

@@ -28,6 +28,9 @@ var fuzzSeeds = []string{
 	`ml(infer) in(x) out(y) model("m") trust(domain:on)`,
 	`ml(infer) in(x) out(y) model("m") trust(var:1e-3, domain:on)`,
 	`ml(infer) in(x) out(y) model("http://host:8080/toy") db("http://host:8080/cap")`,
+	`ml(infer) in(x) out(y) model("m") f32(on)`,
+	`ml(infer) in(x) out(y) model("m") quant(int8)`,
+	`ml(infer) in(x) out(y) model("m") f32(on) quant(off)`,
 	"tensor functor(f: [i, 0:6:2] = ([i*2], [i*2+1], [i+N/2]))",
 	"tensor functor(f: [i, 0:1] = ([3*(i+1)-N/2]))",
 	"approx tensor functor(f: [i, 0:1] = ([i]))",
@@ -46,6 +49,7 @@ var fuzzSeeds = []string{
 	`ml(infer) in(x) out(y) model("m") trust()`,
 	`ml(infer) in(x) out(y) model("m") trust(var:0)`,
 	`ml(infer) in(x) out(y) model("m") trust(domain:off)`,
+	`ml(infer) in(x) out(y) model("m") quant(int4)`,
 	"",
 	"#pragma omp parallel",
 	"\\",

@@ -369,6 +369,17 @@ func (p *parser) parseML() (*MLDecl, error) {
 			default:
 				return nil, p.errorf("f32 wants on or off, got %q", t.text)
 			}
+		case "quant":
+			t, err := p.expect(tokIdent)
+			if err != nil {
+				return nil, err
+			}
+			switch t.text {
+			case "int8", "off":
+				ml.Quant = t.text
+			default:
+				return nil, p.errorf("quant wants int8 or off, got %q", t.text)
+			}
 		case "if":
 			cond, err := p.parseRawUntilCloseParen()
 			if err != nil {

@@ -142,6 +142,27 @@ func TestParseMLF32Clause(t *testing.T) {
 	}
 }
 
+func TestParseMLQuantClause(t *testing.T) {
+	if ml := mustParse(t, `ml(infer) in(x) out(y) model("m")`).(*MLDecl); ml.Quant != "" {
+		t.Fatalf("no quant clause must leave Quant empty, got %q", ml.Quant)
+	}
+	on := mustParse(t, `ml(infer) in(x) out(y) model("m") quant(int8)`).(*MLDecl)
+	if on.Quant != "int8" {
+		t.Fatalf("quant(int8) = %q", on.Quant)
+	}
+	off := mustParse(t, `ml(infer) in(x) out(y) model("m") quant(off)`).(*MLDecl)
+	if off.Quant != "off" {
+		t.Fatalf("quant(off) = %q", off.Quant)
+	}
+	// f32 and quant compose (precision request and quantization request
+	// are independent knobs) and both survive the String round trip.
+	both := mustParse(t, `ml(infer) in(x) out(y) model("m") f32(on) quant(int8)`).(*MLDecl)
+	reparsed := mustParse(t, both.String()).(*MLDecl)
+	if reparsed.Quant != "int8" || reparsed.F32 == nil || !*reparsed.F32 {
+		t.Fatalf("String() dropped a clause: %q", both.String())
+	}
+}
+
 func TestParseMLErrors(t *testing.T) {
 	bad := []string{
 		`ml(infer)`,                            // no in/out/inout
@@ -150,6 +171,8 @@ func TestParseMLErrors(t *testing.T) {
 		`ml(infer) in(x) out(y) model(m)`,      // model wants a string
 		`ml(infer) in(x) out(y) f32(fast)`,     // f32 wants on|off
 		`ml(infer) in(x) out(y) f32("on")`,     // ...as an ident, not a string
+		`ml(infer) in(x) out(y) quant(int4)`,   // quant wants int8|off
+		`ml(infer) in(x) out(y) quant("int8")`, // ...as an ident, not a string
 		`ml(infer:cond in(x) out(y)`,           // unterminated
 		`ml(infer) in() out(y)`,                // empty ident list
 		`tensor functor(f: [i] = ([i])) junk`,  // trailing input

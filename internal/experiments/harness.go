@@ -38,6 +38,14 @@ type Options struct {
 	// bound, block-or-drop backpressure, flush cadence, sampling); the
 	// zero value is the asynchronous single-shard default.
 	Capture hpacml.CaptureConfig
+	// Normalize wraps trained tabular surrogates in fixed per-feature
+	// standardization fitted on the training set: inputs are shifted to
+	// zero mean / unit variance before the first layer and outputs are
+	// mapped back after the last, so the saved model still eats and
+	// emits raw application data. Off by default; turn it on for models
+	// headed to int8 quantization, whose per-layer accuracy depends on
+	// conditioned activation ranges.
+	Normalize bool
 }
 
 // QuickOptions is sized for tests and CI.

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"path/filepath"
 
 	hpacml "repro"
@@ -9,6 +10,7 @@ import (
 	"repro/internal/benchmarks/common"
 	"repro/internal/bo"
 	"repro/internal/nn"
+	"repro/internal/tensor"
 )
 
 // tabularApp abstracts the three MLP benchmarks (MiniBUDE, Binomial
@@ -112,6 +114,11 @@ func (h *tabularHarness) Train(dbPath, modelPath string, arch, hyper map[string]
 	if err != nil {
 		return 0, err
 	}
+	if opt.Normalize {
+		if net, err = standardizeNet(net, ds, opt.Seed); err != nil {
+			return 0, err
+		}
+	}
 	hist, err := net.Fit(ds, nil, trainCfg(hyper, opt))
 	if err != nil {
 		return 0, err
@@ -182,6 +189,68 @@ func (h *tabularHarness) Evaluate(modelPath string, opt Options) (EvalResult, er
 		RemoteCaptures:  st.RemoteCaptures,
 	}
 	return res, checkFinite(h.info.Name, res.Speedup, res.Error)
+}
+
+// standardizeNet sandwiches net between fixed per-feature affine layers
+// fitted on the training set: inputs are standardized to zero mean and
+// unit variance before the first layer, outputs are mapped back to raw
+// scale after the last. The affine layers carry no trainable parameters
+// (they are architecture, like a TorchScript archive's preprocessing),
+// so Fit optimizes the same raw-space loss while the hidden layers see
+// conditioned activations — and the saved model stays self-contained,
+// eating and emitting raw application data.
+func standardizeNet(net *nn.Network, ds *nn.Dataset, seed int64) (*nn.Network, error) {
+	inMean, inStd, err := featureStats(ds.X)
+	if err != nil {
+		return nil, err
+	}
+	outMean, outStd, err := featureStats(ds.Y)
+	if err != nil {
+		return nil, err
+	}
+	inScale := make([]float64, len(inMean))
+	inShift := make([]float64, len(inMean))
+	for j := range inMean {
+		inScale[j] = 1 / inStd[j]
+		inShift[j] = -inMean[j] / inStd[j]
+	}
+	wrapped := nn.NewNetwork(seed)
+	wrapped.Add(nn.NewChannelAffine(1, inScale, inShift))
+	for _, e := range net.Layers {
+		wrapped.Add(e.Layer)
+	}
+	wrapped.Add(nn.NewChannelAffine(1, outStd, outMean))
+	return wrapped, nil
+}
+
+// featureStats computes the per-column mean and standard deviation of a
+// [rows, features] tensor. Constant columns get a stddev of 1 so the
+// standardization stays invertible.
+func featureStats(t *tensor.Tensor) (mean, std []float64, err error) {
+	if t.Rank() != 2 || t.Dim(0) == 0 {
+		return nil, nil, fmt.Errorf("feature stats want a non-empty [rows, features] tensor, got %v", t.Shape())
+	}
+	rows, cols := t.Dim(0), t.Dim(1)
+	d := t.Contiguous().Data()
+	mean = make([]float64, cols)
+	std = make([]float64, cols)
+	for i, v := range d {
+		mean[i%cols] += v
+	}
+	for j := range mean {
+		mean[j] /= float64(rows)
+	}
+	for i, v := range d {
+		dv := v - mean[i%cols]
+		std[i%cols] += dv * dv
+	}
+	for j := range std {
+		std[j] = math.Sqrt(std[j] / float64(rows))
+		if std[j] == 0 {
+			std[j] = 1
+		}
+	}
+	return mean, std, nil
 }
 
 // buildMLP assembles hidden layers with ReLU activations and optional

@@ -18,13 +18,14 @@ import (
 // and the default inference path stay float64.
 //
 // The compiled program snapshots the network's weights: after a
-// parameter update or hot reload, build a new Forward32. Only vector
-// models are compilable — the layer set the registry's MLP surrogates
+// parameter update or hot reload, build a new Forward32. NewForward32
+// compiles vector models — the layer set the registry's MLP surrogates
 // use (Dense, activations, Affine, ChannelAffine, and the
-// inference-identity Dropout and Flatten); anything else (convolutions,
-// residual blocks) fails NewForward32 and the caller keeps the float64
-// path. A Forward32 is safe for concurrent use; per-call state lives in
-// pooled scratch.
+// inference-identity Dropout and Flatten); NewForward32Shaped
+// additionally compiles conv models (Conv1D, Conv2D, MaxPool1D,
+// MaxPool2D) given the per-sample input shape. Anything else (residual
+// blocks) fails both and the caller keeps the float64 path. A Forward32
+// is safe for concurrent use; per-call state lives in pooled scratch.
 type Forward32 struct {
 	inDim, outDim int
 	ops           []op32
@@ -49,10 +50,14 @@ type op32 struct {
 	scale, shift   float32   // affine
 	blockLen       int       // channel affine
 	scales, shifts []float32
+	conv           *conv32 // conv/pool geometry (shape-aware programs only)
 }
 
 type f32Scratch struct {
 	bufs [2][]float32
+	// aux holds the conv im2col patch matrix and pre-transpose output;
+	// unused (never allocated) by pure-MLP programs.
+	aux [2][]float32
 }
 
 type convScratch32 struct {
@@ -141,7 +146,7 @@ func (f *Forward32) Forward(dst, x []float32, rows int) error {
 			out = s.bufs[slot][:need]
 			slot ^= 1
 		}
-		if err := op.run(out, cur, rows); err != nil {
+		if err := op.run(out, cur, rows, s); err != nil {
 			return err
 		}
 		cur = out
@@ -181,7 +186,7 @@ func (f *Forward32) ForwardFloat64(dst, x []float64, rows int) error {
 	return nil
 }
 
-func (op *op32) run(dst, x []float32, rows int) error {
+func (op *op32) run(dst, x []float32, rows int, s *f32Scratch) error {
 	switch op.kind {
 	case op32Dense:
 		if err := tensor.MatMulInto32(dst, x, op.w, rows, op.inCols, op.outCols); err != nil {
@@ -200,6 +205,14 @@ func (op *op32) run(dst, x []float32, rows int) error {
 			b := (i % per) / op.blockLen
 			dst[i] = op.scales[b]*v + op.shifts[b]
 		}
+	case op32Conv1:
+		return op.conv.runConv1(dst, x, rows, s)
+	case op32Conv2:
+		op.conv.runConv2(dst, x, rows)
+	case op32Pool1:
+		op.conv.runPool1(dst, x, rows)
+	case op32Pool2:
+		op.conv.runPool2(dst, x, rows)
 	}
 	return nil
 }

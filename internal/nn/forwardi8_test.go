@@ -1,0 +1,430 @@
+package nn
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// calibSlab draws a [rows, cols] calibration slab from the same
+// distribution the accuracy checks evaluate on.
+func calibSlab(seed int64, rows, cols int, spread float64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	s := make([]float64, rows*cols)
+	for i := range s {
+		s[i] = rng.NormFloat64() * spread
+	}
+	return s
+}
+
+// meanRelL2 is the gate metric: mean over rows of ‖pred−ref‖₂ /
+// max(‖ref‖₂, eps).
+func meanRelL2(pred, ref []float64, rows, cols int) float64 {
+	total := 0.0
+	for r := 0; r < rows; r++ {
+		var dn, rn float64
+		for j := 0; j < cols; j++ {
+			d := pred[r*cols+j] - ref[r*cols+j]
+			dn += d * d
+			rn += ref[r*cols+j] * ref[r*cols+j]
+		}
+		total += math.Sqrt(dn) / math.Max(math.Sqrt(rn), 1e-12)
+	}
+	return total / float64(rows)
+}
+
+func f64Forward(t testing.TB, net *Network, in []float64, rows, inDim int) []float64 {
+	t.Helper()
+	x, err := tensor.FromSlice(append([]float64(nil), in...), rows, inDim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := net.Forward(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out.Contiguous().Data()
+}
+
+// TestForwardI8Accuracy: on the quickstart h16 MLP, the int8 path
+// calibrated from in-distribution inputs must track the float64
+// reference within a few percent mean relative L2 — the engine-level
+// gate's default rtol with margin.
+func TestForwardI8Accuracy(t *testing.T) {
+	net := quickstartNet()
+	calibX, err := tensor.FromSlice(calibSlab(21, 512, 5, 3), 512, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, mode := range []string{QuantMaxAbs, QuantPercentile} {
+		calib, err := CalibrateI8(net, calibX, CalibConfig{Mode: mode, Q: 0.001})
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if calib.Segments() != 2 || calib.InDim != 5 || calib.OutDim != 1 {
+			t.Fatalf("%s: calibrated %d segments %d->%d, want 2 segments 5->1",
+				mode, calib.Segments(), calib.InDim, calib.OutDim)
+		}
+		f, err := NewForwardI8(net, calib)
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		const rows = 257
+		in := calibSlab(77, rows, 5, 3)
+		ref := f64Forward(t, net, in, rows, 5)
+		got := make([]float64, rows)
+		if err := f.Forward(got, in, rows); err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if e := meanRelL2(got, ref, rows, 1); !(e < 0.05) {
+			t.Fatalf("%s: int8 mean relative L2 %g vs f64, want < 0.05", mode, e)
+		}
+	}
+}
+
+// TestForwardI8AllLayers covers every compilable layer kind — multiple
+// dense segments, all four activations, affine and channel-affine tails
+// (the per-column LUT path), and the inference-identity dropout.
+func TestForwardI8AllLayers(t *testing.T) {
+	net := NewNetwork(11)
+	net.Add(
+		net.NewDense(6, 12),
+		NewActivation(ActLeakyReLU),
+		net.NewDropout(0.3), // identity at inference
+		net.NewDense(12, 8),
+		NewActivation(ActSigmoid),
+		NewChannelAffine(4, []float64{2, -3}, []float64{0.25, 0}),
+		net.NewDense(8, 3),
+		NewActivation(ActReLU),
+	)
+	calibX, err := tensor.FromSlice(calibSlab(5, 800, 6, 1), 800, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calib, err := CalibrateI8(net, calibX, CalibConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calib.Segments() != 3 {
+		t.Fatalf("calibrated %d segments, want 3", calib.Segments())
+	}
+	f, err := NewForwardI8(net, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 33
+	in := calibSlab(6, rows, 6, 1)
+	ref := f64Forward(t, net, in, rows, 6)
+	got := make([]float64, rows*3)
+	if err := f.Forward(got, in, rows); err != nil {
+		t.Fatal(err)
+	}
+	if e := meanRelL2(got, ref, rows, 3); !(e < 0.15) {
+		t.Fatalf("int8 mean relative L2 %g vs f64 across 3 quantized segments, want < 0.15", e)
+	}
+}
+
+// TestForwardI8Prelude: a standardization-wrapped MLP — per-feature
+// ChannelAffine normalization in, denormalization out, raw wide-range
+// features on very different scales — compiles with the elementwise
+// prelude fused into input quantization. The int8 path must track the
+// float64 reference, and the calibrated input bounds must be the
+// post-prelude (normalized) range, not the raw feature range: the int8
+// grid is spent on what the first dense layer actually sees.
+func TestForwardI8Prelude(t *testing.T) {
+	const inF, outF = 4, 2
+	scales := []float64{100, 0.01, 7, 1}   // raw per-feature spreads
+	shifts := []float64{50, -0.3, 0, -200} // raw per-feature offsets
+	inScale := make([]float64, inF)
+	inShift := make([]float64, inF)
+	for j := range scales {
+		inScale[j] = 1 / scales[j]
+		inShift[j] = -shifts[j] / scales[j]
+	}
+	net := NewNetwork(31)
+	net.Add(
+		NewChannelAffine(1, inScale, inShift),
+		net.NewDense(inF, 16),
+		NewActivation(ActReLU),
+		net.NewDense(16, outF),
+		NewChannelAffine(1, []float64{3, 40}, []float64{-1, 250}),
+	)
+	raw := func(seed int64, rows int) []float64 {
+		s := calibSlab(seed, rows, inF, 1)
+		for i := range s {
+			j := i % inF
+			s[i] = s[i]*scales[j] + shifts[j]
+		}
+		return s
+	}
+	calibX, err := tensor.FromSlice(raw(41, 600), 600, inF)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calib, err := CalibrateI8(net, calibX, CalibConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calib.Segments() != 2 {
+		t.Fatalf("calibrated %d segments, want 2", calib.Segments())
+	}
+	if lo, hi := calib.Bounds[0].Lo, calib.Bounds[0].Hi; lo < -8 || hi > 8 {
+		t.Fatalf("input bounds [%g, %g] look like raw features, want the normalized post-prelude range", lo, hi)
+	}
+	f, err := NewForwardI8(net, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 47
+	in := raw(42, rows)
+	ref := f64Forward(t, net, in, rows, inF)
+	got := make([]float64, rows*outF)
+	if err := f.Forward(got, in, rows); err != nil {
+		t.Fatal(err)
+	}
+	if e := meanRelL2(got, ref, rows, outF); !(e < 0.05) {
+		t.Fatalf("prelude int8 mean relative L2 %g vs f64, want < 0.05", e)
+	}
+}
+
+// TestForwardI8Rejections pins the compile- and calibration-time
+// refusals: unsupported layers, geometry and segment-count mismatches,
+// and NaN-poisoned calibration data.
+func TestForwardI8Rejections(t *testing.T) {
+	conv := NewNetwork(3)
+	conv.Add(conv.NewConv1D(2, 4, 3, 1), NewFlatten(), conv.NewDense(40, 2))
+	convX, _ := tensor.FromSlice(make([]float64, 4*20), 4, 2, 10)
+	if _, err := CalibrateI8(conv, convX, CalibConfig{}); err == nil {
+		t.Fatal("conv model must fail int8 calibration")
+	}
+
+	net := quickstartNet()
+	x, _ := tensor.FromSlice(calibSlab(1, 64, 5, 1), 64, 5)
+	calib, err := CalibrateI8(net, x, CalibConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewForwardI8(net, nil); err == nil {
+		t.Fatal("nil calibration must fail")
+	}
+	other := NewNetwork(2)
+	other.Add(other.NewDense(5, 3))
+	if _, err := NewForwardI8(other, calib); err == nil {
+		t.Fatal("geometry mismatch must fail")
+	}
+	deeper := NewNetwork(2)
+	deeper.Add(deeper.NewDense(5, 7), NewActivation(ActTanh), deeper.NewDense(7, 7), deeper.NewDense(7, 1))
+	if _, err := NewForwardI8(deeper, calib); err == nil {
+		t.Fatal("segment-count mismatch must fail")
+	}
+
+	poisoned := calibSlab(1, 64, 5, 1)
+	poisoned[17] = math.NaN()
+	px, _ := tensor.FromSlice(poisoned, 64, 5)
+	if _, err := CalibrateI8(net, px, CalibConfig{}); err == nil {
+		t.Fatal("NaN calibration data must fail the fit")
+	}
+	if _, err := CalibrateI8(net, x, CalibConfig{Mode: "nonsense"}); err == nil {
+		t.Fatal("unknown mode must fail")
+	}
+	if _, err := CalibrateI8(net, x, CalibConfig{Mode: QuantPercentile, Q: 0.7}); err == nil {
+		t.Fatal("out-of-range quantile must fail")
+	}
+}
+
+// TestQuantSidecarRoundTrip: Save/Load must reproduce the calibration
+// exactly (the ranges are raw float64 bits on disk), the header must
+// open with the pinned magic, and corrupted sidecars must be refused.
+func TestQuantSidecarRoundTrip(t *testing.T) {
+	c := &QuantCalib{
+		InDim: 5, OutDim: 1,
+		Bounds:  []QuantRange{{-3.25, 3.5}, {-0.875, 0.9921875}},
+		Preacts: []QuantRange{{-11.5, 7.75}, {-2.125, 2.25}},
+		GateErr: 0.0123, GateRTol: 0.05,
+	}
+	path := filepath.Join(t.TempDir(), "m.gmod.quant")
+	if err := c.SaveQuant(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadQuant(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.InDim != c.InDim || got.OutDim != c.OutDim ||
+		got.GateErr != c.GateErr || got.GateRTol != c.GateRTol {
+		t.Fatalf("round trip changed header: %+v vs %+v", got, c)
+	}
+	for i := range c.Bounds {
+		if got.Bounds[i] != c.Bounds[i] || got.Preacts[i] != c.Preacts[i] {
+			t.Fatalf("round trip changed range %d: %+v / %+v", i, got.Bounds[i], got.Preacts[i])
+		}
+	}
+	if !got.GatePassed() {
+		t.Fatal("recorded passing gate must survive the round trip")
+	}
+
+	// Golden header: the first 8 bytes are the pinned magic + version.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := []byte{0x51, 0x4e, 0x54, 0x38, 0x01, 0x00, 0x00, 0x00}; !bytes.Equal(raw[:8], want) {
+		t.Fatalf("sidecar header %x, want %x (format drift)", raw[:8], want)
+	}
+
+	if _, err := DecodeQuant(bytes.NewReader(raw[:20])); err == nil {
+		t.Fatal("truncated sidecar must fail")
+	}
+	bad := append([]byte(nil), raw...)
+	bad[0] ^= 0xff
+	if _, err := DecodeQuant(bytes.NewReader(bad)); err == nil {
+		t.Fatal("bad magic must fail")
+	}
+	// An inverted range is rejected at decode, not at first use.
+	inv := &QuantCalib{InDim: 2, OutDim: 1,
+		Bounds: []QuantRange{{5, -5}}, Preacts: []QuantRange{{0, 1}}, GateErr: 0.1, GateRTol: 0.2}
+	var buf bytes.Buffer
+	if err := inv.Encode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DecodeQuant(&buf); err == nil {
+		t.Fatal("inverted range must fail decode")
+	}
+}
+
+// TestQuantGateSemantics pins GatePassed across passing, failing, and
+// NaN-stamped calibrations — the verdict LocalEngine keys off.
+func TestQuantGateSemantics(t *testing.T) {
+	cases := []struct {
+		name     string
+		err, tol float64
+		pass     bool
+	}{
+		{"passing", 0.01, 0.05, true},
+		{"exactly-at-tol", 0.05, 0.05, true},
+		{"failing", 0.2, 0.05, false},
+		{"nan-unstamped", math.NaN(), 0.05, false},
+		{"inf", math.Inf(1), 0.05, false},
+	}
+	for _, tc := range cases {
+		c := &QuantCalib{GateErr: tc.err, GateRTol: tc.tol}
+		if got := c.GatePassed(); got != tc.pass {
+			t.Fatalf("%s: GatePassed = %v, want %v", tc.name, got, tc.pass)
+		}
+	}
+}
+
+// TestForwardI8Concurrent: one compiled program, many goroutines. The
+// pooled scratch must keep results identical to the serial run.
+func TestForwardI8Concurrent(t *testing.T) {
+	net := quickstartNet()
+	x, _ := tensor.FromSlice(calibSlab(3, 256, 5, 2), 256, 5)
+	calib, err := CalibrateI8(net, x, CalibConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := NewForwardI8(net, calib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rows = 17
+	mk := func(seed int64) []float64 { return calibSlab(seed, rows, 5, 2) }
+	refs := make([][]float64, 8)
+	for g := range refs {
+		refs[g] = make([]float64, rows)
+		if err := f.Forward(refs[g], mk(int64(g)), rows); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	errCh := make(chan error, 64)
+	for iter := 0; iter < 8; iter++ {
+		for g := range refs {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				got := make([]float64, rows)
+				if err := f.Forward(got, mk(int64(g)), rows); err != nil {
+					errCh <- err
+					return
+				}
+				for i := range got {
+					if got[i] != refs[g][i] {
+						errCh <- fmt.Errorf("goroutine %d row %d: %g != %g", g, i, got[i], refs[g][i])
+						return
+					}
+				}
+			}(g)
+		}
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkForwardI8vsF32 is the acceptance benchmark: on the h16
+// quickstart MLP the int8 path must beat the f32 path by ≥ 1.3x. Both
+// run through their float64 engine seams, so the comparison includes
+// each path's staging conversions — exactly what the serve hot path
+// pays. The wider MLP shows the matmul-bound regime.
+func BenchmarkForwardI8vsF32(b *testing.B) {
+	cases := []struct {
+		name   string
+		widths []int
+		rows   int
+	}{
+		{"h16/b64", []int{5, 16, 1}, 64},
+		{"h16/b1024", []int{5, 16, 1}, 1024},
+		{"h256x256/b256", []int{64, 256, 256, 8}, 256},
+	}
+	for _, tc := range cases {
+		net := NewNetwork(7)
+		for i := 0; i < len(tc.widths)-1; i++ {
+			net.Add(net.NewDense(tc.widths[i], tc.widths[i+1]))
+			if i < len(tc.widths)-2 {
+				net.Add(NewActivation(ActTanh))
+			}
+		}
+		inDim, outDim := tc.widths[0], tc.widths[len(tc.widths)-1]
+		in := calibSlab(1, tc.rows, inDim, 1)
+		x, _ := tensor.FromSlice(append([]float64(nil), in...), tc.rows, inDim)
+		calib, err := CalibrateI8(net, x, CalibConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		f32, err := NewForward32(net)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fi8, err := NewForwardI8(net, calib)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out := make([]float64, tc.rows*outDim)
+		b.Run("f32/"+tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := f32.ForwardFloat64(out, in, tc.rows); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("i8/"+tc.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := fi8.Forward(out, in, tc.rows); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -376,21 +376,27 @@ func (n *Network) OutShape(in []int) ([]int, error) {
 }
 
 // VectorIO reports the flat per-sample input and output widths of a
-// network whose first layer is Dense — the MLP surrogates a model
-// registry can host without being told their shapes. Networks that open
-// with a convolution (whose input width depends on the spatial extent,
-// not the model file) cannot be inferred and return an error; callers
-// must then supply dimensions explicitly.
+// network whose leading layer pins a width — a Dense layer's fan-in or
+// a ChannelAffine's block structure (the standardization wrapper
+// normalization-trained MLP surrogates open with). These are the models
+// a registry can host without being told their shapes. Networks that
+// open with a convolution (whose input width depends on the spatial
+// extent, not the model file) cannot be inferred and return an error;
+// callers must then supply dimensions explicitly.
 func (n *Network) VectorIO() (in, out int, err error) {
 	if len(n.Layers) == 0 {
 		return 0, 0, fmt.Errorf("nn: VectorIO on empty network")
 	}
-	d, ok := n.Layers[0].Layer.(*Dense)
-	if !ok {
+	switch l := n.Layers[0].Layer.(type) {
+	case *Dense:
+		in = l.In
+	case *ChannelAffine:
+		in = l.BlockLen * len(l.Scales)
+	default:
 		return 0, 0, fmt.Errorf("nn: VectorIO: first layer is %s, not dense; input width is not self-describing",
 			n.Layers[0].Layer.Kind())
 	}
-	outShape, err := n.OutShape([]int{d.In})
+	outShape, err := n.OutShape([]int{in})
 	if err != nil {
 		return 0, 0, err
 	}
@@ -398,7 +404,7 @@ func (n *Network) VectorIO() (in, out int, err error) {
 	for _, dim := range outShape {
 		out *= dim
 	}
-	return d.In, out, nil
+	return in, out, nil
 }
 
 // Summary renders a human-readable architecture description.

@@ -648,6 +648,18 @@ func TestVectorIO(t *testing.T) {
 		t.Fatalf("VectorIO = %d, %d, %v; want 7, 3, nil", in, out, err)
 	}
 
+	// A leading ChannelAffine (the standardization wrapper) pins the
+	// width through its block structure.
+	wrapped := NewNetwork(4)
+	wrapped.Add(
+		NewChannelAffine(1, []float64{1, 2, 3}, nil),
+		wrapped.NewDense(3, 8), NewActivation(ActReLU), wrapped.NewDense(8, 2),
+		NewChannelAffine(1, []float64{5, 7}, nil),
+	)
+	if in, out, err := wrapped.VectorIO(); err != nil || in != 3 || out != 2 {
+		t.Fatalf("VectorIO = %d, %d, %v; want 3, 2, nil", in, out, err)
+	}
+
 	// Conv-first networks can't self-describe their input width.
 	cnn := NewNetwork(2)
 	cnn.Add(cnn.NewConv1D(1, 2, 3, 1), NewFlatten(), cnn.NewDense(12, 1))

@@ -37,7 +37,7 @@ func BenchmarkCoalescedVsSerial(b *testing.B) {
 
 	b.Run("serial-mutex", func(b *testing.B) {
 		hpacml.ClearModelCache()
-		rep, err := newReplica("serial", []string{path}, 0, in, out, false)
+		rep, err := newReplica("serial", []string{path}, 0, in, out, false, false)
 		if err != nil {
 			b.Fatal(err)
 		}

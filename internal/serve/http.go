@@ -81,8 +81,8 @@ type handler struct {
 	stageDecode *telemetry.Histogram
 	stageEncode *telemetry.Histogram
 
-	wireInfer   [3]*telemetry.Counter // json, frame-f64, frame-f32
-	wireCapture [3]*telemetry.Counter
+	wireInfer   [4]*telemetry.Counter // json, frame-f64, frame-f32, frame-i8
+	wireCapture [4]*telemetry.Counter
 }
 
 // wire-counter slots, indexed by how the request body arrived.
@@ -90,6 +90,7 @@ const (
 	wireSlotJSON = iota
 	wireSlotF64
 	wireSlotF32
+	wireSlotI8
 )
 
 // NewHandler exposes the server over the HTTP API:
@@ -131,15 +132,17 @@ func NewHandler(s *Server, opts ...HandlerOption) http.Handler {
 		okRequests:  make(map[string]*telemetry.Counter),
 		stageDecode: s.met.httpStage.With("decode"),
 		stageEncode: s.met.httpStage.With("encode"),
-		wireInfer: [3]*telemetry.Counter{
+		wireInfer: [4]*telemetry.Counter{
 			s.met.wireRequests.With("infer", "json", "f64"),
 			s.met.wireRequests.With("infer", "binary", "f64"),
 			s.met.wireRequests.With("infer", "binary", "f32"),
+			s.met.wireRequests.With("infer", "binary", "i8"),
 		},
-		wireCapture: [3]*telemetry.Counter{
+		wireCapture: [4]*telemetry.Counter{
 			s.met.wireRequests.With("capture", "json", "f64"),
 			s.met.wireRequests.With("capture", "binary", "f64"),
 			s.met.wireRequests.With("capture", "binary", "f32"),
+			s.met.wireRequests.With("capture", "binary", "i8"),
 		},
 	}
 	for _, opt := range opts {
@@ -164,6 +167,7 @@ func NewHandler(s *Server, opts ...HandlerOption) http.Handler {
 			UptimeSec: s.Uptime().Seconds(),
 			Models:    s.Snapshot(),
 			Captures:  s.CaptureSnapshot(),
+			Wire:      h.wireSnapshot(),
 		}
 		if h.learner != nil {
 			resp.Learners = h.learner.Snapshot()
@@ -564,10 +568,40 @@ func forEachRow(rows int, fn func(i int)) {
 	wg.Wait()
 }
 
-// dtypeLabel maps a frame dtype to its metric slot and label.
+// wireSnapshot folds the hot-path wire counters into the /v1/stats
+// Wire section, skipping combinations that have seen no traffic.
+func (h *handler) wireSnapshot() []serveapi.WireStats {
+	slots := []struct {
+		wire, dtype string
+	}{
+		{"json", "f64"},
+		{"binary", "f64"},
+		{"binary", "f32"},
+		{"binary", "i8"},
+	}
+	var out []serveapi.WireStats
+	for _, ep := range []struct {
+		name     string
+		counters *[4]*telemetry.Counter
+	}{{"infer", &h.wireInfer}, {"capture", &h.wireCapture}} {
+		for i, slot := range slots {
+			if n := ep.counters[i].Value(); n > 0 {
+				out = append(out, serveapi.WireStats{
+					Endpoint: ep.name, Wire: slot.wire, Dtype: slot.dtype, Requests: n,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// dtypeSlot maps a frame dtype to its metric slot and label.
 func dtypeSlot(dt serveapi.Dtype) (slot int, label string) {
-	if dt == serveapi.DtypeF32 {
+	switch dt {
+	case serveapi.DtypeF32:
 		return wireSlotF32, "f32"
+	case serveapi.DtypeI8:
+		return wireSlotI8, "i8"
 	}
 	return wireSlotF64, "f64"
 }
@@ -658,7 +692,10 @@ func (h *handler) serveCaptureFrame(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	h.observeDecode(sp, time.Since(decodeStart))
-	slot, dlabel := dtypeSlot(serveapi.DtypeF64)
+	// DecodeCaptureRequest erases the wire dtype into float64 records;
+	// re-read it from the header so telemetry sees the real mix.
+	dt, _ := serveapi.FrameDtype(fs.body)
+	slot, dlabel := dtypeSlot(dt)
 	sp.dtype = dlabel
 	sp.db, sp.rows = db, len(recs)
 	h.wireCapture[slot].Inc()

@@ -36,6 +36,12 @@ type LoadGenConfig struct {
 	// record with the baseline attached, so a single artifact carries
 	// the before/after comparison.
 	Wire string
+	// Dtype selects the binary wire's element encoding: "f64"
+	// (default), "f32", or "int8"/"i8". It shapes only the frame
+	// payload bytes; inputs are generated as integer-valued floats when
+	// int8 is selected so the round-clamp transport encoding is exact.
+	// Ignored under the JSON wire.
+	Dtype string
 	// CaptureDB, when set, ships every completed inference back to the
 	// server as a capture record (POST /v1/capture against this
 	// database name) — the closed-loop drive: served traffic becomes
@@ -81,8 +87,19 @@ func runLoadGen(cfg LoadGenConfig, wire serveclient.Wire) (*results.Record, erro
 	if cfg.Concurrency <= 0 {
 		cfg.Concurrency = 16
 	}
+	var dtype serveapi.Dtype
+	switch cfg.Dtype {
+	case "", "f64":
+		dtype = serveapi.DtypeF64
+	case "f32":
+		dtype = serveapi.DtypeF32
+	case "int8", "i8":
+		dtype = serveapi.DtypeI8
+	default:
+		return nil, fmt.Errorf("serve: loadgen: unknown dtype %q (want f64, f32, or int8)", cfg.Dtype)
+	}
 	client := serveclient.New(cfg.Target, serveclient.WithTimeout(10*time.Second),
-		serveclient.WithWire(wire))
+		serveclient.WithWire(wire), serveclient.WithFrameDtype(dtype))
 	defer client.CloseIdleConnections()
 	info, err := client.Model(context.Background(), cfg.Model)
 	if err != nil {
@@ -163,7 +180,13 @@ func runLoadGen(cfg LoadGenConfig, wire serveclient.Wire) (*results.Record, erro
 					}
 				}
 				for i := range in {
-					in[i] = rng.Float64()
+					if dtype == serveapi.DtypeI8 {
+						// Integer-valued features so the i8 wire's
+						// round-clamp encoding is exact transport.
+						in[i] = float64(rng.Intn(17) - 8)
+					} else {
+						in[i] = rng.Float64()
+					}
 				}
 				sent.Add(1)
 				start := time.Now()
@@ -225,6 +248,9 @@ func runLoadGen(cfg LoadGenConfig, wire serveclient.Wire) (*results.Record, erro
 		Wire:         wire.String(),
 
 		CapturedRecords: captured.Load(),
+	}
+	if wire == serveclient.WireBinary {
+		serving.Dtype = dtype.String()
 	}
 	if elapsed > 0 {
 		serving.AchievedRPS = float64(completed.Load()) / elapsed.Seconds()

@@ -38,6 +38,14 @@ type ModelSpec struct {
 	// precision), as do models the f32 compiler cannot handle — those
 	// silently stay float64.
 	F32 bool
+	// I8 serves the model through the quantized int8 path: each
+	// replica's directive gains quant(int8), so its LocalEngine
+	// auto-loads the ".quant" calibration sidecar beside the model file
+	// (written by hpacml-quant) and compiles the int8 program. A
+	// missing, corrupt, or gate-failed sidecar silently keeps the wider
+	// path, and ensembles ignore it like F32. When both F32 and I8 are
+	// set the engine prefers int8 where the sidecar allows it.
+	I8 bool
 }
 
 // ModelInfo is the registry view of a hosted model (the /v1/models
@@ -128,7 +136,7 @@ func newModel(spec ModelSpec, cfg Config, met *metrics) (*model, error) {
 		loadedAt: time.Now(),
 	}
 	for i := 0; i < cfg.Workers; i++ {
-		rep, err := newReplica(spec.Name, members, i, in, out, spec.F32)
+		rep, err := newReplica(spec.Name, members, i, in, out, spec.F32, spec.I8)
 		if err != nil {
 			m.closeReplicas()
 			return nil, err
@@ -197,12 +205,15 @@ func validateDims(net *nn.Network, in, out int) error {
 // EnsembleEngine (engine scratch is single-threaded, so replicas never
 // share one). A zero-input warmup runs immediately so a bad model file
 // fails replica construction, not the first request.
-func newReplica(name string, members []string, idx, in, out int, f32 bool) (*replica, error) {
+func newReplica(name string, members []string, idx, in, out int, f32, i8 bool) (*replica, error) {
 	x := make([]float64, in)
 	y := make([]float64, out)
-	f32Clause := ""
+	precClause := ""
 	if f32 {
-		f32Clause = " f32(on)"
+		precClause += " f32(on)"
+	}
+	if i8 {
+		precClause += " quant(int8)"
 	}
 	opts := []hpacml.Option{
 		hpacml.BindInt("FIN", in),
@@ -225,7 +236,7 @@ tensor functor(vout: [i, 0:FOUT] = ([0:FOUT]))
 tensor map(to: vin(x[0:1]))
 tensor map(from: vout(y[0:1]))
 ml(infer) in(x) out(y) model(%q)%s
-`, members[0], f32Clause))}, opts...)...,
+`, members[0], precClause))}, opts...)...,
 	)
 	if err != nil {
 		if engine != nil {

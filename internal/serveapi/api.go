@@ -284,6 +284,17 @@ type ModelSnapshot struct {
 	Region RegionStats `json:"region"`
 }
 
+// WireStats is one hot-path encoding's request count in the /v1/stats
+// Wire section: how many /v1/infer or /v1/capture requests arrived
+// over a given wire protocol and payload dtype since the server
+// started. Combinations with zero requests are omitted.
+type WireStats struct {
+	Endpoint string `json:"endpoint"` // "infer" or "capture"
+	Wire     string `json:"wire"`     // "json" or "binary"
+	Dtype    string `json:"dtype"`    // "f64", "f32", or "i8"
+	Requests uint64 `json:"requests"`
+}
+
 // StatsResponse is the /v1/stats payload.
 type StatsResponse struct {
 	UptimeSec float64         `json:"uptime_sec"`
@@ -294,4 +305,9 @@ type StatsResponse struct {
 	// Learners lists the continuous-learning stats per managed model;
 	// absent when no learner is attached.
 	Learners []LearnerSnapshot `json:"learners,omitempty"`
+	// Wire breaks the hot-path traffic down by endpoint, wire protocol,
+	// and payload dtype — the JSON view of the
+	// hpacml_wire_requests_total metric, so the encoding mix (and the
+	// int8 wire's adoption) is visible without a metrics scraper.
+	Wire []WireStats `json:"wire,omitempty"`
 }

@@ -23,7 +23,7 @@ const ContentTypeFrame = "application/x-hpacml-frame"
 //	0       4     magic    "MFPH" on the wire (0x4850464d LE)
 //	4       1     version  FrameVersion
 //	5       1     kind     FrameInferRequest | FrameInferResponse | FrameCaptureRequest
-//	6       1     dtype    DtypeF64 | DtypeF32
+//	6       1     dtype    DtypeF64 | DtypeF32 | DtypeI8
 //	7       1     reserved (must be 0)
 //	8       4     body length in bytes (the length prefix; total frame = 12 + body)
 //
@@ -55,16 +55,26 @@ type Dtype byte
 // Wire float encodings. DtypeF64 is lossless against the runtime's
 // float64 staging tensors; DtypeF32 halves payload bytes for callers
 // that accept single-precision transport (e.g. regions already running
-// the float32 compute path).
+// the float32 compute path). DtypeI8 cuts the payload to one byte per
+// element: values are rounded half-away-from-zero and saturated to
+// [-128, 127] on encode (NaN encodes as 0), so it is a transport
+// encoding for feature spaces that are integer-valued and small — not
+// a general float compression. It pairs naturally with servers running
+// the quantized int8 compute path (hpacml-serve -int8), but the wire
+// dtype and the compute dtype are independent choices.
 const (
 	DtypeF64 Dtype = 0
 	DtypeF32 Dtype = 1
+	DtypeI8  Dtype = 2
 )
 
 // Size returns the element size in bytes.
 func (d Dtype) Size() int {
-	if d == DtypeF32 {
+	switch d {
+	case DtypeF32:
 		return 4
+	case DtypeI8:
+		return 1
 	}
 	return 8
 }
@@ -75,11 +85,13 @@ func (d Dtype) String() string {
 		return "f64"
 	case DtypeF32:
 		return "f32"
+	case DtypeI8:
+		return "i8"
 	}
 	return fmt.Sprintf("dtype(%d)", byte(d))
 }
 
-func validDtype(d Dtype) bool { return d == DtypeF64 || d == DtypeF32 }
+func validDtype(d Dtype) bool { return d == DtypeF64 || d == DtypeF32 || d == DtypeI8 }
 
 // frame size sanity bounds, mirroring the .gmod reader's plausibility
 // checks: a decoder fed garbage must fail fast, never allocate
@@ -116,16 +128,40 @@ func appendString(dst []byte, s string) []byte {
 }
 
 func appendFloats(dst []byte, dtype Dtype, data []float64) []byte {
-	if dtype == DtypeF32 {
+	switch dtype {
+	case DtypeF32:
 		for _, v := range data {
 			dst = binary.LittleEndian.AppendUint32(dst, math.Float32bits(float32(v)))
 		}
-		return dst
-	}
-	for _, v := range data {
-		dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+	case DtypeI8:
+		for _, v := range data {
+			dst = append(dst, byte(encodeI8(v)))
+		}
+	default:
+		for _, v := range data {
+			dst = binary.LittleEndian.AppendUint64(dst, math.Float64bits(v))
+		}
 	}
 	return dst
+}
+
+// encodeI8 is the i8 wire encoding: round half-away-from-zero,
+// saturate to int8, NaN to 0. Saturation (not wrapping) keeps a
+// slightly-out-of-range value nearest its true magnitude.
+func encodeI8(v float64) int8 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	if v >= 127 {
+		return 127
+	}
+	if v <= -128 {
+		return -128
+	}
+	if v >= 0 {
+		return int8(v + 0.5)
+	}
+	return int8(v - 0.5)
 }
 
 // inferBodyLen is the exact body size of an infer frame, so encoders
@@ -313,11 +349,16 @@ func (r *frameReader) floats(dtype Dtype, count int, into []float64) ([]float64,
 	}
 	into = into[:base+count]
 	out := into[base:]
-	if dtype == DtypeF32 {
+	switch dtype {
+	case DtypeF32:
 		for i := range out {
 			out[i] = float64(math.Float32frombits(binary.LittleEndian.Uint32(b[i*4:])))
 		}
-	} else {
+	case DtypeI8:
+		for i := range out {
+			out[i] = float64(int8(b[i]))
+		}
+	default:
 		for i := range out {
 			out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
 		}
@@ -362,6 +403,15 @@ func decodeHeader(frame []byte) (byte, Dtype, *frameReader, error) {
 		return 0, 0, nil, fmt.Errorf("serveapi: frame length prefix %d, body is %d bytes", bodyLen, len(frame)-FrameHeaderLen)
 	}
 	return kind, dtype, &frameReader{b: frame[FrameHeaderLen:]}, nil
+}
+
+// FrameDtype validates a frame's fixed header and reports the element
+// dtype it declares, without decoding the body. The server's capture
+// path uses it to label telemetry with the wire dtype (the decode API
+// returns dtype-erased float64 records).
+func FrameDtype(frame []byte) (Dtype, error) {
+	_, dtype, _, err := decodeHeader(frame)
+	return dtype, err
 }
 
 // InferFrame is a decoded infer request or response.
@@ -462,10 +512,10 @@ func DecodeCaptureRequest(frame []byte) (db string, recs []CaptureRecord, err er
 		if rec.Region, err = r.str(); err != nil {
 			return "", nil, err
 		}
-		if rec.InputShape, err = decodeShape(r); err != nil {
+		if rec.InputShape, err = decodeShape(r, dtype.Size()); err != nil {
 			return "", nil, err
 		}
-		if rec.OutputShape, err = decodeShape(r); err != nil {
+		if rec.OutputShape, err = decodeShape(r, dtype.Size()); err != nil {
 			return "", nil, err
 		}
 		b, err := r.take(8)
@@ -491,7 +541,7 @@ func DecodeCaptureRequest(frame []byte) (db string, recs []CaptureRecord, err er
 	return db, recs, nil
 }
 
-func decodeShape(r *frameReader) ([]int, error) {
+func decodeShape(r *frameReader, elemSize int) ([]int, error) {
 	rank, err := r.u8()
 	if err != nil {
 		return nil, err
@@ -507,11 +557,11 @@ func decodeShape(r *frameReader) ([]int, error) {
 			return nil, err
 		}
 		elems *= uint64(d)
-		// Shapes beyond the body's capacity are forged: even the 4-byte
+		// Shapes beyond the body's capacity are forged: the frame's own
 		// dtype cannot fit that many elements in what remains. Division,
-		// not elems*4, which could wrap; checking every dim also keeps
+		// not elems*size, which could wrap; checking every dim also keeps
 		// the running product itself far from uint64 overflow.
-		if elems > uint64(len(r.b))/4 {
+		if elems > uint64(len(r.b))/uint64(elemSize) {
 			return nil, fmt.Errorf("serveapi: frame tensor shape overflows the frame body")
 		}
 		shape[i] = int(d)

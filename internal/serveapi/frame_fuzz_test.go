@@ -17,7 +17,7 @@ import (
 // dimension fields (overflow), and dtype/kind mismatches.
 func FuzzDecodeFrame(f *testing.F) {
 	// Valid frames of every kind and dtype.
-	for _, dtype := range []Dtype{DtypeF64, DtypeF32} {
+	for _, dtype := range []Dtype{DtypeF64, DtypeF32, DtypeI8} {
 		req, _ := AppendInferRequest(nil, dtype, "binomial", 2, 3, []float64{1, 2, 3, 4, 5, 6})
 		f.Add(req)
 		resp, _ := AppendInferResponse(nil, dtype, "binomial", 2, 1, []float64{7, 8})
@@ -48,6 +48,19 @@ func FuzzDecodeFrame(f *testing.F) {
 	badKind := append([]byte(nil), good...)
 	badKind[5] = FrameCaptureRequest
 	f.Add(badKind)
+	// An i8 frame with every byte value, and a capture frame whose i8
+	// payload exercises the size-1 element bound in decodeShape.
+	allBytes := make([]float64, 256)
+	for i := range allBytes {
+		allBytes[i] = float64(int8(i))
+	}
+	i8Frame, _ := AppendInferRequest(nil, DtypeI8, "q", 16, 16, allBytes)
+	f.Add(i8Frame)
+	i8Cap, _ := AppendCaptureRequest(nil, DtypeI8, "db", []CaptureRecord{
+		{Region: "r", InputShape: []int{1, 8}, Inputs: allBytes[:8],
+			OutputShape: []int{1, 1}, Outputs: []float64{-5}, RuntimeNS: 2},
+	})
+	f.Add(i8Cap)
 
 	sameFloats := func(a, b []float64) bool {
 		if len(a) != len(b) {
@@ -72,8 +85,11 @@ func FuzzDecodeFrame(f *testing.F) {
 		if err != nil {
 			t.Fatalf("accepted frame did not re-encode: %v", err)
 		}
-		if inf.Dtype == DtypeF64 && !bytes.Equal(re, frame) {
-			t.Fatalf("f64 round trip changed bytes:\n%x\n%x", frame, re)
+		// f64 re-encodes bit-identically; so does i8, whose decoded
+		// values are always integers in [-128, 127] and therefore fixed
+		// points of the round-clamp encoder.
+		if inf.Dtype != DtypeF32 && !bytes.Equal(re, frame) {
+			t.Fatalf("%s round trip changed bytes:\n%x\n%x", inf.Dtype, frame, re)
 		}
 		again, err := decode(re, nil)
 		if err != nil {
@@ -97,8 +113,8 @@ func FuzzDecodeFrame(f *testing.F) {
 		if err != nil {
 			t.Fatalf("accepted capture batch did not re-encode: %v", err)
 		}
-		if dtype == DtypeF64 && !bytes.Equal(re, frame) {
-			t.Fatalf("f64 capture round trip changed bytes:\n%x\n%x", frame, re)
+		if dtype != DtypeF32 && !bytes.Equal(re, frame) {
+			t.Fatalf("%s capture round trip changed bytes:\n%x\n%x", dtype, frame, re)
 		}
 		db2, recs2, err := DecodeCaptureRequest(re)
 		if err != nil || db2 != db || len(recs2) != len(recs) {

@@ -32,9 +32,16 @@ func sampleSlab(rows, cols int) []float64 {
 }
 
 func TestInferFrameRoundTrip(t *testing.T) {
-	for _, dtype := range []Dtype{DtypeF64, DtypeF32} {
+	for _, dtype := range []Dtype{DtypeF64, DtypeF32, DtypeI8} {
 		rows, cols := 7, 5
 		data := sampleSlab(rows, cols)
+		if dtype == DtypeI8 {
+			// i8 is exact only for integer values in [-128, 127]; the
+			// round trip is asserted bitwise, so feed it its own domain.
+			for i := range data {
+				data[i] = float64(int8(i*13 - 90))
+			}
+		}
 		frame, err := AppendInferRequest(nil, dtype, "binomial", rows, cols, data)
 		if err != nil {
 			t.Fatalf("%s: encode: %v", dtype, err)
@@ -56,6 +63,9 @@ func TestInferFrameRoundTrip(t *testing.T) {
 				t.Fatalf("%s: element %d = %g, want %g", dtype, i, v, want)
 			}
 		}
+		if dtype == DtypeI8 && len(frame) != FrameHeaderLen+2+len("binomial")+8+rows*cols {
+			t.Fatalf("i8 frame is %d bytes, want one byte per element", len(frame))
+		}
 		// Response kind must not decode as a request.
 		resp, err := AppendInferResponse(nil, dtype, "binomial", rows, cols, data)
 		if err != nil {
@@ -66,6 +76,27 @@ func TestInferFrameRoundTrip(t *testing.T) {
 		}
 		if _, err := DecodeInferResponse(resp, nil); err != nil {
 			t.Fatalf("%s: decode response: %v", dtype, err)
+		}
+	}
+}
+
+// TestI8WireEncoding pins the i8 transport semantics: round
+// half-away-from-zero, saturate to [-128, 127], NaN to 0. These are
+// wire-format guarantees — changing them breaks cross-version peers.
+func TestI8WireEncoding(t *testing.T) {
+	in := []float64{0, 1, -1, 0.5, -0.5, 0.49, -0.49, 126.6, 127, 128, 1e300, -127.5, -128, -129, -1e300, math.NaN(), math.Inf(1), math.Inf(-1)}
+	want := []float64{0, 1, -1, 1, -1, 0, 0, 127, 127, 127, 127, -128, -128, -128, -128, 0, 127, -128}
+	frame, err := AppendInferRequest(nil, DtypeI8, "m", 1, len(in), in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeInferRequest(frame, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got.Data {
+		if v != want[i] {
+			t.Errorf("encode(%g) round-tripped to %g, want %g", in[i], v, want[i])
 		}
 	}
 }

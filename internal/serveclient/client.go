@@ -80,9 +80,10 @@ func WithTimeout(d time.Duration) Option {
 // use; the default transport keeps idle connections to the server warm
 // so steady-state inference traffic never pays connection setup.
 type Client struct {
-	base string
-	http *http.Client
-	wire Wire
+	base  string
+	http  *http.Client
+	wire  Wire
+	dtype serveapi.Dtype // frame element encoding; zero value is DtypeF64
 
 	// Wire negotiation state (see frameRejected): binaryOK latches once
 	// a frame round-trip has succeeded, jsonOnly latches when the server

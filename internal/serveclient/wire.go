@@ -42,6 +42,17 @@ func WithWire(w Wire) Option {
 	return func(c *Client) { c.wire = w }
 }
 
+// WithFrameDtype selects the element encoding of outgoing binary
+// frames (default serveapi.DtypeF64). DtypeF32 halves the request
+// payload; DtypeI8 shrinks it to a byte per element but rounds and
+// saturates each value to [-128, 127] on encode, so it is only
+// appropriate for integer-valued, small-range feature spaces. The
+// server answers /v1/infer in the request's dtype, so this choice
+// bounds the response precision too. It has no effect under WireJSON.
+func WithFrameDtype(d serveapi.Dtype) Option {
+	return func(c *Client) { c.dtype = d }
+}
+
 // useBinary reports whether the next hot-path request should be a
 // frame: binary was requested and the server has not refused it.
 func (c *Client) useBinary() bool {
@@ -113,7 +124,7 @@ func (c *Client) inferMatrixFrame(ctx context.Context, model string, rows, cols 
 	fb := framePool.Get().(*frameBuf)
 	defer framePool.Put(fb)
 	var err error
-	if fb.enc, err = serveapi.AppendInferRequest(fb.enc[:0], serveapi.DtypeF64, model, rows, cols, in); err != nil {
+	if fb.enc, err = serveapi.AppendInferRequest(fb.enc[:0], c.dtype, model, rows, cols, in); err != nil {
 		return nil, 0, fmt.Errorf("serveclient: %w", err)
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/infer", bytes.NewReader(fb.enc))
@@ -176,7 +187,7 @@ func (c *Client) captureFrame(ctx context.Context, db string, recs []serveapi.Ca
 	fb := framePool.Get().(*frameBuf)
 	defer framePool.Put(fb)
 	var err error
-	if fb.enc, err = serveapi.AppendCaptureRequest(fb.enc[:0], serveapi.DtypeF64, db, recs); err != nil {
+	if fb.enc, err = serveapi.AppendCaptureRequest(fb.enc[:0], c.dtype, db, recs); err != nil {
 		return 0, fmt.Errorf("serveclient: %w", err)
 	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/v1/capture", bytes.NewReader(fb.enc))

@@ -230,6 +230,46 @@ func TestClientBinaryRoundTrip(t *testing.T) {
 	}
 }
 
+// TestClientBinaryI8Dtype: a client built with WithFrameDtype(DtypeI8)
+// ships one-byte elements, the server answers in kind, and
+// integer-valued inputs survive the round-clamp transport exactly.
+func TestClientBinaryI8Dtype(t *testing.T) {
+	ts, counts := dualStub(t)
+	c := serveclient.New(ts.URL,
+		serveclient.WithWire(serveclient.WireBinary),
+		serveclient.WithFrameDtype(serveapi.DtypeI8))
+	ctx := context.Background()
+
+	rows, cols := 4, 2
+	in := make([]float64, rows*cols)
+	for i := range in {
+		in[i] = float64(i - 4) // integer-valued: exact on the i8 wire
+	}
+	out, outCols, err := c.InferMatrix(ctx, "sum", rows, cols, in, nil)
+	if err != nil || outCols != 1 || len(out) != rows {
+		t.Fatalf("InferMatrix = %v, %d, %v", out, outCols, err)
+	}
+	for i := 0; i < rows; i++ {
+		// The stub doubles the row sum; inputs and (integer) outputs
+		// both fit i8, so the answer is exact despite the 1-byte wire.
+		if want := 2 * (in[i*cols] + in[i*cols+1]); out[i] != want {
+			t.Fatalf("row %d = %g, want %g", i, out[i], want)
+		}
+	}
+	recs := []serveapi.CaptureRecord{
+		{Region: "r", InputShape: []int{1, 2}, Inputs: []float64{5, -3}, OutputShape: []int{1, 1}, Outputs: []float64{4}},
+	}
+	if n, err := c.Capture(ctx, "d", recs); err != nil || n != 1 {
+		t.Fatalf("Capture = %d, %v", n, err)
+	}
+	if got := counts.frames.Load(); got != 2 {
+		t.Fatalf("i8 client sent %d frames, want 2", got)
+	}
+	if got := counts.jsons.Load(); got != 0 {
+		t.Fatalf("i8 client sent %d JSON hot-path requests", got)
+	}
+}
+
 // TestClientBinaryGenuine400StaysBinary: once a frame round-trip has
 // succeeded, a 400 is a real caller error — surfaced, not misread as
 // "server doesn't speak frames".

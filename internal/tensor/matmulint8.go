@@ -1,0 +1,89 @@
+package tensor
+
+import (
+	"fmt"
+
+	"repro/internal/parallel"
+)
+
+// MatMulInt8Into computes a @ b into dst over flat row-major slabs of
+// quantized integers: a is [m,k] int8, b is [k,n] int8, dst is [m,n]
+// int32. Accumulation is exact — every product of two int8 values fits
+// int16, and k products fit int32 for any k below 2^17, far beyond the
+// layer widths the registry serves — so the kernel is bitwise
+// deterministic regardless of blocking or parallel split, which is what
+// the property tests pin down. It is the integer twin of MatMulInto32:
+// same stream-vs-panel blocking, same parallelization across row
+// ranges, same k-ascending order. Requantization (scales, zero-point
+// correction) is the caller's business: nn.ForwardI8 folds it into a
+// per-column multiplier applied to these raw accumulators. dst must not
+// overlap a or b; its previous contents are overwritten.
+func MatMulInt8Into(dst []int32, a, b []int8, m, k, n int) error {
+	if m < 0 || k < 0 || n < 0 {
+		return fmt.Errorf("tensor: matmul-i8 dims [%d %d %d] negative", m, k, n)
+	}
+	if len(a) != m*k || len(b) != k*n {
+		return fmt.Errorf("tensor: matmul-i8 operands %d and %d elems, want [%d %d] x [%d %d]", len(a), len(b), m, k, k, n)
+	}
+	if len(dst) != m*n {
+		return fmt.Errorf("tensor: matmul-i8 dst %d elems, want [%d %d]", len(dst), m, n)
+	}
+	for i := range dst {
+		dst[i] = 0
+	}
+	if m*k*n < matMulParFLOPs {
+		matMulRowsI8(a, b, dst, k, n, 0, m)
+		return nil
+	}
+	parallel.ForRange(m, func(lo, hi int) {
+		matMulRowsI8(a, b, dst, k, n, lo, hi)
+	})
+	return nil
+}
+
+// matMulRowsI8 accumulates output rows [lo, hi), choosing stream or
+// panel order by the size of B — one-byte elements stretch the stream
+// order to 8x the [k,n] footprint of the float64 kernel under the same
+// matMulPanelBytes budget, and the i32 accumulator rows are the only
+// 4-byte traffic. The inner loops run over contiguous rows with the
+// scalar broadcast hoisted and widened once, the unit-stride
+// multiply-accumulate shape the compiler keeps bounds-check-free.
+func matMulRowsI8(ad, bd []int8, od []int32, k, n, lo, hi int) {
+	if k*n <= matMulPanelBytes {
+		for i := lo; i < hi; i++ {
+			arow := ad[i*k : (i+1)*k]
+			orow := od[i*n : (i+1)*n]
+			for kk := 0; kk < k; kk++ {
+				av := int32(arow[kk])
+				if av == 0 {
+					continue
+				}
+				brow := bd[kk*n : (kk+1)*n]
+				for j := range orow {
+					orow[j] += av * int32(brow[j])
+				}
+			}
+		}
+		return
+	}
+	for k0 := 0; k0 < k; k0 += matMulBlockK {
+		k1 := min(k0+matMulBlockK, k)
+		for j0 := 0; j0 < n; j0 += matMulBlockJ {
+			j1 := min(j0+matMulBlockJ, n)
+			for i := lo; i < hi; i++ {
+				arow := ad[i*k : (i+1)*k]
+				orow := od[i*n+j0 : i*n+j1]
+				for kk := k0; kk < k1; kk++ {
+					av := int32(arow[kk])
+					if av == 0 {
+						continue
+					}
+					brow := bd[kk*n+j0 : kk*n+j1]
+					for j := range orow {
+						orow[j] += av * int32(brow[j])
+					}
+				}
+			}
+		}
+	}
+}

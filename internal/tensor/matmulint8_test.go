@@ -1,0 +1,144 @@
+package tensor
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// matMulRefI8 is the naive integer reference: widen each int8 operand
+// to int32 and accumulate in k-ascending order. Integer addition is
+// associative, so the blocked kernel must reproduce this bit for bit on
+// every shape and split.
+func matMulRefI8(a, b []int8, m, k, n int) []int32 {
+	out := make([]int32, m*n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			var s int32
+			for kk := 0; kk < k; kk++ {
+				s += int32(a[i*k+kk]) * int32(b[kk*n+j])
+			}
+			out[i*n+j] = s
+		}
+	}
+	return out
+}
+
+func randSlabI8(rng *rand.Rand, n int) []int8 {
+	s := make([]int8, n)
+	for i := range s {
+		if rng.Intn(8) != 0 { // zeros exercise the skip path
+			s[i] = int8(rng.Intn(256) - 128)
+		}
+	}
+	return s
+}
+
+// TestPropMatMulInt8MatchesReference checks the blocked, parallel int8
+// kernel bitwise against the naive reference across shapes that cross
+// the parallel-dispatch and panel-path thresholds, including saturating
+// extremes (-128 everywhere maximizes accumulator magnitude).
+func TestPropMatMulInt8MatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	shapes := [][3]int{{1, 1, 1}, {1, 7, 3}, {5, 1, 4}, {3, 300, 2}}
+	for trial := 0; trial < 20; trial++ {
+		shapes = append(shapes, [3]int{1 + rng.Intn(40), 1 + rng.Intn(40), 1 + rng.Intn(40)})
+	}
+	// One-byte elements stretch the stream path to k*n = 8M elements;
+	// these cross the parallel threshold in stream order and the last
+	// shape crosses into the panel path too.
+	shapes = append(shapes, [3]int{70, 300, 64}, [3]int{900, 64, 64}, [3]int{2, 4200, 2100})
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		a := randSlabI8(rng, m*k)
+		b := randSlabI8(rng, k*n)
+		dst := make([]int32, m*n)
+		if err := MatMulInt8Into(dst, a, b, m, k, n); err != nil {
+			t.Fatalf("[%d %d %d]: %v", m, k, n, err)
+		}
+		want := matMulRefI8(a, b, m, k, n)
+		for i := range want {
+			if dst[i] != want[i] {
+				t.Fatalf("[%d %d %d] element %d: got %d, want %d (kernel must be bit-identical to the widening reference)",
+					m, k, n, i, dst[i], want[i])
+			}
+		}
+	}
+}
+
+// TestMatMulInt8Extremes pins the worst-case accumulator: every operand
+// at -128 yields k * 16384 per element with no overflow at serving
+// depths.
+func TestMatMulInt8Extremes(t *testing.T) {
+	m, k, n := 3, 1024, 5
+	a := make([]int8, m*k)
+	b := make([]int8, k*n)
+	for i := range a {
+		a[i] = -128
+	}
+	for i := range b {
+		b[i] = -128
+	}
+	dst := make([]int32, m*n)
+	if err := MatMulInt8Into(dst, a, b, m, k, n); err != nil {
+		t.Fatal(err)
+	}
+	want := int32(k) * 16384
+	for i, v := range dst {
+		if v != want {
+			t.Fatalf("element %d: got %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestMatMulInt8Errors(t *testing.T) {
+	a, b := make([]int8, 6), make([]int8, 6)
+	dst := make([]int32, 4)
+	if err := MatMulInt8Into(dst, a, b, 2, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := MatMulInt8Into(dst, a, b, 2, 2, 2); err == nil {
+		t.Fatal("operand size mismatch must fail")
+	}
+	if err := MatMulInt8Into(dst[:3], a, b, 2, 3, 2); err == nil {
+		t.Fatal("dst size mismatch must fail")
+	}
+	if err := MatMulInt8Into(dst, a, b, -2, -3, -2); err == nil {
+		t.Fatal("negative dims must fail")
+	}
+}
+
+// BenchmarkMatMulInt8vs32 compares the int8 kernel against the f32 one
+// on the same logical product: a quarter of the operand bytes moved per
+// MAC is the bandwidth story behind the quantized serving path.
+func BenchmarkMatMulInt8vs32(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	for _, s := range [][3]int{{64, 16, 16}, {256, 256, 256}, {64, 1024, 1024}} {
+		m, k, n := s[0], s[1], s[2]
+		a32 := randSlab32(rng, m*k)
+		b32 := randSlab32(rng, k*n)
+		dst32 := make([]float32, m*n)
+		a8 := randSlabI8(rng, m*k)
+		b8 := randSlabI8(rng, k*n)
+		dst8 := make([]int32, m*n)
+		name := func(tag string) string {
+			return fmt.Sprintf("%s/%dx%dx%d", tag, m, k, n)
+		}
+		b.Run(name("f32"), func(b *testing.B) {
+			b.SetBytes(int64(2 * m * k * n))
+			for i := 0; i < b.N; i++ {
+				if err := MatMulInto32(dst32, a32, b32, m, k, n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(name("i8"), func(b *testing.B) {
+			b.SetBytes(int64(2 * m * k * n))
+			for i := 0; i < b.N; i++ {
+				if err := MatMulInt8Into(dst8, a8, b8, m, k, n); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
